@@ -1,0 +1,50 @@
+// The four evaluated algorithms (paper Table 3) packaged for the benchmark
+// harness: BF, SG, SkyDiver-MH and SkyDiver-LSH. Each returns the indices
+// it selected plus its 2-step diversification time (CPU + 8 ms per charged
+// page fault), EXCLUDING skyline computation, exactly like the paper's
+// reported numbers.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dataset.h"
+#include "rtree/rtree.h"
+
+namespace skydiver::bench {
+
+/// Outcome of one algorithm run.
+struct AlgoResult {
+  bool ran = false;            ///< false: skipped (e.g. BF on a huge skyline).
+  double cpu_seconds = 0.0;
+  double total_seconds = 0.0;  ///< CPU + charged I/O.
+  std::vector<size_t> selected;
+  size_t memory_bytes = 0;     ///< signature / bit-vector footprint.
+};
+
+/// Brute-force exact k-MMDP. Like the paper's BF, it materializes all
+/// O(m^2) pairwise exact Jaccard distances through aggregate range-count
+/// queries on `tree` (this is what buries BF in the paper's Fig. 10), then
+/// enumerates subsets. Skipped (ran = false) when the skyline exceeds
+/// `max_m` or the subset count exceeds the enumeration cap.
+AlgoResult RunBF(const DataSet& data, const std::vector<RowId>& skyline, size_t k,
+                 const RTree& tree, size_t max_m = 500);
+
+/// Simple-Greedy with exact Jaccard distances via aggregate range-count
+/// queries on `tree`. Skipped when the skyline exceeds `max_m`.
+AlgoResult RunSG(const DataSet& data, const std::vector<RowId>& skyline, size_t k,
+                 const RTree& tree, size_t max_m = 50000);
+
+/// SkyDiver-MH: MinHash signatures (SigGen-IB when `tree` is non-null,
+/// SigGen-IF otherwise) + greedy selection over estimated distances.
+AlgoResult RunMH(const DataSet& data, const std::vector<RowId>& skyline, size_t k,
+                 size_t signature_size, const RTree* tree, uint64_t seed);
+
+/// SkyDiver-LSH: signatures + banding into zone buckets + greedy selection
+/// over bit-vector Hamming distances.
+AlgoResult RunLSH(const DataSet& data, const std::vector<RowId>& skyline, size_t k,
+                  size_t signature_size, double threshold, size_t buckets,
+                  const RTree* tree, uint64_t seed);
+
+}  // namespace skydiver::bench

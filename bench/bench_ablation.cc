@@ -1,0 +1,173 @@
+// Ablation study of SkyDiver's design choices (not a paper figure; it
+// quantifies the decisions the paper makes by argument):
+//
+//  A. Greedy seeding: max-dominance-score seed (the paper's Fig. 6) vs the
+//     classic most-distant-pair seed (Ravi et al.) vs a fixed first-index
+//     seed — diversity and coverage of the result.
+//  B. Objective: k-MMDP greedy vs k-MSDP greedy — the paper prefers MMDP
+//     for its 2- (vs 4-) approximation and balanced distances.
+//  C. Greedy vs greedy + local-search refinement — how much objective the
+//     2-approximation leaves on the table.
+//  D. Skyline algorithms: BNL vs SFS vs BBS — dominance checks and I/O.
+//  E. R-tree construction: STR bulk load vs dynamic R* insertion — pages,
+//     height and per-query I/O of the resulting trees.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+#include "core/gamma.h"
+#include "diversify/dispersion.h"
+#include "diversify/evaluate.h"
+#include "diversify/local_search.h"
+#include "skyline/skyline.h"
+
+namespace skydiver::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!env.Init(argc, argv, "Ablation: seeding, objective, refinement, skyline "
+                            "algorithms, index construction")) {
+    return 0;
+  }
+  ShapeChecks shape("Ablation");
+  const size_t k = 10;
+
+  // Shared workload.
+  const DataSet& data = env.Data(WorkloadKind::kIndependent, 5000000, 4);
+  const auto skyline = SkylineSFS(data).rows;
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  const size_t m = skyline.size();
+  auto exact_distance = [&](size_t a, size_t b) { return gammas.JaccardDistance(a, b); };
+  auto dominance_score = [&](size_t j) {
+    return static_cast<double>(gammas.DominationScore(j));
+  };
+
+  // --- A: seeding strategies --------------------------------------------------
+  {
+    TablePrinter table({"seeding", "min_diversity", "coverage"});
+    const auto max_dom = SelectDiverseSet(m, k, exact_distance, dominance_score).value();
+    const auto q_max_dom = EvaluateSelection(gammas, max_dom.selected);
+    table.Row({"max-dominance (paper)", TablePrinter::Num(q_max_dom.min_diversity),
+               TablePrinter::Num(q_max_dom.coverage)});
+
+    // Most-distant-pair seed: emulate by seeding at one end of the diameter
+    // (score = max distance to anything).
+    std::vector<double> ecc(m, 0.0);
+    for (size_t a = 0; a < m; ++a) {
+      for (size_t b = 0; b < m; ++b) {
+        if (a != b) ecc[a] = std::max(ecc[a], exact_distance(a, b));
+      }
+    }
+    auto ecc_score = [&](size_t j) { return ecc[j]; };
+    const auto diameter = SelectDiverseSet(m, k, exact_distance, ecc_score).value();
+    const auto q_diameter = EvaluateSelection(gammas, diameter.selected);
+    table.Row({"most-distant-pair", TablePrinter::Num(q_diameter.min_diversity),
+               TablePrinter::Num(q_diameter.coverage)});
+
+    auto first_score = [&](size_t j) { return j == 0 ? 1.0 : 0.0; };
+    const auto first = SelectDiverseSet(m, k, exact_distance, first_score).value();
+    const auto q_first = EvaluateSelection(gammas, first.selected);
+    table.Row({"first-index", TablePrinter::Num(q_first.min_diversity),
+               TablePrinter::Num(q_first.coverage)});
+
+    shape.Check("A: max-dominance seeding matches diameter seeding on diversity "
+                "(within 0.1)",
+                q_max_dom.min_diversity + 0.1 >= q_diameter.min_diversity);
+    shape.Check("A: max-dominance seeding yields the best coverage",
+                q_max_dom.coverage + 1e-9 >= q_first.coverage &&
+                    q_max_dom.coverage + 1e-9 >= q_diameter.coverage);
+  }
+
+  // --- B: k-MMDP vs k-MSDP ------------------------------------------------------
+  {
+    TablePrinter table({"objective", "min_diversity", "avg_diversity"});
+    const auto mmdp = SelectDiverseSet(m, k, exact_distance, dominance_score).value();
+    const auto msdp = SelectMaxSumSet(m, k, exact_distance, dominance_score).value();
+    const auto q_mmdp = EvaluateSelection(gammas, mmdp.selected);
+    const auto q_msdp = EvaluateSelection(gammas, msdp.selected);
+    table.Row({"k-MMDP (paper)", TablePrinter::Num(q_mmdp.min_diversity),
+               TablePrinter::Num(q_mmdp.avg_diversity)});
+    table.Row({"k-MSDP", TablePrinter::Num(q_msdp.min_diversity),
+               TablePrinter::Num(q_msdp.avg_diversity)});
+    shape.Check("B: k-MMDP achieves a better (or equal) minimum distance",
+                q_mmdp.min_diversity + 1e-9 >= q_msdp.min_diversity);
+  }
+
+  // --- C: greedy vs greedy + local search ---------------------------------------
+  {
+    TablePrinter table({"method", "objective", "swaps"});
+    const auto greedy = SelectDiverseSet(m, k, exact_distance, dominance_score).value();
+    const auto refined = RefineDispersion(m, greedy.selected, exact_distance).value();
+    table.Row({"greedy (paper)", TablePrinter::Num(greedy.min_pairwise), "0"});
+    table.Row({"greedy+local-search", TablePrinter::Num(refined.min_pairwise),
+               TablePrinter::Int(refined.swaps)});
+    shape.Check("C: local search never hurts", refined.min_pairwise + 1e-12 >=
+                                                   greedy.min_pairwise);
+    shape.Check("C: greedy is already within 20% of its refined objective "
+                "(supports the paper's plain greedy)",
+                greedy.min_pairwise * 1.2 + 1e-9 >= refined.min_pairwise);
+  }
+
+  // --- D: skyline algorithms -----------------------------------------------------
+  {
+    TablePrinter table({"algorithm", "cpu_s", "dominance_checks", "page_reads"});
+    CpuTimer t_bnl;
+    const auto bnl = SkylineBNL(data);
+    const double bnl_s = t_bnl.ElapsedSeconds();
+    CpuTimer t_sfs;
+    const auto sfs = SkylineSFS(data);
+    const double sfs_s = t_sfs.ElapsedSeconds();
+    const RTree& tree = env.Tree(WorkloadKind::kIndependent, 5000000, 4);
+    tree.ResetIoStats();
+    CpuTimer t_bbs;
+    const auto bbs = SkylineBBS(data, tree).value();
+    const double bbs_s = t_bbs.ElapsedSeconds();
+    table.Row({"BNL", TablePrinter::Secs(bnl_s), TablePrinter::Int(bnl.dominance_checks),
+               "0"});
+    table.Row({"SFS", TablePrinter::Secs(sfs_s), TablePrinter::Int(sfs.dominance_checks),
+               "0"});
+    table.Row({"BBS", TablePrinter::Secs(bbs_s), TablePrinter::Int(bbs.dominance_checks),
+               TablePrinter::Int(tree.io_stats().page_reads)});
+    shape.Check("D: all three algorithms agree",
+                bnl.rows == sfs.rows && sfs.rows == bbs.rows);
+    shape.Check("D: SFS needs fewer dominance checks than BNL",
+                sfs.dominance_checks < bnl.dominance_checks);
+    shape.Check("D: BBS reads only part of the index (I/O optimality)",
+                tree.io_stats().page_reads < tree.PageCount());
+  }
+
+  // --- E: bulk load vs dynamic insertion ------------------------------------------
+  {
+    TablePrinter table({"construction", "pages", "height", "query_page_reads"});
+    const auto probe_queries = [&](const RTree& tree) {
+      tree.ResetIoStats();
+      for (RowId r = 0; r < data.size(); r += data.size() / 50) {
+        (void)tree.DominatedCount(data.row(r));
+      }
+      return tree.io_stats().page_reads;
+    };
+    const RTree& bulk = env.Tree(WorkloadKind::kIndependent, 5000000, 4);
+    const auto dynamic = RTree::InsertLoad(data).value();
+    const auto bulk_reads = probe_queries(bulk);
+    const auto dyn_reads = probe_queries(dynamic);
+    table.Row({"STR bulk load", TablePrinter::Int(bulk.PageCount()),
+               TablePrinter::Int(bulk.height()), TablePrinter::Int(bulk_reads)});
+    table.Row({"dynamic R* insert", TablePrinter::Int(dynamic.PageCount()),
+               TablePrinter::Int(dynamic.height()), TablePrinter::Int(dyn_reads)});
+    shape.Check("E: bulk load packs into fewer (or equal) pages",
+                bulk.PageCount() <= dynamic.PageCount());
+    shape.Check("E: bulk-loaded tree answers queries with no more I/O than x1.5",
+                static_cast<double>(bulk_reads) <= 1.5 * static_cast<double>(dyn_reads));
+  }
+
+  shape.Summarize();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

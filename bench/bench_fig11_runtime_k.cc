@@ -1,0 +1,78 @@
+// Reproduces Figure 11: diversification runtime vs number of requested
+// points k in {2, 5, 10, 50}, for SG, MH100 and LSH100 on IND, ANT, FC, REC
+// at their default dimensionalities (4, 4, 5, 5).
+//
+// Paper's findings: MH and LSH are orders of magnitude below SG for every
+// k; their runtime is dominated by signature generation and hence almost
+// flat in k, while SG's grows with k through ever more range queries.
+
+#include <vector>
+
+#include "bench/algos.h"
+#include "bench/harness.h"
+#include "skyline/skyline.h"
+
+namespace skydiver::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!env.Init(argc, argv,
+                "Figure 11: runtime vs number of diverse points (k)",
+                /*default_scale=*/100.0)) {
+    return 0;
+  }
+  const size_t t = 100;
+  ShapeChecks shape("Figure 11");
+  TablePrinter table({"data", "k", "m", "SG_s", "MH100_s", "LSH100_s"});
+
+  struct Setting {
+    WorkloadKind kind;
+    RowId paper_n;
+    Dim dims;
+  };
+  const Setting settings[] = {
+      {WorkloadKind::kIndependent, 5000000, 4},
+      {WorkloadKind::kAnticorrelated, 5000000, 4},
+      {WorkloadKind::kForestCoverLike, 581012, 5},
+      {WorkloadKind::kRecipesLike, 365000, 5},
+  };
+
+  for (const auto& s : settings) {
+    const DataSet& data = env.Data(s.kind, s.paper_n, s.dims);
+    const RTree& tree = env.Tree(s.kind, s.paper_n, s.dims);
+    const auto skyline = SkylineSFS(data).rows;
+    const size_t m = skyline.size();
+    double mh_at_2 = 0.0, mh_at_50 = 0.0;
+    for (size_t k : {2u, 5u, 10u, 50u}) {
+      const size_t kk = std::min<size_t>(k, m);
+      const auto sg = RunSG(data, skyline, kk, tree);
+      const auto mh = RunMH(data, skyline, kk, t, &tree, env.seed());
+      const auto lsh = RunLSH(data, skyline, kk, t, 0.2, 20, &tree, env.seed());
+      auto cell = [](const AlgoResult& r) {
+        return r.ran ? TablePrinter::Secs(r.total_seconds) : std::string("n/a");
+      };
+      table.Row({WorkloadKindName(s.kind), TablePrinter::Int(kk),
+                 TablePrinter::Int(m), cell(sg), cell(mh), cell(lsh)});
+      if (sg.ran && mh.ran && m > 50) {
+        shape.Check(std::string(WorkloadKindName(s.kind)) + " k=" +
+                        std::to_string(kk) + ": MH beats SG",
+                    mh.total_seconds < sg.total_seconds);
+      }
+      if (k == 2) mh_at_2 = mh.total_seconds;
+      if (k == 50) mh_at_50 = mh.total_seconds;
+    }
+    if (mh_at_2 > 0 && mh_at_50 > 0) {
+      shape.Check(std::string(WorkloadKindName(s.kind)) +
+                      ": MH runtime nearly flat in k (siggen-dominated)",
+                  mh_at_50 < mh_at_2 * 3.0);
+    }
+  }
+  shape.Summarize();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

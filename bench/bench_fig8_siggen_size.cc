@@ -1,0 +1,88 @@
+// Reproduces Figure 8: MinHash signature-generation time vs signature size.
+//
+// For FC and REC at d in {4, 5, 7} and signature sizes t in {50, 100, 200,
+// 400}, measures SigGen-IB and SigGen-IF total time (CPU + 8 ms per page
+// fault). Paper's findings: time grows with t, and the IB-vs-IF choice is
+// unrelated to t.
+
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+#include "minhash/minhash.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+
+namespace skydiver::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!env.Init(argc, argv,
+                "Figure 8: signature generation time vs signature size (IB vs IF)")) {
+    return 0;
+  }
+  const CostModel cost;
+  ShapeChecks shape("Figure 8");
+  TablePrinter table({"data", "dims", "t", "IB.cpu_s", "IB.total_s", "IF.cpu_s",
+                      "IF.total_s"});
+
+  struct Setting {
+    WorkloadKind kind;
+    RowId paper_n;
+    const char* label;
+  };
+  const Setting settings[] = {
+      {WorkloadKind::kForestCoverLike, 581012, "FC"},
+      {WorkloadKind::kRecipesLike, 365000, "REC"},
+  };
+  const Dim dims_grid[] = {4, 5, 7};
+  const size_t sizes[] = {50, 100, 200, 400};
+
+  for (const auto& s : settings) {
+    for (Dim d : dims_grid) {
+      const DataSet& data = env.Data(s.kind, s.paper_n, d);
+      const RTree& tree = env.Tree(s.kind, s.paper_n, d);
+      const auto skyline = SkylineSFS(data).rows;
+      double prev_ib = 0.0, prev_if = 0.0;
+      for (size_t t : sizes) {
+        const auto family = MinHashFamily::Create(t, data.size(), env.seed() + t);
+
+        CpuTimer cpu_ib;
+        tree.ResetIoStats();
+        const auto ib = SigGenIB(data, skyline, family, tree).value();
+        const double ib_cpu = cpu_ib.ElapsedSeconds();
+        const double ib_total = cost.TotalSeconds(ib_cpu, ib.io);
+
+        CpuTimer cpu_if;
+        const auto iff = SigGenIF(data, skyline, family).value();
+        const double if_cpu = cpu_if.ElapsedSeconds();
+        const double if_total = cost.TotalSeconds(if_cpu, iff.io);
+
+        table.Row({s.label, TablePrinter::Int(d), TablePrinter::Int(t),
+                   TablePrinter::Secs(ib_cpu), TablePrinter::Secs(ib_total),
+                   TablePrinter::Secs(if_cpu), TablePrinter::Secs(if_total)});
+        if (t == 400) {
+          // Compare against t = 50: the cost must grow with t.
+          shape.Check(std::string(s.label) + " d=" + std::to_string(d) +
+                          ": IB time grows with signature size",
+                      ib_total >= prev_ib);
+          shape.Check(std::string(s.label) + " d=" + std::to_string(d) +
+                          ": IF time grows with signature size",
+                      if_total >= prev_if);
+        }
+        if (t == 50) {
+          prev_ib = ib_total;
+          prev_if = if_total;
+        }
+      }
+    }
+  }
+  shape.Summarize();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

@@ -1,0 +1,121 @@
+// Reproduces Figure 9: signature-generation cost vs cardinality and vs
+// dimensionality (t = 100), for IND and ANT, IB vs IF, reporting CPU time
+// and total time (CPU + 8 ms per charged page fault) separately.
+//
+// Paper's findings reproduced here:
+//  (a/b) ANT consistently favors IB; for IND, IF wins on total time (the
+//        R-tree incurs more I/O than one sequential pass) while IB wins on
+//        CPU (fewer dominance checks).
+//  (c/d) low-dimensional ANT favors IF; as d grows, IB's dominance-check
+//        savings win. For IND 2D the R-tree saves nearly all I/O.
+
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+#include "minhash/minhash.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+
+namespace skydiver::bench {
+namespace {
+
+struct Measurement {
+  double ib_cpu, ib_total, if_cpu, if_total;
+  uint64_t ib_checks, if_checks, ib_faults, if_faults;
+};
+
+Measurement Measure(const DataSet& data, const RTree& tree,
+                    size_t t, uint64_t seed) {
+  const CostModel cost;
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(t, data.size(), seed);
+  Measurement m{};
+
+  CpuTimer cpu_ib;
+  tree.ResetIoStats();
+  const auto ib = SigGenIB(data, skyline, family, tree).value();
+  m.ib_cpu = cpu_ib.ElapsedSeconds();
+  m.ib_total = cost.TotalSeconds(m.ib_cpu, ib.io);
+  m.ib_checks = ib.dominance_checks;
+  m.ib_faults = ib.io.page_faults;
+
+  CpuTimer cpu_if;
+  const auto iff = SigGenIF(data, skyline, family).value();
+  m.if_cpu = cpu_if.ElapsedSeconds();
+  m.if_total = cost.TotalSeconds(m.if_cpu, iff.io);
+  m.if_checks = iff.dominance_checks;
+  m.if_faults = iff.io.page_faults;
+  return m;
+}
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!env.Init(argc, argv,
+                "Figure 9: signature generation (t=100) vs cardinality and "
+                "dimensionality, CPU and total time, IB vs IF")) {
+    return 0;
+  }
+  const size_t t = 100;
+  ShapeChecks shape("Figure 9");
+
+  // --- (a)/(b): vary cardinality at d = 4 -----------------------------------
+  {
+    TablePrinter table({"panel", "data", "paper_n", "IB.cpu_s", "IF.cpu_s",
+                        "IB.total_s", "IF.total_s", "IB.faults", "IF.faults"});
+    for (WorkloadKind kind :
+         {WorkloadKind::kIndependent, WorkloadKind::kAnticorrelated}) {
+      for (RowId paper_n : {1000000u, 2000000u, 5000000u, 7000000u}) {
+        const DataSet& data = env.Data(kind, paper_n, 4);
+        const RTree& tree = env.Tree(kind, paper_n, 4);
+        const auto m = Measure(data, tree, t, env.seed());
+        table.Row({"9ab", WorkloadKindName(kind),
+                   TablePrinter::Int(paper_n), TablePrinter::Secs(m.ib_cpu),
+                   TablePrinter::Secs(m.if_cpu), TablePrinter::Secs(m.ib_total),
+                   TablePrinter::Secs(m.if_total), TablePrinter::Int(m.ib_faults),
+                   TablePrinter::Int(m.if_faults)});
+        if (paper_n == 5000000u) {
+          const std::string tag = std::string(WorkloadKindName(kind)) + " 5M 4d";
+          shape.Check(tag + ": IB needs fewer dominance checks than IF",
+                      m.ib_checks < m.if_checks);
+          if (kind == WorkloadKind::kAnticorrelated) {
+            shape.Check(tag + ": ANT favors IB on total time",
+                        m.ib_total <= m.if_total * 1.25);
+          }
+        }
+      }
+    }
+  }
+
+  // --- (c)/(d): vary dimensionality at n = 5M --------------------------------
+  {
+    TablePrinter table({"panel", "data", "dims", "IB.cpu_s", "IF.cpu_s",
+                        "IB.total_s", "IF.total_s", "IB.faults", "IF.faults"});
+    Measurement ind2{}, ind6{};
+    for (WorkloadKind kind :
+         {WorkloadKind::kIndependent, WorkloadKind::kAnticorrelated}) {
+      for (Dim d : {2u, 3u, 4u, 6u}) {
+        const DataSet& data = env.Data(kind, 5000000, d);
+        const RTree& tree = env.Tree(kind, 5000000, d);
+        const auto m = Measure(data, tree, t, env.seed());
+        table.Row({"9cd", WorkloadKindName(kind), TablePrinter::Int(d),
+                   TablePrinter::Secs(m.ib_cpu), TablePrinter::Secs(m.if_cpu),
+                   TablePrinter::Secs(m.ib_total), TablePrinter::Secs(m.if_total),
+                   TablePrinter::Int(m.ib_faults), TablePrinter::Int(m.if_faults)});
+        if (kind == WorkloadKind::kIndependent && d == 2) ind2 = m;
+        if (kind == WorkloadKind::kIndependent && d == 6) ind6 = m;
+      }
+    }
+    shape.Check("IND 2D: IB saves nearly all I/O vs the sequential pass",
+                ind2.ib_faults * 4 < ind2.if_faults);
+    shape.Check("IND 6D: IB saves CPU (dominance checks) vs IF",
+                ind6.ib_checks < ind6.if_checks);
+  }
+  shape.Summarize();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

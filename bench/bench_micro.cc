@@ -1,0 +1,137 @@
+// Microbenchmarks (google-benchmark) for the primitives whose costs drive
+// the experiment-level numbers: dominance tests, MinHash application,
+// signature distance estimation, bit-vector algebra, R-tree range counting
+// and buffer-pool bookkeeping.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/rng.h"
+#include "core/dominance.h"
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "minhash/minhash.h"
+#include "minhash/siggen.h"
+#include "rtree/rtree.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+void BM_DominanceCheck(benchmark::State& state) {
+  const auto d = static_cast<Dim>(state.range(0));
+  const DataSet data = GenerateIndependent(1024, d, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto a = data.row(static_cast<RowId>(i & 1023));
+    const auto b = data.row(static_cast<RowId>((i * 7 + 1) & 1023));
+    benchmark::DoNotOptimize(Dominates(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_DominanceCheck)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MinHashApply(benchmark::State& state) {
+  const auto family = MinHashFamily::Create(100, 1 << 20, 3);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.Apply(x % 100, x));
+    ++x;
+  }
+}
+BENCHMARK(BM_MinHashApply);
+
+void BM_EstimatedDistance(benchmark::State& state) {
+  const auto t = static_cast<size_t>(state.range(0));
+  SignatureMatrix sig(t, 2);
+  Rng rng(5);
+  for (size_t i = 0; i < t; ++i) {
+    sig.UpdateMin(0, i, rng.Next() >> 32);
+    sig.UpdateMin(1, i, rng.Next() >> 32);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sig.EstimatedDistance(0, 1));
+  }
+}
+BENCHMARK(BM_EstimatedDistance)->Arg(50)->Arg(100)->Arg(400);
+
+void BM_BitVectorJaccard(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  BitVector a(n), b(n);
+  Rng rng(7);
+  for (size_t i = 0; i < n / 4; ++i) {
+    a.Set(rng.NextBounded(n));
+    b.Set(rng.NextBounded(n));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.AndCount(b));
+    benchmark::DoNotOptimize(a.OrCount(b));
+  }
+}
+BENCHMARK(BM_BitVectorJaccard)->Arg(10000)->Arg(100000);
+
+void BM_RTreeRangeCount(benchmark::State& state) {
+  const DataSet data = GenerateIndependent(50000, 4, 9);
+  const auto tree = RTree::BulkLoad(data).value();
+  Rng rng(11);
+  for (auto _ : state) {
+    std::vector<Coord> lo(4), hi(4);
+    for (size_t i = 0; i < 4; ++i) {
+      const double a = rng.NextDouble() * 0.8;
+      lo[i] = a;
+      hi[i] = a + 0.2;
+    }
+    benchmark::DoNotOptimize(tree.RangeCount(lo, hi));
+  }
+}
+BENCHMARK(BM_RTreeRangeCount);
+
+void BM_RTreeDominatedCount(benchmark::State& state) {
+  const DataSet data = GenerateIndependent(50000, 4, 13);
+  const auto tree = RTree::BulkLoad(data).value();
+  Rng rng(15);
+  for (auto _ : state) {
+    std::vector<Coord> p(4);
+    for (auto& v : p) v = rng.NextDouble() * 0.5;
+    benchmark::DoNotOptimize(tree.DominatedCount(p));
+  }
+}
+BENCHMARK(BM_RTreeDominatedCount);
+
+void BM_SkylineSFS(benchmark::State& state) {
+  const auto n = static_cast<RowId>(state.range(0));
+  const DataSet data = GenerateIndependent(n, 4, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SkylineSFS(data).rows.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_SkylineSFS)->Arg(10000)->Arg(50000);
+
+void BM_SigGenIF(benchmark::State& state) {
+  const DataSet data = GenerateIndependent(20000, 4, 19);
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(100, data.size(), 21);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigGenIF(data, skyline, family).value().signatures);
+  }
+}
+BENCHMARK(BM_SigGenIF);
+
+void BM_SigGenIB(benchmark::State& state) {
+  const DataSet data = GenerateIndependent(20000, 4, 19);
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(100, data.size(), 21);
+  const auto tree = RTree::BulkLoad(data).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SigGenIB(data, skyline, family, tree).value().signatures);
+  }
+}
+BENCHMARK(BM_SigGenIB);
+
+}  // namespace
+}  // namespace skydiver
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Scale-invariance experiment (the paper's Section 2 argument, made
+// measurable): "the Euclidean distance is sensitive to dimension scaling
+// ... by selecting an off-the-shelf distance measure, the scale
+// independence property of skylines is disregarded."
+//
+// Dominance — hence the skyline, hence Γ sets, hence SkyDiver's Jaccard
+// measure — is invariant under strictly monotone per-dimension transforms.
+// The Euclidean representative baseline ([32]) is not. We rescale one
+// dimension by x1000 (think: price in cents instead of dollars) and
+// measure how much each method's selection changes (Jaccard overlap of
+// the selected row sets before/after).
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "bench/harness.h"
+#include "diversify/euclidean_representative.h"
+#include "diversify/simple_greedy.h"
+#include "skyline/skyline.h"
+
+namespace skydiver::bench {
+namespace {
+
+double SelectionOverlap(const std::vector<RowId>& a, const std::vector<RowId>& b) {
+  const std::set<RowId> sa(a.begin(), a.end());
+  const std::set<RowId> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (RowId r : sa) inter += sb.count(r);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!env.Init(argc, argv,
+                "Scale invariance: SkyDiver (dominance-based) vs Euclidean "
+                "representatives under per-dimension rescaling")) {
+    return 0;
+  }
+  ShapeChecks shape("Scale invariance");
+  const size_t k = 10;
+  TablePrinter table({"data", "method", "overlap_after_x1000_rescale"});
+
+  for (WorkloadKind kind :
+       {WorkloadKind::kIndependent, WorkloadKind::kForestCoverLike}) {
+    const RowId paper_n = kind == WorkloadKind::kIndependent ? 5000000u : 581012u;
+    const DataSet& data = env.Data(kind, paper_n, 4);
+
+    // Rescaled copy: dimension 0 multiplied by 1000 (a pure unit change).
+    std::vector<Coord> scaled_values(data.values());
+    for (size_t i = 0; i < scaled_values.size(); i += data.dims()) {
+      scaled_values[i] *= 1000.0;
+    }
+    const DataSet scaled(data.dims(), std::move(scaled_values));
+
+    const auto skyline = SkylineSFS(data).rows;
+    const auto skyline_scaled = SkylineSFS(scaled).rows;
+    shape.Check(std::string(WorkloadKindName(kind)) +
+                    ": the skyline itself is scale-invariant",
+                skyline == skyline_scaled);
+    const size_t kk = std::min<size_t>(k, skyline.size());
+
+    // SkyDiver (exact Jaccard distances, index-free).
+    const auto sky_before = SimpleGreedyInMemory(data, skyline, kk).value();
+    const auto sky_after = SimpleGreedyInMemory(scaled, skyline_scaled, kk).value();
+    std::vector<RowId> sky_rows_before, sky_rows_after;
+    for (size_t idx : sky_before.selected) sky_rows_before.push_back(skyline[idx]);
+    for (size_t idx : sky_after.selected) sky_rows_after.push_back(skyline_scaled[idx]);
+    const double sky_overlap = SelectionOverlap(sky_rows_before, sky_rows_after);
+
+    // Euclidean representatives ([32]-style baseline).
+    const auto euc_before = EuclideanRepresentatives(data, skyline, kk).value();
+    const auto euc_after =
+        EuclideanRepresentatives(scaled, skyline_scaled, kk).value();
+    std::vector<RowId> euc_rows_before, euc_rows_after;
+    for (size_t idx : euc_before.selected) euc_rows_before.push_back(skyline[idx]);
+    for (size_t idx : euc_after.selected) euc_rows_after.push_back(skyline_scaled[idx]);
+    const double euc_overlap = SelectionOverlap(euc_rows_before, euc_rows_after);
+
+    table.Row({WorkloadKindName(kind), "SkyDiver(Jaccard)",
+               TablePrinter::Num(sky_overlap)});
+    table.Row({WorkloadKindName(kind), "Euclidean-repr [32]",
+               TablePrinter::Num(euc_overlap)});
+    shape.Check(std::string(WorkloadKindName(kind)) +
+                    ": SkyDiver's selection is exactly scale-invariant",
+                sky_overlap == 1.0);
+    shape.Check(std::string(WorkloadKindName(kind)) +
+                    ": the Euclidean baseline's selection shifts under rescaling",
+                euc_overlap < 1.0);
+  }
+  shape.Summarize();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

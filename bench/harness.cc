@@ -1,0 +1,132 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace skydiver::bench {
+
+bool BenchEnv::Init(int argc, char** argv, const std::string& description,
+                    double default_scale) {
+  scale_ = default_scale;
+  flags_.AddInt64("seed", &seed_, "base RNG seed for workloads and hashing");
+  flags_.AddDouble("scale", &scale_,
+                   "divide the paper's dataset cardinalities by this factor");
+  flags_.AddBool("paper", &paper_, "run the paper's full dataset sizes (scale=1)");
+  const Status st = flags_.Parse(argc, argv);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n%s", st.ToString().c_str(),
+                 flags_.Usage(argv[0]).c_str());
+    return false;
+  }
+  if (flags_.help_requested()) {
+    std::printf("%s\n\n%s", description.c_str(), flags_.Usage(argv[0]).c_str());
+    return false;
+  }
+  std::printf("# %s\n", description.c_str());
+  std::printf("# scale: %s (use --paper for full paper sizes)\n\n",
+              paper_ ? "paper (1x)" : ("1/" + std::to_string(scale_)).c_str());
+  return true;
+}
+
+RowId BenchEnv::Scaled(RowId paper_cardinality) const {
+  if (paper_) return paper_cardinality;
+  const double scaled = static_cast<double>(paper_cardinality) / std::max(1.0, scale_);
+  return static_cast<RowId>(std::max(1000.0, scaled));
+}
+
+const DataSet& BenchEnv::Data(WorkloadKind kind, RowId paper_cardinality, Dim dims) {
+  const RowId n = Scaled(paper_cardinality);
+  const std::string key = WorkloadKindName(kind) + "/" + std::to_string(n) + "/" +
+                          std::to_string(dims);
+  auto it = data_cache_.find(key);
+  if (it == data_cache_.end()) {
+    it = data_cache_
+             .emplace(key, GenerateWorkload(kind, n, dims, seed()).value())
+             .first;
+  }
+  return it->second;
+}
+
+const RTree& BenchEnv::Tree(WorkloadKind kind, RowId paper_cardinality, Dim dims) {
+  const RowId n = Scaled(paper_cardinality);
+  const std::string key = WorkloadKindName(kind) + "/" + std::to_string(n) + "/" +
+                          std::to_string(dims);
+  auto it = tree_cache_.find(key);
+  if (it == tree_cache_.end()) {
+    const DataSet& data = Data(kind, paper_cardinality, dims);
+    it = tree_cache_.emplace(key, RTree::BulkLoad(data).value()).first;
+  }
+  return it->second;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  widths_.reserve(columns_.size());
+  for (const auto& c : columns_) widths_.push_back(std::max<size_t>(c.size(), 10));
+}
+
+TablePrinter::~TablePrinter() { std::printf("\n"); }
+
+void TablePrinter::PrintHeader() {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths_[i]), columns_[i].c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    std::printf("%s  ", std::string(widths_[i], '-').c_str());
+  }
+  std::printf("\n");
+  header_printed_ = true;
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  if (!header_printed_) PrintHeader();
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    std::printf("%-*s  ", static_cast<int>(widths_[i]), cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TablePrinter::Int(uint64_t v) { return std::to_string(v); }
+
+std::string TablePrinter::Secs(double seconds) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  if (seconds >= 100) {
+    os.precision(0);
+  } else if (seconds >= 1) {
+    os.precision(2);
+  } else {
+    os.precision(4);
+  }
+  os << seconds;
+  return os.str();
+}
+
+void ShapeChecks::Check(const std::string& claim, bool holds) {
+  checks_.emplace_back(claim, holds);
+}
+
+int ShapeChecks::Summarize() const {
+  int failed = 0;
+  std::printf("shape checks (%s):\n", experiment_.c_str());
+  for (const auto& [claim, holds] : checks_) {
+    std::printf("  [%s] %s\n", holds ? "PASS" : "FAIL", claim.c_str());
+    failed += !holds;
+  }
+  std::printf("%d/%zu shape checks passed\n\n",
+              static_cast<int>(checks_.size()) - failed, checks_.size());
+  return failed;
+}
+
+}  // namespace skydiver::bench

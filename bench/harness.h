@@ -1,0 +1,98 @@
+// Shared infrastructure for the experiment-reproduction binaries.
+//
+// Every bench binary reproduces one table or figure of the paper. Because
+// this harness typically runs on a small machine, workloads default to a
+// scaled-down cardinality (same distributions, same parameter grids, same
+// relative comparisons — see DESIGN.md §4); pass --paper to run the paper's
+// full sizes, or --scale to pick any divisor.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/io_stats.h"
+#include "core/dataset.h"
+#include "datagen/generators.h"
+#include "rtree/rtree.h"
+
+namespace skydiver::bench {
+
+/// Command-line environment shared by all bench binaries.
+class BenchEnv {
+ public:
+  /// Registers the common flags, parses argv, prints usage on --help.
+  /// Returns false if the program should exit (help or parse error).
+  /// `default_scale` is the binary's default cardinality divisor (heavier
+  /// experiments default to a smaller footprint).
+  bool Init(int argc, char** argv, const std::string& description,
+            double default_scale = 50.0);
+
+  /// Scales a paper cardinality down by the configured factor (min 1000).
+  RowId Scaled(RowId paper_cardinality) const;
+
+  /// Generates (and memoizes) a workload at the given PAPER cardinality;
+  /// the actual size is Scaled(paper_cardinality).
+  const DataSet& Data(WorkloadKind kind, RowId paper_cardinality, Dim dims);
+
+  /// Builds (and memoizes) a bulk-loaded aggregate R*-tree for a workload.
+  const RTree& Tree(WorkloadKind kind, RowId paper_cardinality, Dim dims);
+
+  uint64_t seed() const { return static_cast<uint64_t>(seed_); }
+  bool paper_scale() const { return paper_; }
+  double scale() const { return scale_; }
+
+  Flags& flags() { return flags_; }
+
+ private:
+  Flags flags_;
+  int64_t seed_ = 42;
+  double scale_ = 50.0;  // default: paper sizes / 50
+  bool paper_ = false;
+
+  std::map<std::string, DataSet> data_cache_;
+  std::map<std::string, RTree> tree_cache_;
+};
+
+/// Fixed-width table printer: emits a header once, then aligned rows, and
+/// a trailing blank line on destruction.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+  ~TablePrinter();
+
+  void Row(const std::vector<std::string>& cells);
+
+  static std::string Num(double v, int precision = 3);
+  static std::string Int(uint64_t v);
+  /// Seconds with adaptive precision (the paper's plots are log-scale).
+  static std::string Secs(double seconds);
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<size_t> widths_;
+  bool header_printed_ = false;
+  void PrintHeader();
+};
+
+/// Collects named shape assertions ("MH faster than SG at k=10") and prints
+/// a PASS/FAIL summary. Bench binaries always exit 0; the summary is for
+/// eyeballing EXPERIMENTS.md claims.
+class ShapeChecks {
+ public:
+  explicit ShapeChecks(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  void Check(const std::string& claim, bool holds);
+
+  /// Prints the summary; returns the number of failed checks.
+  int Summarize() const;
+
+ private:
+  std::string experiment_;
+  std::vector<std::pair<std::string, bool>> checks_;
+};
+
+}  // namespace skydiver::bench

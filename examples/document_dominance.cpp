@@ -1,0 +1,75 @@
+// Coordinate-free diversification: the paper's Figure 1 scenario.
+//
+// Sometimes all we have is the dominance GRAPH — which skyline item covers
+// which dominated items — with no attribute values at all (anonymized data,
+// click logs, partially ordered domains). SkyDiver's diversity measure is
+// defined purely on dominated sets, so it still applies where Lp-distance
+// methods cannot even be formulated.
+//
+// This example reproduces Figure 1 exactly: skyline documents a, b, c, d
+// over dominated documents p1..p11, with
+//   Γ(a) = {p1}
+//   Γ(b) = {p2..p8}
+//   Γ(c) = {p4..p11}
+//   Γ(d) = {p5, p6, p7}
+// A max-coverage pick at k = 2 returns (c, b) — heavily overlapping.
+// SkyDiver returns (c, a): c covers the bulk, a contributes the one
+// document nobody else addresses.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "core/gamma.h"
+#include "diversify/coverage.h"
+#include "diversify/dispersion.h"
+#include "diversify/evaluate.h"
+
+int main() {
+  using namespace skydiver;
+
+  constexpr size_t kDominated = 11;  // p1..p11 (bits 0..10)
+  const char* names[] = {"a", "b", "c", "d"};
+
+  auto gamma = [&](std::initializer_list<int> docs) {
+    BitVector v(kDominated);
+    for (int p : docs) v.Set(static_cast<size_t>(p - 1));
+    return v;
+  };
+  std::vector<BitVector> gammas;
+  gammas.push_back(gamma({1}));                          // a
+  gammas.push_back(gamma({2, 3, 4, 5, 6, 7, 8}));        // b
+  gammas.push_back(gamma({4, 5, 6, 7, 8, 9, 10, 11}));   // c
+  gammas.push_back(gamma({5, 6, 7}));                    // d
+
+  // The universe: 11 dominated documents + the 4 skyline documents.
+  const GammaSets sets = GammaSets::FromBitVectors(kDominated + 4, std::move(gammas));
+
+  std::printf("dominance graph (Figure 1 of the paper):\n");
+  for (size_t j = 0; j < 4; ++j) {
+    std::printf("  %s dominates %zu documents\n", names[j], sets.DominationScore(j));
+  }
+
+  // k-max-coverage at k = 2.
+  const auto coverage = GreedyMaxCoverage(sets, 2).value();
+  std::printf("\nmax-coverage pick:  (%s, %s)  — coverage %.0f%%, diversity %.2f\n",
+              names[coverage.selected[0]], names[coverage.selected[1]],
+              100.0 * EvaluateSelection(sets, coverage.selected).coverage,
+              EvaluateSelection(sets, coverage.selected).min_diversity);
+
+  // SkyDiver's k-dispersion on exact Jaccard distances of the Γ sets.
+  auto distance = [&](size_t i, size_t j) { return sets.JaccardDistance(i, j); };
+  auto score = [&](size_t j) { return static_cast<double>(sets.DominationScore(j)); };
+  const auto diverse = SelectDiverseSet(4, 2, distance, score).value();
+  std::printf("SkyDiver pick:      (%s, %s)  — coverage %.0f%%, diversity %.2f\n",
+              names[diverse.selected[0]], names[diverse.selected[1]],
+              100.0 * EvaluateSelection(sets, diverse.selected).coverage,
+              EvaluateSelection(sets, diverse.selected).min_diversity);
+
+  std::printf(
+      "\nmax-coverage stacks b on top of c although their dominated sets\n"
+      "largely overlap; SkyDiver pairs c with a, whose single document is\n"
+      "covered by nobody else — 'truly fresh information' (paper, Sec. 1).\n");
+  return 0;
+}

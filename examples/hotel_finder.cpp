@@ -1,0 +1,84 @@
+// Hotel finder: the classic skyline motivation with mixed preferences —
+// minimize price and distance-to-beach, maximize rating — and SkyDiver's
+// diversification on top, so a travel site can show a short list that
+// covers genuinely different kinds of good deals instead of five
+// near-identical bargains.
+//
+//   $ ./hotel_finder [n_hotels] [k]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/preference.h"
+#include "skydiver/skydiver.h"
+
+namespace {
+
+struct Hotel {
+  std::string name;
+  double price;     // $/night, minimize
+  double rating;    // stars 1..5, maximize
+  double distance;  // km to beach, minimize
+};
+
+std::vector<Hotel> MakeHotels(size_t n, uint64_t seed) {
+  skydiver::Rng rng(seed);
+  std::vector<Hotel> hotels;
+  hotels.reserve(n);
+  const char* districts[] = {"Seaside", "Old Town", "Marina", "Hillcrest", "Downtown"};
+  for (size_t i = 0; i < n; ++i) {
+    Hotel h;
+    h.name = std::string(districts[rng.NextBounded(5)]) + " #" + std::to_string(i);
+    // Quality correlates with price; distance anti-correlates with price.
+    const double klass = rng.NextDouble();
+    h.price = 40.0 + 360.0 * klass + rng.NextGaussian(0.0, 25.0);
+    h.rating = 1.0 + 4.0 * std::min(1.0, std::max(0.0, klass + rng.NextGaussian(0.0, 0.2)));
+    h.distance = std::max(0.05, 8.0 * (1.0 - klass) + rng.NextGaussian(0.0, 1.5));
+    h.price = std::max(25.0, h.price);
+    hotels.push_back(h);
+  }
+  return hotels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace skydiver;
+
+  const size_t n = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 20000;
+  const size_t k = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 5;
+
+  const auto hotels = MakeHotels(n, /*seed=*/2024);
+  DataSet data(3);
+  data.Reserve(static_cast<RowId>(n));
+  for (const auto& h : hotels) data.Append({h.price, h.rating, h.distance});
+
+  // min price, MAX rating, min distance.
+  const Preference pref({Pref::kMin, Pref::kMax, Pref::kMin});
+
+  SkyDiverConfig config;
+  config.k = k;
+  auto report = SkyDiver::RunWithPreference(data, pref, config);
+  if (!report.ok()) {
+    std::fprintf(stderr, "SkyDiver failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%zu hotels, %zu on the skyline (pareto-optimal deals).\n", n,
+              report->skyline.size());
+  std::printf("the %zu most diverse pareto-optimal hotels:\n\n", k);
+  std::printf("%-16s %10s %8s %10s\n", "hotel", "price/$", "stars", "beach/km");
+  for (RowId row : report->selected_rows) {
+    const Hotel& h = hotels[row];
+    std::printf("%-16s %10.0f %8.1f %10.1f\n", h.name.c_str(), h.price, h.rating,
+                h.distance);
+  }
+  std::printf(
+      "\nEach pick dominates a different slice of the market: budget stays,\n"
+      "luxury suites, beachfront compromises — that is the Jaccard-distance\n"
+      "diversification at work (no price-vs-stars scaling was needed).\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ranking vs diversification: top-k DOMINATING points (Yiu & Mamoulis
+// style dominance ranking) against SkyDiver's k most DIVERSE skyline
+// points, on the same dataset — the running contrast of the paper's
+// Section 2 and Table 1, as a runnable demo.
+//
+// Top-k-dominating rewards raw dominance power, so its picks crowd into
+// the dense center of the distribution; SkyDiver spreads its picks across
+// the skyline's distinct regions while still favoring high dominance
+// (seeding + tie-breaks).
+//
+//   $ ./ranking_vs_diversity [n] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "diversify/evaluate.h"
+#include "rtree/rtree.h"
+#include "skydiver/skydiver.h"
+#include "skyline/skyline.h"
+#include "skyline/topk_dominating.h"
+
+int main(int argc, char** argv) {
+  using namespace skydiver;
+
+  const RowId n = argc > 1 ? static_cast<RowId>(std::atoi(argv[1])) : 50000;
+  const size_t k = argc > 2 ? static_cast<size_t>(std::atoi(argv[2])) : 5;
+
+  const DataSet data = GenerateAnticorrelated(n, 3, /*seed=*/17);
+  auto tree = RTree::BulkLoad(data);
+  if (!tree.ok()) return 1;
+
+  const auto skyline = SkylineSFS(data).rows;
+  std::printf("n=%u, skyline m=%zu\n\n", n, skyline.size());
+  if (skyline.size() < k) {
+    std::printf("skyline smaller than k, nothing to contrast.\n");
+    return 0;
+  }
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+
+  // Ranking view: the k skyline points that dominate the most.
+  const auto ranked = TopKDominating(data, *tree, k, &skyline).value();
+  std::printf("top-%zu DOMINATING skyline points (ranking view):\n", k);
+  std::vector<size_t> ranked_idx;
+  for (const auto& p : ranked) {
+    std::printf("  row %-8u dominates %llu\n", p.row,
+                static_cast<unsigned long long>(p.score));
+    for (size_t j = 0; j < skyline.size(); ++j) {
+      if (skyline[j] == p.row) ranked_idx.push_back(j);
+    }
+  }
+  const auto q_ranked = EvaluateSelection(gammas, ranked_idx);
+
+  // Diversity view: SkyDiver.
+  SkyDiverConfig config;
+  config.k = k;
+  const auto report = SkyDiver::Run(data, config, &*tree, &skyline).value();
+  std::printf("\n%zu most DIVERSE skyline points (SkyDiver):\n", k);
+  for (size_t i = 0; i < report.selected_rows.size(); ++i) {
+    std::printf("  row %-8u dominates %llu\n", report.selected_rows[i],
+                static_cast<unsigned long long>(
+                    tree->DominatedCount(data.row(report.selected_rows[i]))));
+  }
+  const auto q_diverse = EvaluateSelection(gammas, report.selected);
+
+  std::printf("\n                    ranking    SkyDiver\n");
+  std::printf("min diversity       %.3f      %.3f\n", q_ranked.min_diversity,
+              q_diverse.min_diversity);
+  std::printf("coverage            %.3f      %.3f\n", q_ranked.coverage,
+              q_diverse.coverage);
+  std::printf(
+      "\nThe dominance ranking's picks overlap heavily (low diversity);\n"
+      "SkyDiver trades a little coverage for picks that each tell the user\n"
+      "something new — the paper's Figure 1 intuition at scale.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Streaming diversification: a live dashboard scenario. Offers (price,
+// latency) stream in; after every batch the monitor reports the current
+// skyline size and the k most diverse pareto-optimal offers — without ever
+// recomputing from scratch (incremental skyline + incremental MinHash).
+//
+//   $ ./stream_monitor [total_points] [batch] [k]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "stream/streaming.h"
+
+int main(int argc, char** argv) {
+  using namespace skydiver;
+
+  const uint64_t total = argc > 1 ? static_cast<uint64_t>(std::atoll(argv[1])) : 50000;
+  const uint64_t batch = argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 10000;
+  const size_t k = argc > 3 ? static_cast<size_t>(std::atoi(argv[3])) : 4;
+
+  StreamingSkyDiver monitor(/*dims=*/2, /*signature_size=*/100, /*seed=*/3,
+                            /*max_points=*/total + 1);
+  Rng rng(13);
+
+  std::printf("streaming %llu offers (price, latency), reporting every %llu...\n\n",
+              static_cast<unsigned long long>(total),
+              static_cast<unsigned long long>(batch));
+  for (uint64_t i = 1; i <= total; ++i) {
+    // Market drift: prices slowly improve over time, so the skyline churns.
+    const double drift = 1.0 - 0.3 * static_cast<double>(i) / static_cast<double>(total);
+    const double price = drift * (20.0 + 80.0 * rng.NextDouble());
+    const double latency = 5.0 + 95.0 * rng.NextDouble();
+    if (!monitor.Insert({price, latency}).ok()) return 1;
+
+    if (i % batch == 0) {
+      const auto skyline = monitor.SkylineRows();
+      const size_t kk = std::min(k, skyline.size());
+      std::printf("after %8llu arrivals: skyline=%3zu, demotions so far=%llu\n",
+                  static_cast<unsigned long long>(i), skyline.size(),
+                  static_cast<unsigned long long>(monitor.stats().demotions));
+      if (kk >= 1) {
+        const auto picks = monitor.SelectDiverse(kk).value();
+        for (RowId row : picks) {
+          std::printf("    offer %-8u price=%6.2f latency=%6.2f  (dominates %llu)\n",
+                      row, monitor.data().at(row, 0), monitor.data().at(row, 1),
+                      static_cast<unsigned long long>(
+                          monitor.DominationScore(row).value()));
+        }
+      }
+    }
+  }
+  const auto& stats = monitor.stats();
+  std::printf(
+      "\ntotals: %llu inserts, %llu skyline insertions, %llu demotions,\n"
+      "        %llu dominated arrivals, %llu signature slot updates\n",
+      static_cast<unsigned long long>(stats.inserts),
+      static_cast<unsigned long long>(stats.skyline_insertions),
+      static_cast<unsigned long long>(stats.demotions),
+      static_cast<unsigned long long>(stats.dominated_arrivals),
+      static_cast<unsigned long long>(stats.signature_updates));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// LSH tuning guide: shows how the banding threshold ξ and the buckets-per-
+// zone B trade memory for diversification quality (the paper's Fig. 13
+// knobs), and prints a recommendation table you can read like a datasheet.
+//
+//   $ ./tuning_lsh [n] [dims]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "diversify/dispersion.h"
+#include "diversify/evaluate.h"
+#include "lsh/lsh.h"
+#include "minhash/minhash.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+
+int main(int argc, char** argv) {
+  using namespace skydiver;
+
+  const RowId n = argc > 1 ? static_cast<RowId>(std::atoi(argv[1])) : 50000;
+  const Dim dims = argc > 2 ? static_cast<Dim>(std::atoi(argv[2])) : 5;
+  const size_t k = 10;
+  const size_t t = 100;
+
+  const DataSet data = GenerateForestCoverLike(n, dims, /*seed=*/31);
+  const auto skyline = SkylineSFS(data).rows;
+  std::printf("n=%u d=%u -> skyline m=%zu, selecting k=%zu\n\n", n, dims,
+              skyline.size(), k);
+  if (skyline.size() < k) {
+    std::printf("skyline smaller than k; nothing to tune.\n");
+    return 0;
+  }
+
+  const auto family = MinHashFamily::Create(t, data.size(), 33);
+  const auto sig = SigGenIF(data, skyline, family).value();
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  auto score = [&](size_t j) {
+    return static_cast<double>(sig.domination_scores[j]);
+  };
+
+  // Reference: MinHash selection quality and memory.
+  auto mh_distance = [&](size_t a, size_t b) {
+    return sig.signatures.EstimatedDistance(a, b);
+  };
+  const auto mh = SelectDiverseSet(skyline.size(), k, mh_distance, score).value();
+  const double mh_quality = EvaluateSelection(gammas, mh.selected).min_diversity;
+  std::printf("MinHash reference:  memory %8zu B   diversity %.3f\n\n",
+              sig.signatures.MemoryBytes(), mh_quality);
+
+  std::printf("%-10s %-4s %-7s %-7s %10s %10s %s\n", "threshold", "B", "zones",
+              "rows", "memory_B", "diversity", "note");
+  for (double xi : {0.1, 0.2, 0.3, 0.4}) {
+    for (size_t buckets : {10u, 20u, 50u}) {
+      const auto params = ChooseZones(t, xi, buckets).value();
+      const auto index = LshIndex::Build(sig.signatures, params, 35).value();
+      auto lsh_distance = [&](size_t a, size_t b) { return index.Distance(a, b); };
+      const auto sel =
+          SelectDiverseSet(skyline.size(), k, lsh_distance, score).value();
+      const double quality = EvaluateSelection(gammas, sel.selected).min_diversity;
+      const char* note = "";
+      if (index.MemoryBytes() * 2 < sig.signatures.MemoryBytes() &&
+          quality + 0.05 >= mh_quality) {
+        note = "<- good trade";
+      }
+      std::printf("%-10.1f %-4zu %-7zu %-7zu %10zu %10.3f %s\n", xi, buckets,
+                  params.zones, params.rows_per_zone, index.MemoryBytes(), quality,
+                  note);
+    }
+  }
+  std::printf(
+      "\nreading guide: larger thresholds mean fewer zones (less memory,\n"
+      "coarser distances); more buckets per zone sharpen the distance at a\n"
+      "linear memory cost. The paper's sweet spot is xi=0.2, B=20.\n");
+  return 0;
+}

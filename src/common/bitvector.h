@@ -1,0 +1,109 @@
+// Dense dynamic bit vector with popcount-based set algebra.
+//
+// Used for (a) materialized dominated sets Γ(p) in exact Jaccard /
+// max-coverage computations and (b) the LSH bucket bit-vectors, whose
+// diversity is the Hamming distance.
+
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace skydiver {
+
+/// Fixed-size bit vector over 64-bit words.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// All-zero bit vector with `n` bits.
+  explicit BitVector(size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  size_t size() const { return size_; }
+
+  void Set(size_t i) {
+    assert(i < size_);
+    words_[i >> 6] |= (1ULL << (i & 63));
+  }
+
+  void Clear(size_t i) {
+    assert(i < size_);
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  bool Test(size_t i) const {
+    assert(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t c = 0;
+    for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+    return c;
+  }
+
+  /// |this AND other|; sizes must match.
+  size_t AndCount(const BitVector& other) const {
+    assert(size_ == other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return c;
+  }
+
+  /// |this OR other|; sizes must match.
+  size_t OrCount(const BitVector& other) const {
+    assert(size_ == other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
+    }
+    return c;
+  }
+
+  /// Hamming distance (|this XOR other|); sizes must match.
+  size_t HammingDistance(const BitVector& other) const {
+    assert(size_ == other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    }
+    return c;
+  }
+
+  /// In-place union.
+  BitVector& operator|=(const BitVector& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  /// Number of bits set in `other` but not in this (gain of adding `other`
+  /// to a running union) — the greedy max-coverage inner loop.
+  size_t NewCoverage(const BitVector& other) const {
+    assert(size_ == other.size_);
+    size_t c = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      c += static_cast<size_t>(std::popcount(other.words_[i] & ~words_[i]));
+    }
+    return c;
+  }
+
+  bool operator==(const BitVector& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  /// Heap bytes used (for the memory-consumption experiments).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace skydiver

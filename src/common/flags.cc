@@ -1,0 +1,117 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace skydiver {
+
+void Flags::AddInt64(const std::string& name, int64_t* target, std::string help) {
+  entries_[name] = Entry{Kind::kInt64, target, std::move(help), std::to_string(*target)};
+}
+
+void Flags::AddDouble(const std::string& name, double* target, std::string help) {
+  std::ostringstream os;
+  os << *target;
+  entries_[name] = Entry{Kind::kDouble, target, std::move(help), os.str()};
+}
+
+void Flags::AddBool(const std::string& name, bool* target, std::string help) {
+  entries_[name] = Entry{Kind::kBool, target, std::move(help), *target ? "true" : "false"};
+}
+
+void Flags::AddString(const std::string& name, std::string* target, std::string help) {
+  entries_[name] = Entry{Kind::kString, target, std::move(help), *target};
+}
+
+Status Flags::Assign(const std::string& name, const std::string& value) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Entry& e = it->second;
+  errno = 0;
+  char* end = nullptr;
+  switch (e.kind) {
+    case Kind::kInt64: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name + ": bad integer '" + value + "'");
+      }
+      *static_cast<int64_t*>(e.target) = v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::InvalidArgument("flag --" + name + ": bad number '" + value + "'");
+      }
+      *static_cast<double*>(e.target) = v;
+      return Status::OK();
+    }
+    case Kind::kBool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(e.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(e.target) = false;
+      } else {
+        return Status::InvalidArgument("flag --" + name + ": bad bool '" + value + "'");
+      }
+      return Status::OK();
+    }
+    case Kind::kString:
+      *static_cast<std::string*>(e.target) = value;
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Flags::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      SKYDIVER_RETURN_NOT_OK(Assign(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    // Boolean shorthand: --flag / --no-flag.
+    auto it = entries_.find(arg);
+    if (it != entries_.end() && it->second.kind == Kind::kBool) {
+      *static_cast<bool*>(it->second.target) = true;
+      continue;
+    }
+    if (arg.rfind("no-", 0) == 0) {
+      auto neg = entries_.find(arg.substr(3));
+      if (neg != entries_.end() && neg->second.kind == Kind::kBool) {
+        *static_cast<bool*>(neg->second.target) = false;
+        continue;
+      }
+    }
+    // --flag value form.
+    if (i + 1 < argc) {
+      SKYDIVER_RETURN_NOT_OK(Assign(arg, argv[++i]));
+      continue;
+    }
+    return Status::InvalidArgument("flag --" + arg + " is missing a value");
+  }
+  return Status::OK();
+}
+
+std::string Flags::Usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, e] : entries_) {
+    os << "  --" << name << " (default: " << e.default_value << ")\n      " << e.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace skydiver

@@ -1,0 +1,51 @@
+// Minimal command-line flag parser for the benchmark harness binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name` forms. Unknown flags are reported as errors so typos in
+// experiment invocations fail loudly.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skydiver {
+
+/// Declarative flag set: register flags, then Parse(argc, argv).
+class Flags {
+ public:
+  /// Registers a flag bound to `target` with a help string.
+  void AddInt64(const std::string& name, int64_t* target, std::string help);
+  void AddDouble(const std::string& name, double* target, std::string help);
+  void AddBool(const std::string& name, bool* target, std::string help);
+  void AddString(const std::string& name, std::string* target, std::string help);
+
+  /// Parses argv; on error returns InvalidArgument with an explanation.
+  /// Recognizes --help and sets help_requested().
+  Status Parse(int argc, char** argv);
+
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders a usage message listing all registered flags and defaults.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kBool, kString };
+  struct Entry {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status Assign(const std::string& name, const std::string& value);
+
+  std::map<std::string, Entry> entries_;
+  bool help_requested_ = false;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,60 @@
+// I/O accounting and the simulated disk cost model.
+//
+// The SkyDiver paper measures "total time" as CPU time plus a default charge
+// of 8 ms per page fault (EDBT'13, Section 5.1). We reproduce that cost model
+// exactly: every component that touches pages (the aggregate R*-tree through
+// its buffer pool, and the sequential data-file scan of the index-free
+// signature generator) records logical and physical page accesses in an
+// `IoStats`, and `CostModel` converts fault counts into charged seconds.
+
+#pragma once
+
+#include <cstdint>
+
+namespace skydiver {
+
+/// Counters for page-level I/O activity.
+struct IoStats {
+  /// Logical page requests (buffer-pool lookups or sequential page reads).
+  uint64_t page_reads = 0;
+  /// Physical reads: logical requests that missed the buffer pool. For
+  /// sequential file scans every page read is a fault (no cache assumed).
+  uint64_t page_faults = 0;
+  /// Pages written (index construction).
+  uint64_t page_writes = 0;
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_faults += other.page_faults;
+    page_writes += other.page_writes;
+    return *this;
+  }
+
+  friend IoStats operator+(IoStats a, const IoStats& b) { return a += b; }
+
+  double HitRate() const {
+    return page_reads == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(page_faults) / static_cast<double>(page_reads);
+  }
+};
+
+/// Converts fault counts into charged time, per the paper's measurement model.
+struct CostModel {
+  /// Default page-fault penalty from the paper: 8 ms.
+  double seconds_per_fault = 0.008;
+
+  /// Charged I/O time for the given stats, in seconds.
+  double IoSeconds(const IoStats& stats) const {
+    return seconds_per_fault * static_cast<double>(stats.page_faults);
+  }
+
+  /// Total simulated time: measured CPU seconds + charged I/O seconds.
+  double TotalSeconds(double cpu_seconds, const IoStats& stats) const {
+    return cpu_seconds + IoSeconds(stats);
+  }
+};
+
+}  // namespace skydiver

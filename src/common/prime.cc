@@ -1,0 +1,73 @@
+#include "common/prime.h"
+
+#include <cassert>
+#include <initializer_list>
+
+namespace skydiver {
+
+namespace {
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(static_cast<__uint128_t>(a) * b % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t mod) {
+  uint64_t result = 1;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, mod);
+    base = MulMod(base, base, mod);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// One Miller-Rabin round with witness `a`; n-1 = d * 2^r, d odd.
+bool MillerRabinRound(uint64_t n, uint64_t a, uint64_t d, int r) {
+  a %= n;
+  if (a == 0) return true;
+  uint64_t x = PowMod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                     29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64 (Sinclair, 2011).
+  for (uint64_t a : {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL, 9780504ULL,
+                     1795265022ULL}) {
+    if (!MillerRabinRound(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t n) {
+  assert(n < (1ULL << 63) && "next prime must fit in 64 bits");
+  if (n < 2) return 2;
+  uint64_t candidate = n + 1;
+  if (candidate % 2 == 0) {
+    if (candidate == 2) return 2;
+    ++candidate;
+  }
+  while (!IsPrime(candidate)) candidate += 2;
+  return candidate;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,22 @@
+// Primality testing and prime search.
+//
+// MinHash hash functions have the form h(x) = (a*x + b) mod P where P must be
+// a prime larger than the number of hashed rows (n - m in the paper). This
+// header provides a deterministic Miller-Rabin test valid for all 64-bit
+// inputs and a next-prime search built on it.
+
+#pragma once
+
+#include <cstdint>
+
+namespace skydiver {
+
+/// Returns true iff `n` is prime. Deterministic for all 64-bit inputs.
+bool IsPrime(uint64_t n);
+
+/// Returns the smallest prime strictly greater than `n`.
+/// Precondition: a prime > n must fit in 64 bits (always true for n below
+/// 2^63; asserts otherwise).
+uint64_t NextPrime(uint64_t n);
+
+}  // namespace skydiver

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of SkyDiver (data generators, MinHash parameter
+// draws, LSH bucket hashing) consume randomness through `Rng`, a seedable
+// xoshiro256++ generator, so that every experiment is reproducible from its
+// seed alone.
+
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace skydiver {
+
+/// \brief Seedable xoshiro256++ pseudo-random generator.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, so it can also be
+/// plugged into <random> distributions when convenient. Not cryptographic.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via SplitMix64 state expansion.
+  void Seed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal draw (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Normal draw with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Exponential draw with the given rate lambda (> 0).
+  double NextExponential(double lambda);
+
+  /// Splits off an independent child generator (for parallel streams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,51 @@
+// Wall-clock and CPU timers used by the benchmark harness.
+
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace skydiver {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Process CPU-time stopwatch (user + system across all threads).
+///
+/// The paper reports "CPU processing time" separately from total time that
+/// includes charged page faults; this timer supplies the CPU component.
+class CpuTimer {
+ public:
+  CpuTimer() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+
+  double ElapsedSeconds() const { return Now() - start_; }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  static double Now() {
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+}  // namespace skydiver

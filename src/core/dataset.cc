@@ -1,0 +1,87 @@
+#include "core/dataset.h"
+
+#include <cmath>
+
+namespace skydiver {
+
+Status CheckFinite(const DataSet& data) {
+  const RowId n = data.size();
+  const Dim d = data.dims();
+  for (RowId r = 0; r < n; ++r) {
+    for (Dim i = 0; i < d; ++i) {
+      if (!std::isfinite(data.at(r, i))) {
+        return Status::InvalidArgument("row " + std::to_string(r) + " dim " +
+                                       std::to_string(i) +
+                                       " is NaN or infinite; dominance is undefined");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<DataSet> DataSet::Canonicalize(const Preference& pref) const {
+  if (pref.dims() != dims_) {
+    return Status::InvalidArgument("preference dimensionality " +
+                                   std::to_string(pref.dims()) +
+                                   " does not match dataset dimensionality " +
+                                   std::to_string(dims_));
+  }
+  std::vector<Coord> out(values_.size());
+  const RowId n = size();
+  for (RowId r = 0; r < n; ++r) {
+    const size_t base = static_cast<size_t>(r) * dims_;
+    for (Dim d = 0; d < dims_; ++d) {
+      out[base + d] = pref.Canonical(d, values_[base + d]);
+    }
+  }
+  return DataSet(dims_, std::move(out));
+}
+
+Result<DataSet> DataSet::Project(Dim k) const {
+  if (k < 1 || k > dims_) {
+    return Status::InvalidArgument("projection to " + std::to_string(k) +
+                                   " dims out of range [1, " + std::to_string(dims_) + "]");
+  }
+  if (k == dims_) return *this;
+  DataSet out(k);
+  out.Reserve(size());
+  const RowId n = size();
+  for (RowId r = 0; r < n; ++r) {
+    out.Append(row(r).subspan(0, k));
+  }
+  return out;
+}
+
+Result<DataSet> DataSet::ProjectDims(std::span<const Dim> dims) const {
+  if (dims.empty()) return Status::InvalidArgument("projection needs at least one dim");
+  std::vector<bool> seen(dims_, false);
+  for (Dim d : dims) {
+    if (d >= dims_) {
+      return Status::InvalidArgument("projection dim " + std::to_string(d) +
+                                     " out of range [0, " + std::to_string(dims_) + ")");
+    }
+    if (seen[d]) {
+      return Status::InvalidArgument("projection dim " + std::to_string(d) +
+                                     " repeats");
+    }
+    seen[d] = true;
+  }
+  DataSet out(static_cast<Dim>(dims.size()));
+  out.Reserve(size());
+  std::vector<Coord> buffer(dims.size());
+  const RowId n = size();
+  for (RowId r = 0; r < n; ++r) {
+    for (size_t i = 0; i < dims.size(); ++i) buffer[i] = at(r, dims[i]);
+    out.Append(std::span<const Coord>(buffer.data(), buffer.size()));
+  }
+  return out;
+}
+
+DataSet DataSet::Select(std::span<const RowId> rows) const {
+  DataSet out(dims_);
+  out.Reserve(static_cast<RowId>(rows.size()));
+  for (RowId r : rows) out.Append(row(r));
+  return out;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,21 @@
+// Binary persistence for DataSet (checksummed; see common/binio.h).
+//
+// Much faster to reload than CSV for the multi-million-point workloads the
+// paper uses, and exact (doubles round-trip bit-for-bit).
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Writes `data` to `path` in the SKYDDAT1 binary format.
+Status SaveDataSet(const DataSet& data, const std::string& path);
+
+/// Loads a SKYDDAT1 file; verifies magic and checksum.
+Result<DataSet> LoadDataSet(const std::string& path);
+
+}  // namespace skydiver

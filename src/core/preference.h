@@ -1,0 +1,46 @@
+// Per-dimension optimization preferences.
+//
+// A skyline query is parameterized by whether each attribute should be
+// minimized (price) or maximized (quality). Internally all dominance tests
+// are phrased as minimization; `Preference` supplies the per-dimension sign.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/types.h"
+
+namespace skydiver {
+
+/// Direction of optimization for one attribute.
+enum class Pref : uint8_t {
+  kMin = 0,  ///< Smaller values are preferred.
+  kMax = 1,  ///< Larger values are preferred.
+};
+
+/// Per-dimension preference vector.
+class Preference {
+ public:
+  /// All-minimize preference over `d` dimensions (the paper's default).
+  static Preference AllMin(Dim d) { return Preference(std::vector<Pref>(d, Pref::kMin)); }
+
+  /// All-maximize preference over `d` dimensions.
+  static Preference AllMax(Dim d) { return Preference(std::vector<Pref>(d, Pref::kMax)); }
+
+  explicit Preference(std::vector<Pref> prefs) : prefs_(std::move(prefs)) {}
+
+  Dim dims() const { return static_cast<Dim>(prefs_.size()); }
+  Pref at(Dim i) const { return prefs_[i]; }
+
+  /// Maps a raw coordinate into "minimization space": values the dominance
+  /// kernel can compare with plain `<=`.
+  Coord Canonical(Dim i, Coord v) const { return prefs_[i] == Pref::kMin ? v : -v; }
+
+  bool operator==(const Preference& other) const { return prefs_ == other.prefs_; }
+
+ private:
+  std::vector<Pref> prefs_;
+};
+
+}  // namespace skydiver

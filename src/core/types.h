@@ -1,0 +1,23 @@
+// Fundamental scalar types shared across the SkyDiver library.
+
+#pragma once
+
+#include <cstdint>
+
+namespace skydiver {
+
+/// Attribute value type. The paper works over numeric attribute vectors;
+/// categorical/partially-ordered domains are supported by encoding each
+/// category level as a number consistent with its partial order.
+using Coord = double;
+
+/// Zero-based row identifier within a DataSet.
+using RowId = uint32_t;
+
+/// Sentinel for "no row".
+inline constexpr RowId kInvalidRowId = ~RowId{0};
+
+/// Number of dimensions of a dataset.
+using Dim = uint32_t;
+
+}  // namespace skydiver

@@ -1,0 +1,64 @@
+#include "datagen/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace skydiver {
+
+Status WriteCsv(const DataSet& data, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.precision(17);
+  const RowId n = data.size();
+  for (RowId r = 0; r < n; ++r) {
+    const auto row = data.row(r);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<DataSet> ReadCsv(const std::string& path, bool skip_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  size_t lineno = 0;
+  Dim dims = 0;
+  std::vector<Coord> values;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (lineno == 1 && skip_header) continue;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    Dim count = 0;
+    while (std::getline(ss, field, ',')) {
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str()) {
+        return Status::InvalidArgument("'" + path + "' line " + std::to_string(lineno) +
+                                       ": non-numeric field '" + field + "'");
+      }
+      values.push_back(v);
+      ++count;
+    }
+    if (dims == 0) {
+      dims = count;
+    } else if (count != dims) {
+      return Status::InvalidArgument("'" + path + "' line " + std::to_string(lineno) +
+                                     ": expected " + std::to_string(dims) + " fields, got " +
+                                     std::to_string(count));
+    }
+  }
+  if (dims == 0) return Status::InvalidArgument("'" + path + "' contains no data rows");
+  return DataSet(dims, std::move(values));
+}
+
+}  // namespace skydiver

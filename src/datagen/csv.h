@@ -1,0 +1,24 @@
+// CSV import/export for datasets.
+//
+// Lets users run SkyDiver on their own data (e.g. the real Forest Cover /
+// Recipes files if they have them) and lets the examples persist generated
+// workloads.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Writes `data` as comma-separated rows (no header) to `path`.
+Status WriteCsv(const DataSet& data, const std::string& path);
+
+/// Reads a CSV of numeric rows into a DataSet. All rows must have the same
+/// number of fields; `skip_header` drops the first line. Empty lines are
+/// ignored.
+Result<DataSet> ReadCsv(const std::string& path, bool skip_header = false);
+
+}  // namespace skydiver

@@ -1,0 +1,207 @@
+#include "datagen/generators.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace skydiver {
+
+namespace {
+
+// Approximately normal value in (0,1), mean 0.5 — the sum-of-12-uniforms
+// "peak" trick used by the original skyline benchmark generator.
+double RandomPeak(Rng& rng) {
+  double v = 0.0;
+  for (int i = 0; i < 12; ++i) v += rng.NextDouble();
+  return v / 12.0;
+}
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+Result<WorkloadKind> ParseWorkloadKind(const std::string& name) {
+  std::string up;
+  up.reserve(name.size());
+  for (char c : name) up.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  if (up == "IND" || up == "INDEPENDENT" || up == "UNIFORM") return WorkloadKind::kIndependent;
+  if (up == "CORR" || up == "CORRELATED") return WorkloadKind::kCorrelated;
+  if (up == "ANT" || up == "ANTI" || up == "ANTICORRELATED") return WorkloadKind::kAnticorrelated;
+  if (up == "CLUSTER" || up == "CLUSTERED") return WorkloadKind::kClustered;
+  if (up == "FC" || up == "FORESTCOVER") return WorkloadKind::kForestCoverLike;
+  if (up == "REC" || up == "RECIPES") return WorkloadKind::kRecipesLike;
+  return Status::InvalidArgument("unknown workload '" + name + "'");
+}
+
+std::string WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kIndependent: return "IND";
+    case WorkloadKind::kCorrelated: return "CORR";
+    case WorkloadKind::kAnticorrelated: return "ANT";
+    case WorkloadKind::kClustered: return "CLUSTER";
+    case WorkloadKind::kForestCoverLike: return "FC";
+    case WorkloadKind::kRecipesLike: return "REC";
+  }
+  return "?";
+}
+
+RowId DefaultCardinality(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kForestCoverLike: return 581012;  // UCI Forest Cover size
+    case WorkloadKind::kRecipesLike: return 365000;      // Recipes crawl size
+    default: return 5000000;                             // paper synthetic default
+  }
+}
+
+DataSet GenerateIndependent(RowId n, Dim d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Coord> values;
+  values.reserve(static_cast<size_t>(n) * d);
+  for (RowId r = 0; r < n; ++r) {
+    for (Dim i = 0; i < d; ++i) values.push_back(rng.NextDouble());
+  }
+  return DataSet(d, std::move(values));
+}
+
+DataSet GenerateCorrelated(RowId n, Dim d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Coord> values;
+  values.reserve(static_cast<size_t>(n) * d);
+  for (RowId r = 0; r < n; ++r) {
+    const double v = RandomPeak(rng);
+    // Spread each attribute around the diagonal position v; the spread
+    // shrinks near the domain borders so values stay in [0,1].
+    const double l = v <= 0.5 ? v : 1.0 - v;
+    for (Dim i = 0; i < d; ++i) {
+      const double h = (RandomPeak(rng) - 0.5) * l;
+      values.push_back(Clamp01(v + h));
+    }
+  }
+  return DataSet(d, std::move(values));
+}
+
+DataSet GenerateAnticorrelated(RowId n, Dim d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Coord> values;
+  values.reserve(static_cast<size_t>(n) * d);
+  std::vector<double> x(d);
+  for (RowId r = 0; r < n; ++r) {
+    // Place the point near the hyperplane sum(x_i) = d * v, v ≈ N(0.5, ·):
+    // start on the diagonal and run random mass transfers between dimension
+    // pairs, which preserves the sum and creates negative correlation.
+    const double v = RandomPeak(rng);
+    std::fill(x.begin(), x.end(), v);
+    const int transfers = static_cast<int>(d) * 2;
+    for (int t = 0; t < transfers; ++t) {
+      const Dim i = static_cast<Dim>(rng.NextBounded(d));
+      const Dim j = static_cast<Dim>(rng.NextBounded(d));
+      if (i == j) continue;
+      const double headroom = std::min(1.0 - x[i], x[j]);
+      if (headroom <= 0.0) continue;
+      const double delta = rng.NextDouble() * headroom;
+      x[i] += delta;
+      x[j] -= delta;
+    }
+    for (Dim i = 0; i < d; ++i) values.push_back(Clamp01(x[i]));
+  }
+  return DataSet(d, std::move(values));
+}
+
+DataSet GenerateClustered(RowId n, Dim d, uint64_t seed, uint32_t clusters,
+                          double cluster_stddev) {
+  Rng rng(seed);
+  std::vector<double> centers(static_cast<size_t>(clusters) * d);
+  for (auto& c : centers) c = rng.NextDouble();
+  std::vector<Coord> values;
+  values.reserve(static_cast<size_t>(n) * d);
+  for (RowId r = 0; r < n; ++r) {
+    const size_t c = rng.NextBounded(clusters);
+    for (Dim i = 0; i < d; ++i) {
+      values.push_back(Clamp01(centers[c * d + i] + rng.NextGaussian(0.0, cluster_stddev)));
+    }
+  }
+  return DataSet(d, std::move(values));
+}
+
+DataSet GenerateForestCoverLike(RowId n, Dim d, uint64_t seed) {
+  Rng rng(seed);
+  constexpr uint32_t kCoverTypes = 7;  // Forest Cover has 7 cover types
+  // Cluster centers correlated along a terrain gradient: higher "elevation"
+  // clusters have correlated shifts on the other cartographic attributes.
+  std::vector<double> centers(static_cast<size_t>(kCoverTypes) * d);
+  for (uint32_t c = 0; c < kCoverTypes; ++c) {
+    const double gradient = (static_cast<double>(c) + 0.5) / kCoverTypes;
+    for (Dim i = 0; i < d; ++i) {
+      const double coupling = 0.6 * gradient + 0.4 * rng.NextDouble();
+      centers[static_cast<size_t>(c) * d + i] = coupling;
+    }
+  }
+  // Skewed cluster weights: a few cover types carry most of the mass, like
+  // the real dataset (types 1 and 2 are ~85% of Forest Cover).
+  const double weights[kCoverTypes] = {0.37, 0.48, 0.06, 0.01, 0.02, 0.03, 0.03};
+  std::vector<Coord> values;
+  values.reserve(static_cast<size_t>(n) * d);
+  for (RowId r = 0; r < n; ++r) {
+    double u = rng.NextDouble();
+    uint32_t c = 0;
+    while (c + 1 < kCoverTypes && u > weights[c]) {
+      u -= weights[c];
+      ++c;
+    }
+    for (Dim i = 0; i < d; ++i) {
+      double v = Clamp01(centers[static_cast<size_t>(c) * d + i] +
+                         rng.NextGaussian(0.0, 0.12));
+      // Integer quantization (cartographic attributes are integral); a
+      // 1024-level grid introduces realistic ties.
+      v = std::floor(v * 1024.0) / 1024.0;
+      values.push_back(v);
+    }
+  }
+  return DataSet(d, std::move(values));
+}
+
+DataSet GenerateRecipesLike(RowId n, Dim d, uint64_t seed) {
+  Rng rng(seed);
+  // Per-attribute log-normal shape/scale in nutrition-like proportions
+  // (calories, fat, carbs, protein, sodium, sugar, fiber ... cycled).
+  std::vector<Coord> values;
+  values.reserve(static_cast<size_t>(n) * d);
+  for (RowId r = 0; r < n; ++r) {
+    // Block correlation: a common "portion size" factor scales the row.
+    const double portion = std::exp(rng.NextGaussian(0.0, 0.5));
+    for (Dim i = 0; i < d; ++i) {
+      // Zero inflation: many recipes have 0 of a given nutrient — but only
+      // optional nutrients (sugar, fiber, sodium, ...); core ones
+      // (calories, protein; every i % 5 < 2) are always positive, so no
+      // all-zero super-point can dominate the whole dataset.
+      if (i % 5 >= 2 && rng.NextDouble() < 0.25) {
+        values.push_back(0.0);
+        continue;
+      }
+      const double sigma = 0.6 + 0.1 * static_cast<double>(i % 5);
+      const double raw = portion * std::exp(rng.NextGaussian(0.0, sigma));
+      // Map the heavy-tailed value into [0,1) monotonically so all
+      // workloads share a domain; skew is preserved.
+      values.push_back(raw / (raw + 2.0));
+    }
+  }
+  return DataSet(d, std::move(values));
+}
+
+Result<DataSet> GenerateWorkload(WorkloadKind kind, RowId n, Dim d, uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("workload cardinality must be positive");
+  if (d == 0) return Status::InvalidArgument("workload dimensionality must be positive");
+  switch (kind) {
+    case WorkloadKind::kIndependent: return GenerateIndependent(n, d, seed);
+    case WorkloadKind::kCorrelated: return GenerateCorrelated(n, d, seed);
+    case WorkloadKind::kAnticorrelated: return GenerateAnticorrelated(n, d, seed);
+    case WorkloadKind::kClustered: return GenerateClustered(n, d, seed);
+    case WorkloadKind::kForestCoverLike: return GenerateForestCoverLike(n, d, seed);
+    case WorkloadKind::kRecipesLike: return GenerateRecipesLike(n, d, seed);
+  }
+  return Status::InvalidArgument("unknown workload kind");
+}
+
+}  // namespace skydiver

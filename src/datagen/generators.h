@@ -1,0 +1,69 @@
+// Synthetic workload generators.
+//
+// IND / CORR / ANT follow the methodology of Börzsönyi, Kossmann & Stocker
+// ("The Skyline Operator", ICDE 2001), the same generators the SkyDiver
+// paper uses for its synthetic evaluation. ForestCoverLike and RecipesLike
+// are surrogates for the paper's two real datasets (Forest Cover from UCI
+// and Recipes from Sparkrecipes.com), which are not redistributable here;
+// see DESIGN.md §4 for the substitution rationale.
+//
+// All generators emit values in minimization space: smaller is better.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Identifies a workload family.
+enum class WorkloadKind {
+  kIndependent,     ///< IND: uniform i.i.d. attributes.
+  kCorrelated,      ///< CORR: attributes positively correlated (small skyline).
+  kAnticorrelated,  ///< ANT: attributes negatively correlated (large skyline).
+  kClustered,       ///< Gaussian mixture clusters.
+  kForestCoverLike, ///< FC surrogate: clustered, integer-quantized, mildly correlated.
+  kRecipesLike,     ///< REC surrogate: log-normal, zero-inflated, skewed.
+};
+
+/// Parses "IND" / "ANT" / "CORR" / "CLUSTER" / "FC" / "REC" (case-insensitive).
+Result<WorkloadKind> ParseWorkloadKind(const std::string& name);
+
+/// Short display name ("IND", "ANT", ...).
+std::string WorkloadKindName(WorkloadKind kind);
+
+/// Paper-default cardinality for a workload (5M for synthetic, ~581K FC,
+/// ~365K REC).
+RowId DefaultCardinality(WorkloadKind kind);
+
+/// Uniform i.i.d. attributes in [0,1).
+DataSet GenerateIndependent(RowId n, Dim d, uint64_t seed);
+
+/// Correlated attributes: points concentrated around the main diagonal.
+DataSet GenerateCorrelated(RowId n, Dim d, uint64_t seed);
+
+/// Anticorrelated attributes: points concentrated around the anti-diagonal
+/// hyperplane sum(x_i) ≈ const, which inflates the skyline.
+DataSet GenerateAnticorrelated(RowId n, Dim d, uint64_t seed);
+
+/// Gaussian mixture with `clusters` components (centers uniform in [0,1)^d).
+DataSet GenerateClustered(RowId n, Dim d, uint64_t seed, uint32_t clusters = 10,
+                          double cluster_stddev = 0.05);
+
+/// Forest-Cover-like surrogate: 7 "cover type" clusters over correlated
+/// cartographic-style attributes, integer-quantized (creating realistic
+/// ties), heavy central mass plus outliers.
+DataSet GenerateForestCoverLike(RowId n, Dim d, uint64_t seed);
+
+/// Recipes-like surrogate: per-attribute log-normal nutrition-style
+/// marginals with block correlation and zero inflation, producing the
+/// sparse domination matrix the paper reports for REC.
+DataSet GenerateRecipesLike(RowId n, Dim d, uint64_t seed);
+
+/// Dispatch by kind.
+Result<DataSet> GenerateWorkload(WorkloadKind kind, RowId n, Dim d, uint64_t seed);
+
+}  // namespace skydiver

@@ -1,0 +1,153 @@
+#include "diversify/brute_force.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skydiver {
+
+namespace {
+
+Status ValidateBruteForce(size_t m, size_t k, uint64_t max_subsets) {
+  if (m == 0) return Status::InvalidArgument("no skyline points to select from");
+  if (k < 2) return Status::InvalidArgument("brute force requires k >= 2");
+  if (k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds skyline cardinality m = " + std::to_string(m));
+  }
+  const uint64_t subsets = BinomialOrSaturate(m, k);
+  if (subsets > max_subsets) {
+    return Status::OutOfRange("C(" + std::to_string(m) + ", " + std::to_string(k) +
+                              ") = " + std::to_string(subsets) +
+                              " subsets exceed the enumeration cap of " +
+                              std::to_string(max_subsets));
+  }
+  return Status::OK();
+}
+
+// Dense pairwise distance matrix (symmetric, materialized once).
+class DistanceTable {
+ public:
+  DistanceTable(size_t m, const DistanceFn& distance) : m_(m), d_(m * m, 0.0) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = i + 1; j < m; ++j) {
+        const double v = distance(i, j);
+        d_[i * m + j] = v;
+        d_[j * m + i] = v;
+        ++evaluations_;
+      }
+    }
+  }
+  double at(size_t i, size_t j) const { return d_[i * m_ + j]; }
+  uint64_t evaluations() const { return evaluations_; }
+
+ private:
+  size_t m_;
+  std::vector<double> d_;
+  uint64_t evaluations_ = 0;
+};
+
+}  // namespace
+
+uint64_t BinomialOrSaturate(uint64_t m, uint64_t k) {
+  if (k > m) return 0;
+  k = std::min(k, m - k);
+  uint64_t result = 1;
+  for (uint64_t i = 1; i <= k; ++i) {
+    const uint64_t num = m - k + i;
+    // result * num may overflow; saturate.
+    if (result > std::numeric_limits<uint64_t>::max() / num) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    result = result * num / i;
+  }
+  return result;
+}
+
+Result<DispersionResult> BruteForceMaxMin(size_t m, size_t k, const DistanceFn& distance,
+                                          uint64_t max_subsets) {
+  SKYDIVER_RETURN_NOT_OK(ValidateBruteForce(m, k, max_subsets));
+  DistanceTable table(m, distance);
+
+  DispersionResult out;
+  out.distance_evaluations = table.evaluations();
+  std::vector<size_t> current;
+  current.reserve(k);
+  double best_value = -1.0;
+  std::vector<size_t> best_set;
+
+  // Depth-first subset enumeration with monotone pruning: extending a
+  // subset can only lower its min pairwise distance, so any partial subset
+  // whose running minimum is <= the incumbent is dead.
+  auto recurse = [&](auto&& self, size_t next, double running_min) -> void {
+    if (current.size() == k) {
+      if (running_min > best_value) {
+        best_value = running_min;
+        best_set = current;
+      }
+      return;
+    }
+    const size_t needed = k - current.size();
+    for (size_t i = next; i + needed <= m; ++i) {
+      double new_min = running_min;
+      for (size_t chosen : current) {
+        new_min = std::min(new_min, table.at(chosen, i));
+        if (new_min <= best_value) break;
+      }
+      if (new_min <= best_value) continue;  // pruned
+      current.push_back(i);
+      self(self, i + 1, new_min);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0, std::numeric_limits<double>::infinity());
+
+  out.selected = std::move(best_set);
+  out.min_pairwise = best_value;
+  return out;
+}
+
+Result<DispersionResult> BruteForceMaxSum(size_t m, size_t k, const DistanceFn& distance,
+                                          uint64_t max_subsets) {
+  SKYDIVER_RETURN_NOT_OK(ValidateBruteForce(m, k, max_subsets));
+  DistanceTable table(m, distance);
+
+  DispersionResult out;
+  out.distance_evaluations = table.evaluations();
+  std::vector<size_t> current;
+  current.reserve(k);
+  double best_sum = -std::numeric_limits<double>::infinity();
+  std::vector<size_t> best_set;
+  double best_min = 0.0;
+
+  auto recurse = [&](auto&& self, size_t next, double running_sum,
+                     double running_min) -> void {
+    if (current.size() == k) {
+      if (running_sum > best_sum) {
+        best_sum = running_sum;
+        best_set = current;
+        best_min = running_min;
+      }
+      return;
+    }
+    const size_t needed = k - current.size();
+    for (size_t i = next; i + needed <= m; ++i) {
+      double add = 0.0;
+      double new_min = running_min;
+      for (size_t chosen : current) {
+        const double d = table.at(chosen, i);
+        add += d;
+        new_min = std::min(new_min, d);
+      }
+      current.push_back(i);
+      self(self, i + 1, running_sum + add, new_min);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0, 0.0, std::numeric_limits<double>::infinity());
+
+  out.selected = std::move(best_set);
+  out.min_pairwise = best_min;
+  return out;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,35 @@
+// Exact (exponential) dispersion solvers — the paper's Brute-Force baseline.
+//
+// Enumerates all C(m, k) subsets of the skyline and returns the true
+// optimum. Used (a) as the BF baseline of the runtime experiments (Fig. 10,
+// where the paper could only afford k = 2) and (b) as ground truth for the
+// 2-approximation property tests. Monotone pruning makes the k-MMDP search
+// usable on slightly larger instances than the naive enumeration: a partial
+// subset whose running minimum already falls below the incumbent cannot
+// improve.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "diversify/dispersion.h"
+
+namespace skydiver {
+
+/// Exact k-MMDP: the subset maximizing the minimum pairwise distance.
+/// `max_subsets` caps the enumeration (error OutOfRange when C(m, k)
+/// exceeds it) so callers cannot accidentally start an astronomically long
+/// search. Distances are materialized once (O(m^2) evaluations).
+Result<DispersionResult> BruteForceMaxMin(size_t m, size_t k, const DistanceFn& distance,
+                                          uint64_t max_subsets = 200'000'000);
+
+/// Exact k-MSDP: the subset maximizing the SUM of pairwise distances.
+Result<DispersionResult> BruteForceMaxSum(size_t m, size_t k, const DistanceFn& distance,
+                                          uint64_t max_subsets = 200'000'000);
+
+/// C(m, k) with saturation at UINT64_MAX.
+uint64_t BinomialOrSaturate(uint64_t m, uint64_t k);
+
+}  // namespace skydiver

@@ -1,0 +1,91 @@
+#include "diversify/coverage.h"
+
+#include "diversify/brute_force.h"
+
+namespace skydiver {
+
+Result<CoverageResult> GreedyMaxCoverage(const GammaSets& gammas, size_t k) {
+  const size_t m = gammas.size();
+  if (m == 0) return Status::InvalidArgument("no skyline points to select from");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds skyline cardinality m = " + std::to_string(m));
+  }
+  CoverageResult out;
+  out.selected.reserve(k);
+  std::vector<bool> taken(m, false);
+  BitVector covered(gammas.universe_size());
+  for (size_t round = 0; round < k; ++round) {
+    size_t best = m;
+    size_t best_gain = 0;
+    for (size_t j = 0; j < m; ++j) {
+      if (taken[j]) continue;
+      const size_t gain = covered.NewCoverage(gammas.gamma(j));
+      if (best == m || gain > best_gain) {
+        best = j;
+        best_gain = gain;
+      }
+    }
+    taken[best] = true;
+    out.selected.push_back(best);
+    covered |= gammas.gamma(best);
+  }
+  out.covered = covered.Count();
+  const size_t non_skyline = gammas.universe_size() - gammas.size();
+  out.coverage_fraction =
+      non_skyline == 0 ? 1.0
+                       : static_cast<double>(out.covered) / static_cast<double>(non_skyline);
+  return out;
+}
+
+Result<CoverageResult> BruteForceMaxCoverage(const GammaSets& gammas, size_t k,
+                                             uint64_t max_subsets) {
+  const size_t m = gammas.size();
+  if (m == 0) return Status::InvalidArgument("no skyline points to select from");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds skyline cardinality m = " + std::to_string(m));
+  }
+  const uint64_t subsets = BinomialOrSaturate(m, k);
+  if (subsets > max_subsets) {
+    return Status::OutOfRange("C(" + std::to_string(m) + ", " + std::to_string(k) +
+                              ") subsets exceed the enumeration cap");
+  }
+  std::vector<size_t> current;
+  current.reserve(k);
+  std::vector<size_t> best_set;
+  size_t best_covered = 0;
+
+  auto recurse = [&](auto&& self, size_t next, const BitVector& covered) -> void {
+    if (current.size() == k) {
+      const size_t count = covered.Count();
+      if (count > best_covered || best_set.empty()) {
+        best_covered = count;
+        best_set = current;
+      }
+      return;
+    }
+    const size_t needed = k - current.size();
+    for (size_t i = next; i + needed <= m; ++i) {
+      BitVector grown = covered;
+      grown |= gammas.gamma(i);
+      current.push_back(i);
+      self(self, i + 1, grown);
+      current.pop_back();
+    }
+  };
+  recurse(recurse, 0, BitVector(gammas.universe_size()));
+
+  CoverageResult out;
+  out.selected = std::move(best_set);
+  out.covered = best_covered;
+  const size_t non_skyline = gammas.universe_size() - gammas.size();
+  out.coverage_fraction = non_skyline == 0 ? 1.0
+                                           : static_cast<double>(best_covered) /
+                                                 static_cast<double>(non_skyline);
+  return out;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,119 @@
+#include "diversify/dispersion.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skydiver {
+
+namespace {
+
+Status ValidateSelection(size_t m, size_t k) {
+  if (m == 0) return Status::InvalidArgument("no skyline points to select from");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds skyline cardinality m = " + std::to_string(m));
+  }
+  return Status::OK();
+}
+
+size_t MaxScoreIndex(size_t m, const ScoreFn& score) {
+  size_t best = 0;
+  double best_score = score(0);
+  for (size_t i = 1; i < m; ++i) {
+    const double s = score(i);
+    if (s > best_score) {
+      best_score = s;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<DispersionResult> SelectDiverseSet(size_t m, size_t k, const DistanceFn& distance,
+                                          const ScoreFn& score) {
+  SKYDIVER_RETURN_NOT_OK(ValidateSelection(m, k));
+  DispersionResult out;
+  out.selected.reserve(k);
+
+  std::vector<bool> taken(m, false);
+  // Cached minimum distance from each unselected point to the selected set
+  // (the paper's "boosted SG" maintains exactly this).
+  std::vector<double> min_dist(m, std::numeric_limits<double>::infinity());
+
+  const size_t seed = MaxScoreIndex(m, score);
+  out.selected.push_back(seed);
+  taken[seed] = true;
+  out.min_pairwise = std::numeric_limits<double>::infinity();
+
+  while (out.selected.size() < k) {
+    const size_t newest = out.selected.back();
+    // Refresh caches against the newest member, then pick the argmax of the
+    // cached min distance; ties resolved by domination score.
+    size_t best = m;
+    double best_dist = -std::numeric_limits<double>::infinity();
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (taken[i]) continue;
+      const double d = distance(i, newest);
+      ++out.distance_evaluations;
+      if (d < min_dist[i]) min_dist[i] = d;
+      const double s = score(i);
+      if (min_dist[i] > best_dist || (min_dist[i] == best_dist && s > best_score)) {
+        best = i;
+        best_dist = min_dist[i];
+        best_score = s;
+      }
+    }
+    out.selected.push_back(best);
+    taken[best] = true;
+    out.min_pairwise = std::min(out.min_pairwise, best_dist);
+  }
+  if (k < 2) out.min_pairwise = 0.0;
+  return out;
+}
+
+Result<DispersionResult> SelectMaxSumSet(size_t m, size_t k, const DistanceFn& distance,
+                                         const ScoreFn& score) {
+  SKYDIVER_RETURN_NOT_OK(ValidateSelection(m, k));
+  DispersionResult out;
+  out.selected.reserve(k);
+
+  std::vector<bool> taken(m, false);
+  std::vector<double> sum_dist(m, 0.0);
+  std::vector<double> min_dist(m, std::numeric_limits<double>::infinity());
+
+  const size_t seed = MaxScoreIndex(m, score);
+  out.selected.push_back(seed);
+  taken[seed] = true;
+  out.min_pairwise = std::numeric_limits<double>::infinity();
+
+  while (out.selected.size() < k) {
+    const size_t newest = out.selected.back();
+    size_t best = m;
+    double best_sum = -std::numeric_limits<double>::infinity();
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      if (taken[i]) continue;
+      const double d = distance(i, newest);
+      ++out.distance_evaluations;
+      sum_dist[i] += d;
+      if (d < min_dist[i]) min_dist[i] = d;
+      const double s = score(i);
+      if (sum_dist[i] > best_sum || (sum_dist[i] == best_sum && s > best_score)) {
+        best = i;
+        best_sum = sum_dist[i];
+        best_score = s;
+      }
+    }
+    out.selected.push_back(best);
+    taken[best] = true;
+    out.min_pairwise = std::min(out.min_pairwise, min_dist[best]);
+  }
+  if (k < 2) out.min_pairwise = 0.0;
+  return out;
+}
+
+}  // namespace skydiver

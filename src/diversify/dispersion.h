@@ -1,0 +1,57 @@
+// Greedy k-dispersion selection — Phase 2 of the SkyDiver framework.
+//
+// The k-most-diverse problem is an instance of the Max-Min Dispersion
+// Problem (k-MMDP), NP-hard; `SelectDiverseSet` is the paper's Fig. 6
+// greedy: seed with the skyline point of maximum domination score, then
+// repeatedly add the point maximizing its minimum distance to the selected
+// set (ties broken by domination score). When the distance is a metric the
+// result is a 2-approximation of the optimum (paper Lemma 4).
+//
+// The distance is a callback, so the same selector runs over exact Jaccard
+// distances (Simple-Greedy), MinHash-estimated distances (SkyDiver-MH), and
+// LSH Hamming distances (SkyDiver-LSH).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skydiver {
+
+/// Distance between skyline points by index; must be symmetric and
+/// non-negative. The 2-approximation additionally needs the triangle
+/// inequality.
+using DistanceFn = std::function<double(size_t, size_t)>;
+
+/// Score used for seeding and tie-breaking — the domination score |Γ(p)| in
+/// the paper (coverage as a secondary objective).
+using ScoreFn = std::function<double(size_t)>;
+
+/// Result of a dispersion selection.
+struct DispersionResult {
+  /// Indices (into the skyline set) of the selected points, in pick order.
+  std::vector<size_t> selected;
+  /// Minimum pairwise distance among the selected points, under the
+  /// distance the selection ran with (k-MMDP objective value). 0 for k < 2.
+  double min_pairwise = 0.0;
+  /// Number of distance evaluations performed.
+  uint64_t distance_evaluations = 0;
+};
+
+/// Fig. 6: greedy 2-approximate k-MMDP over `m` skyline points.
+/// O(k·m) distance evaluations (each round updates the cached min-distance
+/// of every unselected point against the newest member).
+Result<DispersionResult> SelectDiverseSet(size_t m, size_t k, const DistanceFn& distance,
+                                          const ScoreFn& score);
+
+/// Greedy for the Max-Sum variant (k-MSDP): adds the point maximizing the
+/// SUM of distances to the selected set. Provided for the paper's
+/// discussion of why k-MMDP is preferred (4- vs 2-approximation; MSDP
+/// tolerates small pairwise distances). Reports the same statistics.
+Result<DispersionResult> SelectMaxSumSet(size_t m, size_t k, const DistanceFn& distance,
+                                         const ScoreFn& score);
+
+}  // namespace skydiver

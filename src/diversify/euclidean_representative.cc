@@ -1,0 +1,82 @@
+#include "diversify/euclidean_representative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace skydiver {
+
+namespace {
+
+double Euclidean(const DataSet& data, RowId a, RowId b) {
+  const auto pa = data.row(a);
+  const auto pb = data.row(b);
+  double s = 0.0;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const double diff = pa[i] - pb[i];
+    s += diff * diff;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+Result<EuclideanRepresentativeResult> EuclideanRepresentatives(
+    const DataSet& data, const std::vector<RowId>& skyline, size_t k) {
+  const size_t m = skyline.size();
+  if (m == 0) return Status::InvalidArgument("no skyline points to select from");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds skyline cardinality m = " + std::to_string(m));
+  }
+  for (RowId s : skyline) {
+    if (s >= data.size()) {
+      return Status::InvalidArgument("skyline row " + std::to_string(s) + " out of range");
+    }
+  }
+  EuclideanRepresentativeResult out;
+  out.selected.reserve(k);
+
+  // Deterministic seed: the skyline point with the smallest coordinate sum.
+  size_t seed = 0;
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < m; ++j) {
+    double s = 0.0;
+    for (Coord v : data.row(skyline[j])) s += v;
+    if (s < best_sum) {
+      best_sum = s;
+      seed = j;
+    }
+  }
+  out.selected.push_back(seed);
+
+  // Gonzalez: repeatedly add the point farthest from its nearest center.
+  std::vector<double> nearest(m, std::numeric_limits<double>::infinity());
+  while (out.selected.size() < k) {
+    const size_t newest = out.selected.back();
+    size_t farthest = m;
+    double farthest_dist = -1.0;
+    for (size_t j = 0; j < m; ++j) {
+      const double d = Euclidean(data, skyline[j], skyline[newest]);
+      if (d < nearest[j]) nearest[j] = d;
+      if (nearest[j] > farthest_dist) {
+        farthest_dist = nearest[j];
+        farthest = j;
+      }
+    }
+    out.selected.push_back(farthest);
+  }
+  // Final covering radius (after accounting for the last center).
+  const size_t newest = out.selected.back();
+  double radius = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    const double d = Euclidean(data, skyline[j], skyline[newest]);
+    if (d < nearest[j]) nearest[j] = d;
+    radius = std::max(radius, nearest[j]);
+  }
+  out.max_covering_radius = radius;
+  return out;
+}
+
+}  // namespace skydiver

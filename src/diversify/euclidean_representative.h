@@ -1,0 +1,39 @@
+// Distance-based representative skyline (Tao et al., ICDE'09 — the
+// paper's reference [32]), the state-of-the-art L_p-norm competitor that
+// SkyDiver's Section 2 argues against.
+//
+// Selects k skyline points so that every skyline point is close (in
+// Euclidean distance over the attribute space) to some representative —
+// the k-center objective — via the Gonzalez greedy 2-approximation.
+// Implemented here as the comparison baseline: unlike the Jaccard measure
+// it (a) needs numeric attributes, (b) ignores the dominated points
+// entirely, and (c) is sensitive to per-dimension scaling, all three of
+// which the scale-invariance benchmark demonstrates.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Result of the Euclidean representative selection.
+struct EuclideanRepresentativeResult {
+  /// Indices into the skyline order, in pick order.
+  std::vector<size_t> selected;
+  /// k-center objective: max distance from any skyline point to its
+  /// nearest representative.
+  double max_covering_radius = 0.0;
+};
+
+/// Gonzalez greedy k-center over the skyline points' coordinates.
+/// `skyline` indexes rows of `data`; distances are Euclidean in attribute
+/// space. Deterministic: seeds with the skyline point of minimum
+/// coordinate sum (the "origin-most" representative).
+Result<EuclideanRepresentativeResult> EuclideanRepresentatives(
+    const DataSet& data, const std::vector<RowId>& skyline, size_t k);
+
+}  // namespace skydiver

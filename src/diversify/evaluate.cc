@@ -1,0 +1,28 @@
+#include "diversify/evaluate.h"
+
+#include <algorithm>
+
+namespace skydiver {
+
+QualityReport EvaluateSelection(const GammaSets& gammas,
+                                const std::vector<size_t>& selected) {
+  QualityReport report;
+  report.coverage = gammas.Coverage(selected);
+  if (selected.size() < 2) return report;
+  double min_d = 1.0;
+  double sum_d = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < selected.size(); ++a) {
+    for (size_t b = a + 1; b < selected.size(); ++b) {
+      const double d = gammas.JaccardDistance(selected[a], selected[b]);
+      min_d = std::min(min_d, d);
+      sum_d += d;
+      ++pairs;
+    }
+  }
+  report.min_diversity = min_d;
+  report.avg_diversity = sum_d / static_cast<double>(pairs);
+  return report;
+}
+
+}  // namespace skydiver

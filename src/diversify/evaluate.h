@@ -1,0 +1,33 @@
+// Quality evaluators for selected skyline subsets.
+//
+// The paper always reports result quality in the ORIGINAL space: the
+// minimum exact Jaccard distance among the selected points (Figs. 12-13),
+// plus the coverage fraction for Table 1 — regardless of which approximate
+// distance the selector used internally.
+
+#pragma once
+
+#include <vector>
+
+#include "core/gamma.h"
+
+namespace skydiver {
+
+/// Quality of a selected subset of skyline points.
+struct QualityReport {
+  /// Minimum pairwise exact Jaccard distance (the diversity score of the
+  /// paper's quality plots). 0 for singleton selections.
+  double min_diversity = 0.0;
+  /// Mean pairwise exact Jaccard distance.
+  double avg_diversity = 0.0;
+  /// Fraction of non-skyline points dominated by at least one selected
+  /// point (Table 1's coverage column).
+  double coverage = 0.0;
+};
+
+/// Evaluates `selected` (indices into the skyline order the GammaSets were
+/// built with) against the exact dominated sets.
+QualityReport EvaluateSelection(const GammaSets& gammas,
+                                const std::vector<size_t>& selected);
+
+}  // namespace skydiver

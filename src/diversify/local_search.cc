@@ -1,0 +1,99 @@
+#include "diversify/local_search.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace skydiver {
+
+Result<LocalSearchResult> RefineDispersion(size_t m, const std::vector<size_t>& initial,
+                                           const DistanceFn& distance,
+                                           size_t max_rounds) {
+  const size_t k = initial.size();
+  if (k < 2) return Status::InvalidArgument("local search needs k >= 2");
+  if (k > m) return Status::InvalidArgument("selection larger than the point set");
+  std::vector<bool> taken(m, false);
+  for (size_t s : initial) {
+    if (s >= m) return Status::InvalidArgument("selection index out of range");
+    if (taken[s]) return Status::InvalidArgument("selection contains duplicates");
+    taken[s] = true;
+  }
+
+  LocalSearchResult out;
+  out.selected = initial;
+
+  std::vector<double> pair_dist(k * k, 0.0);
+  for (size_t round = 0; round < max_rounds; ++round) {
+    // All pairwise distances within the current selection.
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        const double d = distance(out.selected[a], out.selected[b]);
+        ++out.distance_evaluations;
+        pair_dist[a * k + b] = d;
+        pair_dist[b * k + a] = d;
+      }
+    }
+    // Objective and, for every potential leaver `a`, the minimum over the
+    // pairs that would REMAIN without a.
+    double current = std::numeric_limits<double>::infinity();
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        current = std::min(current, pair_dist[a * k + b]);
+      }
+    }
+    std::vector<double> min_without(k, std::numeric_limits<double>::infinity());
+    for (size_t a = 0; a < k; ++a) {
+      for (size_t b = a + 1; b < k; ++b) {
+        const double d = pair_dist[a * k + b];
+        for (size_t leaver = 0; leaver < k; ++leaver) {
+          if (leaver != a && leaver != b && d < min_without[leaver]) {
+            min_without[leaver] = d;
+          }
+        }
+      }
+    }
+
+    // Best 1-swap: for each candidate entrant, its distances to the
+    // selection give (min1, argmin, min2); removing `leaver` keeps min1
+    // unless leaver realizes it.
+    double best_obj = current;
+    size_t best_leaver = k, best_entrant = m;
+    for (size_t entrant = 0; entrant < m; ++entrant) {
+      if (taken[entrant]) continue;
+      double min1 = std::numeric_limits<double>::infinity();
+      double min2 = min1;
+      size_t arg1 = k;
+      for (size_t y = 0; y < k; ++y) {
+        const double d = distance(entrant, out.selected[y]);
+        ++out.distance_evaluations;
+        if (d < min1) {
+          min2 = min1;
+          min1 = d;
+          arg1 = y;
+        } else if (d < min2) {
+          min2 = d;
+        }
+      }
+      for (size_t leaver = 0; leaver < k; ++leaver) {
+        const double to_entrant = (leaver == arg1) ? min2 : min1;
+        const double candidate_obj = std::min(min_without[leaver], to_entrant);
+        if (candidate_obj > best_obj) {
+          best_obj = candidate_obj;
+          best_leaver = leaver;
+          best_entrant = entrant;
+        }
+      }
+    }
+    if (best_entrant == m) {
+      out.min_pairwise = current;
+      return out;  // local optimum
+    }
+    taken[out.selected[best_leaver]] = false;
+    taken[best_entrant] = true;
+    out.selected[best_leaver] = best_entrant;
+    ++out.swaps;
+    out.min_pairwise = best_obj;
+  }
+  return out;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,64 @@
+#include "diversify/simple_greedy.h"
+
+#include "core/gamma.h"
+
+namespace skydiver {
+
+Result<SimpleGreedyResult> SimpleGreedy(const DataSet& data,
+                                        const std::vector<RowId>& skyline, size_t k,
+                                        const RTree& tree) {
+  if (tree.dims() != data.dims() || tree.size() != data.size()) {
+    return Status::InvalidArgument("R-tree does not index the given dataset");
+  }
+  for (RowId s : skyline) {
+    if (s >= data.size()) {
+      return Status::InvalidArgument("skyline row " + std::to_string(s) + " out of range");
+    }
+  }
+  const IoStats io_before = tree.io_stats();
+  SimpleGreedyResult out;
+
+  const size_t m = skyline.size();
+  // Domination scores |Γ(p)|, needed for seeding/tie-breaks and reused by
+  // every pairwise distance (union via inclusion-exclusion).
+  std::vector<uint64_t> gamma_size(m);
+  for (size_t j = 0; j < m; ++j) {
+    gamma_size[j] = tree.DominatedCount(data.row(skyline[j]));
+    out.range_queries += 2;  // weak-region count + duplicate probe
+  }
+
+  auto distance = [&](size_t i, size_t j) {
+    const uint64_t inter =
+        tree.CommonDominatedCount(data.row(skyline[i]), data.row(skyline[j]));
+    ++out.range_queries;
+    const uint64_t uni = gamma_size[i] + gamma_size[j] - inter;
+    if (uni == 0) return 0.0;  // both Γ empty: identical sets
+    return 1.0 - static_cast<double>(inter) / static_cast<double>(uni);
+  };
+  auto score = [&](size_t j) { return static_cast<double>(gamma_size[j]); };
+
+  auto result = SelectDiverseSet(m, k, distance, score);
+  if (!result.ok()) return result.status();
+  out.dispersion = std::move(result).value();
+
+  const IoStats io_after = tree.io_stats();
+  out.io.page_reads = io_after.page_reads - io_before.page_reads;
+  out.io.page_faults = io_after.page_faults - io_before.page_faults;
+  return out;
+}
+
+Result<DispersionResult> SimpleGreedyInMemory(const DataSet& data,
+                                              const std::vector<RowId>& skyline,
+                                              size_t k) {
+  for (RowId s : skyline) {
+    if (s >= data.size()) {
+      return Status::InvalidArgument("skyline row " + std::to_string(s) + " out of range");
+    }
+  }
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  auto distance = [&](size_t i, size_t j) { return gammas.JaccardDistance(i, j); };
+  auto score = [&](size_t j) { return static_cast<double>(gammas.DominationScore(j)); };
+  return SelectDiverseSet(gammas.size(), k, distance, score);
+}
+
+}  // namespace skydiver

@@ -1,0 +1,102 @@
+#include "lsh/lsh.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace skydiver {
+
+namespace {
+
+// 64-bit mixing (splitmix64 finalizer) for zone-bucket hashing.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+double LshParams::Threshold() const {
+  assert(zones > 0 && rows_per_zone > 0);
+  return std::pow(1.0 / static_cast<double>(zones),
+                  1.0 / static_cast<double>(rows_per_zone));
+}
+
+double LshParams::CollisionProbability(double s) const {
+  assert(zones > 0 && rows_per_zone > 0);
+  const double band_hit = std::pow(s, static_cast<double>(rows_per_zone));
+  return 1.0 - std::pow(1.0 - band_hit, static_cast<double>(zones));
+}
+
+Result<LshParams> ChooseZones(size_t signature_size, double threshold,
+                              size_t buckets_per_zone) {
+  if (signature_size < 2) {
+    return Status::InvalidArgument("signature size must be at least 2 for banding");
+  }
+  if (threshold <= 0.0 || threshold >= 1.0) {
+    return Status::InvalidArgument("LSH threshold must lie in (0, 1)");
+  }
+  if (buckets_per_zone < 2) {
+    return Status::InvalidArgument("need at least 2 buckets per zone");
+  }
+  LshParams best;
+  double best_err = std::numeric_limits<double>::infinity();
+  for (size_t zones = 1; zones <= signature_size; ++zones) {
+    if (signature_size % zones != 0) continue;
+    LshParams p;
+    p.zones = zones;
+    p.rows_per_zone = signature_size / zones;
+    p.buckets_per_zone = buckets_per_zone;
+    // Degenerate bandings (1 zone of t rows, or t zones of 1 row) have
+    // thresholds pinned near 1 / near 0; they are legal but rarely closest.
+    const double err = std::fabs(p.Threshold() - threshold);
+    if (err < best_err) {
+      best_err = err;
+      best = p;
+    }
+  }
+  return best;
+}
+
+Result<LshIndex> LshIndex::Build(const SignatureMatrix& signatures,
+                                 const LshParams& params, uint64_t seed) {
+  if (params.zones == 0 || params.rows_per_zone == 0) {
+    return Status::InvalidArgument("LSH params are unset");
+  }
+  if (params.zones * params.rows_per_zone != signatures.signature_size()) {
+    return Status::InvalidArgument(
+        "zones x rows_per_zone must equal the signature size (" +
+        std::to_string(params.zones) + " x " + std::to_string(params.rows_per_zone) +
+        " != " + std::to_string(signatures.signature_size()) + ")");
+  }
+  if (params.buckets_per_zone < 2) {
+    return Status::InvalidArgument("need at least 2 buckets per zone");
+  }
+  LshIndex index;
+  index.params_ = params;
+  const size_t m = signatures.columns();
+  const size_t bits = params.zones * params.buckets_per_zone;
+  index.vectors_.assign(m, BitVector(bits));
+  index.buckets_.assign(m * params.zones, 0);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t z = 0; z < params.zones; ++z) {
+      uint64_t h = Mix64(seed ^ (0x9e3779b97f4a7c15ULL * (z + 1)));
+      for (size_t rr = 0; rr < params.rows_per_zone; ++rr) {
+        h = Mix64(h ^ signatures.at(j, z * params.rows_per_zone + rr));
+      }
+      const size_t bucket = h % params.buckets_per_zone;
+      index.buckets_[j * params.zones + z] = bucket;
+      index.vectors_[j].Set(z * params.buckets_per_zone + bucket);
+    }
+  }
+  return index;
+}
+
+size_t LshIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& v : vectors_) bytes += v.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,80 @@
+// Locality Sensitive Hashing over MinHash signatures (paper Section 4.2.2).
+//
+// The signature matrix is banded into ζ zones of r rows (ζ·r = t). Each
+// zone of each skyline point's signature is hashed into one of B buckets;
+// the point is then represented by a ζ·B-bit vector with exactly ζ set bits
+// (one per zone). Two points that never share a bucket have Hamming
+// distance 2ζ; each shared bucket reduces it by 2 — so the Hamming distance
+// of the bit-vectors is the LSH diversity measure, and since Hamming
+// distance is a metric, the 2-approximation greedy applies unchanged.
+//
+// The banding threshold ξ ≈ (1/ζ)^(1/r) is the similarity level at which
+// the collision probability 1 − (1 − s^r)^ζ crosses its sigmoid midpoint;
+// choosing ξ picks (ζ, r) and thereby trades memory for accuracy.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+#include "minhash/minhash.h"
+
+namespace skydiver {
+
+/// Banding parameters.
+struct LshParams {
+  size_t zones = 0;            ///< ζ: number of zones (bands).
+  size_t rows_per_zone = 0;    ///< r: signature slots per zone; ζ·r = t.
+  size_t buckets_per_zone = 20;  ///< B: hash buckets per zone.
+
+  /// The similarity threshold this banding approximates: (1/ζ)^(1/r).
+  double Threshold() const;
+
+  /// Collision probability for a pair with Jaccard similarity `s`:
+  /// 1 − (1 − s^r)^ζ.
+  double CollisionProbability(double s) const;
+};
+
+/// Chooses (ζ, r) with ζ·r = t whose threshold (1/ζ)^(1/r) is closest to
+/// the requested ξ. Fails when t has no divisor pair (t prime and the only
+/// splits 1×t / t×1 are still considered — it always succeeds for t ≥ 2).
+Result<LshParams> ChooseZones(size_t signature_size, double threshold,
+                              size_t buckets_per_zone = 20);
+
+/// The LSH representation of all skyline points: one ζ·B-bit vector each.
+class LshIndex {
+ public:
+  /// Hashes every signature column into zone buckets. `seed` draws the
+  /// per-zone hash salts.
+  static Result<LshIndex> Build(const SignatureMatrix& signatures,
+                                const LshParams& params, uint64_t seed);
+
+  size_t columns() const { return vectors_.size(); }
+  const LshParams& params() const { return params_; }
+
+  /// The bit-vector of skyline point j (ζ·B bits, ζ of them set).
+  const BitVector& vector(size_t j) const { return vectors_[j]; }
+
+  /// Bucket index (within [0, B)) of column j in zone z.
+  size_t Bucket(size_t j, size_t zone) const { return buckets_[j * params_.zones + zone]; }
+
+  /// LSH diversity: the Hamming distance between the two bit-vectors.
+  /// Equals 2 × (number of zones where the points land in different
+  /// buckets); a metric, so SelectDiverseSet keeps its guarantee.
+  double Distance(size_t i, size_t j) const {
+    return static_cast<double>(vectors_[i].HammingDistance(vectors_[j]));
+  }
+
+  /// Bytes held by the bit-vectors — the memory side of the paper's
+  /// memory-vs-accuracy trade-off (Fig. 13).
+  size_t MemoryBytes() const;
+
+ private:
+  LshParams params_;
+  std::vector<BitVector> vectors_;
+  std::vector<size_t> buckets_;  // m x ζ bucket assignments
+};
+
+}  // namespace skydiver

@@ -1,0 +1,77 @@
+#include "minhash/minhash.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/binio.h"
+#include "common/prime.h"
+#include "common/rng.h"
+
+namespace skydiver {
+
+namespace {
+constexpr char kSignatureMagic[8] = {'S', 'K', 'Y', 'D', 'S', 'I', 'G', '1'};
+}  // namespace
+
+Status SignatureMatrix::SaveToFile(const std::string& path) const {
+  BinaryWriter writer(path, kSignatureMagic);
+  if (!writer.ok()) return Status::IoError("cannot open '" + path + "' for writing");
+  writer.WriteU64(t_);
+  writer.WriteU64(m_);
+  for (uint64_t v : slots_) writer.WriteU64(v);
+  return writer.Finish();
+}
+
+Result<SignatureMatrix> SignatureMatrix::LoadFromFile(const std::string& path) {
+  BinaryReader reader(path, kSignatureMagic);
+  SKYDIVER_RETURN_NOT_OK(reader.status());
+  uint64_t t = 0, m = 0;
+  if (!reader.ReadU64(&t) || !reader.ReadU64(&m)) {
+    return Status::IoError("'" + path + "': truncated signature header");
+  }
+  SignatureMatrix sig(t, m);
+  for (auto& v : sig.slots_) {
+    if (!reader.ReadU64(&v)) {
+      return Status::IoError("'" + path + "': truncated signature payload");
+    }
+  }
+  SKYDIVER_RETURN_NOT_OK(reader.VerifyChecksum());
+  return sig;
+}
+
+MinHashFamily MinHashFamily::Create(size_t t, uint64_t universe, uint64_t seed) {
+  assert(t > 0);
+  MinHashFamily family;
+  family.prime_ = NextPrime(std::max<uint64_t>(universe, 2));
+  Rng rng(seed);
+  family.a_.resize(t);
+  family.b_.resize(t);
+  for (size_t i = 0; i < t; ++i) {
+    // a in [1, P-1] keeps the map a bijection on Z_P; b in [0, P-1].
+    family.a_[i] = 1 + rng.NextBounded(family.prime_ - 1);
+    family.b_[i] = rng.NextBounded(family.prime_);
+  }
+  return family;
+}
+
+double SignatureMatrix::EstimatedSimilarity(size_t c1, size_t c2) const {
+  assert(c1 < m_ && c2 < m_);
+  if (t_ == 0) return 0.0;
+  size_t agree = 0;
+  const uint64_t* s1 = slots_.data() + c1 * t_;
+  const uint64_t* s2 = slots_.data() + c2 * t_;
+  for (size_t i = 0; i < t_; ++i) {
+    if (s1[i] == s2[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(t_);
+}
+
+size_t RecommendedSignatureSize(double epsilon, double beta, double delta) {
+  assert(epsilon > 0 && epsilon < 1);
+  assert(beta > 0 && beta < 1);
+  assert(delta > 0 && delta < 1);
+  const double t = std::log(1.0 / delta) / (epsilon * epsilon * epsilon * beta);
+  return static_cast<size_t>(std::ceil(t));
+}
+
+}  // namespace skydiver

@@ -1,0 +1,106 @@
+// MinHash fingerprinting of dominated sets (paper Section 4.1).
+//
+// Each skyline point's dominated set Γ(s) is a subset of the data rows;
+// SkyDiver compresses it into a signature of t slots, where slot i holds
+// min over x ∈ Γ(s) of h_i(x) for a "min-wise independent" hash
+// h_i(x) = (a_i·x + b_i) mod P, P prime > n. The key MinHash property:
+// Pr[slot_i(p) = slot_i(q)] = Js(p, q), so the fraction of agreeing slots
+// is an unbiased estimate of the Jaccard similarity of the dominated sets.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Slot value meaning "no row hashed yet" (empty dominated set).
+inline constexpr uint64_t kEmptySlot = std::numeric_limits<uint64_t>::max();
+
+/// A family of t linear hash functions h_i(x) = (a_i·x + b_i) mod P.
+///
+/// The family approximates min-wise independence, which is the standard
+/// practical choice (Broder et al.); P is the first prime after `universe`.
+class MinHashFamily {
+ public:
+  /// Draws a family of `t` functions able to hash row ids in [0, universe).
+  static MinHashFamily Create(size_t t, uint64_t universe, uint64_t seed);
+
+  size_t size() const { return a_.size(); }
+  uint64_t prime() const { return prime_; }
+
+  /// h_i(x).
+  uint64_t Apply(size_t i, uint64_t x) const {
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(a_[i]) * x + b_[i]) % prime_);
+  }
+
+  /// Additive step of h_i: h_i(x+1) = (h_i(x) + a_i) mod P. Exposed so
+  /// range updates (index-based generation over `count` consecutive row
+  /// ids) can evaluate the family incrementally.
+  uint64_t StepOf(size_t i) const { return a_[i]; }
+
+ private:
+  MinHashFamily() = default;
+  std::vector<uint64_t> a_;
+  std::vector<uint64_t> b_;
+  uint64_t prime_ = 0;
+};
+
+/// Column-major t x m signature matrix: column j is the signature of the
+/// j-th skyline point. Matches the paper's \hat{M}.
+class SignatureMatrix {
+ public:
+  SignatureMatrix() = default;
+  SignatureMatrix(size_t t, size_t m)
+      : t_(t), m_(m), slots_(t * m, kEmptySlot) {}
+
+  size_t signature_size() const { return t_; }
+  size_t columns() const { return m_; }
+
+  uint64_t at(size_t column, size_t slot) const { return slots_[column * t_ + slot]; }
+
+  /// slot := min(slot, value) — the MinHash update.
+  void UpdateMin(size_t column, size_t slot, uint64_t value) {
+    uint64_t& cell = slots_[column * t_ + slot];
+    if (value < cell) cell = value;
+  }
+
+  /// Estimated Jaccard similarity: fraction of slots where the two
+  /// signatures agree.
+  double EstimatedSimilarity(size_t c1, size_t c2) const;
+
+  /// Estimated Jaccard distance (1 - similarity). Respects the triangle
+  /// inequality (paper Lemma 3), so the 2-approximation greedy applies.
+  double EstimatedDistance(size_t c1, size_t c2) const {
+    return 1.0 - EstimatedSimilarity(c1, c2);
+  }
+
+  /// Heap bytes held by the matrix (memory-consumption experiments).
+  size_t MemoryBytes() const { return slots_.size() * sizeof(uint64_t); }
+
+  /// Persists the matrix to a checksummed binary file (format SKYDSIG1).
+  /// Fingerprinting is the expensive phase; saving the signatures lets a
+  /// deployment re-run Phase 2 with different k / ξ / B for free.
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a matrix written by SaveToFile.
+  static Result<SignatureMatrix> LoadFromFile(const std::string& path);
+
+ private:
+  size_t t_ = 0;
+  size_t m_ = 0;
+  std::vector<uint64_t> slots_;
+};
+
+/// Signature size that guarantees an (ε, δ)-approximation of the Jaccard
+/// similarity at precision β — Ω(ε⁻³ β⁻¹ log 1/δ) per Datar & Muthukrishnan
+/// (cited as [12] in the paper). Returned with constant 1; callers treat it
+/// as a guideline (the paper uses t = 100 as its practical default).
+size_t RecommendedSignatureSize(double epsilon, double beta, double delta);
+
+}  // namespace skydiver

@@ -1,0 +1,315 @@
+#include "parallel/parallel_ops.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "core/dominance.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+
+std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool) {
+  const RowId n = data.size();
+  const size_t shards = std::max<size_t>(1, pool.size());
+  std::vector<std::vector<RowId>> locals(shards);
+
+  // Phase 1: local skylines per shard.
+  {
+    std::mutex mu;
+    size_t next_shard = 0;
+    pool.ParallelFor(n, shards, [&](uint64_t begin, uint64_t end) {
+      std::vector<RowId> rows(end - begin);
+      for (uint64_t r = begin; r < end; ++r) rows[r - begin] = static_cast<RowId>(r);
+      const DataSet shard = data.Select(rows);
+      const auto local = SkylineSFS(shard).rows;
+      std::vector<RowId> mapped;
+      mapped.reserve(local.size());
+      for (RowId lr : local) mapped.push_back(rows[lr]);
+      std::lock_guard<std::mutex> lock(mu);
+      locals[next_shard++] = std::move(mapped);
+    });
+  }
+
+  // Phase 2: merge — the union of local skylines is a superset of the
+  // global skyline; one SFS pass over it finishes the job.
+  std::vector<RowId> candidates;
+  for (const auto& l : locals) candidates.insert(candidates.end(), l.begin(), l.end());
+  std::sort(candidates.begin(), candidates.end());
+  const DataSet candidate_set = data.Select(candidates);
+  const auto final_local = SkylineSFS(candidate_set).rows;
+  std::vector<RowId> out;
+  out.reserve(final_local.size());
+  for (RowId lr : final_local) out.push_back(candidates[lr]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
+                                      const std::vector<RowId>& skyline,
+                                      const MinHashFamily& family, ThreadPool& pool) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (skyline.empty()) return Status::InvalidArgument("skyline set is empty");
+  if (family.prime() <= data.size()) {
+    return Status::InvalidArgument("hash family prime must exceed the dataset size");
+  }
+  const size_t t = family.size();
+  const size_t m = skyline.size();
+  const RowId n = data.size();
+  for (RowId s : skyline) {
+    if (s >= n) return Status::InvalidArgument("skyline row out of range");
+  }
+
+  std::vector<bool> is_skyline(n, false);
+  for (RowId s : skyline) is_skyline[s] = true;
+
+  const size_t shards = std::max<size_t>(1, pool.size());
+  std::vector<SignatureMatrix> shard_sig(shards, SignatureMatrix(t, m));
+  std::vector<std::vector<uint64_t>> shard_scores(shards,
+                                                  std::vector<uint64_t>(m, 0));
+
+  std::mutex mu;
+  size_t shard_counter = 0;
+  pool.ParallelFor(n, shards, [&](uint64_t begin, uint64_t end) {
+    size_t my_shard;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      my_shard = shard_counter++;
+    }
+    SignatureMatrix& sig = shard_sig[my_shard];
+    std::vector<uint64_t>& scores = shard_scores[my_shard];
+    std::vector<uint64_t> row_hash(t);
+    for (uint64_t r = begin; r < end; ++r) {
+      if (is_skyline[r]) continue;
+      const auto point = data.row(static_cast<RowId>(r));
+      bool hashed = false;
+      for (size_t j = 0; j < m; ++j) {
+        if (!Dominates(data.row(skyline[j]), point)) continue;
+        ++scores[j];
+        if (!hashed) {
+          for (size_t i = 0; i < t; ++i) row_hash[i] = family.Apply(i, r);
+          hashed = true;
+        }
+        for (size_t i = 0; i < t; ++i) sig.UpdateMin(j, i, row_hash[i]);
+      }
+    }
+  });
+
+  // Min-merge shard matrices; add shard scores.
+  SigGenResult out;
+  out.signatures = SignatureMatrix(t, m);
+  out.domination_scores.assign(m, 0);
+  for (size_t s = 0; s < shards; ++s) {
+    for (size_t j = 0; j < m; ++j) {
+      out.domination_scores[j] += shard_scores[s][j];
+      for (size_t i = 0; i < t; ++i) {
+        out.signatures.UpdateMin(j, i, shard_sig[s].at(j, i));
+      }
+    }
+  }
+  const uint64_t pages = SequentialScanPages(n, data.dims(), 4096);
+  out.io.page_reads = pages;
+  out.io.page_faults = pages;
+  return out;
+}
+
+namespace {
+
+// One unit of parallel IB work: either a subtree with its dominance
+// context (page valid), or a pure range update over `count` row ids for
+// a subtree that needs no descent (page == kInvalidPageId).
+struct IbTask {
+  PageId page = kInvalidPageId;
+  uint64_t base = 0;               // first row id of this subtree
+  uint64_t count = 0;              // range length for pure range updates
+  std::vector<size_t> full;        // columns dominating the whole subtree
+  std::vector<size_t> candidates;  // columns partially dominating it
+};
+
+// Per-worker state for the recursive subtree processing.
+struct IbWorker {
+  SignatureMatrix signatures;
+  std::vector<uint64_t> scores;
+  uint64_t pages_read = 0;
+
+  IbWorker(size_t t, size_t m) : signatures(t, m), scores(m, 0) {}
+};
+
+// Applies `count` consecutive row ids starting at `base` to all columns in
+// `full` of the worker's local matrix.
+void IbRangeUpdate(const MinHashFamily& family, uint64_t base, uint64_t count,
+                   const std::vector<size_t>& full, IbWorker* worker) {
+  if (full.empty() || count == 0) return;
+  const size_t t = family.size();
+  const uint64_t prime = family.prime();
+  thread_local std::vector<uint64_t> range_min;
+  range_min.resize(t);
+  for (size_t i = 0; i < t; ++i) {
+    const uint64_t step = family.StepOf(i);
+    uint64_t v = family.Apply(i, base);
+    uint64_t mn = v;
+    for (uint64_t c = 1; c < count; ++c) {
+      v += step;
+      if (v >= prime) v -= prime;
+      if (v < mn) mn = v;
+    }
+    range_min[i] = mn;
+  }
+  for (size_t j : full) {
+    worker->scores[j] += count;
+    for (size_t i = 0; i < t; ++i) worker->signatures.UpdateMin(j, i, range_min[i]);
+  }
+}
+
+// Processes one subtree recursively against the candidate columns; row-id
+// ranges come from the DFS prefix sums of the entry counts.
+void IbProcessSubtree(const DataSet& data, const std::vector<std::span<const Coord>>& sky,
+                      const MinHashFamily& family, const RTree& tree,
+                      const IbTask& task, IbWorker* worker) {
+  const RTreeNode& node = tree.PeekNode(task.page);
+  ++worker->pages_read;
+  uint64_t offset = task.base;
+  std::vector<size_t> full;
+  std::vector<size_t> partial;
+  for (const auto& e : node.entries) {
+    if (node.is_leaf) {
+      full = task.full;
+      for (size_t j : task.candidates) {
+        if (Dominates(sky[j], e.mbr.lo())) full.push_back(j);
+      }
+      IbRangeUpdate(family, offset, 1, full, worker);
+      offset += 1;
+      continue;
+    }
+    full = task.full;
+    partial.clear();
+    for (size_t j : task.candidates) {
+      if (e.mbr.FullyDominatedBy(sky[j])) {
+        full.push_back(j);
+      } else if (e.mbr.UpperCornerDominatedBy(sky[j])) {
+        partial.push_back(j);
+      }
+    }
+    if (partial.empty()) {
+      IbRangeUpdate(family, offset, e.count, full, worker);
+    } else {
+      IbProcessSubtree(data, sky, family, tree,
+                       IbTask{e.child, offset, 0, full, partial}, worker);
+    }
+    offset += e.count;
+  }
+}
+
+}  // namespace
+
+Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
+                                      const std::vector<RowId>& skyline,
+                                      const MinHashFamily& family, const RTree& tree,
+                                      ThreadPool& pool) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (skyline.empty()) return Status::InvalidArgument("skyline set is empty");
+  if (family.prime() <= data.size()) {
+    return Status::InvalidArgument("hash family prime must exceed the dataset size");
+  }
+  if (tree.dims() != data.dims() || tree.size() != data.size()) {
+    return Status::InvalidArgument("R-tree does not index the given dataset");
+  }
+  const size_t t = family.size();
+  const size_t m = skyline.size();
+  for (RowId s : skyline) {
+    if (s >= data.size()) return Status::InvalidArgument("skyline row out of range");
+  }
+  std::vector<std::span<const Coord>> sky(m);
+  for (size_t j = 0; j < m; ++j) sky[j] = data.row(skyline[j]);
+
+  // Split the tree's top levels into tasks with DFS base offsets, until
+  // there are enough tasks to feed the pool (or nothing is expandable).
+  std::vector<IbTask> tasks;
+  {
+    std::vector<size_t> all(m);
+    for (size_t j = 0; j < m; ++j) all[j] = j;
+    tasks.push_back(IbTask{tree.root(), 0, 0, {}, std::move(all)});
+    bool expanded = true;
+    while (expanded && tasks.size() < 4 * std::max<size_t>(1, pool.size())) {
+      expanded = false;
+      std::vector<IbTask> next;
+      next.reserve(tasks.size() * 4);
+      for (IbTask& task : tasks) {
+        if (task.page == kInvalidPageId) {
+          next.push_back(std::move(task));  // pure range update: nothing to expand
+          continue;
+        }
+        const RTreeNode& node = tree.PeekNode(task.page);
+        if (node.is_leaf) {
+          next.push_back(std::move(task));  // per-point work stays one task
+          continue;
+        }
+        expanded = true;
+        uint64_t offset = task.base;
+        for (const auto& e : node.entries) {
+          std::vector<size_t> full = task.full;
+          std::vector<size_t> partial;
+          for (size_t j : task.candidates) {
+            if (e.mbr.FullyDominatedBy(sky[j])) {
+              full.push_back(j);
+            } else if (e.mbr.UpperCornerDominatedBy(sky[j])) {
+              partial.push_back(j);
+            }
+          }
+          if (partial.empty()) {
+            next.push_back(
+                IbTask{kInvalidPageId, offset, e.count, std::move(full), {}});
+          } else {
+            next.push_back(
+                IbTask{e.child, offset, 0, std::move(full), std::move(partial)});
+          }
+          offset += e.count;
+        }
+      }
+      tasks = std::move(next);
+    }
+  }
+
+  // Workers.
+  const size_t shards = std::max<size_t>(1, pool.size());
+  std::vector<IbWorker> workers;
+  workers.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) workers.emplace_back(t, m);
+  std::atomic<size_t> next_task{0};
+  std::atomic<size_t> next_worker{0};
+  for (size_t s = 0; s < shards; ++s) {
+    pool.Submit([&] {
+      const size_t my_id = next_worker.fetch_add(1);
+      IbWorker& worker = workers[my_id];
+      for (;;) {
+        const size_t idx = next_task.fetch_add(1);
+        if (idx >= tasks.size()) return;
+        const IbTask& task = tasks[idx];
+        if (task.page == kInvalidPageId) {
+          IbRangeUpdate(family, task.base, task.count, task.full, &worker);
+        } else {
+          IbProcessSubtree(data, sky, family, tree, task, &worker);
+        }
+      }
+    });
+  }
+  pool.Wait();
+
+  SigGenResult out;
+  out.signatures = SignatureMatrix(t, m);
+  out.domination_scores.assign(m, 0);
+  for (const IbWorker& worker : workers) {
+    for (size_t j = 0; j < m; ++j) {
+      out.domination_scores[j] += worker.scores[j];
+      for (size_t i = 0; i < t; ++i) {
+        out.signatures.UpdateMin(j, i, worker.signatures.at(j, i));
+      }
+    }
+  }
+  uint64_t pages = 0;
+  for (const IbWorker& worker : workers) pages += worker.pages_read;
+  out.io.page_reads = pages;
+  return out;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,45 @@
+// Parallel skyline computation and parallel index-free signature
+// generation (paper future-work direction ii).
+//
+// Both parallelizations preserve exact outputs:
+//  * skyline: partition -> local SFS skylines -> merge (the skyline of a
+//    union is the skyline of the union of local skylines);
+//  * SigGen-IF: MinHash minima are associative/commutative, so per-shard
+//    signature matrices min-merge into exactly the serial matrix, and
+//    domination scores add up.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "minhash/siggen.h"
+#include "parallel/thread_pool.h"
+
+namespace skydiver {
+
+/// Skyline of `data` computed on `pool` (result identical to SkylineSFS).
+std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool);
+
+/// Index-free signature generation sharded over `pool` (result identical
+/// to serial SigGenIF with the same family).
+Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
+                                      const std::vector<RowId>& skyline,
+                                      const MinHashFamily& family, ThreadPool& pool);
+
+/// Index-based signature generation parallelized over subtrees. Row-id
+/// ranges are assigned by the tree's DFS layout (each entry's range is its
+/// subtree-count prefix sum), so the output is DETERMINISTIC: identical
+/// signatures for any thread count — though a different (equally valid)
+/// permutation than the serial BFS SigGenIB, so estimates agree only
+/// statistically with it. Node access bypasses the buffer pool (thread
+/// safety); the result's IoStats report the pages an accounted traversal
+/// would have read logically.
+Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
+                                      const std::vector<RowId>& skyline,
+                                      const MinHashFamily& family, const RTree& tree,
+                                      ThreadPool& pool);
+
+}  // namespace skydiver

@@ -1,0 +1,54 @@
+// Minimal fixed-size thread pool and parallel-for used by the parallel
+// skyline / signature-generation paths (paper future-work direction ii:
+// "parallelization aspects of our methodology, aiming for scalable skyline
+// diversification over massive data").
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace skydiver {
+
+/// Fixed pool of worker threads draining a task queue.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, min 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; it may start immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Runs fn(begin, end) over `chunks` contiguous splits of [0, n) on the
+  /// pool and waits for completion. fn must be thread-safe across disjoint
+  /// ranges.
+  void ParallelFor(uint64_t n, size_t chunks,
+                   const std::function<void(uint64_t, uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,87 @@
+#include "poset/partial_order.h"
+
+#include <queue>
+
+namespace skydiver {
+
+Result<PartialOrder> PartialOrder::FromEdges(
+    size_t num_categories, const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  if (num_categories == 0) {
+    return Status::InvalidArgument("a partial order needs at least one category");
+  }
+  std::vector<std::vector<uint32_t>> adj(num_categories);
+  std::vector<uint32_t> indegree(num_categories, 0);
+  for (const auto& [better, worse] : edges) {
+    if (better >= num_categories || worse >= num_categories) {
+      return Status::InvalidArgument("edge (" + std::to_string(better) + ", " +
+                                     std::to_string(worse) + ") out of range");
+    }
+    if (better == worse) {
+      return Status::InvalidArgument("self-loop on category " + std::to_string(better));
+    }
+    adj[better].push_back(worse);
+    ++indegree[worse];
+  }
+  // Kahn topological order; also detects cycles.
+  std::queue<uint32_t> ready;
+  for (uint32_t v = 0; v < num_categories; ++v) {
+    if (indegree[v] == 0) ready.push(v);
+  }
+  std::vector<uint32_t> topo;
+  topo.reserve(num_categories);
+  std::vector<uint32_t> remaining = indegree;
+  while (!ready.empty()) {
+    const uint32_t v = ready.front();
+    ready.pop();
+    topo.push_back(v);
+    for (uint32_t w : adj[v]) {
+      if (--remaining[w] == 0) ready.push(w);
+    }
+  }
+  if (topo.size() != num_categories) {
+    return Status::InvalidArgument(
+        "better-than edges contain a cycle; a partial order must be acyclic");
+  }
+  // Transitive closure in reverse topological order:
+  // reach(v) = union over children w of ({w} ∪ reach(w)).
+  PartialOrder order;
+  order.reach_.assign(num_categories, BitVector(num_categories));
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const uint32_t v = *it;
+    for (uint32_t w : adj[v]) {
+      order.reach_[v].Set(w);
+      order.reach_[v] |= order.reach_[w];
+    }
+  }
+  return order;
+}
+
+PartialOrder PartialOrder::Chain(size_t num_categories) {
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  edges.reserve(num_categories > 0 ? num_categories - 1 : 0);
+  for (uint32_t v = 0; v + 1 < num_categories; ++v) edges.emplace_back(v, v + 1);
+  return FromEdges(num_categories, edges).value();
+}
+
+PartialOrder PartialOrder::Levels(const std::vector<size_t>& level_sizes) {
+  size_t total = 0;
+  for (size_t s : level_sizes) total += s;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  size_t level_start = 0;
+  for (size_t l = 0; l + 1 < level_sizes.size(); ++l) {
+    const size_t next_start = level_start + level_sizes[l];
+    for (size_t a = level_start; a < next_start; ++a) {
+      for (size_t b = next_start; b < next_start + level_sizes[l + 1]; ++b) {
+        edges.emplace_back(static_cast<uint32_t>(a), static_cast<uint32_t>(b));
+      }
+    }
+    level_start = next_start;
+  }
+  return FromEdges(total, edges).value();
+}
+
+PartialOrder PartialOrder::Antichain(size_t num_categories) {
+  return FromEdges(num_categories, {}).value();
+}
+
+}  // namespace skydiver

@@ -1,0 +1,68 @@
+// Explicit partial orders over categorical domains.
+//
+// The SkyDiver measure needs nothing beyond the dominance relation, so it
+// extends verbatim to attributes whose values are only PARTIALLY ordered
+// (paper Sections 1-2: "partially-ordered domains or data with categorical
+// features", citing Zhang et al. [37]). This module provides the domain
+// machinery: a DAG of "better-than" edges over category ids, closed under
+// transitivity, with cycle detection at construction.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitvector.h"
+#include "common/status.h"
+
+namespace skydiver {
+
+/// A partial order over category ids 0..size-1. `Leq(a, b)` reads
+/// "a is at least as good as b" (matching minimization: smaller = better).
+class PartialOrder {
+ public:
+  /// Builds from explicit better-than edges (better, worse). Fails on
+  /// cycles (the order would not be antisymmetric) and on out-of-range ids.
+  static Result<PartialOrder> FromEdges(
+      size_t num_categories, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+  /// Total order 0 ≺ 1 ≺ ... ≺ n-1 (id 0 best) — lets categorical code
+  /// paths express plain ordinal attributes.
+  static PartialOrder Chain(size_t num_categories);
+
+  /// Level order: categories in level l beat every category in levels
+  /// > l; categories within a level are incomparable. `level_sizes[l]` is
+  /// the number of categories in level l; ids are assigned level by level.
+  static PartialOrder Levels(const std::vector<size_t>& level_sizes);
+
+  /// Antichain: all categories mutually incomparable (pure nominal data).
+  static PartialOrder Antichain(size_t num_categories);
+
+  size_t size() const { return reach_.size(); }
+
+  /// True iff a == b or a is transitively better than b.
+  bool Leq(uint32_t a, uint32_t b) const {
+    return a == b || reach_[a].Test(b);
+  }
+
+  /// True iff a is strictly better than b.
+  bool Less(uint32_t a, uint32_t b) const { return a != b && reach_[a].Test(b); }
+
+  /// True iff neither is at least as good as the other.
+  bool Incomparable(uint32_t a, uint32_t b) const {
+    return a != b && !reach_[a].Test(b) && !reach_[b].Test(a);
+  }
+
+  /// Number of categories strictly worse than `a`.
+  size_t DownSetSize(uint32_t a) const { return reach_[a].Count(); }
+
+ private:
+  PartialOrder() = default;
+  // reach_[a] holds the set of ids strictly worse than a (transitive
+  // closure of the better-than DAG).
+  std::vector<BitVector> reach_;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,35 @@
+#include "rtree/buffer_pool.h"
+
+namespace skydiver {
+
+void BufferPool::SetCapacity(size_t capacity_pages) {
+  capacity_ = capacity_pages == 0 ? 1 : capacity_pages;
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+bool BufferPool::Access(PageId page) {
+  ++stats_.page_reads;
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return true;
+  }
+  ++stats_.page_faults;
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace skydiver

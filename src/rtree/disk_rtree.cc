@@ -1,0 +1,231 @@
+#include "rtree/disk_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/binio.h"
+#include "rtree/traversal.h"
+
+namespace skydiver {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'D', 'P', 'A', 'G', '1'};
+
+// Little-endian scalar (de)serialization into a page buffer.
+template <typename T>
+void Put(std::vector<unsigned char>& buf, size_t* off, T v) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[*off + i] = static_cast<unsigned char>(v & 0xff);
+    v = static_cast<T>(v >> 8);
+  }
+  *off += sizeof(T);
+}
+
+template <typename T>
+T Get(const std::vector<unsigned char>& buf, size_t* off) {
+  T v = 0;
+  for (size_t i = sizeof(T); i-- > 0;) {
+    v = static_cast<T>((v << 8) | buf[*off + i]);
+  }
+  *off += sizeof(T);
+  return v;
+}
+
+void PutDouble(std::vector<unsigned char>& buf, size_t* off, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  Put(buf, off, bits);
+}
+
+double GetDouble(const std::vector<unsigned char>& buf, size_t* off) {
+  const uint64_t bits = Get<uint64_t>(buf, off);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Status DiskRTree::Write(const RTree& tree, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for writing");
+  std::unique_ptr<std::FILE, FileCloser> file(f);
+
+  const uint32_t page_size = tree.config().page_size;
+  const Dim dims = tree.dims();
+
+  // Header page.
+  std::vector<unsigned char> page(page_size, 0);
+  {
+    size_t off = 0;
+    std::memcpy(page.data(), kMagic, 8);
+    off = 8;
+    Put<uint32_t>(page, &off, dims);
+    Put<uint32_t>(page, &off, page_size);
+    Put<uint64_t>(page, &off, tree.size());
+    Put<uint32_t>(page, &off, tree.root());
+    Put<uint32_t>(page, &off, tree.height());
+    Put<uint64_t>(page, &off, tree.PageCount());
+    // Header checksum over the meaningful prefix.
+    Fnv1a sum;
+    sum.Update(page.data(), off);
+    Put<uint64_t>(page, &off, sum.digest());
+    if (std::fwrite(page.data(), 1, page_size, f) != page_size) {
+      return Status::IoError("short write of header page");
+    }
+  }
+
+  // Node pages, one per page id (dense ids by construction). Reads bypass
+  // the tree's buffer pool: serialization is not a measured query.
+  for (PageId id = 0; id < tree.PageCount(); ++id) {
+    // ReadNode records pool traffic; acceptable at write time, but keep
+    // the tree's measured stats clean by saving/restoring them.
+    const RTreeNode& node = tree.ReadNode(id);
+    std::fill(page.begin(), page.end(), 0);
+    size_t off = 0;
+    Put<uint8_t>(page, &off, node.is_leaf ? 1 : 0);
+    off += 3;  // padding
+    Put<uint32_t>(page, &off, static_cast<uint32_t>(node.entries.size()));
+    off += 8;  // reserved — completes the 16-byte node header
+    for (const auto& e : node.entries) {
+      if (node.is_leaf) {
+        for (Dim i = 0; i < dims; ++i) PutDouble(page, &off, e.mbr.lo(i));
+        Put<uint32_t>(page, &off, e.row);
+      } else {
+        for (Dim i = 0; i < dims; ++i) PutDouble(page, &off, e.mbr.lo(i));
+        for (Dim i = 0; i < dims; ++i) PutDouble(page, &off, e.mbr.hi(i));
+        Put<uint32_t>(page, &off, e.child);
+        Put<uint64_t>(page, &off, e.count);
+      }
+      if (off > page_size) {
+        return Status::Internal("node " + std::to_string(id) + " overflows its page");
+      }
+    }
+    if (std::fwrite(page.data(), 1, page_size, f) != page_size) {
+      return Status::IoError("short write of node page " + std::to_string(id));
+    }
+  }
+  if (std::fflush(f) != 0) return Status::IoError("flush of '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<DiskRTree> DiskRTree::Open(const std::string& path, double cache_fraction) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open '" + path + "' for reading");
+  DiskRTree tree;
+  tree.file_.reset(f);
+
+  // Read a minimal header first to learn the page size.
+  std::vector<unsigned char> head(64, 0);
+  if (std::fread(head.data(), 1, head.size(), f) != head.size()) {
+    return Status::IoError("'" + path + "': truncated header");
+  }
+  if (std::memcmp(head.data(), kMagic, 8) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a SkyDiver page file");
+  }
+  size_t off = 8;
+  tree.dims_ = Get<uint32_t>(head, &off);
+  tree.page_size_ = Get<uint32_t>(head, &off);
+  tree.size_ = Get<uint64_t>(head, &off);
+  tree.root_ = Get<uint32_t>(head, &off);
+  tree.height_ = Get<uint32_t>(head, &off);
+  tree.node_count_ = static_cast<size_t>(Get<uint64_t>(head, &off));
+  Fnv1a sum;
+  sum.Update(head.data(), off);
+  const uint64_t stored = Get<uint64_t>(head, &off);
+  if (stored != sum.digest()) {
+    return Status::IoError("'" + path + "': header checksum mismatch");
+  }
+  if (tree.dims_ == 0 || tree.page_size_ < 64) {
+    return Status::InvalidArgument("'" + path + "': implausible geometry");
+  }
+  tree.cache_capacity_ = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(cache_fraction *
+                                       static_cast<double>(tree.node_count_))));
+  return tree;
+}
+
+const RTreeNode& DiskRTree::ReadNode(PageId id) const {
+  ++stats_.page_reads;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return it->second.first;
+  }
+  ++stats_.page_faults;
+
+  // Physical read.
+  std::vector<unsigned char> page(page_size_);
+  const auto offset =
+      static_cast<long>((static_cast<uint64_t>(id) + 1) * page_size_);
+  if (std::fseek(file_.get(), offset, SEEK_SET) != 0 ||
+      std::fread(page.data(), 1, page_size_, file_.get()) != page_size_) {
+    // A read failure on a live file is unrecoverable for the caller's
+    // reference; fail loudly.
+    std::abort();
+  }
+  size_t off = 0;
+  RTreeNode node;
+  node.id = id;
+  node.is_leaf = Get<uint8_t>(page, &off) != 0;
+  off += 3;
+  const uint32_t entry_count = Get<uint32_t>(page, &off);
+  off += 8;
+  node.entries.reserve(entry_count);
+  std::vector<Coord> lo(dims_), hi(dims_);
+  for (uint32_t e = 0; e < entry_count; ++e) {
+    RTreeEntry entry;
+    if (node.is_leaf) {
+      for (Dim i = 0; i < dims_; ++i) lo[i] = GetDouble(page, &off);
+      entry.mbr = Mbr::OfPoint(lo);
+      entry.row = Get<uint32_t>(page, &off);
+      entry.count = 1;
+    } else {
+      for (Dim i = 0; i < dims_; ++i) lo[i] = GetDouble(page, &off);
+      for (Dim i = 0; i < dims_; ++i) hi[i] = GetDouble(page, &off);
+      entry.mbr = Mbr::OfPoint(lo);
+      entry.mbr.Expand(hi);
+      entry.child = Get<uint32_t>(page, &off);
+      entry.count = Get<uint64_t>(page, &off);
+    }
+    node.entries.push_back(std::move(entry));
+  }
+
+  lru_.push_front(id);
+  auto [pos, inserted] =
+      frames_.emplace(id, std::make_pair(std::move(node), lru_.begin()));
+  if (frames_.size() > cache_capacity_) {
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    frames_.erase(victim);
+  }
+  return pos->second.first;
+}
+
+void DiskRTree::DropCache() const {
+  lru_.clear();
+  frames_.clear();
+}
+
+uint64_t DiskRTree::RangeCount(std::span<const Coord> lo,
+                               std::span<const Coord> hi) const {
+  return traversal::RangeCount(*this, lo, hi);
+}
+
+std::vector<RowId> DiskRTree::RangeSearch(std::span<const Coord> lo,
+                                          std::span<const Coord> hi) const {
+  return traversal::RangeSearch(*this, lo, hi);
+}
+
+uint64_t DiskRTree::DominatedCount(std::span<const Coord> p) const {
+  return traversal::DominatedCount(*this, p);
+}
+
+uint64_t DiskRTree::CommonDominatedCount(std::span<const Coord> p,
+                                         std::span<const Coord> q) const {
+  return traversal::CommonDominatedCount(*this, p, q);
+}
+
+}  // namespace skydiver

@@ -1,0 +1,98 @@
+// File-backed aggregate R*-tree: real 4 KB pages on a real file.
+//
+// `RTree` simulates the disk (nodes in memory, faults charged by the
+// buffer pool). `DiskRTree` is the honest version: an `RTree` is
+// serialized into a page file (one fixed-size page per node, binary node
+// layout matching the capacity math), and queries read pages back through
+// an LRU frame cache — a miss performs an actual pread + deserialization.
+// It exposes the same access surface as RTree (ReadNode / root / dims /
+// size), so every templated traversal in rtree/traversal.h and the
+// index-based algorithms (BBS, SigGen-IB) run on it unchanged.
+//
+// The page file is read-only once written; build with RTree, persist with
+// DiskRTree::Write, reopen with DiskRTree::Open.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/status.h"
+#include "rtree/rtree.h"
+
+namespace skydiver {
+
+/// Read-only file-backed aggregate R*-tree.
+class DiskRTree {
+ public:
+  /// Serializes `tree` into a page file at `path`: a 4 KB header page
+  /// (magic, geometry, root, checksum of the header fields) followed by
+  /// one `page_size` page per node.
+  static Status Write(const RTree& tree, const std::string& path);
+
+  /// Opens a page file written by Write. `cache_fraction` sizes the frame
+  /// cache relative to the file's node pages (paper default 20%).
+  static Result<DiskRTree> Open(const std::string& path, double cache_fraction = 0.2);
+
+  DiskRTree(DiskRTree&&) = default;
+  DiskRTree& operator=(DiskRTree&&) = default;
+
+  Dim dims() const { return dims_; }
+  uint64_t size() const { return size_; }
+  PageId root() const { return root_; }
+  uint32_t height() const { return height_; }
+  size_t PageCount() const { return node_count_; }
+  uint32_t page_size() const { return page_size_; }
+
+  /// Reads a node. Cache hit: no file I/O. Miss: pread of the page +
+  /// deserialization, recorded as a physical fault.
+  const RTreeNode& ReadNode(PageId id) const;
+
+  /// Physical/logical page access counters (mirrors RTree::io_stats()).
+  const IoStats& io_stats() const { return stats_; }
+  void ResetIoStats() const { stats_.Reset(); }
+
+  /// Drops all cached frames (cold-cache measurements).
+  void DropCache() const;
+
+  // Queries — same surface as RTree, running on the shared traversals.
+  uint64_t RangeCount(std::span<const Coord> lo, std::span<const Coord> hi) const;
+  std::vector<RowId> RangeSearch(std::span<const Coord> lo,
+                                 std::span<const Coord> hi) const;
+  uint64_t DominatedCount(std::span<const Coord> p) const;
+  uint64_t CommonDominatedCount(std::span<const Coord> p,
+                                std::span<const Coord> q) const;
+
+ private:
+  DiskRTree() = default;
+
+  struct FileCloser {
+    void operator()(std::FILE* f) const {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+
+  Dim dims_ = 0;
+  uint32_t page_size_ = 4096;
+  uint64_t size_ = 0;
+  PageId root_ = kInvalidPageId;
+  uint32_t height_ = 0;
+  size_t node_count_ = 0;
+  size_t cache_capacity_ = 1;
+
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  // LRU frame cache of deserialized nodes.
+  mutable std::list<PageId> lru_;
+  mutable std::unordered_map<PageId,
+                             std::pair<RTreeNode, std::list<PageId>::iterator>>
+      frames_;
+  mutable IoStats stats_;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,156 @@
+// Minimum bounding rectangles and their dominance relations.
+//
+// The index-based signature generator (paper Fig. 4) and BBS both prune
+// R-tree subtrees through MBR-level dominance: a skyline point s *fully*
+// dominates an MBR e when s dominates e's lower-left corner (hence every
+// point inside e), and *partially* dominates e when s dominates e's
+// upper-right corner but not its lower-left (some points inside may be
+// dominated). If s does not dominate the upper-right corner, no point of e
+// is dominated by s.
+
+#pragma once
+
+#include <cassert>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/types.h"
+
+namespace skydiver {
+
+/// Axis-aligned minimum bounding rectangle in d dimensions.
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// Empty (inverted) MBR ready to be expanded.
+  explicit Mbr(Dim dims)
+      : lo_(dims, std::numeric_limits<Coord>::infinity()),
+        hi_(dims, -std::numeric_limits<Coord>::infinity()) {}
+
+  /// Degenerate MBR around a single point.
+  static Mbr OfPoint(std::span<const Coord> p) {
+    Mbr m;
+    m.lo_.assign(p.begin(), p.end());
+    m.hi_.assign(p.begin(), p.end());
+    return m;
+  }
+
+  Dim dims() const { return static_cast<Dim>(lo_.size()); }
+  std::span<const Coord> lo() const { return lo_; }
+  std::span<const Coord> hi() const { return hi_; }
+  Coord lo(Dim i) const { return lo_[i]; }
+  Coord hi(Dim i) const { return hi_[i]; }
+
+  bool IsEmpty() const {
+    return lo_.empty() || lo_[0] > hi_[0];
+  }
+
+  /// Grows this MBR to cover `p`.
+  void Expand(std::span<const Coord> p) {
+    assert(p.size() == lo_.size());
+    for (size_t i = 0; i < p.size(); ++i) {
+      if (p[i] < lo_[i]) lo_[i] = p[i];
+      if (p[i] > hi_[i]) hi_[i] = p[i];
+    }
+  }
+
+  /// Grows this MBR to cover `other`.
+  void Expand(const Mbr& other) {
+    assert(other.dims() == dims());
+    if (other.IsEmpty()) return;
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      if (other.lo_[i] < lo_[i]) lo_[i] = other.lo_[i];
+      if (other.hi_[i] > hi_[i]) hi_[i] = other.hi_[i];
+    }
+  }
+
+  /// Hyper-volume (product of extents).
+  double Area() const {
+    if (IsEmpty()) return 0.0;
+    double a = 1.0;
+    for (size_t i = 0; i < lo_.size(); ++i) a *= (hi_[i] - lo_[i]);
+    return a;
+  }
+
+  /// Sum of edge lengths (the R*-tree "margin").
+  double Margin() const {
+    if (IsEmpty()) return 0.0;
+    double s = 0.0;
+    for (size_t i = 0; i < lo_.size(); ++i) s += (hi_[i] - lo_[i]);
+    return s;
+  }
+
+  /// Volume of the intersection with `other` (0 when disjoint).
+  double OverlapArea(const Mbr& other) const {
+    double a = 1.0;
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      const Coord l = std::max(lo_[i], other.lo_[i]);
+      const Coord h = std::min(hi_[i], other.hi_[i]);
+      if (h <= l) return 0.0;
+      a *= (h - l);
+    }
+    return a;
+  }
+
+  /// Area increase needed to absorb `other`.
+  double Enlargement(const Mbr& other) const {
+    Mbr grown = *this;
+    grown.Expand(other);
+    return grown.Area() - Area();
+  }
+
+  /// True iff the boxes intersect (closed boxes).
+  bool Intersects(const Mbr& other) const {
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      if (other.hi_[i] < lo_[i] || other.lo_[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff `other` lies completely inside this box (closed).
+  bool Contains(const Mbr& other) const {
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      if (other.lo_[i] < lo_[i] || other.hi_[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// True iff point `p` lies inside this box (closed).
+  bool ContainsPoint(std::span<const Coord> p) const {
+    for (size_t i = 0; i < lo_.size(); ++i) {
+      if (p[i] < lo_[i] || p[i] > hi_[i]) return false;
+    }
+    return true;
+  }
+
+  /// L1 distance of the lower-left corner from the origin — the BBS
+  /// priority ("mindist" of the box under sum-of-coordinates scoring).
+  double MinDistL1() const {
+    double s = 0.0;
+    for (Coord v : lo_) s += v;
+    return s;
+  }
+
+  /// True iff skyline point `s` dominates every point of this MBR
+  /// (s ≺ lower-left corner).
+  bool FullyDominatedBy(std::span<const Coord> s) const {
+    return Dominates(s, lo_);
+  }
+
+  /// True iff `s` dominates the upper-right corner: at least part of the
+  /// MBR may be dominated. (Full dominance implies this.)
+  bool UpperCornerDominatedBy(std::span<const Coord> s) const {
+    return Dominates(s, hi_);
+  }
+
+  bool operator==(const Mbr& other) const { return lo_ == other.lo_ && hi_ == other.hi_; }
+
+ private:
+  std::vector<Coord> lo_;
+  std::vector<Coord> hi_;
+};
+
+}  // namespace skydiver

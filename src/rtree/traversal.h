@@ -1,0 +1,100 @@
+// Index traversals, templated over the tree backend.
+//
+// Both `RTree` (in-memory simulated pages) and `DiskRTree` (real
+// file-backed 4 KB pages) expose the same access surface — ReadNode(),
+// root(), dims(), size() — so every query and every index-based algorithm
+// (aggregate range counting, BBS, SigGen-IB) is written once here and
+// works against either backend.
+
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/types.h"
+#include "rtree/buffer_pool.h"
+#include "rtree/mbr.h"
+
+namespace skydiver::traversal {
+
+/// Aggregate-aware count of points in the closed box [lo, hi]: fully
+/// contained subtrees contribute their stored count without being read.
+template <typename Tree>
+uint64_t RangeCount(const Tree& tree, std::span<const Coord> lo,
+                    std::span<const Coord> hi) {
+  if (tree.size() == 0) return 0;
+  Mbr box = Mbr::OfPoint(lo);
+  box.Expand(hi);
+  uint64_t count = 0;
+  std::vector<PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    const auto& node = tree.ReadNode(stack.back());
+    stack.pop_back();
+    for (const auto& e : node.entries) {
+      if (node.is_leaf) {
+        if (box.ContainsPoint(e.mbr.lo())) ++count;
+      } else if (box.Contains(e.mbr)) {
+        count += e.count;
+      } else if (box.Intersects(e.mbr)) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return count;
+}
+
+/// Row ids of all points inside the closed box [lo, hi].
+template <typename Tree>
+std::vector<RowId> RangeSearch(const Tree& tree, std::span<const Coord> lo,
+                               std::span<const Coord> hi) {
+  std::vector<RowId> out;
+  if (tree.size() == 0) return out;
+  Mbr box = Mbr::OfPoint(lo);
+  box.Expand(hi);
+  std::vector<PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    const auto& node = tree.ReadNode(stack.back());
+    stack.pop_back();
+    for (const auto& e : node.entries) {
+      if (node.is_leaf) {
+        if (box.ContainsPoint(e.mbr.lo())) out.push_back(e.row);
+      } else if (box.Intersects(e.mbr)) {
+        stack.push_back(e.child);
+      }
+    }
+  }
+  return out;
+}
+
+/// |Γ(p)|: points strictly dominated by p.
+template <typename Tree>
+uint64_t DominatedCount(const Tree& tree, std::span<const Coord> p) {
+  std::vector<Coord> inf(tree.dims(), std::numeric_limits<Coord>::infinity());
+  const uint64_t weak = RangeCount(tree, p, inf);
+  const uint64_t dups = RangeCount(tree, p, p);
+  return weak - dups;
+}
+
+/// |Γ(p) ∩ Γ(q)| via the component-wise max corner (see RTree docs).
+template <typename Tree>
+uint64_t CommonDominatedCount(const Tree& tree, std::span<const Coord> p,
+                              std::span<const Coord> q) {
+  const Dim d = tree.dims();
+  assert(p.size() == d && q.size() == d);
+  const bool q_weak_p = WeaklyDominates(q, p);
+  const bool p_weak_q = WeaklyDominates(p, q);
+  if (q_weak_p && p_weak_q) return DominatedCount(tree, p);  // p == q
+  std::vector<Coord> corner(d);
+  for (Dim i = 0; i < d; ++i) corner[i] = std::max(p[i], q[i]);
+  std::vector<Coord> inf(d, std::numeric_limits<Coord>::infinity());
+  uint64_t total = RangeCount(tree, corner, inf);
+  if (q_weak_p) total -= RangeCount(tree, p, p);
+  if (p_weak_q) total -= RangeCount(tree, q, q);
+  return total;
+}
+
+}  // namespace skydiver::traversal

@@ -1,0 +1,78 @@
+#include "skydiver/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace skydiver {
+
+double EstimateMeanCorrelation(const DataSet& data, RowId sample_rows) {
+  const Dim d = data.dims();
+  if (d < 2 || data.size() < 2) return 0.0;
+  const RowId n = std::min(data.size(), sample_rows);
+  const RowId stride = std::max<RowId>(1, data.size() / n);
+
+  // Accumulate first/second moments per dimension and cross-moments per
+  // dimension pair over the strided sample.
+  std::vector<double> sum(d, 0.0), sum_sq(d, 0.0);
+  std::vector<double> cross(static_cast<size_t>(d) * d, 0.0);
+  RowId count = 0;
+  for (RowId r = 0; r < data.size(); r += stride) {
+    const auto row = data.row(r);
+    for (Dim i = 0; i < d; ++i) {
+      sum[i] += row[i];
+      sum_sq[i] += row[i] * row[i];
+      for (Dim j = static_cast<Dim>(i + 1); j < d; ++j) {
+        cross[static_cast<size_t>(i) * d + j] += row[i] * row[j];
+      }
+    }
+    ++count;
+  }
+  const auto nn = static_cast<double>(count);
+  double corr_sum = 0.0;
+  size_t pairs = 0;
+  for (Dim i = 0; i < d; ++i) {
+    for (Dim j = static_cast<Dim>(i + 1); j < d; ++j) {
+      const double cov = cross[static_cast<size_t>(i) * d + j] / nn -
+                         (sum[i] / nn) * (sum[j] / nn);
+      const double var_i = sum_sq[i] / nn - (sum[i] / nn) * (sum[i] / nn);
+      const double var_j = sum_sq[j] / nn - (sum[j] / nn) * (sum[j] / nn);
+      if (var_i > 0 && var_j > 0) {
+        corr_sum += cov / std::sqrt(var_i * var_j);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0 : corr_sum / static_cast<double>(pairs);
+}
+
+SigGenAdvice RecommendSigGenMode(const DataSet& data, IndexResidency residency) {
+  SigGenAdvice advice;
+  advice.mean_correlation = EstimateMeanCorrelation(data);
+  const Dim d = data.dims();
+  // Anticorrelation threshold: clearly negative mean pairwise correlation.
+  const bool anticorrelated = advice.mean_correlation < -0.1;
+
+  if (residency == IndexResidency::kMemoryResident) {
+    advice.mode = SigGenMode::kIndexBased;
+    advice.rationale = "guide (i): memory-resident index -> IB";
+    return advice;
+  }
+  if (d >= 4) {
+    advice.mode = SigGenMode::kIndexBased;
+    advice.rationale = "guide (ii): disk-resident index, d >= 4 -> IB";
+    return advice;
+  }
+  if (d == 2 && !anticorrelated) {
+    advice.mode = SigGenMode::kIndexBased;
+    advice.rationale = "guide (iii): d = 2 on IND-like data -> IB";
+    return advice;
+  }
+  advice.mode = SigGenMode::kIndexFree;
+  advice.rationale = anticorrelated
+                         ? "remaining case: low-dimensional anticorrelated data -> IF"
+                         : "remaining case: d = 3 disk-resident -> IF";
+  return advice;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,46 @@
+// Executable form of the paper's "User Guide" (Section 5.2):
+//
+//   "The IB method should be considered: i) when the R-tree can be memory
+//    resident, assuming enough resources, whereas for a disk-resident
+//    index ii) for average and high-dimensional data (d >= 4) and iii)
+//    when d = 2, provided we are dealing with IND data. In the few
+//    remaining cases, IF should be favored."
+//
+// The only data-dependent input is whether the workload is IND-like or
+// anticorrelated; the advisor estimates it from the mean pairwise Pearson
+// correlation of a sample.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/dataset.h"
+#include "skydiver/skydiver.h"
+
+namespace skydiver {
+
+/// Where the aggregate R*-tree would live.
+enum class IndexResidency {
+  kMemoryResident,  ///< index fits in RAM: node reads are free-ish
+  kDiskResident,    ///< index pages fault from disk (the paper's default)
+};
+
+/// The advisor's verdict.
+struct SigGenAdvice {
+  SigGenMode mode = SigGenMode::kIndexFree;
+  /// Which clause of the paper's guide fired, for logging/UIs.
+  std::string rationale;
+  /// The measured mean pairwise correlation of the sample.
+  double mean_correlation = 0.0;
+};
+
+/// Mean pairwise Pearson correlation across dimension pairs, estimated on
+/// a sample of at most `sample_rows` rows. Negative values indicate
+/// anticorrelated (large-skyline) data.
+double EstimateMeanCorrelation(const DataSet& data, RowId sample_rows = 10000);
+
+/// Applies the paper's user guide to `data`.
+SigGenAdvice RecommendSigGenMode(const DataSet& data, IndexResidency residency);
+
+}  // namespace skydiver

@@ -1,0 +1,73 @@
+#include "skydiver/profile.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "skydiver/advisor.h"
+#include "skyline/cardinality.h"
+
+namespace skydiver {
+
+Result<DataProfile> ProfileDataSet(const DataSet& data) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  DataProfile profile;
+  profile.rows = data.size();
+  profile.dims = data.dims();
+  profile.dimensions.resize(data.dims());
+
+  std::vector<double> sum(data.dims(), 0.0), sum_sq(data.dims(), 0.0);
+  std::vector<uint64_t> zeros(data.dims(), 0);
+  for (Dim i = 0; i < data.dims(); ++i) {
+    profile.dimensions[i].min = std::numeric_limits<Coord>::infinity();
+    profile.dimensions[i].max = -std::numeric_limits<Coord>::infinity();
+  }
+  for (RowId r = 0; r < data.size(); ++r) {
+    const auto row = data.row(r);
+    for (Dim i = 0; i < data.dims(); ++i) {
+      const Coord v = row[i];
+      auto& d = profile.dimensions[i];
+      if (v < d.min) d.min = v;
+      if (v > d.max) d.max = v;
+      sum[i] += v;
+      sum_sq[i] += v * v;
+      zeros[i] += (v == 0.0);
+    }
+  }
+  const auto n = static_cast<double>(data.size());
+  for (Dim i = 0; i < data.dims(); ++i) {
+    auto& d = profile.dimensions[i];
+    d.mean = sum[i] / n;
+    const double var = sum_sq[i] / n - d.mean * d.mean;
+    d.stddev = var > 0 ? std::sqrt(var) : 0.0;
+    d.zero_fraction = static_cast<double>(zeros[i]) / n;
+  }
+  profile.mean_pairwise_correlation = EstimateMeanCorrelation(data);
+  profile.expected_uniform_skyline =
+      ExpectedSkylineSizeUniform(data.size(), data.dims());
+  return profile;
+}
+
+std::string FormatProfile(const DataProfile& profile) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  os << "rows: " << profile.rows << ", dims: " << profile.dims << "\n";
+  os << "dim        min         max         mean        stddev      zeros%\n";
+  for (Dim i = 0; i < profile.dims; ++i) {
+    const auto& d = profile.dimensions[i];
+    os << i << "          " << d.min << "      " << d.max << "      " << d.mean
+       << "      " << d.stddev << "      " << 100.0 * d.zero_fraction << "\n";
+  }
+  os << "mean pairwise correlation: " << profile.mean_pairwise_correlation;
+  if (profile.mean_pairwise_correlation < -0.1) {
+    os << "  (anticorrelated: expect a LARGE skyline)";
+  } else if (profile.mean_pairwise_correlation > 0.1) {
+    os << "  (correlated: expect a small skyline)";
+  }
+  os << "\nexpected skyline if uniform/independent: "
+     << profile.expected_uniform_skyline << " points\n";
+  return os.str();
+}
+
+}  // namespace skydiver

@@ -1,0 +1,42 @@
+// Dataset profiling: the numbers an operator wants before running the
+// pipeline — per-dimension ranges/moments, mean pairwise correlation, the
+// expected skyline size of comparable uniform data (Bentley et al.), and
+// the paper's §5.2 IB/IF recommendation.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Per-dimension summary statistics.
+struct DimensionProfile {
+  Coord min = 0;
+  Coord max = 0;
+  double mean = 0;
+  double stddev = 0;
+  double zero_fraction = 0;  ///< fraction of exact zeros (zero inflation)
+};
+
+/// Whole-dataset profile.
+struct DataProfile {
+  RowId rows = 0;
+  Dim dims = 0;
+  std::vector<DimensionProfile> dimensions;
+  double mean_pairwise_correlation = 0;
+  /// Expected skyline size if the data were uniform/independent at this
+  /// (n, d) — a baseline to compare the measured skyline against.
+  double expected_uniform_skyline = 0;
+};
+
+/// Computes the profile in one pass (plus the correlation sample).
+Result<DataProfile> ProfileDataSet(const DataSet& data);
+
+/// Renders the profile as a human-readable multi-line report.
+std::string FormatProfile(const DataProfile& profile);
+
+}  // namespace skydiver

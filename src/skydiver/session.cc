@@ -1,0 +1,118 @@
+#include "skydiver/session.h"
+
+#include "common/binio.h"
+#include "diversify/dispersion.h"
+#include "lsh/lsh.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+
+namespace {
+constexpr char kSessionMagic[8] = {'S', 'K', 'Y', 'D', 'S', 'E', 'S', '1'};
+}  // namespace
+
+Result<SkyDiverSession> SkyDiverSession::Create(const DataSet& data,
+                                                size_t signature_size, uint64_t seed,
+                                                const RTree* tree) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (signature_size == 0) {
+    return Status::InvalidArgument("signature size must be positive");
+  }
+  SkyDiverSession session;
+  session.seed_ = seed;
+  if (tree != nullptr) {
+    auto skyline = SkylineBBS(data, *tree);
+    if (!skyline.ok()) return skyline.status();
+    session.skyline_ = std::move(skyline.value().rows);
+  } else {
+    session.skyline_ = SkylineSFS(data).rows;
+  }
+  const auto family = MinHashFamily::Create(signature_size, data.size(), seed);
+  Result<SigGenResult> sig = tree != nullptr
+                                 ? SigGenIB(data, session.skyline_, family, *tree)
+                                 : SigGenIF(data, session.skyline_, family);
+  if (!sig.ok()) return sig.status();
+  session.signatures_ = std::move(sig.value().signatures);
+  session.scores_ = std::move(sig.value().domination_scores);
+  return session;
+}
+
+Result<std::vector<RowId>> SkyDiverSession::SelectMinHash(size_t k) const {
+  auto distance = [this](size_t a, size_t b) {
+    return signatures_.EstimatedDistance(a, b);
+  };
+  auto score = [this](size_t j) { return static_cast<double>(scores_[j]); };
+  auto selection = SelectDiverseSet(skyline_.size(), k, distance, score);
+  if (!selection.ok()) return selection.status();
+  std::vector<RowId> rows;
+  rows.reserve(k);
+  for (size_t idx : selection->selected) rows.push_back(skyline_[idx]);
+  return rows;
+}
+
+Result<std::vector<RowId>> SkyDiverSession::SelectLsh(size_t k, double threshold,
+                                                      size_t buckets) const {
+  auto params = ChooseZones(signatures_.signature_size(), threshold, buckets);
+  if (!params.ok()) return params.status();
+  auto index = LshIndex::Build(signatures_, params.value(), seed_ ^ 0xdecaf);
+  if (!index.ok()) return index.status();
+  auto distance = [&](size_t a, size_t b) { return index->Distance(a, b); };
+  auto score = [this](size_t j) { return static_cast<double>(scores_[j]); };
+  auto selection = SelectDiverseSet(skyline_.size(), k, distance, score);
+  if (!selection.ok()) return selection.status();
+  std::vector<RowId> rows;
+  rows.reserve(k);
+  for (size_t idx : selection->selected) rows.push_back(skyline_[idx]);
+  return rows;
+}
+
+Status SkyDiverSession::SaveToFile(const std::string& path) const {
+  BinaryWriter writer(path, kSessionMagic);
+  if (!writer.ok()) return Status::IoError("cannot open '" + path + "' for writing");
+  writer.WriteU64(seed_);
+  writer.WriteU64(skyline_.size());
+  for (RowId r : skyline_) writer.WriteU32(r);
+  for (uint64_t s : scores_) writer.WriteU64(s);
+  writer.WriteU64(signatures_.signature_size());
+  for (size_t j = 0; j < signatures_.columns(); ++j) {
+    for (size_t i = 0; i < signatures_.signature_size(); ++i) {
+      writer.WriteU64(signatures_.at(j, i));
+    }
+  }
+  return writer.Finish();
+}
+
+Result<SkyDiverSession> SkyDiverSession::LoadFromFile(const std::string& path) {
+  BinaryReader reader(path, kSessionMagic);
+  SKYDIVER_RETURN_NOT_OK(reader.status());
+  SkyDiverSession session;
+  uint64_t m = 0;
+  if (!reader.ReadU64(&session.seed_) || !reader.ReadU64(&m)) {
+    return Status::IoError("'" + path + "': truncated session header");
+  }
+  session.skyline_.resize(m);
+  for (auto& r : session.skyline_) {
+    if (!reader.ReadU32(&r)) return Status::IoError("'" + path + "': truncated skyline");
+  }
+  session.scores_.resize(m);
+  for (auto& s : session.scores_) {
+    if (!reader.ReadU64(&s)) return Status::IoError("'" + path + "': truncated scores");
+  }
+  uint64_t t = 0;
+  if (!reader.ReadU64(&t)) return Status::IoError("'" + path + "': truncated header");
+  session.signatures_ = SignatureMatrix(t, m);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t i = 0; i < t; ++i) {
+      uint64_t v = 0;
+      if (!reader.ReadU64(&v)) {
+        return Status::IoError("'" + path + "': truncated signatures");
+      }
+      session.signatures_.UpdateMin(j, i, v);
+    }
+  }
+  SKYDIVER_RETURN_NOT_OK(reader.VerifyChecksum());
+  return session;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,67 @@
+// SkyDiverSession — fingerprint once, diversify many times.
+//
+// Phase 1 (skyline + MinHash fingerprinting) is the expensive part of the
+// pipeline; Phase 2 (greedy selection) costs O(k·m) signature comparisons.
+// A session materializes Phase 1's products — skyline rows, domination
+// scores, the signature matrix — and then answers any number of selection
+// queries with different k, different LSH bandings, or the MH distance,
+// without touching the data again. Sessions persist to a single
+// checksummed file and can be reloaded WITHOUT the dataset: selection
+// needs only the fingerprints (the paper's index-independence taken to its
+// conclusion — ship the 100-slot signatures, not the 5M points).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "minhash/minhash.h"
+#include "rtree/rtree.h"
+
+namespace skydiver {
+
+/// Reusable Phase-1 state with repeated Phase-2 queries.
+class SkyDiverSession {
+ public:
+  /// Runs the skyline (SFS, or BBS when `tree` is given) and fingerprints
+  /// it (SigGen-IF, or SigGen-IB when `tree` is given).
+  static Result<SkyDiverSession> Create(const DataSet& data, size_t signature_size,
+                                        uint64_t seed, const RTree* tree = nullptr);
+
+  /// The skyline rows the fingerprints describe, ascending.
+  const std::vector<RowId>& skyline() const { return skyline_; }
+  /// Exact |Γ(s_j)| per skyline point.
+  const std::vector<uint64_t>& domination_scores() const { return scores_; }
+  const SignatureMatrix& signatures() const { return signatures_; }
+
+  /// k most diverse skyline rows under the MinHash estimated distance
+  /// (SkyDiver-MH's Phase 2). Pick order = progressive ranking.
+  Result<std::vector<RowId>> SelectMinHash(size_t k) const;
+
+  /// Same under an LSH banding at threshold ξ with B buckets per zone
+  /// (SkyDiver-LSH's Phase 2); a fresh banding is derived per call, so the
+  /// memory/accuracy knob can be explored on one set of fingerprints.
+  Result<std::vector<RowId>> SelectLsh(size_t k, double threshold,
+                                       size_t buckets) const;
+
+  /// Persists skyline rows, domination scores and signatures to one
+  /// checksummed file (format SKYDSES1).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Reloads a session. No dataset required: every Select* works on the
+  /// fingerprints alone.
+  static Result<SkyDiverSession> LoadFromFile(const std::string& path);
+
+ private:
+  SkyDiverSession() = default;
+
+  std::vector<RowId> skyline_;
+  std::vector<uint64_t> scores_;
+  SignatureMatrix signatures_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,35 @@
+#include "skyline/cardinality.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace skydiver {
+
+double ExpectedSkylineSizeUniform(uint64_t n, Dim d) {
+  assert(n >= 1 && d >= 1);
+  // E(i, 1) = 1 for all i; roll the recurrence dimension by dimension.
+  // current[i] holds E(i+1, dim) while filling dimension `dim`.
+  std::vector<double> current(n, 1.0);
+  for (Dim dim = 2; dim <= d; ++dim) {
+    double prefix = 0.0;  // E(i-1, dim) accumulator
+    for (uint64_t i = 1; i <= n; ++i) {
+      // E(i, dim) = E(i-1, dim) + E(i, dim-1) / i.
+      prefix += current[i - 1] / static_cast<double>(i);
+      current[i - 1] = prefix;
+    }
+  }
+  return current[n - 1];
+}
+
+double AsymptoticSkylineSizeUniform(uint64_t n, Dim d) {
+  assert(n >= 1 && d >= 1);
+  double result = 1.0;
+  const double ln_n = std::log(static_cast<double>(n));
+  for (Dim i = 1; i < d; ++i) {
+    result *= ln_n / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace skydiver

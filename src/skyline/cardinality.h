@@ -1,0 +1,28 @@
+// Expected skyline cardinality for independent uniform data.
+//
+// The paper's motivation rests on the classical result of Bentley, Kung,
+// Schkolnick & Thompson (JACM 1978): the expected number of maxima of n
+// i.i.d. points with independent coordinates is O((ln n)^{d-1}) — large
+// enough that "the user cannot inspect the skyline manually". This module
+// provides both the exact expectation (via the standard recurrence) and
+// the closed-form asymptotic, so users can size k and predict signature
+// memory before running anything.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace skydiver {
+
+/// Exact expected skyline size of n i.i.d. points with independent,
+/// continuous (tie-free) coordinates in d dimensions, via the recurrence
+///   E(n, 1) = 1,   E(n, d) = E(n-1, d) + E(n, d-1) / n.
+/// O(n·d) time, O(n) space. n must be >= 1, d >= 1.
+double ExpectedSkylineSizeUniform(uint64_t n, Dim d);
+
+/// First-order asymptotic (ln n)^{d-1} / (d-1)!.
+double AsymptoticSkylineSizeUniform(uint64_t n, Dim d);
+
+}  // namespace skydiver

@@ -1,0 +1,203 @@
+#include "skyline/external.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/dominance.h"
+
+namespace skydiver {
+
+namespace {
+
+// 4 KB pages a sequential scan of `rows` records (d doubles + 4-byte id)
+// touches — the same charge model as SigGen-IF.
+uint64_t ScanPages(uint64_t rows, Dim d) {
+  const uint64_t record_bytes = sizeof(Coord) * d + sizeof(RowId);
+  const uint64_t per_page = std::max<uint64_t>(1, 4096 / record_bytes);
+  return (rows + per_page - 1) / per_page;
+}
+
+}  // namespace
+
+Result<ExternalSkylineResult> SkylineExternal(const DataSet& data, size_t window_rows) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (window_rows == 0) {
+    return Status::InvalidArgument("the window must hold at least one row");
+  }
+  const uint64_t checks_before = DominanceCounter::Count();
+  ExternalSkylineResult out;
+  const RowId n = data.size();
+  const Dim d = data.dims();
+
+  // External sort by the monotone score sum(x): charge one read+write pass
+  // for run formation and one read+write pass per merge level at fan-in 8.
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), RowId{0});
+  std::vector<double> score(n);
+  for (RowId r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (Coord v : data.row(r)) s += v;
+    score[r] = s;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](RowId a, RowId b) { return score[a] < score[b]; });
+  {
+    const uint64_t pass_pages = ScanPages(n, d);
+    const auto runs = static_cast<double>((n + window_rows - 1) / window_rows);
+    const auto merge_levels =
+        runs <= 1.0 ? 0u
+                    : static_cast<uint32_t>(std::ceil(std::log(runs) / std::log(8.0)));
+    const uint64_t sort_passes = 1 + merge_levels;
+    out.io.page_reads += sort_passes * pass_pages;
+    out.io.page_faults += sort_passes * pass_pages;
+    out.io.page_writes += sort_passes * pass_pages;
+  }
+
+  // Multi-pass bounded-window filtering.
+  std::vector<RowId> confirmed;           // skyline so far (score order)
+  std::vector<RowId> remaining = order;   // current pass input, score order
+  std::vector<RowId> window;
+  window.reserve(window_rows);
+  std::vector<RowId> overflow;
+  while (!remaining.empty()) {
+    ++out.passes;
+    out.io.page_reads += ScanPages(remaining.size(), d);
+    out.io.page_faults += ScanPages(remaining.size(), d);
+    window.clear();
+    overflow.clear();
+    for (RowId r : remaining) {
+      const auto p = data.row(r);
+      bool dominated = false;
+      for (RowId s : confirmed) {
+        if (Dominates(data.row(s), p)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        for (RowId w : window) {
+          if (Dominates(data.row(w), p)) {
+            dominated = true;
+            break;
+          }
+        }
+      }
+      if (dominated) continue;
+      if (window.size() < window_rows) {
+        window.push_back(r);
+      } else {
+        overflow.push_back(r);
+      }
+    }
+    // All window members are confirmed (see header for the argument).
+    confirmed.insert(confirmed.end(), window.begin(), window.end());
+    if (!overflow.empty()) {
+      const uint64_t pages = ScanPages(overflow.size(), d);
+      out.io.page_writes += pages;
+    }
+    remaining = std::move(overflow);
+    overflow = {};
+  }
+
+  out.rows = std::move(confirmed);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.dominance_checks = DominanceCounter::Count() - checks_before;
+  return out;
+}
+
+Result<ExternalSkylineResult> SkylineExternalBNL(const DataSet& data,
+                                                 size_t window_rows) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (window_rows == 0) {
+    return Status::InvalidArgument("the window must hold at least one row");
+  }
+  const uint64_t checks_before = DominanceCounter::Count();
+  ExternalSkylineResult out;
+  const RowId n = data.size();
+  const Dim d = data.dims();
+
+  struct Entry {
+    RowId row;
+    size_t insert_pos;  // position (within the current pass) of window entry
+  };
+  std::vector<RowId> confirmed;
+  std::vector<Entry> window;  // survivors may carry over between passes
+  window.reserve(window_rows);
+  std::vector<RowId> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), RowId{0});
+  std::vector<RowId> overflow;
+
+  while (!remaining.empty() || !window.empty()) {
+    ++out.passes;
+    out.io.page_reads += ScanPages(remaining.size(), d);
+    out.io.page_faults += ScanPages(remaining.size(), d);
+    overflow.clear();
+    // Carried-over window entries count as inserted at position 0: they see
+    // the whole pass, so they are confirmable at its end.
+    for (auto& w : window) w.insert_pos = 0;
+    size_t first_overflow_pos = remaining.size() + 1;  // "none yet"
+    size_t pos = 0;
+    for (RowId r : remaining) {
+      ++pos;
+      const auto p = data.row(r);
+      bool dominated = false;
+      for (RowId s : confirmed) {
+        if (Dominates(data.row(s), p)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        size_t keep = 0;
+        for (size_t i = 0; i < window.size(); ++i) {
+          if (dominated) {
+            window[keep++] = window[i];
+            continue;
+          }
+          const DomRelation rel = Compare(data.row(window[i].row), p);
+          if (rel == DomRelation::kDominates) {
+            dominated = true;
+            window[keep++] = window[i];
+          } else if (rel != DomRelation::kDominatedBy) {
+            window[keep++] = window[i];  // drop window points p dominates
+          }
+        }
+        window.resize(keep);
+      }
+      if (dominated) continue;
+      if (window.size() < window_rows) {
+        window.push_back(Entry{r, pos});
+      } else {
+        if (first_overflow_pos > remaining.size()) first_overflow_pos = pos;
+        overflow.push_back(r);
+      }
+    }
+    // Confirm window survivors inserted before the first overflow: they
+    // were compared against every surviving point of this pass.
+    size_t keep = 0;
+    for (const Entry& w : window) {
+      if (w.insert_pos < first_overflow_pos) {
+        confirmed.push_back(w.row);
+      } else {
+        window[keep++] = w;  // must meet the earlier-overflowed points again
+      }
+    }
+    window.resize(keep);
+    if (!overflow.empty()) {
+      out.io.page_writes += ScanPages(overflow.size(), d);
+    } else if (window.empty()) {
+      // Nothing left anywhere: done after this pass.
+      remaining.clear();
+      break;
+    }
+    remaining = overflow;
+  }
+
+  out.rows = std::move(confirmed);
+  std::sort(out.rows.begin(), out.rows.end());
+  out.dominance_checks = DominanceCounter::Count() - checks_before;
+  return out;
+}
+
+}  // namespace skydiver

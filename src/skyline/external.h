@@ -1,0 +1,59 @@
+// External-memory skyline with a bounded window (the setting of the
+// paper's reference [29], Sheng & Tao, PODS'11: exact skylines in the I/O
+// model without an index).
+//
+// LESS-style algorithm: rows are (externally) sorted by a monotone score;
+// each pass streams the remaining rows against a bounded in-memory window.
+// A row dominated by a confirmed skyline point or a window member is
+// discarded; a row that finds the window full overflows to the next pass.
+// At the end of a pass every window member is confirmed: any potential
+// dominator precedes it in score order, so it was either confirmed
+// earlier, in the window (and checked), or overflowed — in which case the
+// later row overflowed too and the pair meets again next pass.
+//
+// Every pass charges sequential read I/O for the rows it scans and write
+// I/O for the rows it overflows, so the CPU/I/O trade-off of bounded
+// memory is measurable under the paper's cost model.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/status.h"
+#include "core/dataset.h"
+
+namespace skydiver {
+
+/// Outcome of the external skyline computation.
+struct ExternalSkylineResult {
+  /// Skyline row ids, ascending — identical to any in-memory algorithm.
+  std::vector<RowId> rows;
+  /// Passes over the (shrinking) data file, including the first.
+  uint32_t passes = 0;
+  /// Charged sequential I/O: reads of scanned rows + writes of overflowed
+  /// rows, in 4 KB pages (the sort's I/O is charged as one read+write pass,
+  /// run formation, plus merge passes at fan-in 8).
+  IoStats io;
+  uint64_t dominance_checks = 0;
+};
+
+/// Computes the exact skyline with at most `window_rows` points of working
+/// memory (>= 1). Small windows mean more passes and more I/O; a window
+/// of at least the skyline size finishes in one pass.
+Result<ExternalSkylineResult> SkylineExternal(const DataSet& data, size_t window_rows);
+
+/// The ORIGINAL multi-pass BNL (Börzsönyi et al., ICDE'01): no presort.
+/// Without score order a window point may be dominated by a later arrival
+/// and may have missed comparisons against earlier overflowed points, so
+/// confirmation uses the classic position rule: at the end of a pass, a
+/// surviving window point is skyline iff it entered the window before the
+/// pass's first overflow write; unconfirmed survivors stay in the window
+/// for the next pass (they are then compared against every remaining
+/// point). Charges the same sequential read/spill I/O model as
+/// SkylineExternal, minus the sort.
+Result<ExternalSkylineResult> SkylineExternalBNL(const DataSet& data,
+                                                 size_t window_rows);
+
+}  // namespace skydiver

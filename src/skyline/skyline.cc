@@ -1,0 +1,257 @@
+#include "skyline/skyline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "core/dominance.h"
+#include "rtree/disk_rtree.h"
+
+namespace skydiver {
+
+namespace {
+
+// Tracks dominance tests performed within one algorithm invocation.
+class CheckScope {
+ public:
+  CheckScope() : start_(DominanceCounter::Count()) {}
+  uint64_t Delta() const { return DominanceCounter::Count() - start_; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace
+
+SkylineResult SkylineBNL(const DataSet& data) {
+  CheckScope checks;
+  std::vector<RowId> window;
+  const RowId n = data.size();
+  for (RowId r = 0; r < n; ++r) {
+    const auto p = data.row(r);
+    bool dominated = false;
+    size_t keep = 0;
+    for (size_t i = 0; i < window.size(); ++i) {
+      const auto w = data.row(window[i]);
+      const DomRelation rel = Compare(w, p);
+      if (rel == DomRelation::kDominates) {
+        dominated = true;
+        // Everything before i survives; nothing after i has been filtered
+        // yet, so copy the tail and stop.
+        for (size_t j = i; j < window.size(); ++j) window[keep++] = window[j];
+        break;
+      }
+      if (rel != DomRelation::kDominatedBy) {
+        window[keep++] = window[i];  // incomparable: candidate survives
+      }
+      // Window entries dominated by p are dropped (not copied).
+    }
+    window.resize(keep);
+    if (!dominated) window.push_back(r);
+  }
+  std::sort(window.begin(), window.end());
+  return SkylineResult{std::move(window), checks.Delta()};
+}
+
+SkylineResult SkylineSFS(const DataSet& data) {
+  CheckScope checks;
+  const RowId n = data.size();
+  std::vector<RowId> order(n);
+  std::iota(order.begin(), order.end(), RowId{0});
+  // Monotone score: if p dominates q then score(p) < score(q), so a point
+  // can only be dominated by points sorted before it.
+  std::vector<double> score(n);
+  for (RowId r = 0; r < n; ++r) {
+    double s = 0.0;
+    for (Coord v : data.row(r)) s += v;
+    score[r] = s;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](RowId a, RowId b) { return score[a] < score[b]; });
+  std::vector<RowId> skyline;
+  for (RowId r : order) {
+    const auto p = data.row(r);
+    bool dominated = false;
+    for (RowId s : skyline) {
+      if (Dominates(data.row(s), p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) skyline.push_back(r);
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return SkylineResult{std::move(skyline), checks.Delta()};
+}
+
+namespace {
+
+// Recursive worker over an index range [begin, end) of `rows`. Rows are
+// reordered in place; returns the skyline rows of the range.
+std::vector<RowId> DCRec(const DataSet& data, std::vector<RowId>& rows, size_t begin,
+                         size_t end, Dim split_dim, size_t leaf_size) {
+  const size_t n = end - begin;
+  if (n <= leaf_size) {
+    // BNL over the small range.
+    std::vector<RowId> window;
+    for (size_t i = begin; i < end; ++i) {
+      const auto p = data.row(rows[i]);
+      bool dominated = false;
+      size_t keep = 0;
+      for (size_t w = 0; w < window.size(); ++w) {
+        const DomRelation rel = Compare(data.row(window[w]), p);
+        if (rel == DomRelation::kDominates) {
+          dominated = true;
+          for (size_t j = w; j < window.size(); ++j) window[keep++] = window[j];
+          break;
+        }
+        if (rel != DomRelation::kDominatedBy) window[keep++] = window[w];
+      }
+      window.resize(keep);
+      if (!dominated) window.push_back(rows[i]);
+    }
+    return window;
+  }
+
+  // Split at the median of the current dimension (ties may straddle the
+  // pivot; the merge below is tie-safe regardless).
+  const size_t mid = begin + n / 2;
+  std::nth_element(rows.begin() + static_cast<ptrdiff_t>(begin),
+                   rows.begin() + static_cast<ptrdiff_t>(mid),
+                   rows.begin() + static_cast<ptrdiff_t>(end),
+                   [&](RowId a, RowId b) {
+                     return data.at(a, split_dim) < data.at(b, split_dim);
+                   });
+  const Dim next_dim = static_cast<Dim>((split_dim + 1) % data.dims());
+  std::vector<RowId> left = DCRec(data, rows, begin, mid, next_dim, leaf_size);
+  std::vector<RowId> right = DCRec(data, rows, mid, end, next_dim, leaf_size);
+
+  // Merge: a left candidate survives unless some right candidate dominates
+  // it, and vice versa (both directions needed when split values tie).
+  std::vector<RowId> merged;
+  merged.reserve(left.size() + right.size());
+  for (RowId l : left) {
+    bool dominated = false;
+    for (RowId r : right) {
+      if (Dominates(data.row(r), data.row(l))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) merged.push_back(l);
+  }
+  for (RowId r : right) {
+    bool dominated = false;
+    for (RowId l : left) {
+      if (Dominates(data.row(l), data.row(r))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) merged.push_back(r);
+  }
+  return merged;
+}
+
+}  // namespace
+
+SkylineResult SkylineDC(const DataSet& data, size_t leaf_size) {
+  CheckScope checks;
+  std::vector<RowId> rows(data.size());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<RowId> skyline =
+      data.empty() ? std::vector<RowId>{}
+                   : DCRec(data, rows, 0, rows.size(), 0, std::max<size_t>(1, leaf_size));
+  std::sort(skyline.begin(), skyline.end());
+  return SkylineResult{std::move(skyline), checks.Delta()};
+}
+
+namespace {
+
+// BBS over any backend exposing ReadNode / root / dims / size.
+template <typename Tree>
+Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree) {
+  if (tree.dims() != data.dims()) {
+    return Status::InvalidArgument("tree dimensionality does not match dataset");
+  }
+  if (tree.size() != data.size()) {
+    return Status::InvalidArgument("tree cardinality does not match dataset");
+  }
+  CheckScope checks;
+
+  struct HeapItem {
+    double mindist;
+    bool is_point;
+    PageId child;  // when !is_point
+    RowId row;     // when is_point
+    // For points we keep the coordinates implicit (resolved via `data`).
+    bool operator>(const HeapItem& other) const { return mindist > other.mindist; }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  std::vector<RowId> skyline;
+  auto dominated_by_skyline = [&](std::span<const Coord> corner) {
+    for (RowId s : skyline) {
+      if (Dominates(data.row(s), corner)) return true;
+    }
+    return false;
+  };
+
+  if (tree.size() > 0) {
+    heap.push(HeapItem{0.0, false, tree.root(), kInvalidRowId});
+  }
+  while (!heap.empty()) {
+    const HeapItem item = heap.top();
+    heap.pop();
+    if (item.is_point) {
+      const auto p = data.row(item.row);
+      if (!dominated_by_skyline(p)) skyline.push_back(item.row);
+      continue;
+    }
+    const RTreeNode& node = tree.ReadNode(item.child);
+    for (const auto& e : node.entries) {
+      // Prune any entry whose best corner is already dominated; this is
+      // exactly the BBS criterion that yields I/O optimality.
+      if (dominated_by_skyline(e.mbr.lo())) continue;
+      if (node.is_leaf) {
+        heap.push(HeapItem{e.mbr.MinDistL1(), true, kInvalidPageId, e.row});
+      } else {
+        heap.push(HeapItem{e.mbr.MinDistL1(), false, e.child, kInvalidRowId});
+      }
+    }
+  }
+  std::sort(skyline.begin(), skyline.end());
+  return SkylineResult{std::move(skyline), checks.Delta()};
+}
+
+}  // namespace
+
+Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree) {
+  return SkylineBBSImpl(data, tree);
+}
+
+Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree) {
+  return SkylineBBSImpl(data, tree);
+}
+
+bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows) {
+  const RowId n = data.size();
+  std::vector<bool> in_result(n, false);
+  for (RowId r : rows) {
+    if (r >= n) return false;
+    in_result[r] = true;
+  }
+  for (RowId r = 0; r < n; ++r) {
+    bool dominated = false;
+    for (RowId q = 0; q < n; ++q) {
+      if (q != r && Dominates(data.row(q), data.row(r))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated == in_result[r]) return false;  // must be in iff not dominated
+  }
+  return true;
+}
+
+}  // namespace skydiver

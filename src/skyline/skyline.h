@@ -1,0 +1,68 @@
+// Skyline computation algorithms.
+//
+// SkyDiver consumes a skyline set produced by any algorithm; this module
+// provides the three classic ones the paper discusses:
+//   * BNL  — block-nested-loops (Börzsönyi et al., ICDE'01): no index, no
+//            presort; maintains a window of incomparable candidates.
+//   * SFS  — sort-filter-skyline (Chomicki et al.): presorts by a monotone
+//            score so candidates, once admitted, are final.
+//   * BBS  — branch-and-bound skyline on the aggregate R*-tree (Papadias et
+//            al., TODS'05): progressive and I/O-optimal; the paper calls it
+//            the preferred index-based method.
+//
+// All algorithms operate in minimization space and use strict dominance, so
+// duplicate points are all retained in the skyline (none dominates another).
+// They return row ids sorted in ascending order, so results are directly
+// comparable across algorithms.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "rtree/rtree.h"
+
+namespace skydiver {
+
+/// Output of a skyline computation.
+struct SkylineResult {
+  /// Row ids of the skyline points, ascending.
+  std::vector<RowId> rows;
+  /// Point-level dominance tests executed (CPU cost proxy).
+  uint64_t dominance_checks = 0;
+};
+
+/// Block-nested-loops skyline. O(n·m) dominance tests; the in-memory window
+/// is unbounded (the multi-pass disk variant degenerates to this when the
+/// window fits in memory, which it does for all our workloads).
+SkylineResult SkylineBNL(const DataSet& data);
+
+/// Sort-filter-skyline: presorts rows by the sum of coordinates (a monotone
+/// scoring function), after which every admitted candidate is definitively
+/// in the skyline — no candidate can be dominated by a later point.
+SkylineResult SkylineSFS(const DataSet& data);
+
+/// Divide-and-conquer skyline (Börzsönyi et al.): recursively splits on
+/// the median of a cycling dimension, computes sub-skylines, and merges by
+/// cross-filtering the two candidate sets (tie-safe: both directions are
+/// checked, so duplicate coordinates on the split dimension are handled).
+/// `leaf_size` is the recursion cutoff below which BNL runs directly.
+SkylineResult SkylineDC(const DataSet& data, size_t leaf_size = 256);
+
+/// Branch-and-bound skyline over the aggregate R*-tree built on `data`.
+/// Progressive (emits skyline points in mindist order) and I/O-optimal
+/// (visits only nodes whose MBR is not dominated). The tree must index
+/// exactly `data` (same row ids).
+Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree);
+
+/// BBS over a file-backed tree (real page reads through its frame cache).
+class DiskRTree;
+Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree);
+
+/// Reference check (tests): true iff `rows` is exactly the skyline of
+/// `data` by exhaustive O(n^2) comparison. Intended for small inputs.
+bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows);
+
+}  // namespace skydiver

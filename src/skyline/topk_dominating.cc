@@ -1,0 +1,67 @@
+#include "skyline/topk_dominating.h"
+
+#include <algorithm>
+
+#include "core/dominance.h"
+
+namespace skydiver {
+
+namespace {
+
+// Sorts by score descending, ties by row ascending, and truncates to k.
+std::vector<DominatingPoint> TopK(std::vector<DominatingPoint> scored, size_t k) {
+  std::sort(scored.begin(), scored.end(),
+            [](const DominatingPoint& a, const DominatingPoint& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.row < b.row;
+            });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace
+
+Result<std::vector<DominatingPoint>> TopKDominatingScan(const DataSet& data, size_t k) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  const RowId n = data.size();
+  std::vector<DominatingPoint> scored(n);
+  for (RowId r = 0; r < n; ++r) {
+    scored[r].row = r;
+    const auto p = data.row(r);
+    for (RowId q = 0; q < n; ++q) {
+      if (q != r && Dominates(p, data.row(q))) ++scored[r].score;
+    }
+  }
+  return TopK(std::move(scored), k);
+}
+
+Result<std::vector<DominatingPoint>> TopKDominating(
+    const DataSet& data, const RTree& tree, size_t k,
+    const std::vector<RowId>* candidates) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (tree.dims() != data.dims() || tree.size() != data.size()) {
+    return Status::InvalidArgument("R-tree does not index the given dataset");
+  }
+  std::vector<DominatingPoint> scored;
+  if (candidates != nullptr) {
+    scored.reserve(candidates->size());
+    for (RowId r : *candidates) {
+      if (r >= data.size()) {
+        return Status::InvalidArgument("candidate row " + std::to_string(r) +
+                                       " out of range");
+      }
+      scored.push_back({r, tree.DominatedCount(data.row(r))});
+    }
+  } else {
+    const RowId n = data.size();
+    scored.reserve(n);
+    for (RowId r = 0; r < n; ++r) {
+      scored.push_back({r, tree.DominatedCount(data.row(r))});
+    }
+  }
+  return TopK(std::move(scored), k);
+}
+
+}  // namespace skydiver

@@ -1,0 +1,39 @@
+// Top-k dominating queries (Yiu & Mamoulis, VLDB'07 — the paper's
+// reference [36] for dominance-based ranking).
+//
+// Returns the k points with the largest domination scores |Γ(p)|. This is
+// the ranking primitive the paper builds its intuition on ("dominance
+// power as a predominant quality characteristic of a skyline point") and a
+// natural companion API: SkyDiver diversifies, top-k-dominating ranks.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "rtree/rtree.h"
+
+namespace skydiver {
+
+/// One ranked point.
+struct DominatingPoint {
+  RowId row = kInvalidRowId;
+  uint64_t score = 0;  ///< |Γ(row)|
+};
+
+/// Exact top-k dominating points by full scan (O(n^2) dominance tests).
+/// Intended for validation and small inputs.
+Result<std::vector<DominatingPoint>> TopKDominatingScan(const DataSet& data, size_t k);
+
+/// Exact top-k dominating points using aggregate range counting on `tree`
+/// (one DominatedCount query per candidate). Candidates can be restricted
+/// to the skyline — the global top-1 always lies on the skyline, and for
+/// most analytics the skyline points are the candidates of interest; pass
+/// nullptr to rank every point.
+Result<std::vector<DominatingPoint>> TopKDominating(
+    const DataSet& data, const RTree& tree, size_t k,
+    const std::vector<RowId>* candidates = nullptr);
+
+}  // namespace skydiver

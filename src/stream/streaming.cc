@@ -1,0 +1,139 @@
+#include "stream/streaming.h"
+
+#include <algorithm>
+
+#include "core/dominance.h"
+#include "diversify/dispersion.h"
+
+namespace skydiver {
+
+StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
+                                     uint64_t max_points)
+    : dims_(dims),
+      t_(signature_size),
+      max_points_(max_points),
+      family_(MinHashFamily::Create(signature_size, max_points, seed)),
+      data_(dims) {}
+
+void StreamingSkyDiver::UpdateSignature(SkylineEntry* entry, RowId row) {
+  // Hash the row once; consecutive calls for the same row (one per
+  // dominator) reuse the cached values — the same optimization batch
+  // SigGen-IF applies per scanned row.
+  if (hash_cache_row_ != row) {
+    hash_cache_.resize(t_);
+    for (size_t i = 0; i < t_; ++i) hash_cache_[i] = family_.Apply(i, row);
+    hash_cache_row_ = row;
+  }
+  ++entry->domination_score;
+  stats_.signature_updates += t_;
+  for (size_t i = 0; i < t_; ++i) {
+    if (hash_cache_[i] < entry->signature[i]) entry->signature[i] = hash_cache_[i];
+  }
+}
+
+Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
+  if (point.size() != dims_) {
+    return Status::InvalidArgument("point has " + std::to_string(point.size()) +
+                                   " dims, expected " + std::to_string(dims_));
+  }
+  if (data_.size() >= max_points_) {
+    return Status::OutOfRange("stream exceeded the configured maximum of " +
+                              std::to_string(max_points_) + " points");
+  }
+  const RowId row = data_.size();
+  data_.Append(point);
+  ++stats_.inserts;
+
+  // Pass 1 over the skyline: is the arrival dominated? If so, fold its id
+  // into the signature of every skyline dominator.
+  bool dominated = false;
+  for (auto& [sky_row, entry] : skyline_) {
+    if (Dominates(data_.row(sky_row), point)) {
+      dominated = true;
+      UpdateSignature(&entry, row);
+    }
+  }
+  if (dominated) {
+    ++stats_.dominated_arrivals;
+    return Status::OK();
+  }
+
+  // The arrival joins the skyline: demote every skyline point it now
+  // dominates (their signatures are discarded — only skyline points carry
+  // dominated sets), and build its own signature by scanning the store.
+  for (auto it = skyline_.begin(); it != skyline_.end();) {
+    if (Dominates(point, data_.row(it->first))) {
+      it = skyline_.erase(it);
+      ++stats_.demotions;
+    } else {
+      ++it;
+    }
+  }
+  SkylineEntry entry;
+  entry.signature.assign(t_, kEmptySlot);
+  for (RowId r = 0; r < row; ++r) {
+    if (skyline_.count(r)) continue;  // current skyline points are in no Γ
+    if (Dominates(point, data_.row(r))) UpdateSignature(&entry, r);
+  }
+  skyline_.emplace(row, std::move(entry));
+  ++stats_.skyline_insertions;
+  return Status::OK();
+}
+
+std::vector<RowId> StreamingSkyDiver::SkylineRows() const {
+  std::vector<RowId> rows;
+  rows.reserve(skyline_.size());
+  for (const auto& [row, entry] : skyline_) rows.push_back(row);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+Result<uint64_t> StreamingSkyDiver::DominationScore(RowId skyline_row) const {
+  auto it = skyline_.find(skyline_row);
+  if (it == skyline_.end()) {
+    return Status::NotFound("row " + std::to_string(skyline_row) +
+                            " is not on the current skyline");
+  }
+  return it->second.domination_score;
+}
+
+Result<std::vector<uint64_t>> StreamingSkyDiver::Signature(RowId skyline_row) const {
+  auto it = skyline_.find(skyline_row);
+  if (it == skyline_.end()) {
+    return Status::NotFound("row " + std::to_string(skyline_row) +
+                            " is not on the current skyline");
+  }
+  return it->second.signature;
+}
+
+Result<std::vector<RowId>> StreamingSkyDiver::SelectDiverse(size_t k) const {
+  const std::vector<RowId> rows = SkylineRows();
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > rows.size()) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds current skyline cardinality m = " +
+                                   std::to_string(rows.size()));
+  }
+  std::vector<const SkylineEntry*> entries;
+  entries.reserve(rows.size());
+  for (RowId r : rows) entries.push_back(&skyline_.at(r));
+
+  auto distance = [&](size_t a, size_t b) {
+    size_t agree = 0;
+    const auto& sa = entries[a]->signature;
+    const auto& sb = entries[b]->signature;
+    for (size_t i = 0; i < t_; ++i) agree += (sa[i] == sb[i]);
+    return 1.0 - static_cast<double>(agree) / static_cast<double>(t_);
+  };
+  auto score = [&](size_t j) {
+    return static_cast<double>(entries[j]->domination_score);
+  };
+  auto selection = SelectDiverseSet(rows.size(), k, distance, score);
+  if (!selection.ok()) return selection.status();
+  std::vector<RowId> out;
+  out.reserve(k);
+  for (size_t idx : selection->selected) out.push_back(rows[idx]);
+  return out;
+}
+
+}  // namespace skydiver

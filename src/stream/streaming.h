@@ -1,0 +1,95 @@
+// Streaming skyline diversification (the paper's future-work direction i,
+// in the spirit of Drosou & Pitoura's dynamic diversification [13]).
+//
+// Points arrive one at a time. The structure maintains, incrementally:
+//   * the current skyline (insertions may demote existing skyline points);
+//   * a MinHash signature per skyline point over its CURRENT dominated set;
+//   * exact domination scores.
+//
+// The key observation making incremental maintenance exact: a point's
+// dominators all arrive AFTER it was demoted to (or born into) the
+// dominated set, and every arriving point inspects the whole store. Hence
+// the maintained signatures are bit-for-bit identical to re-running the
+// batch SigGen-IF over the final dataset with the same hash family (a
+// property the tests assert).
+//
+// Deletions are not supported: MinHash minima cannot be decreased
+// incrementally. For windowed deployments, rebuild per window.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "minhash/minhash.h"
+
+namespace skydiver {
+
+/// Maintenance counters for observability.
+struct StreamingStats {
+  uint64_t inserts = 0;
+  uint64_t skyline_insertions = 0;  ///< arrivals that joined the skyline
+  uint64_t demotions = 0;           ///< skyline points knocked out later
+  uint64_t dominated_arrivals = 0;  ///< arrivals dominated on entry
+  uint64_t signature_updates = 0;   ///< column min-merges performed
+};
+
+/// Incremental skyline + signature maintenance over an insert-only stream.
+class StreamingSkyDiver {
+ public:
+  /// `max_points` bounds the stream length (the hash family's prime must
+  /// exceed every row id); exceeding it makes Insert fail.
+  StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
+                    uint64_t max_points = 1ULL << 22);
+
+  /// Inserts the next point; assigns it the next row id.
+  Status Insert(std::span<const Coord> point);
+  Status Insert(std::initializer_list<Coord> point) {
+    return Insert(std::span<const Coord>(point.begin(), point.size()));
+  }
+
+  /// All points seen so far (row id = arrival order).
+  const DataSet& data() const { return data_; }
+
+  /// Current skyline row ids, ascending.
+  std::vector<RowId> SkylineRows() const;
+
+  /// Exact |Γ(row)| for a current skyline row.
+  Result<uint64_t> DominationScore(RowId skyline_row) const;
+
+  /// Greedy k-most-diverse selection over the maintained signatures
+  /// (estimated Jaccard distances, max-dominance seeding — the batch
+  /// pipeline's Phase 2 on live state).
+  Result<std::vector<RowId>> SelectDiverse(size_t k) const;
+
+  const StreamingStats& stats() const { return stats_; }
+
+  /// Signature column of a current skyline row (for tests/inspection).
+  Result<std::vector<uint64_t>> Signature(RowId skyline_row) const;
+
+ private:
+  struct SkylineEntry {
+    std::vector<uint64_t> signature;  // t slots, kEmptySlot when Γ empty
+    uint64_t domination_score = 0;
+  };
+
+  // Folds row id `row` into the signature of `entry`.
+  void UpdateSignature(SkylineEntry* entry, RowId row);
+
+  Dim dims_;
+  size_t t_;
+  uint64_t max_points_;
+  MinHashFamily family_;
+  DataSet data_;
+  std::unordered_map<RowId, SkylineEntry> skyline_;
+  StreamingStats stats_;
+  // Per-row hash memo: a row is folded into one signature per dominator;
+  // hash it only once.
+  std::vector<uint64_t> hash_cache_;
+  RowId hash_cache_row_ = kInvalidRowId;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,237 @@
+// Unit tests for src/core: DataSet, Preference, dominance, GammaSets.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/dominance.h"
+#include "core/gamma.h"
+#include "core/preference.h"
+
+namespace skydiver {
+namespace {
+
+DataSet MakeToy() {
+  // 2-D, minimization. Skyline: rows 0 and 1.
+  // Γ(0) = {2, 4}, Γ(1) = {3, 4}.
+  DataSet d(2);
+  d.Append({1.0, 4.0});  // 0: skyline
+  d.Append({2.0, 1.0});  // 1: skyline
+  d.Append({1.5, 5.0});  // 2: dominated by 0 only (1.5 < 2.0 blocks point 1)
+  d.Append({3.0, 2.0});  // 3: dominated by 1 only (2.0 < 4.0 blocks point 0)
+  d.Append({4.0, 6.0});  // 4: dominated by both 0 and 1
+  return d;
+}
+
+// --------------------------------------------------------------------------
+// DataSet
+// --------------------------------------------------------------------------
+
+TEST(DataSetTest, AppendAndAccess) {
+  DataSet d = MakeToy();
+  EXPECT_EQ(d.dims(), 2u);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.at(3, 1), 2.0);
+  const auto row = d.row(4);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[1], 6.0);
+}
+
+TEST(DataSetTest, AdoptStorage) {
+  DataSet d(3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 6.0);
+}
+
+TEST(DataSetTest, CanonicalizeNegatesMaxDims) {
+  DataSet d(2);
+  d.Append({1.0, 10.0});
+  Preference pref({Pref::kMin, Pref::kMax});
+  auto canonical = d.Canonicalize(pref);
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_DOUBLE_EQ(canonical->at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(canonical->at(0, 1), -10.0);
+}
+
+TEST(DataSetTest, CanonicalizeRejectsDimMismatch) {
+  DataSet d(2);
+  d.Append({1.0, 2.0});
+  EXPECT_TRUE(d.Canonicalize(Preference::AllMin(3)).status().IsInvalidArgument());
+}
+
+TEST(DataSetTest, ProjectKeepsPrefix) {
+  DataSet d(3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  auto p = d.Project(2);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->dims(), 2u);
+  EXPECT_EQ(p->size(), 2u);
+  EXPECT_DOUBLE_EQ(p->at(1, 1), 5.0);
+  EXPECT_TRUE(d.Project(0).status().IsInvalidArgument());
+  EXPECT_TRUE(d.Project(4).status().IsInvalidArgument());
+  EXPECT_TRUE(d.Project(3).ok());
+}
+
+TEST(DataSetTest, ProjectDimsSubsetAndReorder) {
+  DataSet d(3, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  const std::vector<Dim> dims{2, 0};
+  auto p = d.ProjectDims(dims);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->dims(), 2u);
+  EXPECT_DOUBLE_EQ(p->at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(p->at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p->at(1, 0), 6.0);
+}
+
+TEST(DataSetTest, ProjectDimsValidation) {
+  DataSet d(2, {1.0, 2.0});
+  const std::vector<Dim> empty;
+  EXPECT_TRUE(d.ProjectDims(empty).status().IsInvalidArgument());
+  const std::vector<Dim> out_of_range{0, 5};
+  EXPECT_TRUE(d.ProjectDims(out_of_range).status().IsInvalidArgument());
+  const std::vector<Dim> repeated{1, 1};
+  EXPECT_TRUE(d.ProjectDims(repeated).status().IsInvalidArgument());
+}
+
+TEST(DataSetTest, SelectSubset) {
+  DataSet d = MakeToy();
+  const std::vector<RowId> rows{4, 0};
+  DataSet s = d.Select(rows);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(s.at(1, 0), 1.0);
+}
+
+// --------------------------------------------------------------------------
+// Preference
+// --------------------------------------------------------------------------
+
+TEST(PreferenceTest, AllMinAllMax) {
+  const Preference mn = Preference::AllMin(3);
+  const Preference mx = Preference::AllMax(3);
+  EXPECT_EQ(mn.dims(), 3u);
+  for (Dim i = 0; i < 3; ++i) {
+    EXPECT_EQ(mn.at(i), Pref::kMin);
+    EXPECT_EQ(mx.at(i), Pref::kMax);
+    EXPECT_DOUBLE_EQ(mn.Canonical(i, 5.0), 5.0);
+    EXPECT_DOUBLE_EQ(mx.Canonical(i, 5.0), -5.0);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Dominance
+// --------------------------------------------------------------------------
+
+TEST(DominanceTest, StrictDominance) {
+  const std::vector<Coord> a{1.0, 2.0};
+  const std::vector<Coord> b{1.0, 3.0};
+  const std::vector<Coord> c{2.0, 1.0};
+  EXPECT_TRUE(Dominates(a, b));   // better on dim 1, equal on dim 0
+  EXPECT_FALSE(Dominates(b, a));
+  EXPECT_FALSE(Dominates(a, c));  // incomparable
+  EXPECT_FALSE(Dominates(c, a));
+  EXPECT_FALSE(Dominates(a, a));  // never dominates itself
+}
+
+TEST(DominanceTest, WeakDominance) {
+  const std::vector<Coord> a{1.0, 2.0};
+  const std::vector<Coord> b{1.0, 3.0};
+  EXPECT_TRUE(WeaklyDominates(a, a));  // reflexive
+  EXPECT_TRUE(WeaklyDominates(a, b));
+  EXPECT_FALSE(WeaklyDominates(b, a));
+}
+
+TEST(DominanceTest, ThreeWayCompare) {
+  const std::vector<Coord> a{1.0, 2.0};
+  const std::vector<Coord> b{2.0, 3.0};
+  const std::vector<Coord> c{0.0, 9.0};
+  EXPECT_EQ(Compare(a, b), DomRelation::kDominates);
+  EXPECT_EQ(Compare(b, a), DomRelation::kDominatedBy);
+  EXPECT_EQ(Compare(a, c), DomRelation::kIncomparable);
+  EXPECT_EQ(Compare(a, a), DomRelation::kIncomparable);  // equal points
+}
+
+TEST(DominanceTest, CounterIncrements) {
+  DominanceCounter::Reset();
+  const std::vector<Coord> a{1.0}, b{2.0};
+  (void)Dominates(a, b);
+  (void)WeaklyDominates(a, b);
+  (void)Compare(a, b);
+  EXPECT_EQ(DominanceCounter::Count(), 3u);
+}
+
+// --------------------------------------------------------------------------
+// GammaSets
+// --------------------------------------------------------------------------
+
+TEST(GammaSetsTest, ComputesDominatedSets) {
+  DataSet d = MakeToy();
+  const std::vector<RowId> skyline{0, 1};
+  const GammaSets g = GammaSets::Compute(d, skyline);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.universe_size(), 5u);
+  // Γ(0) = {2, 4}; Γ(1) = {3, 4}.
+  EXPECT_EQ(g.DominationScore(0), 2u);
+  EXPECT_EQ(g.DominationScore(1), 2u);
+  EXPECT_TRUE(g.gamma(0).Test(2));
+  EXPECT_TRUE(g.gamma(0).Test(4));
+  EXPECT_FALSE(g.gamma(0).Test(3));
+  EXPECT_TRUE(g.gamma(1).Test(3));
+  EXPECT_TRUE(g.gamma(1).Test(4));
+}
+
+TEST(GammaSetsTest, JaccardOfToy) {
+  DataSet d = MakeToy();
+  const GammaSets g = GammaSets::Compute(d, {0, 1});
+  // intersection {4}, union {2,3,4} -> Js = 1/3.
+  EXPECT_DOUBLE_EQ(g.JaccardSimilarity(0, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.JaccardDistance(0, 1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.JaccardSimilarity(0, 0), 1.0);  // self-similarity
+}
+
+TEST(GammaSetsTest, EmptyGammasAreIdentical) {
+  // Two skyline points dominating nothing: Jaccard similarity defined as 1.
+  DataSet d(2);
+  d.Append({0.0, 1.0});
+  d.Append({1.0, 0.0});
+  const GammaSets g = GammaSets::Compute(d, {0, 1});
+  EXPECT_EQ(g.DominationScore(0), 0u);
+  EXPECT_DOUBLE_EQ(g.JaccardSimilarity(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(g.JaccardDistance(0, 1), 0.0);
+}
+
+TEST(GammaSetsTest, MaxDominationIndex) {
+  DataSet d = MakeToy();
+  d.Append({1.5, 4.5});  // row 5, dominated only by 0 -> Γ(0) grows to 3
+  const GammaSets g = GammaSets::Compute(d, {0, 1});
+  EXPECT_EQ(g.MaxDominationIndex(), 0u);
+}
+
+TEST(GammaSetsTest, CoverageFractions) {
+  DataSet d = MakeToy();
+  const GammaSets g = GammaSets::Compute(d, {0, 1});
+  // Non-skyline points: 3 (rows 2,3,4). Γ(0) covers {2,4}.
+  EXPECT_DOUBLE_EQ(g.Coverage({0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.Coverage({0, 1}), 1.0);
+}
+
+TEST(GammaSetsTest, MatrixSparsity) {
+  DataSet d = MakeToy();
+  const GammaSets g = GammaSets::Compute(d, {0, 1});
+  // Domination matrix: 3 non-skyline rows x 2 columns, 4 ones -> 1/3 zeros.
+  EXPECT_NEAR(g.MatrixSparsity(), 1.0 - 4.0 / 6.0, 1e-12);
+}
+
+TEST(GammaSetsTest, DuplicatePointsAllOnSkylineWithEmptyGamma) {
+  DataSet d(2);
+  d.Append({1.0, 1.0});
+  d.Append({1.0, 1.0});  // duplicate: neither dominates the other
+  const GammaSets g = GammaSets::Compute(d, {0, 1});
+  EXPECT_EQ(g.DominationScore(0), 0u);
+  EXPECT_EQ(g.DominationScore(1), 0u);
+}
+
+}  // namespace
+}  // namespace skydiver

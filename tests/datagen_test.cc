@@ -1,0 +1,188 @@
+// Unit tests for src/datagen: generators and CSV round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "datagen/csv.h"
+#include "datagen/generators.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+void ExpectInUnitBox(const DataSet& d) {
+  for (RowId r = 0; r < d.size(); ++r) {
+    for (Dim i = 0; i < d.dims(); ++i) {
+      EXPECT_GE(d.at(r, i), 0.0) << "row " << r << " dim " << i;
+      EXPECT_LE(d.at(r, i), 1.0) << "row " << r << " dim " << i;
+    }
+  }
+}
+
+TEST(GeneratorsTest, ShapesAndDomain) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kIndependent, WorkloadKind::kCorrelated,
+        WorkloadKind::kAnticorrelated, WorkloadKind::kClustered,
+        WorkloadKind::kForestCoverLike, WorkloadKind::kRecipesLike}) {
+    auto data = GenerateWorkload(kind, 2000, 4, 1);
+    ASSERT_TRUE(data.ok()) << WorkloadKindName(kind);
+    EXPECT_EQ(data->size(), 2000u);
+    EXPECT_EQ(data->dims(), 4u);
+    ExpectInUnitBox(*data);
+  }
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  const DataSet a = GenerateIndependent(500, 3, 77);
+  const DataSet b = GenerateIndependent(500, 3, 77);
+  EXPECT_EQ(a.values(), b.values());
+  const DataSet c = GenerateIndependent(500, 3, 78);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(GeneratorsTest, AnticorrelatedHasLargerSkylineThanCorrelated) {
+  const RowId n = 5000;
+  const Dim d = 4;
+  const auto sky_corr = SkylineSFS(GenerateCorrelated(n, d, 3)).rows.size();
+  const auto sky_ind = SkylineSFS(GenerateIndependent(n, d, 3)).rows.size();
+  const auto sky_ant = SkylineSFS(GenerateAnticorrelated(n, d, 3)).rows.size();
+  // The canonical ordering of skyline sizes: CORR < IND < ANT.
+  EXPECT_LT(sky_corr, sky_ind);
+  EXPECT_LT(sky_ind, sky_ant);
+}
+
+TEST(GeneratorsTest, AnticorrelatedIsNegativelyCorrelated) {
+  const DataSet d = GenerateAnticorrelated(20000, 2, 5);
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const auto n = static_cast<double>(d.size());
+  for (RowId r = 0; r < d.size(); ++r) {
+    const double x = d.at(r, 0), y = d.at(r, 1);
+    sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double corr = cov / std::sqrt((sxx / n - sx / n * (sx / n)) *
+                                      (syy / n - sy / n * (sy / n)));
+  EXPECT_LT(corr, -0.3);
+}
+
+TEST(GeneratorsTest, CorrelatedIsPositivelyCorrelated) {
+  const DataSet d = GenerateCorrelated(20000, 2, 5);
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const auto n = static_cast<double>(d.size());
+  for (RowId r = 0; r < d.size(); ++r) {
+    const double x = d.at(r, 0), y = d.at(r, 1);
+    sx += x; sy += y; sxx += x * x; syy += y * y; sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double corr = cov / std::sqrt((sxx / n - sx / n * (sx / n)) *
+                                      (syy / n - sy / n * (sy / n)));
+  EXPECT_GT(corr, 0.3);
+}
+
+TEST(GeneratorsTest, RecipesLikeIsZeroInflated) {
+  const DataSet d = GenerateRecipesLike(10000, 5, 9);
+  size_t zeros = 0;
+  for (RowId r = 0; r < d.size(); ++r) {
+    for (Dim i = 0; i < d.dims(); ++i) zeros += (d.at(r, i) == 0.0);
+  }
+  const double frac = static_cast<double>(zeros) / (10000.0 * 5.0);
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(GeneratorsTest, ForestCoverLikeIsQuantized) {
+  const DataSet d = GenerateForestCoverLike(5000, 4, 11);
+  for (RowId r = 0; r < 100; ++r) {
+    for (Dim i = 0; i < d.dims(); ++i) {
+      const double v = d.at(r, i) * 1024.0;
+      EXPECT_NEAR(v, std::round(v), 1e-9);  // values on the 1/1024 grid
+    }
+  }
+}
+
+TEST(GeneratorsTest, ParseWorkloadKindNames) {
+  EXPECT_EQ(ParseWorkloadKind("ind").value(), WorkloadKind::kIndependent);
+  EXPECT_EQ(ParseWorkloadKind("ANT").value(), WorkloadKind::kAnticorrelated);
+  EXPECT_EQ(ParseWorkloadKind("Corr").value(), WorkloadKind::kCorrelated);
+  EXPECT_EQ(ParseWorkloadKind("fc").value(), WorkloadKind::kForestCoverLike);
+  EXPECT_EQ(ParseWorkloadKind("REC").value(), WorkloadKind::kRecipesLike);
+  EXPECT_TRUE(ParseWorkloadKind("nope").status().IsInvalidArgument());
+}
+
+TEST(GeneratorsTest, RoundTripNames) {
+  for (WorkloadKind kind :
+       {WorkloadKind::kIndependent, WorkloadKind::kCorrelated,
+        WorkloadKind::kAnticorrelated, WorkloadKind::kClustered,
+        WorkloadKind::kForestCoverLike, WorkloadKind::kRecipesLike}) {
+    EXPECT_EQ(ParseWorkloadKind(WorkloadKindName(kind)).value(), kind);
+  }
+}
+
+TEST(GeneratorsTest, RejectsDegenerateParams) {
+  EXPECT_TRUE(GenerateWorkload(WorkloadKind::kIndependent, 0, 3, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateWorkload(WorkloadKind::kIndependent, 10, 0, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(GeneratorsTest, DefaultCardinalitiesMatchPaper) {
+  EXPECT_EQ(DefaultCardinality(WorkloadKind::kIndependent), 5000000u);
+  EXPECT_EQ(DefaultCardinality(WorkloadKind::kForestCoverLike), 581012u);
+  EXPECT_EQ(DefaultCardinality(WorkloadKind::kRecipesLike), 365000u);
+}
+
+// --------------------------------------------------------------------------
+// CSV
+// --------------------------------------------------------------------------
+
+TEST(CsvTest, RoundTrip) {
+  const DataSet d = GenerateIndependent(100, 3, 21);
+  const std::string path = testing::TempDir() + "/skydiver_csv_roundtrip.csv";
+  ASSERT_TRUE(WriteCsv(d, path).ok());
+  auto back = ReadCsv(path);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), d.size());
+  ASSERT_EQ(back->dims(), d.dims());
+  for (RowId r = 0; r < d.size(); ++r) {
+    for (Dim i = 0; i < d.dims(); ++i) {
+      EXPECT_DOUBLE_EQ(back->at(r, i), d.at(r, i));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SkipHeader) {
+  const std::string path = testing::TempDir() + "/skydiver_csv_header.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("a,b\n1.5,2.5\n\n3.0,4.0\n", f);
+    fclose(f);
+  }
+  auto d = ReadCsv(path, /*skip_header=*/true);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+  EXPECT_DOUBLE_EQ(d->at(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ErrorsAreReported) {
+  EXPECT_TRUE(ReadCsv("/nonexistent/path.csv").status().IsIoError());
+  const std::string path = testing::TempDir() + "/skydiver_csv_bad.csv";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("1.0,2.0\n1.0\n", f);  // ragged rows
+    fclose(f);
+  }
+  EXPECT_TRUE(ReadCsv(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace skydiver

@@ -1,0 +1,183 @@
+// Tests for the file-backed R-tree: page serialization round trips, frame
+// cache behavior on real reads, and the full index-based pipeline (BBS +
+// SigGen-IB) running straight off a page file.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "datagen/generators.h"
+#include "minhash/siggen.h"
+#include "rtree/disk_rtree.h"
+#include "rtree/rtree.h"
+#include "skydiver/skydiver.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+struct DiskFixture {
+  DataSet data = DataSet(1);
+  std::string path;
+  // Keep the in-memory tree for cross-checks.
+  Result<RTree> memory = Status::Internal("unset");
+
+  static DiskFixture Make(WorkloadKind kind, RowId n, Dim d, const std::string& name) {
+    DiskFixture f;
+    f.data = GenerateWorkload(kind, n, d, 211).value();
+    f.path = TempPath(name);
+    f.memory = RTree::BulkLoad(f.data);
+    EXPECT_TRUE(DiskRTree::Write(*f.memory, f.path).ok());
+    return f;
+  }
+};
+
+TEST(DiskRTreeTest, OpenReadsGeometry) {
+  auto f = DiskFixture::Make(WorkloadKind::kIndependent, 5000, 3, "disk_geom.pages");
+  auto disk = DiskRTree::Open(f.path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_EQ(disk->dims(), 3u);
+  EXPECT_EQ(disk->size(), 5000u);
+  EXPECT_EQ(disk->root(), f.memory->root());
+  EXPECT_EQ(disk->height(), f.memory->height());
+  EXPECT_EQ(disk->PageCount(), f.memory->PageCount());
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, NodesDeserializeExactly) {
+  auto f = DiskFixture::Make(WorkloadKind::kClustered, 4000, 4, "disk_nodes.pages");
+  auto disk = DiskRTree::Open(f.path, /*cache_fraction=*/1.0);
+  ASSERT_TRUE(disk.ok());
+  for (PageId id = 0; id < f.memory->PageCount(); ++id) {
+    const RTreeNode& mem_node = f.memory->ReadNode(id);
+    const RTreeNode& disk_node = disk->ReadNode(id);
+    ASSERT_EQ(disk_node.is_leaf, mem_node.is_leaf) << "page " << id;
+    ASSERT_EQ(disk_node.entries.size(), mem_node.entries.size()) << "page " << id;
+    for (size_t e = 0; e < mem_node.entries.size(); ++e) {
+      EXPECT_TRUE(disk_node.entries[e].mbr == mem_node.entries[e].mbr);
+      EXPECT_EQ(disk_node.entries[e].child, mem_node.entries[e].child);
+      EXPECT_EQ(disk_node.entries[e].count, mem_node.entries[e].count);
+      EXPECT_EQ(disk_node.entries[e].row, mem_node.entries[e].row);
+    }
+  }
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, QueriesMatchInMemoryTree) {
+  auto f = DiskFixture::Make(WorkloadKind::kIndependent, 8000, 3, "disk_query.pages");
+  auto disk = DiskRTree::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  const std::vector<Coord> lo{0.1, 0.2, 0.3}, hi{0.6, 0.9, 0.7};
+  EXPECT_EQ(disk->RangeCount(lo, hi), f.memory->RangeCount(lo, hi));
+  auto disk_rows = disk->RangeSearch(lo, hi);
+  auto mem_rows = f.memory->RangeSearch(lo, hi);
+  std::sort(disk_rows.begin(), disk_rows.end());
+  std::sort(mem_rows.begin(), mem_rows.end());
+  EXPECT_EQ(disk_rows, mem_rows);
+  for (RowId probe : {0u, 777u, 7999u}) {
+    EXPECT_EQ(disk->DominatedCount(f.data.row(probe)),
+              f.memory->DominatedCount(f.data.row(probe)));
+  }
+  EXPECT_EQ(disk->CommonDominatedCount(f.data.row(1), f.data.row(2)),
+            f.memory->CommonDominatedCount(f.data.row(1), f.data.row(2)));
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, FrameCacheHitsAndColdMisses) {
+  auto f = DiskFixture::Make(WorkloadKind::kIndependent, 20000, 2, "disk_cache.pages");
+  auto disk = DiskRTree::Open(f.path, /*cache_fraction=*/0.5);
+  ASSERT_TRUE(disk.ok());
+  const std::vector<Coord> lo{0.4, 0.4}, hi{0.45, 0.45};
+  disk->ResetIoStats();
+  (void)disk->RangeCount(lo, hi);
+  const uint64_t cold_faults = disk->io_stats().page_faults;
+  EXPECT_GT(cold_faults, 0u);
+  (void)disk->RangeCount(lo, hi);
+  EXPECT_EQ(disk->io_stats().page_faults, cold_faults);  // warm: all hits
+  disk->DropCache();
+  (void)disk->RangeCount(lo, hi);
+  EXPECT_EQ(disk->io_stats().page_faults, 2 * cold_faults);  // cold again
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, BbsOffDiskMatchesInMemory) {
+  auto f = DiskFixture::Make(WorkloadKind::kAnticorrelated, 6000, 3, "disk_bbs.pages");
+  auto disk = DiskRTree::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  auto disk_sky = SkylineBBS(f.data, *disk);
+  ASSERT_TRUE(disk_sky.ok()) << disk_sky.status().ToString();
+  EXPECT_EQ(disk_sky->rows, SkylineSFS(f.data).rows);
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, SigGenIbOffDiskMatchesInMemory) {
+  auto f = DiskFixture::Make(WorkloadKind::kIndependent, 5000, 3, "disk_ib.pages");
+  auto disk = DiskRTree::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  const auto skyline = SkylineSFS(f.data).rows;
+  const auto family = MinHashFamily::Create(32, f.data.size(), 213);
+  const auto mem = SigGenIB(f.data, skyline, family, *f.memory).value();
+  const auto from_disk = SigGenIB(f.data, skyline, family, *disk).value();
+  // Same traversal order (BFS over the same page ids) -> identical
+  // signatures and scores.
+  EXPECT_EQ(from_disk.domination_scores, mem.domination_scores);
+  for (size_t j = 0; j < skyline.size(); ++j) {
+    for (size_t i = 0; i < 32; ++i) {
+      ASSERT_EQ(from_disk.signatures.at(j, i), mem.signatures.at(j, i))
+          << "col " << j << " slot " << i;
+    }
+  }
+  EXPECT_GT(from_disk.io.page_reads, 0u);
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, FullPipelineOffDisk) {
+  auto f = DiskFixture::Make(WorkloadKind::kIndependent, 6000, 4, "disk_pipe.pages");
+  auto disk = DiskRTree::Open(f.path);
+  ASSERT_TRUE(disk.ok());
+  SkyDiverConfig config;
+  config.k = 5;
+  auto report = SkyDiver::RunOnDisk(f.data, config, *disk);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(IsSkyline(f.data, report->skyline));
+  EXPECT_EQ(report->selected_rows.size(), 5u);
+  EXPECT_GT(report->skyline_phase.io.page_faults, 0u);      // real preads (BBS)
+  EXPECT_GT(report->fingerprint_phase.io.page_reads, 0u);   // real preads (IB)
+  // The selection must equal the in-memory indexed pipeline's (identical
+  // page ids, identical traversals, identical hash family).
+  auto mem_report = SkyDiver::Run(f.data, config, &*f.memory);
+  ASSERT_TRUE(mem_report.ok());
+  EXPECT_EQ(report->selected_rows, mem_report->selected_rows);
+  std::remove(f.path.c_str());
+}
+
+TEST(DiskRTreeTest, RejectsForeignAndCorruptFiles) {
+  EXPECT_TRUE(DiskRTree::Open("/nonexistent/pages").status().IsIoError());
+  const std::string path = TempPath("disk_bad.pages");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << std::string(8192, 'x');
+  }
+  EXPECT_TRUE(DiskRTree::Open(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+
+  // Corrupt the header checksum of a valid file.
+  auto f = DiskFixture::Make(WorkloadKind::kIndependent, 1000, 2, "disk_corrupt.pages");
+  {
+    std::fstream file(f.path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(16);  // inside the header fields
+    const char junk = 0x7f;
+    file.write(&junk, 1);
+  }
+  EXPECT_FALSE(DiskRTree::Open(f.path).ok());
+  std::remove(f.path.c_str());
+}
+
+}  // namespace
+}  // namespace skydiver

@@ -1,0 +1,388 @@
+// Unit tests for src/diversify: greedy dispersion, brute force, coverage,
+// Simple-Greedy, and the evaluators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "diversify/brute_force.h"
+#include "diversify/coverage.h"
+#include "diversify/dispersion.h"
+#include "diversify/euclidean_representative.h"
+#include "diversify/evaluate.h"
+#include "diversify/simple_greedy.h"
+#include "rtree/rtree.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+// Points on a line at positions given by `pos`; distance = |a - b|.
+DistanceFn LineDistance(const std::vector<double>& pos) {
+  return [pos](size_t a, size_t b) { return std::fabs(pos[a] - pos[b]); };
+}
+
+ScoreFn UniformScore() {
+  return [](size_t) { return 0.0; };
+}
+
+// --------------------------------------------------------------------------
+// SelectDiverseSet (Fig. 6)
+// --------------------------------------------------------------------------
+
+TEST(SelectDiverseSetTest, ValidatesArguments) {
+  auto d = LineDistance({0.0});
+  EXPECT_TRUE(SelectDiverseSet(0, 1, d, UniformScore()).status().IsInvalidArgument());
+  EXPECT_TRUE(SelectDiverseSet(1, 0, d, UniformScore()).status().IsInvalidArgument());
+  EXPECT_TRUE(SelectDiverseSet(1, 2, d, UniformScore()).status().IsInvalidArgument());
+}
+
+TEST(SelectDiverseSetTest, SeedsWithMaxScore) {
+  auto score = [](size_t i) { return i == 2 ? 5.0 : 1.0; };
+  auto result = SelectDiverseSet(4, 1, LineDistance({0, 1, 2, 3}), score);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, std::vector<size_t>{2});
+  EXPECT_EQ(result->min_pairwise, 0.0);  // singleton
+}
+
+TEST(SelectDiverseSetTest, PicksFarthestPoints) {
+  // Points at 0, 1, 2, 10. Seed scores make 0 the seed; farthest is 10.
+  auto score = [](size_t i) { return i == 0 ? 1.0 : 0.0; };
+  auto result = SelectDiverseSet(4, 2, LineDistance({0, 1, 2, 10}), score);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<size_t>{0, 3}));
+  EXPECT_DOUBLE_EQ(result->min_pairwise, 10.0);
+}
+
+TEST(SelectDiverseSetTest, MaximizesMinimumDistanceGreedily) {
+  // Line: 0, 4, 5, 10; seed 0, then 10 (d=10), then 4 or 5 (min-dist 4 vs 5
+  // -> pick 5: min(5, 5) = 5 beats min(4, 6) = 4).
+  auto score = [](size_t i) { return i == 0 ? 1.0 : 0.0; };
+  auto result = SelectDiverseSet(4, 3, LineDistance({0, 4, 5, 10}), score);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<size_t>{0, 3, 2}));
+  EXPECT_DOUBLE_EQ(result->min_pairwise, 5.0);
+}
+
+TEST(SelectDiverseSetTest, BreaksTiesByScore) {
+  // Positions 0, 5, 5 (indices 1 and 2 equidistant); higher score wins.
+  auto score = [](size_t i) { return i == 2 ? 9.0 : (i == 0 ? 10.0 : 0.0); };
+  auto result = SelectDiverseSet(3, 2, LineDistance({0, 5, 5}), score);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<size_t>{0, 2}));
+}
+
+TEST(SelectDiverseSetTest, LinearDistanceEvaluationBudget) {
+  const size_t m = 200, k = 10;
+  auto result = SelectDiverseSet(m, k, LineDistance(std::vector<double>(m, 0.0)),
+                                 UniformScore());
+  ASSERT_TRUE(result.ok());
+  // With min-distance caching: (k-1) rounds x at most m evaluations.
+  EXPECT_LE(result->distance_evaluations, (k - 1) * m);
+}
+
+TEST(SelectDiverseSetTest, GreedyHasThePrefixProperty) {
+  // Selecting k points and truncating to k' < k equals selecting k'
+  // directly: the greedy never revisits earlier picks, so its output is a
+  // progressive ranking users can cut at any length.
+  Rng rng(107);
+  const size_t m = 40;
+  std::vector<double> xs(m), ys(m);
+  for (size_t i = 0; i < m; ++i) {
+    xs[i] = rng.NextDouble();
+    ys[i] = rng.NextDouble();
+  }
+  auto dist = [&](size_t a, size_t b) {
+    return std::hypot(xs[a] - xs[b], ys[a] - ys[b]);
+  };
+  auto score = [&](size_t j) { return xs[j]; };
+  const auto full = SelectDiverseSet(m, 12, dist, score).value();
+  for (size_t k : {1u, 3u, 7u, 12u}) {
+    const auto partial = SelectDiverseSet(m, k, dist, score).value();
+    const std::vector<size_t> prefix(full.selected.begin(),
+                                     full.selected.begin() + static_cast<long>(k));
+    EXPECT_EQ(partial.selected, prefix) << "k = " << k;
+  }
+}
+
+TEST(SelectDiverseSetTest, SelectsAllWhenKEqualsM) {
+  auto result = SelectDiverseSet(5, 5, LineDistance({0, 1, 2, 3, 4}), UniformScore());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(std::set<size_t>(result->selected.begin(), result->selected.end()).size(), 5u);
+}
+
+// --------------------------------------------------------------------------
+// Two-approximation property against brute force (the paper's Lemma 4).
+// --------------------------------------------------------------------------
+
+class TwoApproxTest : public testing::TestWithParam<int> {};
+
+TEST_P(TwoApproxTest, GreedyIsWithinTwiceOptimal) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t m = 12;
+  const size_t k = 4;
+  // Random points in the plane; L2 distance is a metric.
+  std::vector<double> xs(m), ys(m);
+  for (size_t i = 0; i < m; ++i) {
+    xs[i] = rng.NextDouble();
+    ys[i] = rng.NextDouble();
+  }
+  auto dist = [&](size_t a, size_t b) {
+    return std::hypot(xs[a] - xs[b], ys[a] - ys[b]);
+  };
+  auto opt = BruteForceMaxMin(m, k, dist);
+  ASSERT_TRUE(opt.ok());
+  auto greedy = SelectDiverseSet(m, k, dist, UniformScore());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_GE(greedy->min_pairwise * 2.0 + 1e-12, opt->min_pairwise);
+  EXPECT_LE(greedy->min_pairwise, opt->min_pairwise + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoApproxTest, testing::Range(1, 21));
+
+// --------------------------------------------------------------------------
+// Brute force
+// --------------------------------------------------------------------------
+
+TEST(BruteForceTest, Binomial) {
+  EXPECT_EQ(BinomialOrSaturate(5, 2), 10u);
+  EXPECT_EQ(BinomialOrSaturate(10, 0), 1u);
+  EXPECT_EQ(BinomialOrSaturate(3, 5), 0u);
+  EXPECT_EQ(BinomialOrSaturate(60, 30), 118264581564861424ULL);
+  EXPECT_EQ(BinomialOrSaturate(200, 100), UINT64_MAX);  // saturates
+}
+
+TEST(BruteForceTest, FindsExactOptimum) {
+  // Positions 0, 1, 6, 10: best 2-subset is {0, 10}; best 3-subset
+  // {0, 6, 10}? min distances: {0,6,10} -> min(6,4,10)=4; {0,1,10} -> 1;
+  // {1,6,10} -> 4; {0,1,6} -> 1. Optimum 4 (two ways).
+  auto d = LineDistance({0, 1, 6, 10});
+  auto r2 = BruteForceMaxMin(4, 2, d);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r2->min_pairwise, 10.0);
+  auto r3 = BruteForceMaxMin(4, 3, d);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_DOUBLE_EQ(r3->min_pairwise, 4.0);
+}
+
+TEST(BruteForceTest, MaxSumDiffersFromMaxMin) {
+  // The paper's Fig. 2 scenario: MSDP tolerates one small distance if the
+  // total is larger. Positions 0, 5.5, 6, 10:
+  //   max-min 3-subset: {0, 5.5, 10} (min 4.5) vs {0, 6, 10} (min 4).
+  //   max-sum 3-subset: {0, 6, 10}: 6+10+4 = 20 vs {0, 5.5, 10}: 5.5+10+4.5 = 20
+  // Use asymmetric positions so the two objectives disagree cleanly.
+  auto d = LineDistance({0, 4.9, 5.0, 10});
+  auto mmdp = BruteForceMaxMin(4, 3, d);
+  auto msdp = BruteForceMaxSum(4, 3, d);
+  ASSERT_TRUE(mmdp.ok());
+  ASSERT_TRUE(msdp.ok());
+  // k-MMDP keeps distances balanced; its minimum is >= MSDP's minimum.
+  EXPECT_GE(mmdp->min_pairwise, msdp->min_pairwise);
+}
+
+TEST(BruteForceTest, EnumerationCapTriggers) {
+  auto d = LineDistance(std::vector<double>(64, 0.0));
+  EXPECT_TRUE(BruteForceMaxMin(64, 20, d, /*max_subsets=*/1000).status().IsOutOfRange());
+}
+
+TEST(BruteForceTest, RequiresKAtLeastTwo) {
+  auto d = LineDistance({0, 1});
+  EXPECT_TRUE(BruteForceMaxMin(2, 1, d).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------------------
+// Greedy max-sum
+// --------------------------------------------------------------------------
+
+TEST(SelectMaxSumSetTest, PrefersLargeTotalOverBalanced) {
+  // Seed at 0 (score); candidates 1, 2, 3 at positions 4.9, 5.0, 10.
+  auto score = [](size_t i) { return i == 0 ? 1.0 : 0.0; };
+  auto result = SelectMaxSumSet(4, 2, LineDistance({0, 4.9, 5.0, 10}), score);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected, (std::vector<size_t>{0, 3}));
+}
+
+// --------------------------------------------------------------------------
+// Coverage
+// --------------------------------------------------------------------------
+
+TEST(CoverageTest, GreedyCoversGreedily) {
+  DataSet d(2);
+  d.Append({0.0, 3.0});  // sky 0: dominates rows 3, 4
+  d.Append({1.0, 1.0});  // sky 1: dominates rows 3, 4, 5
+  d.Append({3.0, 0.0});  // sky 2: dominates row 5
+  d.Append({2.0, 4.0});
+  d.Append({1.5, 3.5});
+  d.Append({3.5, 2.0});
+  const GammaSets g = GammaSets::Compute(d, {0, 1, 2});
+  auto r1 = GreedyMaxCoverage(g, 1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->selected, std::vector<size_t>{1});  // covers all 3
+  EXPECT_DOUBLE_EQ(r1->coverage_fraction, 1.0);
+  auto r2 = GreedyMaxCoverage(g, 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->covered, 3u);
+}
+
+TEST(CoverageTest, Validates) {
+  DataSet d(2);
+  d.Append({0.0, 0.0});
+  const GammaSets g = GammaSets::Compute(d, {0});
+  EXPECT_TRUE(GreedyMaxCoverage(g, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(GreedyMaxCoverage(g, 2).status().IsInvalidArgument());
+}
+
+TEST(CoverageTest, GreedyWithinClassicBoundOfOptimum) {
+  // Greedy max-coverage is a (1 - 1/e)-approximation; on dominance set
+  // systems (finite VC dimension, paper Lemma 1) it usually does much
+  // better. Check the bound against the exact optimum on small skylines.
+  for (uint64_t seed : {301u, 302u, 303u}) {
+    const DataSet data = GenerateIndependent(400, 3, seed);
+    const auto skyline = SkylineSFS(data).rows;
+    const GammaSets gammas = GammaSets::Compute(data, skyline);
+    const size_t k = std::min<size_t>(4, skyline.size());
+    if (k < 2 || skyline.size() > 25) continue;
+    const auto greedy = GreedyMaxCoverage(gammas, k).value();
+    const auto exact = BruteForceMaxCoverage(gammas, k).value();
+    EXPECT_LE(greedy.covered, exact.covered);
+    EXPECT_GE(static_cast<double>(greedy.covered) + 1e-9,
+              (1.0 - 1.0 / 2.718281828) * static_cast<double>(exact.covered))
+        << "seed " << seed;
+  }
+}
+
+TEST(CoverageTest, BruteForceValidates) {
+  DataSet d(2);
+  d.Append({0.0, 0.0});
+  const GammaSets g = GammaSets::Compute(d, {0});
+  EXPECT_TRUE(BruteForceMaxCoverage(g, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(BruteForceMaxCoverage(g, 2).status().IsInvalidArgument());
+}
+
+TEST(CoverageTest, CoverageAtLeastGreedyDiversityCoverage) {
+  // Table 1's qualitative claim: coverage-greedy achieves >= coverage of
+  // the dispersion selection.
+  const DataSet data = GenerateIndependent(3000, 4, 47);
+  const auto skyline = SkylineSFS(data).rows;
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  const size_t k = std::min<size_t>(10, skyline.size());
+  auto cov = GreedyMaxCoverage(gammas, k);
+  ASSERT_TRUE(cov.ok());
+  auto disp = SimpleGreedyInMemory(data, skyline, k);
+  ASSERT_TRUE(disp.ok());
+  const auto q_disp = EvaluateSelection(gammas, disp->selected);
+  EXPECT_GE(cov->coverage_fraction + 1e-9, q_disp.coverage);
+  // And conversely the dispersion pick is at least as diverse.
+  const auto q_cov = EvaluateSelection(gammas, cov->selected);
+  EXPECT_GE(q_disp.min_diversity + 1e-9, q_cov.min_diversity);
+}
+
+// --------------------------------------------------------------------------
+// Simple-Greedy
+// --------------------------------------------------------------------------
+
+TEST(SimpleGreedyTest, IndexAndInMemoryAgree) {
+  const DataSet data = GenerateIndependent(2500, 3, 53);
+  const auto skyline = SkylineSFS(data).rows;
+  const size_t k = std::min<size_t>(5, skyline.size());
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  auto indexed = SimpleGreedy(data, skyline, k, *tree);
+  ASSERT_TRUE(indexed.ok());
+  auto memory = SimpleGreedyInMemory(data, skyline, k);
+  ASSERT_TRUE(memory.ok());
+  EXPECT_EQ(indexed->dispersion.selected, memory->selected);
+  EXPECT_NEAR(indexed->dispersion.min_pairwise, memory->min_pairwise, 1e-12);
+  EXPECT_GT(indexed->range_queries, 0u);
+  EXPECT_GT(indexed->io.page_reads, 0u);
+}
+
+TEST(SimpleGreedyTest, RejectsForeignTree) {
+  const DataSet data = GenerateIndependent(100, 2, 3);
+  const DataSet other = GenerateIndependent(90, 2, 3);
+  auto tree = RTree::BulkLoad(other);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(SimpleGreedy(data, {0}, 1, *tree).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------------------
+// EuclideanRepresentatives (the paper's [32]-style baseline)
+// --------------------------------------------------------------------------
+
+TEST(EuclideanRepresentativeTest, CoversTheSkyline) {
+  const DataSet data = GenerateAnticorrelated(3000, 3, 63);
+  const auto skyline = SkylineSFS(data).rows;
+  const size_t k = std::min<size_t>(8, skyline.size());
+  auto result = EuclideanRepresentatives(data, skyline, k);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->selected.size(), k);
+  EXPECT_GE(result->max_covering_radius, 0.0);
+  // More representatives never increase the covering radius.
+  if (skyline.size() > k) {
+    auto more = EuclideanRepresentatives(data, skyline, k + 1).value();
+    EXPECT_LE(more.max_covering_radius, result->max_covering_radius + 1e-12);
+  }
+}
+
+TEST(EuclideanRepresentativeTest, Validation) {
+  const DataSet data = GenerateIndependent(100, 2, 65);
+  EXPECT_TRUE(EuclideanRepresentatives(data, {}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(EuclideanRepresentatives(data, {0}, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(EuclideanRepresentatives(data, {0}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(EuclideanRepresentatives(data, {999}, 1).status().IsInvalidArgument());
+}
+
+TEST(ScaleInvarianceTest, JaccardSelectionInvariantUnderMonotoneTransforms) {
+  // Dominance only sees the order of values, so ANY strictly monotone
+  // per-dimension transform must leave the SkyDiver selection unchanged.
+  const DataSet data = GenerateIndependent(2000, 3, 67);
+  const auto skyline = SkylineSFS(data).rows;
+  const size_t k = std::min<size_t>(6, skyline.size());
+  const auto before = SimpleGreedyInMemory(data, skyline, k).value();
+
+  DataSet transformed(3);
+  transformed.Reserve(data.size());
+  for (RowId r = 0; r < data.size(); ++r) {
+    const auto row = data.row(r);
+    // dim0: x1000 scale; dim1: cube (monotone on [0,1]); dim2: exp.
+    transformed.Append(
+        {row[0] * 1000.0, row[1] * row[1] * row[1], std::exp(row[2])});
+  }
+  EXPECT_EQ(SkylineSFS(transformed).rows, skyline);
+  const auto after = SimpleGreedyInMemory(transformed, skyline, k).value();
+  EXPECT_EQ(after.selected, before.selected);
+}
+
+// --------------------------------------------------------------------------
+// Evaluate
+// --------------------------------------------------------------------------
+
+TEST(EvaluateTest, SingletonHasZeroDiversity) {
+  const DataSet data = GenerateIndependent(500, 3, 59);
+  const auto skyline = SkylineSFS(data).rows;
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  const auto q = EvaluateSelection(gammas, {0});
+  EXPECT_EQ(q.min_diversity, 0.0);
+  EXPECT_EQ(q.avg_diversity, 0.0);
+  EXPECT_GT(q.coverage, 0.0);
+}
+
+TEST(EvaluateTest, MinNeverExceedsAvg) {
+  const DataSet data = GenerateAnticorrelated(2000, 3, 61);
+  const auto skyline = SkylineSFS(data).rows;
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  auto sel = SimpleGreedyInMemory(data, skyline, std::min<size_t>(8, skyline.size()));
+  ASSERT_TRUE(sel.ok());
+  const auto q = EvaluateSelection(gammas, sel->selected);
+  EXPECT_LE(q.min_diversity, q.avg_diversity + 1e-12);
+  EXPECT_GE(q.min_diversity, 0.0);
+  EXPECT_LE(q.avg_diversity, 1.0);
+}
+
+}  // namespace
+}  // namespace skydiver

@@ -1,0 +1,197 @@
+// Cross-module integration tests: the full pipeline against ground truth,
+// IF/IB consistency, MH vs LSH vs SG selection agreement in quality, and
+// the Table-1 coverage-vs-diversity contrast.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "diversify/coverage.h"
+#include "diversify/evaluate.h"
+#include "diversify/simple_greedy.h"
+#include "lsh/lsh.h"
+#include "minhash/siggen.h"
+#include "rtree/rtree.h"
+#include "skydiver/skydiver.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+struct Pipeline {
+  DataSet data = DataSet(1);
+  std::vector<RowId> skyline;
+  GammaSets gammas;
+
+  static Pipeline Make(WorkloadKind kind, RowId n, Dim d, uint64_t seed) {
+    Pipeline p;
+    p.data = GenerateWorkload(kind, n, d, seed).value();
+    p.skyline = SkylineSFS(p.data).rows;
+    p.gammas = GammaSets::Compute(p.data, p.skyline);
+    return p;
+  }
+};
+
+// --------------------------------------------------------------------------
+// IF and IB signatures estimate the same distances.
+// --------------------------------------------------------------------------
+
+TEST(IntegrationTest, IfAndIbEstimatesAgreeWithinNoise) {
+  const auto p = Pipeline::Make(WorkloadKind::kIndependent, 4000, 4, 23);
+  const auto family = MinHashFamily::Create(200, p.data.size(), 31);
+  auto tree = RTree::BulkLoad(p.data);
+  ASSERT_TRUE(tree.ok());
+  auto if_result = SigGenIF(p.data, p.skyline, family);
+  auto ib_result = SigGenIB(p.data, p.skyline, family, *tree);
+  ASSERT_TRUE(if_result.ok());
+  ASSERT_TRUE(ib_result.ok());
+  const size_t m = p.skyline.size();
+  double sum_abs_diff = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a + 1; b < m; ++b) {
+      sum_abs_diff += std::fabs(if_result->signatures.EstimatedSimilarity(a, b) -
+                                ib_result->signatures.EstimatedSimilarity(a, b));
+      ++pairs;
+    }
+  }
+  ASSERT_GT(pairs, 0u);
+  // Different permutation enumerations, same underlying Jaccard: estimates
+  // must agree on average within MinHash noise for t = 200.
+  EXPECT_LT(sum_abs_diff / static_cast<double>(pairs), 0.06);
+}
+
+// --------------------------------------------------------------------------
+// Selection methods ranked by fidelity: SG (exact) >= MH >= LSH roughly.
+// --------------------------------------------------------------------------
+
+TEST(IntegrationTest, QualityOrderingSgMhLsh) {
+  const auto p = Pipeline::Make(WorkloadKind::kIndependent, 6000, 4, 29);
+  const size_t k = std::min<size_t>(10, p.skyline.size());
+  ASSERT_GE(p.skyline.size(), k);
+
+  auto sg = SimpleGreedyInMemory(p.data, p.skyline, k);
+  ASSERT_TRUE(sg.ok());
+  const double q_sg = EvaluateSelection(p.gammas, sg->selected).min_diversity;
+
+  SkyDiverConfig mh_config;
+  mh_config.k = k;
+  auto mh = SkyDiver::Run(p.data, mh_config, nullptr, &p.skyline);
+  ASSERT_TRUE(mh.ok());
+  const double q_mh = EvaluateSelection(p.gammas, mh->selected).min_diversity;
+
+  SkyDiverConfig lsh_config = mh_config;
+  lsh_config.select = SelectMode::kLsh;
+  auto lsh = SkyDiver::Run(p.data, lsh_config, nullptr, &p.skyline);
+  ASSERT_TRUE(lsh.ok());
+  const double q_lsh = EvaluateSelection(p.gammas, lsh->selected).min_diversity;
+
+  // SG uses exact distances: it should be (weakly) best. MH tracks it
+  // closely; LSH trades accuracy for memory. Allow approximation slack —
+  // the orderings the paper reports are statistical, not per-instance.
+  EXPECT_GE(q_sg + 0.15, q_mh);
+  EXPECT_GE(q_mh + 0.25, q_lsh);
+  EXPECT_GT(q_sg, 0.4);
+  EXPECT_GT(q_mh, 0.3);
+}
+
+// --------------------------------------------------------------------------
+// Table 1's contrast: dispersion maximizes diversity, coverage maximizes
+// coverage, and they genuinely differ.
+// --------------------------------------------------------------------------
+
+class CoverageVsDiversityTest : public testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(CoverageVsDiversityTest, EachObjectiveWinsItsOwnGame) {
+  const auto p = Pipeline::Make(GetParam(), 5000, 4, 37);
+  const size_t k = std::min<size_t>(10, p.skyline.size());
+  if (p.skyline.size() < k || k < 2) GTEST_SKIP() << "skyline too small";
+
+  auto cov = GreedyMaxCoverage(p.gammas, k);
+  ASSERT_TRUE(cov.ok());
+  auto disp = SimpleGreedyInMemory(p.data, p.skyline, k);
+  ASSERT_TRUE(disp.ok());
+
+  const auto q_cov = EvaluateSelection(p.gammas, cov->selected);
+  const auto q_disp = EvaluateSelection(p.gammas, disp->selected);
+
+  EXPECT_GE(q_cov.coverage + 1e-9, q_disp.coverage);
+  EXPECT_GE(q_disp.min_diversity + 1e-9, q_cov.min_diversity);
+  // Paper Table 1: dispersion still achieves decent coverage.
+  EXPECT_GT(q_disp.coverage, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CoverageVsDiversityTest,
+                         testing::Values(WorkloadKind::kIndependent,
+                                         WorkloadKind::kForestCoverLike,
+                                         WorkloadKind::kRecipesLike),
+                         [](const testing::TestParamInfo<WorkloadKind>& info) {
+                           return WorkloadKindName(info.param);
+                         });
+
+// --------------------------------------------------------------------------
+// The I/O story: SG performs range queries whose I/O dwarfs MH selection.
+// --------------------------------------------------------------------------
+
+TEST(IntegrationTest, SgIncursRangeQueryIoMhDoesNot) {
+  const auto p = Pipeline::Make(WorkloadKind::kIndependent, 20000, 4, 41);
+  const size_t k = std::min<size_t>(10, p.skyline.size());
+  auto tree = RTree::BulkLoad(p.data);
+  ASSERT_TRUE(tree.ok());
+
+  auto sg = SimpleGreedy(p.data, p.skyline, k, *tree);
+  ASSERT_TRUE(sg.ok());
+
+  // MH's selection phase operates purely on signatures: zero index I/O.
+  const auto family = MinHashFamily::Create(100, p.data.size(), 43);
+  auto sig = SigGenIF(p.data, p.skyline, family);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_GT(sg->io.page_reads, 0u);
+  // SG's range queries touch far more pages than one sequential data pass.
+  EXPECT_GT(sg->io.page_reads, sig->io.page_reads);
+}
+
+// --------------------------------------------------------------------------
+// End-to-end: BBS skyline + IB signatures + LSH selection on one tree.
+// --------------------------------------------------------------------------
+
+TEST(IntegrationTest, FullyIndexedPipeline) {
+  const auto data = GenerateAnticorrelated(8000, 3, 47);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  SkyDiverConfig config;
+  config.k = 10;
+  config.select = SelectMode::kLsh;
+  config.siggen = SigGenMode::kIndexBased;
+  auto report = SkyDiver::Run(data, config, &*tree);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(IsSkyline(data, report->skyline));
+  EXPECT_EQ(report->selected_rows.size(), 10u);
+  EXPECT_GT(report->skyline_phase.io.page_reads, 0u);       // BBS traffic
+  EXPECT_GT(report->fingerprint_phase.io.page_reads, 0u);   // IB traffic
+  EXPECT_EQ(report->selection_phase.io.page_reads, 0u);     // signatures only
+}
+
+// --------------------------------------------------------------------------
+// Projections: one generated dataset swept across dimensionalities stays
+// consistent (used by the dimension-sweep benchmarks).
+// --------------------------------------------------------------------------
+
+TEST(IntegrationTest, ProjectedPipelinesRun) {
+  const DataSet base = GenerateIndependent(3000, 6, 53);
+  for (Dim d : {2u, 3u, 4u, 6u}) {
+    auto proj = base.Project(d);
+    ASSERT_TRUE(proj.ok());
+    SkyDiverConfig config;
+    config.k = 2;
+    auto report = SkyDiver::Run(*proj, config);
+    ASSERT_TRUE(report.ok()) << "d=" << d << ": " << report.status().ToString();
+    EXPECT_TRUE(IsSkyline(*proj, report->skyline));
+  }
+}
+
+}  // namespace
+}  // namespace skydiver

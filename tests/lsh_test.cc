@@ -1,0 +1,170 @@
+// Unit tests for src/lsh: banding parameter selection, bit-vector
+// construction, Hamming-distance semantics, memory accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "lsh/lsh.h"
+#include "minhash/minhash.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+TEST(LshParamsTest, ThresholdFormula) {
+  LshParams p;
+  p.zones = 20;
+  p.rows_per_zone = 5;
+  EXPECT_NEAR(p.Threshold(), std::pow(1.0 / 20.0, 1.0 / 5.0), 1e-12);
+}
+
+TEST(LshParamsTest, CollisionProbabilityIsSigmoid) {
+  LshParams p;
+  p.zones = 20;
+  p.rows_per_zone = 5;
+  EXPECT_NEAR(p.CollisionProbability(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(p.CollisionProbability(1.0), 1.0, 1e-12);
+  // Monotone increasing.
+  double prev = 0.0;
+  for (double s = 0.05; s < 1.0; s += 0.05) {
+    const double c = p.CollisionProbability(s);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  // Near the threshold the collision probability is mid-range.
+  const double at_threshold = p.CollisionProbability(p.Threshold());
+  EXPECT_GT(at_threshold, 0.3);
+  EXPECT_LT(at_threshold, 0.9);
+}
+
+TEST(ChooseZonesTest, ProductAlwaysEqualsSignatureSize) {
+  for (size_t t : {100u, 64u, 20u, 50u}) {
+    for (double xi : {0.1, 0.2, 0.3, 0.4, 0.8}) {
+      auto p = ChooseZones(t, xi);
+      ASSERT_TRUE(p.ok()) << t << " " << xi;
+      EXPECT_EQ(p->zones * p->rows_per_zone, t);
+    }
+  }
+}
+
+TEST(ChooseZonesTest, LowerThresholdMeansMoreZones) {
+  const auto strict = ChooseZones(100, 0.1).value();
+  const auto loose = ChooseZones(100, 0.8).value();
+  // Lower ξ -> catch lower-similarity pairs -> more zones, fewer rows each.
+  EXPECT_GT(strict.zones, loose.zones);
+}
+
+TEST(ChooseZonesTest, RejectsBadInputs) {
+  EXPECT_TRUE(ChooseZones(1, 0.2).status().IsInvalidArgument());
+  EXPECT_TRUE(ChooseZones(100, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(ChooseZones(100, 1.0).status().IsInvalidArgument());
+  EXPECT_TRUE(ChooseZones(100, 0.2, 1).status().IsInvalidArgument());
+}
+
+TEST(LshIndexTest, BitVectorStructure) {
+  // Build signatures for 3 columns by hand.
+  SignatureMatrix sig(4, 3);
+  for (size_t i = 0; i < 4; ++i) {
+    sig.UpdateMin(0, i, 100 + i);
+    sig.UpdateMin(1, i, 100 + i);  // identical to column 0
+    sig.UpdateMin(2, i, 900 + i);  // different
+  }
+  LshParams params;
+  params.zones = 2;
+  params.rows_per_zone = 2;
+  params.buckets_per_zone = 8;
+  auto index = LshIndex::Build(sig, params, 42);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->columns(), 3u);
+  for (size_t j = 0; j < 3; ++j) {
+    // Exactly ζ set bits (one bucket per zone): ||bv||_1 = ζ.
+    EXPECT_EQ(index->vector(j).Count(), params.zones);
+    EXPECT_EQ(index->vector(j).size(), params.zones * params.buckets_per_zone);
+  }
+  // Identical signatures -> identical bit-vectors, distance 0.
+  EXPECT_EQ(index->Distance(0, 1), 0.0);
+  // Distance is always an even number <= 2ζ (disagreeing zones count twice).
+  const double d02 = index->Distance(0, 2);
+  EXPECT_EQ(std::fmod(d02, 2.0), 0.0);
+  EXPECT_LE(d02, 2.0 * static_cast<double>(params.zones));
+}
+
+TEST(LshIndexTest, DisagreementCountIsHalfHamming) {
+  SignatureMatrix sig(6, 2);
+  for (size_t i = 0; i < 6; ++i) {
+    sig.UpdateMin(0, i, i);
+    sig.UpdateMin(1, i, i < 2 ? i : 50 + i);  // share zone 0 (rows 0-1) only
+  }
+  LshParams params;
+  params.zones = 3;
+  params.rows_per_zone = 2;
+  params.buckets_per_zone = 64;  // large B: hash collisions unlikely
+  auto index = LshIndex::Build(sig, params, 7);
+  ASSERT_TRUE(index.ok());
+  size_t disagreements = 0;
+  for (size_t z = 0; z < params.zones; ++z) {
+    disagreements += index->Bucket(0, z) != index->Bucket(1, z);
+  }
+  EXPECT_EQ(index->Distance(0, 1), 2.0 * static_cast<double>(disagreements));
+  EXPECT_EQ(index->Bucket(0, 0), index->Bucket(1, 0));  // shared band
+}
+
+TEST(LshIndexTest, BuildValidatesParams) {
+  SignatureMatrix sig(10, 2);
+  LshParams bad;
+  bad.zones = 3;
+  bad.rows_per_zone = 3;  // 9 != 10
+  EXPECT_TRUE(LshIndex::Build(sig, bad, 1).status().IsInvalidArgument());
+  LshParams unset;
+  EXPECT_TRUE(LshIndex::Build(sig, unset, 1).status().IsInvalidArgument());
+}
+
+TEST(LshIndexTest, MemoryScalesWithZonesAndBuckets) {
+  SignatureMatrix sig(100, 40);
+  const auto small = LshIndex::Build(sig, ChooseZones(100, 0.4, 10).value(), 1);
+  const auto large = LshIndex::Build(sig, ChooseZones(100, 0.1, 50).value(), 1);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  // Lower threshold -> more zones; more buckets -> wider vectors.
+  EXPECT_LT(small->MemoryBytes(), large->MemoryBytes());
+}
+
+TEST(LshIndexTest, SimilarColumnsCollideMoreThanDissimilarOnes) {
+  // End-to-end statistical check on real signatures.
+  const DataSet data = GenerateIndependent(4000, 3, 29);
+  const auto skyline = SkylineSFS(data).rows;
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  const auto family = MinHashFamily::Create(100, data.size(), 8);
+  auto sig = SigGenIF(data, skyline, family);
+  ASSERT_TRUE(sig.ok());
+  auto index = LshIndex::Build(sig->signatures, ChooseZones(100, 0.2, 20).value(), 9);
+  ASSERT_TRUE(index.ok());
+  const size_t m = skyline.size();
+  // Average LSH distance of high-similarity pairs must be below that of
+  // low-similarity pairs.
+  double high_sum = 0.0, low_sum = 0.0;
+  size_t high_n = 0, low_n = 0;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a + 1; b < m; ++b) {
+      const double js = gammas.JaccardSimilarity(a, b);
+      if (js > 0.5) {
+        high_sum += index->Distance(a, b);
+        ++high_n;
+      } else if (js < 0.1) {
+        low_sum += index->Distance(a, b);
+        ++low_n;
+      }
+    }
+  }
+  if (high_n > 0 && low_n > 0) {
+    EXPECT_LT(high_sum / static_cast<double>(high_n),
+              low_sum / static_cast<double>(low_n));
+  }
+}
+
+}  // namespace
+}  // namespace skydiver

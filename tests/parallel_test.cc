@@ -1,0 +1,168 @@
+// Unit tests for src/parallel: thread pool semantics and the exact
+// serial-equivalence of the parallel skyline / signature generation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include <cmath>
+
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "minhash/siggen.h"
+#include "parallel/parallel_ops.h"
+#include "parallel/thread_pool.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  const uint64_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  pool.ParallelFor(n, 8, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesDegenerateRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  std::mutex mu;
+  pool.ParallelFor(0, 4, [&](uint64_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++calls;
+  });
+  EXPECT_GE(calls, 1);  // single empty chunk is fine
+  pool.ParallelFor(2, 100, [&](uint64_t begin, uint64_t end) {
+    EXPECT_LE(end - begin, 2u);
+  });
+}
+
+class ParallelEquivalenceTest : public testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelEquivalenceTest, SkylineMatchesSerial) {
+  ThreadPool pool(GetParam());
+  for (WorkloadKind kind : {WorkloadKind::kIndependent, WorkloadKind::kAnticorrelated,
+                            WorkloadKind::kForestCoverLike}) {
+    const auto data = GenerateWorkload(kind, 4000, 3, 77).value();
+    EXPECT_EQ(ParallelSkyline(data, pool), SkylineSFS(data).rows)
+        << WorkloadKindName(kind);
+  }
+}
+
+TEST_P(ParallelEquivalenceTest, SigGenMatchesSerialBitForBit) {
+  ThreadPool pool(GetParam());
+  const auto data = GenerateIndependent(3000, 4, 79);
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(64, data.size(), 81);
+  const auto serial = SigGenIF(data, skyline, family).value();
+  const auto parallel = ParallelSigGenIF(data, skyline, family, pool).value();
+  ASSERT_EQ(parallel.domination_scores, serial.domination_scores);
+  for (size_t j = 0; j < skyline.size(); ++j) {
+    for (size_t i = 0; i < family.size(); ++i) {
+      ASSERT_EQ(parallel.signatures.at(j, i), serial.signatures.at(j, i))
+          << "column " << j << " slot " << i;
+    }
+  }
+  EXPECT_EQ(parallel.io.page_faults, serial.io.page_faults);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelEquivalenceTest,
+                         testing::Values<size_t>(1, 2, 4, 7),
+                         [](const testing::TestParamInfo<size_t>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+TEST(ParallelOpsTest, ParallelIbDeterministicAcrossThreadCounts) {
+  const auto data = GenerateIndependent(4000, 3, 87);
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(64, data.size(), 89);
+  const auto tree = RTree::BulkLoad(data).value();
+  ThreadPool pool1(1);
+  const auto base = ParallelSigGenIB(data, skyline, family, tree, pool1).value();
+  for (size_t threads : {2u, 5u}) {
+    ThreadPool pool(threads);
+    const auto result = ParallelSigGenIB(data, skyline, family, tree, pool).value();
+    ASSERT_EQ(result.domination_scores, base.domination_scores) << threads;
+    for (size_t j = 0; j < skyline.size(); ++j) {
+      for (size_t i = 0; i < 64; ++i) {
+        ASSERT_EQ(result.signatures.at(j, i), base.signatures.at(j, i))
+            << threads << " threads, col " << j << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelOpsTest, ParallelIbScoresMatchSerialAndEstimatesTrackExact) {
+  const auto data = GenerateIndependent(4000, 4, 91);
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(256, data.size(), 93);
+  const auto tree = RTree::BulkLoad(data).value();
+  ThreadPool pool(3);
+  const auto parallel = ParallelSigGenIB(data, skyline, family, tree, pool).value();
+  const auto serial = SigGenIB(data, skyline, family, tree).value();
+  // Exact domination scores are permutation-independent.
+  EXPECT_EQ(parallel.domination_scores, serial.domination_scores);
+  // Estimates use a different (DFS vs BFS) permutation: statistical
+  // agreement only.
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  const size_t m = skyline.size();
+  double err_sum = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < m; ++a) {
+    for (size_t b = a + 1; b < m; ++b) {
+      err_sum += std::fabs(parallel.signatures.EstimatedSimilarity(a, b) -
+                           gammas.JaccardSimilarity(a, b));
+      ++pairs;
+    }
+  }
+  EXPECT_LT(err_sum / static_cast<double>(pairs), 0.035);
+}
+
+TEST(ParallelOpsTest, ParallelIbValidates) {
+  ThreadPool pool(2);
+  const auto data = GenerateIndependent(200, 2, 95);
+  const auto other = GenerateIndependent(100, 2, 95);
+  const auto family = MinHashFamily::Create(8, data.size(), 97);
+  const auto tree = RTree::BulkLoad(other).value();
+  EXPECT_TRUE(ParallelSigGenIB(data, {0}, family, tree, pool)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ParallelOpsTest, SigGenValidatesInputs) {
+  ThreadPool pool(2);
+  const auto data = GenerateIndependent(100, 2, 83);
+  const auto family = MinHashFamily::Create(8, data.size(), 85);
+  EXPECT_TRUE(ParallelSigGenIF(data, {}, family, pool).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParallelSigGenIF(data, {999}, family, pool).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skydiver

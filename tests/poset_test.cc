@@ -1,0 +1,239 @@
+// Unit tests for src/poset: partial orders, mixed dominance, mixed skyline
+// and the coordinate-free diversification pipeline.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dominance.h"
+#include "poset/mixed.h"
+#include "poset/partial_order.h"
+
+namespace skydiver {
+namespace {
+
+// --------------------------------------------------------------------------
+// PartialOrder
+// --------------------------------------------------------------------------
+
+TEST(PartialOrderTest, FromEdgesTransitiveClosure) {
+  // 0 -> 1 -> 2, plus 0 -> 3.  Closure must include 0 -> 2.
+  auto order = PartialOrder::FromEdges(4, {{0, 1}, {1, 2}, {0, 3}});
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->Less(0, 1));
+  EXPECT_TRUE(order->Less(0, 2));  // transitivity
+  EXPECT_TRUE(order->Less(0, 3));
+  EXPECT_TRUE(order->Less(1, 2));
+  EXPECT_FALSE(order->Less(1, 3));
+  EXPECT_TRUE(order->Incomparable(1, 3));
+  EXPECT_TRUE(order->Incomparable(2, 3));
+  EXPECT_TRUE(order->Leq(2, 2));   // reflexive
+  EXPECT_FALSE(order->Less(2, 0)); // antisymmetric
+  EXPECT_EQ(order->DownSetSize(0), 3u);
+  EXPECT_EQ(order->DownSetSize(2), 0u);
+}
+
+TEST(PartialOrderTest, RejectsCyclesAndBadEdges) {
+  EXPECT_TRUE(PartialOrder::FromEdges(3, {{0, 1}, {1, 2}, {2, 0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PartialOrder::FromEdges(3, {{0, 0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(PartialOrder::FromEdges(3, {{0, 7}}).status().IsInvalidArgument());
+  EXPECT_TRUE(PartialOrder::FromEdges(0, {}).status().IsInvalidArgument());
+}
+
+TEST(PartialOrderTest, ChainIsTotalOrder) {
+  const auto chain = PartialOrder::Chain(5);
+  for (uint32_t a = 0; a < 5; ++a) {
+    for (uint32_t b = 0; b < 5; ++b) {
+      EXPECT_EQ(chain.Less(a, b), a < b) << a << " " << b;
+      EXPECT_FALSE(chain.Incomparable(a, b));
+    }
+  }
+}
+
+TEST(PartialOrderTest, LevelsStructure) {
+  // Levels {1, 2, 2}: id 0 beats 1..4; ids 1,2 beat 3,4; 1 vs 2 and 3 vs 4
+  // incomparable.
+  const auto levels = PartialOrder::Levels({1, 2, 2});
+  EXPECT_TRUE(levels.Less(0, 4));
+  EXPECT_TRUE(levels.Less(1, 3));
+  EXPECT_TRUE(levels.Less(2, 4));
+  EXPECT_TRUE(levels.Incomparable(1, 2));
+  EXPECT_TRUE(levels.Incomparable(3, 4));
+}
+
+TEST(PartialOrderTest, AntichainAllIncomparable) {
+  const auto flat = PartialOrder::Antichain(4);
+  for (uint32_t a = 0; a < 4; ++a) {
+    for (uint32_t b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(flat.Incomparable(a, b));
+      }
+    }
+  }
+}
+
+TEST(PartialOrderTest, PartialOrderAxiomsOnRandomDags) {
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 8;
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    // Random DAG: only forward edges in a fixed vertex order.
+    for (uint32_t a = 0; a < n; ++a) {
+      for (uint32_t b = a + 1; b < n; ++b) {
+        if (rng.NextDouble() < 0.3) edges.emplace_back(a, b);
+      }
+    }
+    const auto order = PartialOrder::FromEdges(n, edges).value();
+    for (uint32_t a = 0; a < n; ++a) {
+      EXPECT_FALSE(order.Less(a, a));
+      for (uint32_t b = 0; b < n; ++b) {
+        EXPECT_FALSE(order.Less(a, b) && order.Less(b, a));
+        for (uint32_t c = 0; c < n; ++c) {
+          if (order.Less(a, b) && order.Less(b, c)) {
+            EXPECT_TRUE(order.Less(a, c));
+          }
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// MixedSchema / MixedDominates
+// --------------------------------------------------------------------------
+
+TEST(MixedSchemaTest, ValidateCatchesBadCategoryIds) {
+  const auto tiers = PartialOrder::Chain(3);
+  MixedSchema schema(2);
+  ASSERT_TRUE(schema.SetCategorical(1, &tiers).ok());
+  EXPECT_TRUE(schema.SetCategorical(5, &tiers).IsInvalidArgument());
+  EXPECT_TRUE(schema.SetCategorical(0, nullptr).IsInvalidArgument());
+
+  DataSet ok_data(2);
+  ok_data.Append({1.0, 2.0});
+  EXPECT_TRUE(schema.Validate(ok_data).ok());
+
+  DataSet bad_id(2);
+  bad_id.Append({1.0, 3.0});  // category 3 out of range
+  EXPECT_TRUE(schema.Validate(bad_id).IsInvalidArgument());
+
+  DataSet non_integral(2);
+  non_integral.Append({1.0, 0.5});
+  EXPECT_TRUE(schema.Validate(non_integral).IsInvalidArgument());
+}
+
+TEST(MixedDominatesTest, NumericPlusChain) {
+  const auto tiers = PartialOrder::Chain(3);  // 0 best
+  MixedSchema schema(2);
+  ASSERT_TRUE(schema.SetCategorical(1, &tiers).ok());
+  const std::vector<Coord> cheap_good{10.0, 0.0};
+  const std::vector<Coord> cheap_bad{10.0, 2.0};
+  const std::vector<Coord> pricey_good{20.0, 0.0};
+  EXPECT_TRUE(MixedDominates(cheap_good, cheap_bad, schema));
+  EXPECT_TRUE(MixedDominates(cheap_good, pricey_good, schema));
+  EXPECT_FALSE(MixedDominates(cheap_bad, pricey_good, schema));  // tier worse
+  EXPECT_FALSE(MixedDominates(cheap_good, cheap_good, schema));  // irreflexive
+}
+
+TEST(MixedDominatesTest, IncomparableCategoriesBlockDominance) {
+  const auto flat = PartialOrder::Antichain(3);
+  MixedSchema schema(2);
+  ASSERT_TRUE(schema.SetCategorical(1, &flat).ok());
+  const std::vector<Coord> a{1.0, 0.0};
+  const std::vector<Coord> b{5.0, 1.0};
+  // a is cheaper, but categories 0 and 1 are incomparable -> no dominance.
+  EXPECT_FALSE(MixedDominates(a, b, schema));
+}
+
+TEST(MixedDominatesTest, AllNumericMatchesPlainDominance) {
+  MixedSchema schema(3);
+  Rng rng(43);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Coord> p(3), q(3);
+    for (int i = 0; i < 3; ++i) {
+      p[static_cast<size_t>(i)] = std::floor(rng.NextDouble() * 4);
+      q[static_cast<size_t>(i)] = std::floor(rng.NextDouble() * 4);
+    }
+    EXPECT_EQ(MixedDominates(p, q, schema), Dominates(p, q));
+  }
+}
+
+// --------------------------------------------------------------------------
+// MixedSkyline / DiversifyMixed
+// --------------------------------------------------------------------------
+
+TEST(MixedSkylineTest, SmallCatalog) {
+  // (price, tier) with tiers: 0 premium ≺ 1 standard ≺ 2 economy.
+  const auto tiers = PartialOrder::Chain(3);
+  MixedSchema schema(2);
+  ASSERT_TRUE(schema.SetCategorical(1, &tiers).ok());
+  DataSet d(2);
+  d.Append({100.0, 0.0});  // 0: cheap premium   -> skyline
+  d.Append({50.0, 2.0});   // 1: cheapest economy -> skyline
+  d.Append({120.0, 0.0});  // 2: dominated by 0
+  d.Append({60.0, 2.0});   // 3: dominated by 1
+  d.Append({80.0, 1.0});   // 4: skyline (cheaper than 0, better tier than 1)
+  auto skyline = MixedSkyline(d, schema);
+  ASSERT_TRUE(skyline.ok());
+  EXPECT_EQ(*skyline, (std::vector<RowId>{0, 1, 4}));
+}
+
+TEST(MixedSkylineTest, MatchesBruteForceOnRandomMixedData) {
+  const auto levels = PartialOrder::Levels({1, 3, 2});
+  MixedSchema schema(3);
+  ASSERT_TRUE(schema.SetCategorical(2, &levels).ok());
+  Rng rng(47);
+  DataSet d(3);
+  for (int r = 0; r < 300; ++r) {
+    d.Append({rng.NextDouble(), rng.NextDouble(),
+              static_cast<Coord>(rng.NextBounded(6))});
+  }
+  const auto skyline = MixedSkyline(d, schema).value();
+  // Brute force: a row is skyline iff nothing dominates it.
+  std::vector<RowId> expected;
+  for (RowId r = 0; r < d.size(); ++r) {
+    bool dominated = false;
+    for (RowId q = 0; q < d.size(); ++q) {
+      if (q != r && MixedDominates(d.row(q), d.row(r), schema)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) expected.push_back(r);
+  }
+  EXPECT_EQ(skyline, expected);
+}
+
+TEST(DiversifyMixedTest, EndToEnd) {
+  const auto tiers = PartialOrder::Levels({2, 3, 2});
+  MixedSchema schema(3);
+  ASSERT_TRUE(schema.SetCategorical(2, &tiers).ok());
+  Rng rng(53);
+  DataSet d(3);
+  for (int r = 0; r < 2000; ++r) {
+    d.Append({rng.NextDouble(), rng.NextDouble(),
+              static_cast<Coord>(rng.NextBounded(7))});
+  }
+  auto result = DiversifyMixed(d, schema, 5, 100, 55);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->selected_rows.size(), 5u);
+  // Selected rows must be skyline members.
+  for (RowId r : result->selected_rows) {
+    EXPECT_TRUE(std::find(result->skyline.begin(), result->skyline.end(), r) !=
+                result->skyline.end());
+  }
+  EXPECT_GT(result->objective, 0.0);
+}
+
+TEST(DiversifyMixedTest, RejectsOversizedK) {
+  MixedSchema schema(2);
+  DataSet d(2);
+  d.Append({1.0, 1.0});
+  EXPECT_TRUE(DiversifyMixed(d, schema, 5, 10, 1).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skydiver

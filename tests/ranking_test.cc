@@ -1,0 +1,142 @@
+// Unit tests for top-k dominating queries and local-search dispersion
+// refinement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/generators.h"
+#include "diversify/brute_force.h"
+#include "diversify/dispersion.h"
+#include "diversify/local_search.h"
+#include "rtree/rtree.h"
+#include "skyline/skyline.h"
+#include "skyline/topk_dominating.h"
+
+namespace skydiver {
+namespace {
+
+// --------------------------------------------------------------------------
+// TopKDominating
+// --------------------------------------------------------------------------
+
+TEST(TopKDominatingTest, ScanToyExample) {
+  DataSet d(2);
+  d.Append({1.0, 1.0});  // dominates everything below
+  d.Append({2.0, 2.0});  // dominates 2
+  d.Append({3.0, 3.0});
+  d.Append({0.5, 9.0});  // dominates nothing
+  auto top = TopKDominatingScan(d, 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  EXPECT_EQ((*top)[0].row, 0u);
+  EXPECT_EQ((*top)[0].score, 2u);
+  EXPECT_EQ((*top)[1].row, 1u);
+  EXPECT_EQ((*top)[1].score, 1u);
+}
+
+TEST(TopKDominatingTest, IndexMatchesScan) {
+  const DataSet data = GenerateIndependent(2000, 3, 97);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  const auto scan = TopKDominatingScan(data, 10).value();
+  const auto indexed = TopKDominating(data, *tree, 10).value();
+  ASSERT_EQ(scan.size(), indexed.size());
+  for (size_t i = 0; i < scan.size(); ++i) {
+    EXPECT_EQ(scan[i].row, indexed[i].row) << i;
+    EXPECT_EQ(scan[i].score, indexed[i].score) << i;
+  }
+}
+
+TEST(TopKDominatingTest, TopDominatorIsOnTheSkyline) {
+  // The global top-1 dominating point is always a skyline point: anything
+  // dominating it would dominate a superset.
+  const DataSet data = GenerateAnticorrelated(3000, 3, 99);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  const auto skyline = SkylineSFS(data).rows;
+  const auto top = TopKDominating(data, *tree, 1).value();
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_TRUE(std::find(skyline.begin(), skyline.end(), top[0].row) != skyline.end());
+}
+
+TEST(TopKDominatingTest, CandidateRestriction) {
+  const DataSet data = GenerateIndependent(1500, 3, 101);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  const auto skyline = SkylineSFS(data).rows;
+  const auto top =
+      TopKDominating(data, *tree, skyline.size(), &skyline).value();
+  EXPECT_EQ(top.size(), skyline.size());
+  // Scores must be sorted descending.
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(TopKDominatingTest, Validation) {
+  DataSet empty(2);
+  EXPECT_TRUE(TopKDominatingScan(empty, 1).status().IsInvalidArgument());
+  const DataSet data = GenerateIndependent(100, 2, 103);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(TopKDominating(data, *tree, 0).status().IsInvalidArgument());
+  const std::vector<RowId> bad{999};
+  EXPECT_TRUE(TopKDominating(data, *tree, 1, &bad).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------------------
+// RefineDispersion (local search)
+// --------------------------------------------------------------------------
+
+TEST(LocalSearchTest, ValidatesInput) {
+  auto d = [](size_t, size_t) { return 1.0; };
+  EXPECT_TRUE(RefineDispersion(5, {0}, d).status().IsInvalidArgument());       // k < 2
+  EXPECT_TRUE(RefineDispersion(2, {0, 1, 2}, d).status().IsInvalidArgument()); // k > m
+  EXPECT_TRUE(RefineDispersion(5, {0, 0}, d).status().IsInvalidArgument());    // dup
+  EXPECT_TRUE(RefineDispersion(5, {0, 9}, d).status().IsInvalidArgument());    // range
+}
+
+TEST(LocalSearchTest, FixesAKnownSuboptimalSelection) {
+  // Line positions: {0, 1, 10}; start from the bad pair {0, 1}; the swap
+  // 1 -> 2 lifts the objective from 1 to 10.
+  const std::vector<double> pos{0.0, 1.0, 10.0};
+  auto d = [&](size_t a, size_t b) { return std::fabs(pos[a] - pos[b]); };
+  auto refined = RefineDispersion(3, {0, 1}, d).value();
+  EXPECT_DOUBLE_EQ(refined.min_pairwise, 10.0);
+  EXPECT_EQ(refined.swaps, 1u);
+}
+
+TEST(LocalSearchTest, NeverDecreasesObjective) {
+  Rng rng(105);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t m = 15, k = 4;
+    std::vector<double> xs(m), ys(m);
+    for (size_t i = 0; i < m; ++i) {
+      xs[i] = rng.NextDouble();
+      ys[i] = rng.NextDouble();
+    }
+    auto dist = [&](size_t a, size_t b) {
+      return std::hypot(xs[a] - xs[b], ys[a] - ys[b]);
+    };
+    auto greedy = SelectDiverseSet(m, k, dist, [](size_t) { return 0.0; }).value();
+    auto refined = RefineDispersion(m, greedy.selected, dist).value();
+    EXPECT_GE(refined.min_pairwise + 1e-12, greedy.min_pairwise);
+    // And refinement can never beat the true optimum.
+    auto opt = BruteForceMaxMin(m, k, dist).value();
+    EXPECT_LE(refined.min_pairwise, opt.min_pairwise + 1e-12);
+  }
+}
+
+TEST(LocalSearchTest, LocalOptimumIsStable) {
+  const std::vector<double> pos{0.0, 5.0, 10.0};
+  auto d = [&](size_t a, size_t b) { return std::fabs(pos[a] - pos[b]); };
+  auto refined = RefineDispersion(3, {0, 2}, d).value();
+  EXPECT_EQ(refined.swaps, 0u);  // already optimal
+  EXPECT_DOUBLE_EQ(refined.min_pairwise, 10.0);
+}
+
+}  // namespace
+}  // namespace skydiver

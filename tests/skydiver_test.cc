@@ -1,0 +1,170 @@
+// Unit tests for the SkyDiver framework façade.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "diversify/evaluate.h"
+#include "rtree/rtree.h"
+#include "skydiver/skydiver.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+TEST(SkyDiverTest, ValidatesConfig) {
+  const DataSet data = GenerateIndependent(200, 3, 1);
+  SkyDiverConfig config;
+  config.k = 0;
+  EXPECT_TRUE(SkyDiver::Run(data, config).status().IsInvalidArgument());
+  config.k = 5;
+  config.signature_size = 0;
+  EXPECT_TRUE(SkyDiver::Run(data, config).status().IsInvalidArgument());
+  config.signature_size = 50;
+  config.siggen = SigGenMode::kIndexBased;
+  EXPECT_TRUE(SkyDiver::Run(data, config).status().IsInvalidArgument());  // no tree
+  const DataSet empty(3);
+  EXPECT_TRUE(SkyDiver::Run(empty, SkyDiverConfig{}).status().IsInvalidArgument());
+}
+
+TEST(SkyDiverTest, IndexFreePipelineProducesKDiverseSkylinePoints) {
+  const DataSet data = GenerateIndependent(3000, 4, 5);
+  SkyDiverConfig config;
+  config.k = 10;
+  auto report = SkyDiver::Run(data, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(IsSkyline(data, report->skyline));
+  EXPECT_EQ(report->selected.size(), 10u);
+  EXPECT_EQ(report->selected_rows.size(), 10u);
+  // Selected rows are distinct skyline members.
+  std::set<RowId> sky(report->skyline.begin(), report->skyline.end());
+  std::set<RowId> sel(report->selected_rows.begin(), report->selected_rows.end());
+  EXPECT_EQ(sel.size(), 10u);
+  for (RowId r : sel) EXPECT_TRUE(sky.count(r));
+  // IF charges sequential-scan faults.
+  EXPECT_GT(report->fingerprint_phase.io.page_faults, 0u);
+  EXPECT_GT(report->signature_memory_bytes, 0u);
+  EXPECT_EQ(report->lsh_memory_bytes, 0u);  // MH mode
+}
+
+TEST(SkyDiverTest, IndexBasedPipelineUsesTree) {
+  const DataSet data = GenerateForestCoverLike(5000, 4, 7);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  SkyDiverConfig config;
+  config.k = 10;
+  auto report = SkyDiver::Run(data, config, &*tree);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(IsSkyline(data, report->skyline));
+  EXPECT_EQ(report->selected_rows.size(), 10u);
+}
+
+TEST(SkyDiverTest, LshModeReportsMemory) {
+  const DataSet data = GenerateIndependent(2000, 4, 9);
+  SkyDiverConfig config;
+  config.k = 5;
+  config.select = SelectMode::kLsh;
+  config.lsh_threshold = 0.2;
+  config.lsh_buckets = 20;
+  auto report = SkyDiver::Run(data, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->selected.size(), 5u);
+  EXPECT_GT(report->lsh_memory_bytes, 0u);
+  // The LSH vectors are (much) smaller than the signature matrix.
+  EXPECT_LT(report->lsh_memory_bytes, report->signature_memory_bytes);
+}
+
+TEST(SkyDiverTest, PrecomputedSkylineIsHonored) {
+  const DataSet data = GenerateIndependent(1500, 3, 11);
+  const auto skyline = SkylineSFS(data).rows;
+  SkyDiverConfig config;
+  config.k = std::min<size_t>(5, skyline.size());
+  auto report = SkyDiver::Run(data, config, nullptr, &skyline);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->skyline, skyline);
+  EXPECT_EQ(report->skyline_phase.io.page_reads, 0u);  // skipped
+}
+
+TEST(SkyDiverTest, KLargerThanSkylineIsRejected) {
+  const DataSet data = GenerateCorrelated(500, 2, 13);  // tiny skyline
+  SkyDiverConfig config;
+  config.k = 400;
+  EXPECT_TRUE(SkyDiver::Run(data, config).status().IsInvalidArgument());
+}
+
+TEST(SkyDiverTest, DeterministicAcrossRuns) {
+  const DataSet data = GenerateIndependent(2000, 4, 15);
+  SkyDiverConfig config;
+  config.k = 8;
+  auto a = SkyDiver::Run(data, config);
+  auto b = SkyDiver::Run(data, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->selected_rows, b->selected_rows);
+  EXPECT_DOUBLE_EQ(a->objective, b->objective);
+}
+
+TEST(SkyDiverTest, SeedChangesHashFamilyNotSkyline) {
+  const DataSet data = GenerateIndependent(2000, 4, 15);
+  SkyDiverConfig a_config;
+  a_config.k = 8;
+  a_config.seed = 1;
+  SkyDiverConfig b_config = a_config;
+  b_config.seed = 2;
+  auto a = SkyDiver::Run(data, a_config);
+  auto b = SkyDiver::Run(data, b_config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->skyline, b->skyline);  // skyline is seed-independent
+}
+
+TEST(SkyDiverTest, RunWithPreferenceMapsMaxDims) {
+  // price (min) / quality (max): the skyline under the preference must be
+  // the skyline of the negated-quality dataset.
+  DataSet hotels(2);
+  hotels.Append({50.0, 9.0});   // cheap & great: skyline
+  hotels.Append({40.0, 3.0});   // cheapest, poor quality: skyline
+  hotels.Append({60.0, 9.5});   // pricier, best quality: skyline
+  hotels.Append({70.0, 4.0});   // dominated (0 is cheaper and better)
+  hotels.Append({55.0, 8.0});   // dominated by 0
+  Preference pref({Pref::kMin, Pref::kMax});
+  SkyDiverConfig config;
+  config.k = 2;
+  auto report = SkyDiver::RunWithPreference(hotels, pref, config);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->skyline, (std::vector<RowId>{0, 1, 2}));
+  EXPECT_EQ(report->selected_rows.size(), 2u);
+}
+
+TEST(SkyDiverTest, SelectionQualityBeatsWorstCase) {
+  // End-to-end quality: the MH selection's exact diversity should be well
+  // above the theoretical floor — sanity that the approximation works.
+  const DataSet data = GenerateIndependent(4000, 4, 17);
+  const auto skyline = SkylineSFS(data).rows;
+  const GammaSets gammas = GammaSets::Compute(data, skyline);
+  SkyDiverConfig config;
+  config.k = 10;
+  auto report = SkyDiver::Run(data, config, nullptr, &skyline);
+  ASSERT_TRUE(report.ok());
+  const auto quality = EvaluateSelection(gammas, report->selected);
+  EXPECT_GT(quality.min_diversity, 0.3);  // paper's Fig. 12 shows ~0.6+ at k=10
+}
+
+TEST(SkyDiverTest, CostModelChargesFaults) {
+  const DataSet data = GenerateIndependent(3000, 4, 19);
+  SkyDiverConfig config;
+  config.k = 5;
+  auto report = SkyDiver::Run(data, config);
+  ASSERT_TRUE(report.ok());
+  const double cpu = report->fingerprint_phase.cpu_seconds;
+  const double total = report->fingerprint_phase.TotalSeconds(config.cost_model);
+  EXPECT_DOUBLE_EQ(total, cpu + 0.008 * static_cast<double>(
+                                            report->fingerprint_phase.io.page_faults));
+  EXPECT_GE(report->DiversificationSeconds(config.cost_model), total);
+}
+
+}  // namespace
+}  // namespace skydiver

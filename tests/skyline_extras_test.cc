@@ -1,0 +1,349 @@
+// Tests for the divide-and-conquer skyline, the skyline-cardinality
+// estimators, R-tree k-nearest-neighbor search, and finite-data validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dataset.h"
+#include "datagen/generators.h"
+#include "rtree/rtree.h"
+#include "skyline/bbs_scan.h"
+#include "skyline/cardinality.h"
+#include "skyline/external.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+// --------------------------------------------------------------------------
+// SkylineDC
+// --------------------------------------------------------------------------
+
+class SkylineDCTest
+    : public testing::TestWithParam<std::tuple<WorkloadKind, Dim, size_t>> {};
+
+TEST_P(SkylineDCTest, MatchesSFS) {
+  const auto [kind, dims, leaf] = GetParam();
+  const auto data = GenerateWorkload(kind, 3000, dims, 151).value();
+  EXPECT_EQ(SkylineDC(data, leaf).rows, SkylineSFS(data).rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SkylineDCTest,
+    testing::Combine(testing::Values(WorkloadKind::kIndependent,
+                                     WorkloadKind::kAnticorrelated,
+                                     WorkloadKind::kForestCoverLike),
+                     testing::Values(Dim{2}, Dim{4}),
+                     testing::Values<size_t>(16, 256)),
+    [](const testing::TestParamInfo<std::tuple<WorkloadKind, Dim, size_t>>& info) {
+      return WorkloadKindName(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param)) + "_leaf" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SkylineDCTest, HandlesHeavyTies) {
+  // All coordinates from {0, 1}: duplicates and ties across the median.
+  Rng rng(153);
+  DataSet d(3);
+  for (int i = 0; i < 500; ++i) {
+    d.Append({std::floor(rng.NextDouble() * 2), std::floor(rng.NextDouble() * 2),
+              std::floor(rng.NextDouble() * 2)});
+  }
+  EXPECT_EQ(SkylineDC(d, 8).rows, SkylineBNL(d).rows);
+}
+
+TEST(SkylineDCTest, EmptyAndSingleton) {
+  DataSet empty(2);
+  EXPECT_TRUE(SkylineDC(empty).rows.empty());
+  DataSet one(2);
+  one.Append({1.0, 2.0});
+  EXPECT_EQ(SkylineDC(one).rows, std::vector<RowId>{0});
+}
+
+// --------------------------------------------------------------------------
+// Skyline cardinality estimation
+// --------------------------------------------------------------------------
+
+TEST(CardinalityTest, OneDimensionIsAlwaysOne) {
+  for (uint64_t n : {1ULL, 10ULL, 100000ULL}) {
+    EXPECT_DOUBLE_EQ(ExpectedSkylineSizeUniform(n, 1), 1.0);
+  }
+}
+
+TEST(CardinalityTest, TwoDimensionsIsHarmonicNumber) {
+  // E(n, 2) = H_n, a classical identity.
+  double harmonic = 0.0;
+  for (uint64_t i = 1; i <= 1000; ++i) {
+    harmonic += 1.0 / static_cast<double>(i);
+    if (i == 10 || i == 100 || i == 1000) {
+      EXPECT_NEAR(ExpectedSkylineSizeUniform(i, 2), harmonic, 1e-9) << i;
+    }
+  }
+}
+
+TEST(CardinalityTest, MonotoneInNAndD) {
+  EXPECT_LT(ExpectedSkylineSizeUniform(1000, 3), ExpectedSkylineSizeUniform(10000, 3));
+  EXPECT_LT(ExpectedSkylineSizeUniform(10000, 3), ExpectedSkylineSizeUniform(10000, 5));
+}
+
+TEST(CardinalityTest, PredictsMeasuredSkylineSizes) {
+  // Average measured skyline size over a few seeds should sit near the
+  // exact expectation (within 25% for these n).
+  for (Dim d : {2u, 3u, 4u}) {
+    const uint64_t n = 20000;
+    double measured = 0.0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      measured += static_cast<double>(
+          SkylineSFS(GenerateIndependent(static_cast<RowId>(n), d, 200 + seed))
+              .rows.size());
+    }
+    measured /= 3.0;
+    const double expected = ExpectedSkylineSizeUniform(n, d);
+    EXPECT_NEAR(measured, expected, 0.25 * expected) << "d = " << d;
+  }
+}
+
+TEST(CardinalityTest, AsymptoticTracksExactForLargeN) {
+  // (ln n)^{d-1}/(d-1)! is a first-order approximation: same order of
+  // magnitude for large n.
+  const double exact = ExpectedSkylineSizeUniform(5000000, 4);
+  const double asym = AsymptoticSkylineSizeUniform(5000000, 4);
+  EXPECT_GT(asym, exact * 0.5);
+  EXPECT_LT(asym, exact * 2.0);
+}
+
+// --------------------------------------------------------------------------
+// BbsScan (progressive BBS)
+// --------------------------------------------------------------------------
+
+TEST(BbsScanTest, EmitsFullSkylineInMindistOrder) {
+  const DataSet data = GenerateAnticorrelated(4000, 3, 183);
+  const auto tree = RTree::BulkLoad(data).value();
+  BbsScan<RTree> scan(data, tree);
+  std::vector<RowId> emitted;
+  double prev_sum = -1.0;
+  while (auto row = scan.Next()) {
+    emitted.push_back(*row);
+    double s = 0.0;
+    for (Coord v : data.row(*row)) s += v;
+    EXPECT_GE(s, prev_sum - 1e-12) << "progressive order violated";
+    prev_sum = s;
+  }
+  std::sort(emitted.begin(), emitted.end());
+  EXPECT_EQ(emitted, SkylineSFS(data).rows);
+}
+
+TEST(BbsScanTest, EarlyStopReadsFewerPages) {
+  const DataSet data = GenerateAnticorrelated(20000, 3, 185);
+  const auto tree = RTree::BulkLoad(data).value();
+  tree.ResetIoStats();
+  {
+    BbsScan<RTree> preview(data, tree);
+    for (int i = 0; i < 3 && preview.Next(); ++i) {
+    }
+  }
+  const uint64_t preview_reads = tree.io_stats().page_reads;
+  tree.pool().Clear();
+  tree.ResetIoStats();
+  {
+    BbsScan<RTree> full(data, tree);
+    while (full.Next()) {
+    }
+  }
+  const uint64_t full_reads = tree.io_stats().page_reads;
+  EXPECT_GT(preview_reads, 0u);
+  EXPECT_LT(preview_reads, full_reads / 2);  // preview is much cheaper
+}
+
+TEST(BbsScanTest, EmptyTreeYieldsNothing) {
+  DataSet data(2);
+  data.Append({0.5, 0.5});
+  const auto tree = RTree::BulkLoad(data).value();
+  BbsScan<RTree> scan(data, tree);
+  EXPECT_EQ(scan.Next().value(), 0u);
+  EXPECT_FALSE(scan.Next().has_value());
+  EXPECT_EQ(scan.emitted().size(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// R-tree nearest neighbors
+// --------------------------------------------------------------------------
+
+TEST(NearestNeighborsTest, MatchesLinearScan) {
+  const DataSet data = GenerateClustered(3000, 3, 157);
+  const auto tree = RTree::BulkLoad(data).value();
+  Rng rng(159);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Coord> q{rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    const auto knn = tree.NearestNeighbors(q, 5);
+    ASSERT_EQ(knn.size(), 5u);
+    // Reference: sort all rows by distance.
+    std::vector<std::pair<double, RowId>> ref;
+    for (RowId r = 0; r < data.size(); ++r) {
+      double s = 0;
+      for (Dim i = 0; i < 3; ++i) {
+        const double diff = data.at(r, i) - q[i];
+        s += diff * diff;
+      }
+      ref.emplace_back(std::sqrt(s), r);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (size_t i = 0; i < 5; ++i) {
+      EXPECT_NEAR(knn[i].distance, ref[i].first, 1e-12) << "rank " << i;
+    }
+    // Distances must be sorted ascending.
+    for (size_t i = 1; i < knn.size(); ++i) {
+      EXPECT_GE(knn[i].distance, knn[i - 1].distance);
+    }
+  }
+}
+
+TEST(NearestNeighborsTest, KLargerThanTree) {
+  DataSet d(2);
+  d.Append({0.1, 0.1});
+  d.Append({0.9, 0.9});
+  const auto tree = RTree::BulkLoad(d).value();
+  const std::vector<Coord> q{0.0, 0.0};
+  const auto knn = tree.NearestNeighbors(q, 10);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].row, 0u);
+  EXPECT_EQ(knn[1].row, 1u);
+  EXPECT_TRUE(tree.NearestNeighbors(q, 0).empty());
+}
+
+TEST(NearestNeighborsTest, ExactHitHasZeroDistance) {
+  const DataSet data = GenerateIndependent(500, 2, 161);
+  const auto tree = RTree::BulkLoad(data).value();
+  const auto knn = tree.NearestNeighbors(data.row(123), 1);
+  ASSERT_EQ(knn.size(), 1u);
+  EXPECT_EQ(knn[0].row, 123u);
+  EXPECT_DOUBLE_EQ(knn[0].distance, 0.0);
+}
+
+// --------------------------------------------------------------------------
+// SkylineExternal (bounded-window, multi-pass)
+// --------------------------------------------------------------------------
+
+class ExternalSkylineTest
+    : public testing::TestWithParam<std::tuple<WorkloadKind, size_t>> {};
+
+TEST_P(ExternalSkylineTest, MatchesInMemorySkylineForAnyWindow) {
+  const auto [kind, window] = GetParam();
+  const auto data = GenerateWorkload(kind, 2500, 3, 171).value();
+  const auto expected = SkylineSFS(data).rows;
+  const auto result = SkylineExternal(data, window).value();
+  EXPECT_EQ(result.rows, expected);
+  EXPECT_GE(result.passes, 1u);
+  // Pass bound: each pass confirms up to `window` skyline points.
+  const auto min_passes =
+      (expected.size() + window - 1) / std::max<size_t>(1, window);
+  EXPECT_GE(result.passes, static_cast<uint32_t>(min_passes));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExternalSkylineTest,
+    testing::Combine(testing::Values(WorkloadKind::kIndependent,
+                                     WorkloadKind::kAnticorrelated),
+                     testing::Values<size_t>(1, 8, 64, 100000)),
+    [](const testing::TestParamInfo<std::tuple<WorkloadKind, size_t>>& info) {
+      return WorkloadKindName(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ExternalSkylineTest, LargeWindowFinishesInOnePass) {
+  const auto data = GenerateIndependent(2000, 3, 173);
+  const auto result = SkylineExternal(data, data.size()).value();
+  EXPECT_EQ(result.passes, 1u);
+}
+
+TEST(ExternalSkylineTest, SmallerWindowsCostMoreIo) {
+  const auto data = GenerateAnticorrelated(4000, 3, 175);
+  const auto big = SkylineExternal(data, 100000).value();
+  const auto small = SkylineExternal(data, 16).value();
+  EXPECT_EQ(big.rows, small.rows);
+  EXPECT_GT(small.passes, big.passes);
+  EXPECT_GT(small.io.page_reads, big.io.page_reads);
+  EXPECT_GT(small.io.page_writes, big.io.page_writes);  // overflow spills
+}
+
+TEST(ExternalSkylineTest, Validation) {
+  DataSet empty(2);
+  EXPECT_TRUE(SkylineExternal(empty, 8).status().IsInvalidArgument());
+  DataSet one(2);
+  one.Append({1.0, 1.0});
+  EXPECT_TRUE(SkylineExternal(one, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(SkylineExternalBNL(empty, 8).status().IsInvalidArgument());
+  EXPECT_TRUE(SkylineExternalBNL(one, 0).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------------------
+// SkylineExternalBNL (no presort, timestamp confirmation)
+// --------------------------------------------------------------------------
+
+class ExternalBnlTest
+    : public testing::TestWithParam<std::tuple<WorkloadKind, size_t>> {};
+
+TEST_P(ExternalBnlTest, MatchesInMemorySkylineForAnyWindow) {
+  const auto [kind, window] = GetParam();
+  const auto data = GenerateWorkload(kind, 2500, 3, 177).value();
+  const auto result = SkylineExternalBNL(data, window).value();
+  EXPECT_EQ(result.rows, SkylineSFS(data).rows);
+  EXPECT_GE(result.passes, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ExternalBnlTest,
+    testing::Combine(testing::Values(WorkloadKind::kIndependent,
+                                     WorkloadKind::kAnticorrelated,
+                                     WorkloadKind::kRecipesLike),
+                     testing::Values<size_t>(1, 8, 64, 100000)),
+    [](const testing::TestParamInfo<std::tuple<WorkloadKind, size_t>>& info) {
+      return WorkloadKindName(std::get<0>(info.param)) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ExternalBnlTest, TieHeavyData) {
+  Rng rng(179);
+  DataSet d(3);
+  for (int i = 0; i < 600; ++i) {
+    d.Append({std::floor(rng.NextDouble() * 3), std::floor(rng.NextDouble() * 3),
+              std::floor(rng.NextDouble() * 3)});
+  }
+  EXPECT_EQ(SkylineExternalBNL(d, 4).value().rows, SkylineBNL(d).rows);
+}
+
+TEST(ExternalBnlTest, PresortNeedsNoMorePasses) {
+  // The presorted variant (SkylineExternal) confirms a full window per
+  // pass; plain BNL may confirm less. On a tight window, presort's pass
+  // count is a lower bound.
+  const auto data = GenerateAnticorrelated(3000, 3, 181);
+  const auto sorted = SkylineExternal(data, 32).value();
+  const auto bnl = SkylineExternalBNL(data, 32).value();
+  EXPECT_EQ(sorted.rows, bnl.rows);
+  EXPECT_LE(sorted.passes, bnl.passes);
+}
+
+// --------------------------------------------------------------------------
+// CheckFinite
+// --------------------------------------------------------------------------
+
+TEST(CheckFiniteTest, AcceptsCleanData) {
+  EXPECT_TRUE(CheckFinite(GenerateIndependent(100, 3, 163)).ok());
+}
+
+TEST(CheckFiniteTest, RejectsNaNAndInfinity) {
+  DataSet nan_data(2);
+  nan_data.Append({1.0, std::numeric_limits<Coord>::quiet_NaN()});
+  EXPECT_TRUE(CheckFinite(nan_data).IsInvalidArgument());
+  DataSet inf_data(2);
+  inf_data.Append({std::numeric_limits<Coord>::infinity(), 0.0});
+  EXPECT_TRUE(CheckFinite(inf_data).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skydiver

@@ -1,0 +1,141 @@
+// Unit tests for src/skyline: BNL, SFS, BBS correctness and cross-agreement.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datagen/generators.h"
+#include "rtree/rtree.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+TEST(SkylineTest, ToyExample) {
+  DataSet d(2);
+  d.Append({1.0, 4.0});
+  d.Append({2.0, 1.0});
+  d.Append({2.0, 5.0});
+  d.Append({3.0, 2.0});
+  d.Append({4.0, 6.0});
+  const std::vector<RowId> expected{0, 1};
+  EXPECT_EQ(SkylineBNL(d).rows, expected);
+  EXPECT_EQ(SkylineSFS(d).rows, expected);
+  auto tree = RTree::BulkLoad(d);
+  ASSERT_TRUE(tree.ok());
+  auto bbs = SkylineBBS(d, *tree);
+  ASSERT_TRUE(bbs.ok());
+  EXPECT_EQ(bbs->rows, expected);
+}
+
+TEST(SkylineTest, SinglePointIsItsOwnSkyline) {
+  DataSet d(3);
+  d.Append({0.1, 0.2, 0.3});
+  EXPECT_EQ(SkylineBNL(d).rows, std::vector<RowId>{0});
+  EXPECT_EQ(SkylineSFS(d).rows, std::vector<RowId>{0});
+}
+
+TEST(SkylineTest, TotallyOrderedChainHasOneSkylinePoint) {
+  DataSet d(2);
+  for (int i = 0; i < 50; ++i) {
+    d.Append({static_cast<double>(i), static_cast<double>(i)});
+  }
+  EXPECT_EQ(SkylineBNL(d).rows, std::vector<RowId>{0});
+  EXPECT_EQ(SkylineSFS(d).rows, std::vector<RowId>{0});
+}
+
+TEST(SkylineTest, AntiDiagonalIsAllSkyline) {
+  DataSet d(2);
+  for (int i = 0; i < 50; ++i) {
+    d.Append({static_cast<double>(i), static_cast<double>(49 - i)});
+  }
+  EXPECT_EQ(SkylineBNL(d).rows.size(), 50u);
+  EXPECT_EQ(SkylineSFS(d).rows.size(), 50u);
+}
+
+TEST(SkylineTest, DuplicatesAllKept) {
+  DataSet d(2);
+  d.Append({1.0, 1.0});
+  d.Append({1.0, 1.0});
+  d.Append({2.0, 2.0});
+  const std::vector<RowId> expected{0, 1};
+  EXPECT_EQ(SkylineBNL(d).rows, expected);
+  EXPECT_EQ(SkylineSFS(d).rows, expected);
+  auto tree = RTree::BulkLoad(d);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(SkylineBBS(d, *tree)->rows, expected);
+}
+
+TEST(SkylineTest, IsSkylineValidator) {
+  DataSet d(2);
+  d.Append({1.0, 4.0});
+  d.Append({2.0, 1.0});
+  d.Append({2.0, 5.0});
+  EXPECT_TRUE(IsSkyline(d, {0, 1}));
+  EXPECT_FALSE(IsSkyline(d, {0}));        // missing a skyline point
+  EXPECT_FALSE(IsSkyline(d, {0, 1, 2}));  // includes a dominated point
+  EXPECT_FALSE(IsSkyline(d, {0, 99}));    // out of range
+}
+
+class SkylineAgreementTest
+    : public testing::TestWithParam<std::tuple<WorkloadKind, Dim>> {};
+
+TEST_P(SkylineAgreementTest, AllAlgorithmsAgreeAndAreCorrect) {
+  const auto [kind, dims] = GetParam();
+  auto data = GenerateWorkload(kind, 2000, dims, 131);
+  ASSERT_TRUE(data.ok());
+  const auto bnl = SkylineBNL(*data);
+  const auto sfs = SkylineSFS(*data);
+  EXPECT_EQ(bnl.rows, sfs.rows);
+  auto tree = RTree::BulkLoad(*data);
+  ASSERT_TRUE(tree.ok());
+  auto bbs = SkylineBBS(*data, *tree);
+  ASSERT_TRUE(bbs.ok());
+  EXPECT_EQ(bbs->rows, sfs.rows);
+  EXPECT_TRUE(IsSkyline(*data, sfs.rows));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SkylineAgreementTest,
+    testing::Combine(testing::Values(WorkloadKind::kIndependent,
+                                     WorkloadKind::kCorrelated,
+                                     WorkloadKind::kAnticorrelated,
+                                     WorkloadKind::kForestCoverLike,
+                                     WorkloadKind::kRecipesLike),
+                     testing::Values(Dim{2}, Dim{3}, Dim{5})),
+    [](const testing::TestParamInfo<std::tuple<WorkloadKind, Dim>>& info) {
+      return WorkloadKindName(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(SkylineTest, SfsUsesFewerChecksThanBnlOnAnticorrelated) {
+  const DataSet data = GenerateAnticorrelated(5000, 3, 7);
+  const auto bnl = SkylineBNL(data);
+  const auto sfs = SkylineSFS(data);
+  EXPECT_EQ(bnl.rows, sfs.rows);
+  // The presort lets SFS discard dominated points with fewer comparisons.
+  EXPECT_LT(sfs.dominance_checks, bnl.dominance_checks);
+}
+
+TEST(SkylineTest, BbsIsIoFrugal) {
+  const DataSet data = GenerateCorrelated(20000, 3, 7);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  tree->ResetIoStats();
+  auto bbs = SkylineBBS(data, *tree);
+  ASSERT_TRUE(bbs.ok());
+  // BBS must not read the whole index: on correlated data the skyline
+  // region touches a small fraction of the pages.
+  EXPECT_LT(tree->io_stats().page_reads, tree->PageCount() / 2);
+}
+
+TEST(SkylineTest, BbsRejectsMismatchedTree) {
+  const DataSet data = GenerateIndependent(100, 2, 3);
+  const DataSet other = GenerateIndependent(50, 2, 3);
+  auto tree = RTree::BulkLoad(other);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(SkylineBBS(data, *tree).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skydiver

@@ -1,0 +1,139 @@
+// Unit tests for src/stream: incremental skyline maintenance and the
+// exact equivalence of streamed signatures with batch SigGen-IF.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "datagen/generators.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+#include "stream/streaming.h"
+
+namespace skydiver {
+namespace {
+
+TEST(StreamingTest, RejectsBadInput) {
+  StreamingSkyDiver stream(2, 16, 1);
+  EXPECT_TRUE(stream.Insert({1.0, 2.0, 3.0}).IsInvalidArgument());  // wrong dims
+  EXPECT_TRUE(stream.SelectDiverse(1).status().IsInvalidArgument());  // empty
+}
+
+TEST(StreamingTest, MaintainsSkylineUnderDemotions) {
+  StreamingSkyDiver stream(2, 16, 1);
+  ASSERT_TRUE(stream.Insert({5.0, 5.0}).ok());  // row 0: skyline
+  EXPECT_EQ(stream.SkylineRows(), std::vector<RowId>{0});
+  ASSERT_TRUE(stream.Insert({6.0, 6.0}).ok());  // row 1: dominated
+  EXPECT_EQ(stream.SkylineRows(), std::vector<RowId>{0});
+  ASSERT_TRUE(stream.Insert({4.0, 6.0}).ok());  // row 2: skyline (incomparable)
+  EXPECT_EQ(stream.SkylineRows(), (std::vector<RowId>{0, 2}));
+  ASSERT_TRUE(stream.Insert({3.0, 3.0}).ok());  // row 3: demotes rows 0 and 2
+  EXPECT_EQ(stream.SkylineRows(), std::vector<RowId>{3});
+  EXPECT_EQ(stream.stats().demotions, 2u);
+  // Γ(3) = {0, 1, 2}.
+  EXPECT_EQ(stream.DominationScore(3).value(), 3u);
+  EXPECT_TRUE(stream.DominationScore(0).status().IsNotFound());
+}
+
+TEST(StreamingTest, StreamLimitEnforced) {
+  StreamingSkyDiver stream(1, 4, 1, /*max_points=*/2);
+  ASSERT_TRUE(stream.Insert({1.0}).ok());
+  ASSERT_TRUE(stream.Insert({2.0}).ok());
+  EXPECT_TRUE(stream.Insert({3.0}).IsOutOfRange());
+}
+
+class StreamingEquivalenceTest : public testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(StreamingEquivalenceTest, MatchesBatchSkylineAndSignatures) {
+  const RowId n = 3000;
+  const Dim d = 3;
+  const uint64_t max_points = 4096;
+  const auto data = GenerateWorkload(GetParam(), n, d, 59).value();
+
+  const size_t t = 32;
+  const uint64_t seed = 61;
+  StreamingSkyDiver stream(d, t, seed, max_points);
+  for (RowId r = 0; r < n; ++r) {
+    ASSERT_TRUE(stream.Insert(data.row(r)).ok());
+  }
+
+  // Skyline must equal the batch skyline.
+  const auto batch_skyline = SkylineSFS(data).rows;
+  EXPECT_EQ(stream.SkylineRows(), batch_skyline);
+
+  // Signatures must be bit-for-bit the batch SigGen-IF output under the
+  // same hash family (same t, same universe, same seed).
+  const auto family = MinHashFamily::Create(t, max_points, seed);
+  const auto batch = SigGenIF(data, batch_skyline, family).value();
+  for (size_t j = 0; j < batch_skyline.size(); ++j) {
+    const auto streamed = stream.Signature(batch_skyline[j]).value();
+    for (size_t i = 0; i < t; ++i) {
+      ASSERT_EQ(streamed[i], batch.signatures.at(j, i))
+          << "skyline row " << batch_skyline[j] << " slot " << i;
+    }
+    EXPECT_EQ(stream.DominationScore(batch_skyline[j]).value(),
+              batch.domination_scores[j]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, StreamingEquivalenceTest,
+                         testing::Values(WorkloadKind::kIndependent,
+                                         WorkloadKind::kAnticorrelated,
+                                         WorkloadKind::kCorrelated,
+                                         WorkloadKind::kRecipesLike),
+                         [](const testing::TestParamInfo<WorkloadKind>& info) {
+                           return WorkloadKindName(info.param);
+                         });
+
+TEST(StreamingTest, SelectDiverseReturnsSkylineMembers) {
+  const auto data = GenerateIndependent(2000, 3, 63);
+  StreamingSkyDiver stream(3, 64, 65, 4096);
+  for (RowId r = 0; r < data.size(); ++r) {
+    ASSERT_TRUE(stream.Insert(data.row(r)).ok());
+  }
+  const auto skyline = stream.SkylineRows();
+  const size_t k = std::min<size_t>(5, skyline.size());
+  const auto selected = stream.SelectDiverse(k).value();
+  EXPECT_EQ(selected.size(), k);
+  for (RowId r : selected) {
+    EXPECT_TRUE(std::find(skyline.begin(), skyline.end(), r) != skyline.end());
+  }
+}
+
+TEST(StreamingTest, SelectionAvailableAtAnyPrefix) {
+  // Continuous-query style usage: select after every batch of arrivals.
+  const auto data = GenerateAnticorrelated(1200, 2, 67);
+  StreamingSkyDiver stream(2, 32, 69, 2048);
+  for (RowId r = 0; r < data.size(); ++r) {
+    ASSERT_TRUE(stream.Insert(data.row(r)).ok());
+    if ((r + 1) % 300 == 0) {
+      const auto skyline = stream.SkylineRows();
+      const size_t k = std::min<size_t>(3, skyline.size());
+      if (k >= 1) {
+        auto sel = stream.SelectDiverse(k);
+        ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+        EXPECT_EQ(sel->size(), k);
+      }
+      // Incremental state must match a from-scratch computation.
+      auto prefix = DataSet(2);
+      for (RowId q = 0; q <= r; ++q) prefix.Append(data.row(q));
+      EXPECT_EQ(stream.SkylineRows(), SkylineSFS(prefix).rows);
+    }
+  }
+}
+
+TEST(StreamingTest, StatsAreConsistent) {
+  const auto data = GenerateIndependent(1000, 3, 71);
+  StreamingSkyDiver stream(3, 16, 73, 2048);
+  for (RowId r = 0; r < data.size(); ++r) {
+    ASSERT_TRUE(stream.Insert(data.row(r)).ok());
+  }
+  const auto& stats = stream.stats();
+  EXPECT_EQ(stats.inserts, 1000u);
+  EXPECT_EQ(stats.skyline_insertions - stats.demotions, stream.SkylineRows().size());
+  EXPECT_EQ(stats.skyline_insertions + stats.dominated_arrivals, 1000u);
+}
+
+}  // namespace
+}  // namespace skydiver

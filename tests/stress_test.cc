@@ -1,0 +1,161 @@
+// Randomized stress tests: long random operation sequences checked against
+// reference implementations and structural invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/dominance.h"
+#include "datagen/generators.h"
+#include "rtree/rtree.h"
+#include "skyline/external.h"
+#include "skyline/skyline.h"
+#include "stream/streaming.h"
+
+namespace skydiver {
+namespace {
+
+// --------------------------------------------------------------------------
+// R-tree: interleaved inserts and queries vs a linear-scan reference.
+// --------------------------------------------------------------------------
+
+class RTreeStressTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreeStressTest, RandomInsertQuerySequence) {
+  Rng rng(GetParam());
+  const Dim d = 2 + static_cast<Dim>(rng.NextBounded(3));
+  // Small pages force frequent splits — the stressful configuration.
+  RTreeConfig config;
+  config.page_size = 512;
+  RTree tree(d, config);
+  DataSet reference(d);
+
+  std::vector<Coord> point(d), lo(d), hi(d);
+  for (int op = 0; op < 1500; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.70 || reference.empty()) {
+      // Insert (clustered values produce overlap-heavy MBRs).
+      for (Dim i = 0; i < d; ++i) {
+        point[i] = std::floor(rng.NextDouble() * 16.0) / 16.0;
+      }
+      tree.Insert(point, reference.size());
+      reference.Append(std::span<const Coord>(point.data(), d));
+    } else if (dice < 0.85) {
+      // Range count vs scan.
+      for (Dim i = 0; i < d; ++i) {
+        const double a = rng.NextDouble(), b = rng.NextDouble();
+        lo[i] = std::min(a, b);
+        hi[i] = std::max(a, b);
+      }
+      uint64_t expected = 0;
+      for (RowId r = 0; r < reference.size(); ++r) {
+        bool inside = true;
+        for (Dim i = 0; i < d; ++i) {
+          if (reference.at(r, i) < lo[i] || reference.at(r, i) > hi[i]) {
+            inside = false;
+            break;
+          }
+        }
+        expected += inside;
+      }
+      ASSERT_EQ(tree.RangeCount(lo, hi), expected) << "op " << op;
+    } else if (dice < 0.95) {
+      // Dominated count vs scan.
+      const auto probe = static_cast<RowId>(rng.NextBounded(reference.size()));
+      uint64_t expected = 0;
+      for (RowId r = 0; r < reference.size(); ++r) {
+        expected += (r != probe) &&
+                    Dominates(reference.row(probe), reference.row(r));
+      }
+      ASSERT_EQ(tree.DominatedCount(reference.row(probe)), expected) << "op " << op;
+    } else {
+      // kNN head vs scan.
+      for (Dim i = 0; i < d; ++i) point[i] = rng.NextDouble();
+      const auto knn = tree.NearestNeighbors(point, 3);
+      double best = std::numeric_limits<double>::infinity();
+      for (RowId r = 0; r < reference.size(); ++r) {
+        double s = 0;
+        for (Dim i = 0; i < d; ++i) {
+          const double diff = reference.at(r, i) - point[i];
+          s += diff * diff;
+        }
+        best = std::min(best, std::sqrt(s));
+      }
+      ASSERT_FALSE(knn.empty());
+      ASSERT_NEAR(knn[0].distance, best, 1e-12) << "op " << op;
+    }
+    if (op % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok())
+          << op << ": " << tree.CheckInvariants().ToString();
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreeStressTest, testing::Range<uint64_t>(500, 506));
+
+// --------------------------------------------------------------------------
+// Skyline: all five algorithms agree on adversarial inputs.
+// --------------------------------------------------------------------------
+
+class SkylineAdversarialTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkylineAdversarialTest, AllAlgorithmsAgreeOnTieHeavyData) {
+  Rng rng(GetParam());
+  const Dim d = 2 + static_cast<Dim>(rng.NextBounded(3));
+  const int levels = 1 + static_cast<int>(rng.NextBounded(4));  // few distinct values
+  DataSet data(d);
+  const int n = 800;
+  for (int r = 0; r < n; ++r) {
+    std::vector<Coord> p(d);
+    for (Dim i = 0; i < d; ++i) {
+      p[i] = static_cast<Coord>(rng.NextBounded(static_cast<uint64_t>(levels)));
+    }
+    data.Append(std::span<const Coord>(p.data(), d));
+  }
+  const auto sfs = SkylineSFS(data).rows;
+  EXPECT_EQ(SkylineBNL(data).rows, sfs);
+  EXPECT_EQ(SkylineDC(data, 32).rows, sfs);
+  EXPECT_EQ(SkylineExternal(data, 7).value().rows, sfs);
+  auto tree = RTree::BulkLoad(data);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(SkylineBBS(data, *tree)->rows, sfs);
+  EXPECT_TRUE(IsSkyline(data, sfs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylineAdversarialTest,
+                         testing::Range<uint64_t>(600, 608));
+
+// --------------------------------------------------------------------------
+// Streaming: random interleavings of duplicate-heavy points stay
+// consistent with batch computation at every checkpoint.
+// --------------------------------------------------------------------------
+
+class StreamingStressTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingStressTest, CheckpointedConsistency) {
+  Rng rng(GetParam());
+  const Dim d = 2;
+  StreamingSkyDiver stream(d, 16, GetParam(), 4096);
+  DataSet reference(d);
+  for (int i = 0; i < 600; ++i) {
+    // Coarse grid => duplicates and massive demotion churn.
+    const std::vector<Coord> p{std::floor(rng.NextDouble() * 8.0),
+                               std::floor(rng.NextDouble() * 8.0)};
+    ASSERT_TRUE(stream.Insert(std::span<const Coord>(p.data(), d)).ok());
+    reference.Append(std::span<const Coord>(p.data(), d));
+    if (i % 97 == 0) {
+      ASSERT_EQ(stream.SkylineRows(), SkylineSFS(reference).rows) << "insert " << i;
+    }
+  }
+  EXPECT_EQ(stream.SkylineRows(), SkylineSFS(reference).rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingStressTest, testing::Range<uint64_t>(700, 706));
+
+}  // namespace
+}  // namespace skydiver
