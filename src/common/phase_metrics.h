@@ -1,0 +1,26 @@
+// Per-stage CPU + I/O accounting, shared by every pipeline entry point.
+//
+// A pipeline stage (skyline, fingerprinting, selection) measures its own
+// CPU time and page-level I/O; `CostModel` converts the fault count into
+// charged seconds per the paper's measurement model (8 ms per fault).
+// Lives in common/ because both the execution engine and the user-facing
+// report types speak this vocabulary.
+
+#pragma once
+
+#include "common/io_stats.h"
+
+namespace skydiver {
+
+/// CPU + I/O accounting for one pipeline phase.
+struct PhaseMetrics {
+  double cpu_seconds = 0.0;
+  IoStats io;
+
+  /// CPU plus charged I/O time under `model`.
+  double TotalSeconds(const CostModel& model) const {
+    return model.TotalSeconds(cpu_seconds, io);
+  }
+};
+
+}  // namespace skydiver

@@ -33,6 +33,18 @@ size_t MaxScoreIndex(size_t m, const ScoreFn& score) {
 }  // namespace
 
 Result<DispersionResult> SelectDiverseSet(size_t m, size_t k, const DistanceFn& distance,
+                                          const std::vector<uint64_t>& domination_scores) {
+  if (domination_scores.size() < m) {
+    return Status::InvalidArgument("domination scores cover " +
+                                   std::to_string(domination_scores.size()) +
+                                   " points but m = " + std::to_string(m));
+  }
+  return SelectDiverseSet(m, k, distance, [&](size_t j) {
+    return static_cast<double>(domination_scores[j]);
+  });
+}
+
+Result<DispersionResult> SelectDiverseSet(size_t m, size_t k, const DistanceFn& distance,
                                           const ScoreFn& score) {
   SKYDIVER_RETURN_NOT_OK(ValidateSelection(m, k));
   DispersionResult out;

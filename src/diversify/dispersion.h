@@ -47,6 +47,12 @@ struct DispersionResult {
 Result<DispersionResult> SelectDiverseSet(size_t m, size_t k, const DistanceFn& distance,
                                           const ScoreFn& score);
 
+/// Convenience overload for the common case across the engine, sessions
+/// and the streaming monitor: scores given as the raw |Γ| domination
+/// counts, one per skyline point (must have at least `m` entries).
+Result<DispersionResult> SelectDiverseSet(size_t m, size_t k, const DistanceFn& distance,
+                                          const std::vector<uint64_t>& domination_scores);
+
 /// Greedy for the Max-Sum variant (k-MSDP): adds the point maximizing the
 /// SUM of distances to the selected set. Provided for the paper's
 /// discussion of why k-MMDP is preferred (4- vs 2-approximation; MSDP

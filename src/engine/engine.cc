@@ -1,0 +1,276 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "diversify/brute_force.h"
+#include "diversify/dispersion.h"
+#include "engine/planner.h"
+#include "lsh/lsh.h"
+#include "minhash/siggen.h"
+#include "parallel/parallel_ops.h"
+#include "rtree/disk_rtree.h"
+#include "rtree/rtree.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+
+namespace {
+
+// Mutable state threaded through the stages of one execution.
+struct PipelineState {
+  const SkyDiverConfig& config;
+  const DataSet& data;
+  const PlanResources& res;
+  const MinHashFamily family;
+  EngineOutput out;
+};
+
+// One pipeline stage. Stages read and extend PipelineState; they fill
+// `metrics->io` themselves (CPU time is measured by ExecContext).
+class Stage {
+ public:
+  virtual ~Stage() = default;
+  virtual const char* name() const = 0;
+  virtual Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) = 0;
+};
+
+// Requires the pooled backends' pool to exist (the planner only emits
+// pooled backends for pooled configs, so a miss means plan/context skew).
+Result<ThreadPool*> RequirePool(ExecContext& ctx, const char* backend) {
+  ThreadPool* pool = ctx.pool();
+  if (pool == nullptr) {
+    return Status::Internal(std::string(backend) +
+                            " requires a pooled ExecContext (config.threads >= 1)");
+  }
+  return pool;
+}
+
+// Computes (or adopts) the skyline rows and charges the phase's I/O.
+class SkylineStage : public Stage {
+ public:
+  explicit SkylineStage(SkylineBackend backend) : backend_(backend) {}
+  const char* name() const override { return "skyline"; }
+
+  Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
+    auto& skyline = state.out.report.skyline;
+    switch (backend_) {
+      case SkylineBackend::kPrecomputed: {
+        skyline = *state.res.precomputed_skyline;
+        std::sort(skyline.begin(), skyline.end());
+        return Status::OK();
+      }
+      case SkylineBackend::kSfs: {
+        skyline = SkylineSFS(state.data).rows;
+        ChargeSequentialScan(state, metrics);
+        return Status::OK();
+      }
+      case SkylineBackend::kParallelSfs: {
+        auto pool = RequirePool(ctx, "parallel-sfs");
+        if (!pool.ok()) return pool.status();
+        skyline = ParallelSkyline(state.data, **pool);
+        // Same logical cost as the serial scan: every shard together reads
+        // the data file exactly once.
+        ChargeSequentialScan(state, metrics);
+        return Status::OK();
+      }
+      case SkylineBackend::kBbs:
+        return RunBbs(state, *state.res.tree, metrics);
+      case SkylineBackend::kBbsDisk:
+        return RunBbs(state, *state.res.disk_tree, metrics);
+    }
+    return Status::Internal("unknown skyline backend");
+  }
+
+ private:
+  static void ChargeSequentialScan(const PipelineState& state, PhaseMetrics* metrics) {
+    const uint64_t pages =
+        SequentialScanPages(state.data.size(), state.data.dims(), 4096);
+    metrics->io.page_reads = pages;
+    metrics->io.page_faults = pages;
+  }
+
+  template <typename Tree>
+  Status RunBbs(PipelineState& state, const Tree& tree, PhaseMetrics* metrics) {
+    const IoStats before = tree.io_stats();
+    auto result = SkylineBBS(state.data, tree);
+    if (!result.ok()) return result.status();
+    state.out.report.skyline = std::move(result.value().rows);
+    const IoStats after = tree.io_stats();
+    metrics->io.page_reads = after.page_reads - before.page_reads;
+    metrics->io.page_faults = after.page_faults - before.page_faults;
+    return Status::OK();
+  }
+
+  SkylineBackend backend_;
+};
+
+// Builds the MinHash signatures and exact domination scores (Phase 1).
+class FingerprintStage : public Stage {
+ public:
+  explicit FingerprintStage(FingerprintBackend backend) : backend_(backend) {}
+  const char* name() const override { return "fingerprint"; }
+
+  Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
+    const auto& skyline = state.out.report.skyline;
+    Result<SigGenResult> result = Status::Internal("unset");
+    switch (backend_) {
+      case FingerprintBackend::kSigGenIf:
+        result = SigGenIF(state.data, skyline, state.family);
+        break;
+      case FingerprintBackend::kParallelIf: {
+        auto pool = RequirePool(ctx, "parallel-siggen-if");
+        if (!pool.ok()) return pool.status();
+        result = ParallelSigGenIF(state.data, skyline, state.family, **pool);
+        break;
+      }
+      case FingerprintBackend::kSigGenIb:
+        result = SigGenIB(state.data, skyline, state.family, *state.res.tree);
+        break;
+      case FingerprintBackend::kParallelIb: {
+        auto pool = RequirePool(ctx, "parallel-siggen-ib");
+        if (!pool.ok()) return pool.status();
+        result =
+            ParallelSigGenIB(state.data, skyline, state.family, *state.res.tree, **pool);
+        break;
+      }
+      case FingerprintBackend::kSigGenIbDisk:
+        result = SigGenIB(state.data, skyline, state.family, *state.res.disk_tree);
+        break;
+    }
+    if (!result.ok()) return result.status();
+    state.out.signatures = std::move(result.value().signatures);
+    state.out.domination_scores = std::move(result.value().domination_scores);
+    state.out.report.signature_memory_bytes = state.out.signatures.MemoryBytes();
+    metrics->io = result.value().io;
+    return Status::OK();
+  }
+
+ private:
+  FingerprintBackend backend_;
+};
+
+// Greedy (or exact) k-MMDP selection over the fingerprints (Phase 2).
+class SelectStage : public Stage {
+ public:
+  explicit SelectStage(SelectBackend backend) : backend_(backend) {}
+  const char* name() const override { return "select"; }
+
+  Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
+    (void)ctx;
+    (void)metrics;  // selection is CPU-only
+    auto& report = state.out.report;
+    const size_t m = report.skyline.size();
+    const SignatureMatrix& signatures = state.out.signatures;
+
+    Result<DispersionResult> selection = Status::Internal("unset");
+    switch (backend_) {
+      case SelectBackend::kNone:
+        return Status::OK();
+      case SelectBackend::kMinHash: {
+        auto distance = [&](size_t a, size_t b) {
+          return signatures.EstimatedDistance(a, b);
+        };
+        selection =
+            SelectDiverseSet(m, state.config.k, distance, state.out.domination_scores);
+        break;
+      }
+      case SelectBackend::kLsh: {
+        auto params = ChooseZones(state.config.signature_size,
+                                  state.config.lsh_threshold, state.config.lsh_buckets);
+        if (!params.ok()) return params.status();
+        auto built =
+            LshIndex::Build(signatures, params.value(), state.config.seed ^ 0xdecaf);
+        if (!built.ok()) return built.status();
+        const LshIndex index = std::move(built).value();
+        report.lsh_memory_bytes = index.MemoryBytes();
+        auto distance = [&](size_t a, size_t b) { return index.Distance(a, b); };
+        selection =
+            SelectDiverseSet(m, state.config.k, distance, state.out.domination_scores);
+        break;
+      }
+      case SelectBackend::kBruteForce: {
+        auto distance = [&](size_t a, size_t b) {
+          return signatures.EstimatedDistance(a, b);
+        };
+        selection = BruteForceMaxMin(m, state.config.k, distance);
+        break;
+      }
+    }
+    if (!selection.ok()) return selection.status();
+    report.selected = std::move(selection.value().selected);
+    report.objective = selection.value().min_pairwise;
+    report.selected_rows.reserve(report.selected.size());
+    for (size_t idx : report.selected) {
+      report.selected_rows.push_back(report.skyline[idx]);
+    }
+    return Status::OK();
+  }
+
+ private:
+  SelectBackend backend_;
+};
+
+// Validates the data-dependent invariants the planner cannot see.
+Status ValidateInputs(const Plan& plan, const DataSet& data,
+                      const PlanResources& res) {
+  if (data.empty()) return Status::InvalidArgument("dataset is empty");
+  if (res.tree != nullptr &&
+      (res.tree->dims() != data.dims() || res.tree->size() != data.size())) {
+    return Status::InvalidArgument("R-tree does not index the given dataset");
+  }
+  if (res.disk_tree != nullptr &&
+      (res.disk_tree->dims() != data.dims() || res.disk_tree->size() != data.size())) {
+    return Status::InvalidArgument("R-tree does not index the given dataset");
+  }
+  const bool needs_precomputed = plan.skyline == SkylineBackend::kPrecomputed;
+  if (needs_precomputed && res.precomputed_skyline == nullptr) {
+    return Status::Internal("plan expects a precomputed skyline but none was supplied");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<EngineOutput> Engine::Execute(ExecContext& ctx, const Plan& plan,
+                                     const SkyDiverConfig& config, const DataSet& data,
+                                     const PlanResources& resources) {
+  SKYDIVER_RETURN_NOT_OK(ValidateInputs(plan, data, resources));
+
+  PipelineState state{
+      config, data, resources,
+      MinHashFamily::Create(config.signature_size, data.size(), config.seed),
+      EngineOutput{}};
+  state.out.report.plan = plan;
+  state.out.report.plan_explain = ExplainPlan(plan, config);
+
+  SkylineStage skyline_stage(plan.skyline);
+  SKYDIVER_RETURN_NOT_OK(ctx.RunStage(skyline_stage.name(),
+                                      &state.out.report.skyline_phase,
+                                      [&](PhaseMetrics* metrics) {
+                                        return skyline_stage.Run(ctx, state, metrics);
+                                      }));
+
+  // k is only meaningful when a selection will run (sessions defer it).
+  const size_t m = state.out.report.skyline.size();
+  if (plan.select != SelectBackend::kNone && config.k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(config.k) +
+                                   " exceeds skyline cardinality m = " +
+                                   std::to_string(m));
+  }
+
+  FingerprintStage fingerprint_stage(plan.fingerprint);
+  SKYDIVER_RETURN_NOT_OK(ctx.RunStage(
+      fingerprint_stage.name(), &state.out.report.fingerprint_phase,
+      [&](PhaseMetrics* metrics) { return fingerprint_stage.Run(ctx, state, metrics); }));
+
+  if (plan.select != SelectBackend::kNone) {
+    SelectStage select_stage(plan.select);
+    SKYDIVER_RETURN_NOT_OK(ctx.RunStage(
+        select_stage.name(), &state.out.report.selection_phase,
+        [&](PhaseMetrics* metrics) { return select_stage.Run(ctx, state, metrics); }));
+  }
+  return std::move(state.out);
+}
+
+}  // namespace skydiver

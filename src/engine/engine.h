@@ -1,0 +1,86 @@
+// Engine — executes a resolved Plan as a sequence of pluggable stages.
+//
+// The three stages mirror the paper's pipeline:
+//
+//   SkylineStage      -> skyline rows           (SFS / parallel SFS / BBS /
+//                                                disk BBS / precomputed)
+//   FingerprintStage  -> MinHash signatures + exact domination scores
+//                                               (SigGen-IF / -IB, pooled
+//                                                variants, disk variant)
+//   SelectStage       -> k diverse rows         (greedy MH / greedy LSH /
+//                                                exact brute force; or
+//                                                skipped for sessions)
+//
+// Every stage runs under ExecContext::RunStage, so all entry points get
+// identical per-phase CPU/I-O accounting, cumulative IoStats, and trace
+// events. The engine is the single place later scaling work (batched
+// multi-query execution, signature caching, async stages) plugs into.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/phase_metrics.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "engine/exec_context.h"
+#include "engine/plan.h"
+#include "minhash/minhash.h"
+
+namespace skydiver {
+
+/// Everything the pipeline produced, as reported to callers.
+struct SkyDiverReport {
+  /// The full skyline (row ids into the input dataset, ascending).
+  std::vector<RowId> skyline;
+  /// Selected diverse points as indices into `skyline`, in pick order.
+  std::vector<size_t> selected;
+  /// The same selection as row ids into the input dataset.
+  std::vector<RowId> selected_rows;
+  /// k-MMDP objective achieved under the working distance (estimated
+  /// Jaccard for MH, Hamming for LSH).
+  double objective = 0.0;
+
+  PhaseMetrics skyline_phase;
+  PhaseMetrics fingerprint_phase;
+  PhaseMetrics selection_phase;
+
+  size_t signature_memory_bytes = 0;
+  size_t lsh_memory_bytes = 0;
+
+  /// The plan this report was produced under, and its rendering — every
+  /// entry point gets an explainable execution for free.
+  Plan plan;
+  std::string plan_explain;
+
+  /// Convenience: fingerprint + selection total (the paper's reported
+  /// 2-step cost, excluding skyline computation).
+  double DiversificationSeconds(const CostModel& model) const {
+    return fingerprint_phase.TotalSeconds(model) + selection_phase.TotalSeconds(model);
+  }
+};
+
+/// The engine's full output: the user-facing report plus the Phase-1
+/// products (signatures, domination scores) that sessions retain for
+/// repeated Phase-2 queries.
+struct EngineOutput {
+  SkyDiverReport report;
+  SignatureMatrix signatures;
+  std::vector<uint64_t> domination_scores;
+};
+
+/// Executes plans. Stateless; all execution state lives in ExecContext.
+class Engine {
+ public:
+  /// Runs `plan` over `data` inside `ctx`. `resources` must hold whatever
+  /// the plan's backends need (the planner guarantees this when the plan
+  /// came from `Planner::Resolve` with the same resources). `data` must be
+  /// in minimization space.
+  static Result<EngineOutput> Execute(ExecContext& ctx, const Plan& plan,
+                                      const SkyDiverConfig& config, const DataSet& data,
+                                      const PlanResources& resources);
+};
+
+}  // namespace skydiver

@@ -1,0 +1,22 @@
+#include "engine/exec_context.h"
+
+#include "common/timer.h"
+
+namespace skydiver {
+
+Status ExecContext::RunStage(std::string_view name, PhaseMetrics* out,
+                             const std::function<Status(PhaseMetrics*)>& fn) {
+  *out = PhaseMetrics{};
+  WallTimer wall;
+  CpuTimer cpu;
+  const Status status = fn(out);
+  out->cpu_seconds = cpu.ElapsedSeconds();
+  if (!status.ok()) return status;
+  io_ += out->io;
+  phases_.emplace_back(std::string(name), *out);
+  trace_.push_back(TraceEvent{std::string(name), out->cpu_seconds,
+                              wall.ElapsedSeconds(), out->io});
+  return status;
+}
+
+}  // namespace skydiver

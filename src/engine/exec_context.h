@@ -1,0 +1,85 @@
+// ExecContext — the shared execution state every pipeline stage runs in.
+//
+// One ExecContext spans one pipeline execution (or many, when a caller
+// reuses it across queries): it owns the thread pool the pooled backends
+// draw from, a deterministic Rng, the cost model, cumulative I/O counters,
+// per-stage PhaseMetrics, and a lightweight trace-event sink. Stages never
+// time themselves — they run under `RunStage`, which measures CPU and wall
+// time, folds the stage's I/O into the cumulative counters, and appends a
+// trace event. That is what guarantees every entry point (batch, disk,
+// session, CLI) reports identical accounting.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/phase_metrics.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "engine/plan.h"
+#include "parallel/thread_pool.h"
+
+namespace skydiver {
+
+class ExecContext {
+ public:
+  /// One completed stage, in execution order.
+  struct TraceEvent {
+    std::string stage;
+    double cpu_seconds = 0.0;
+    double wall_seconds = 0.0;
+    IoStats io;
+  };
+
+  /// Builds a context for `config`. The pool is created lazily on first
+  /// use, so serial plans never spawn threads.
+  explicit ExecContext(const SkyDiverConfig& config)
+      : threads_(config.threads), cost_model_(config.cost_model), rng_(config.seed) {}
+
+  /// The shared worker pool (created on first call), or nullptr when the
+  /// config asked for serial execution.
+  ThreadPool* pool() {
+    if (threads_ == 0) return nullptr;
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(threads_);
+    return pool_.get();
+  }
+
+  size_t threads() const { return threads_; }
+  Rng& rng() { return rng_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// I/O accumulated by every stage run in this context.
+  const IoStats& io_stats() const { return io_; }
+
+  /// Stage metrics in execution order (name, metrics).
+  const std::vector<std::pair<std::string, PhaseMetrics>>& phases() const {
+    return phases_;
+  }
+
+  /// Trace events in execution order.
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Runs `fn` as the stage `name`: measures its CPU/wall time, stores the
+  /// stage's metrics (fn fills `out->io` itself) and appends a trace event.
+  /// On failure nothing is recorded and the stage's status is returned.
+  Status RunStage(std::string_view name, PhaseMetrics* out,
+                  const std::function<Status(PhaseMetrics*)>& fn);
+
+ private:
+  size_t threads_ = 0;
+  CostModel cost_model_;
+  Rng rng_;
+  std::unique_ptr<ThreadPool> pool_;
+  IoStats io_;
+  std::vector<std::pair<std::string, PhaseMetrics>> phases_;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace skydiver

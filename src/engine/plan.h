@@ -1,0 +1,99 @@
+// Execution plans — what the pipeline will run, resolved ahead of time.
+//
+// Every SkyDiver entry point (batch runs, disk runs, sessions, the CLI)
+// describes WHAT it wants through `SkyDiverConfig` and what resources it
+// has through `PlanResources`; the `Planner` (planner.h) resolves both
+// into a `Plan`: one backend per pipeline stage. The `Engine` (engine.h)
+// then executes the plan with uniform per-stage accounting. Separating
+// algorithm choice from execution plumbing follows the framework layering
+// of the paper (skyline -> SigGen fingerprinting -> greedy k-MMDP), and
+// makes the parallel backends first-class plan choices instead of a
+// separate API.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "core/types.h"
+
+namespace skydiver {
+
+class RTree;
+class DiskRTree;
+
+/// How Phase 1 builds the MinHash signatures.
+enum class SigGenMode {
+  kAuto,       ///< Index-based when a tree is supplied, index-free otherwise.
+  kIndexFree,  ///< Single sequential pass (paper Fig. 3).
+  kIndexBased, ///< Aggregate R*-tree descent (paper Fig. 4); requires a tree.
+};
+
+/// Which distance Phase 2 greedily disperses over.
+enum class SelectMode {
+  kMinHash,    ///< Estimated Jaccard distance on signatures (SkyDiver-MH).
+  kLsh,        ///< Hamming distance on LSH bit-vectors (SkyDiver-LSH).
+  kBruteForce, ///< Exact k-MMDP optimum over the MinHash distance (small m).
+};
+
+/// Framework configuration; the defaults mirror the paper's
+/// (t = 100, k = 10, ξ = 0.2, B = 20).
+struct SkyDiverConfig {
+  size_t k = 10;                  ///< Number of diverse skyline points.
+  size_t signature_size = 100;    ///< t: MinHash slots per skyline point.
+  SigGenMode siggen = SigGenMode::kAuto;
+  SelectMode select = SelectMode::kMinHash;
+  double lsh_threshold = 0.2;     ///< ξ: banding threshold (kLsh only).
+  size_t lsh_buckets = 20;        ///< B: buckets per zone (kLsh only).
+  uint64_t seed = 42;             ///< Seed for hash-family / LSH draws.
+  size_t threads = 0;             ///< 0 = serial; N >= 1 = pooled, N workers.
+  CostModel cost_model;           ///< Page-fault charge (default 8 ms).
+};
+
+/// Resources a caller can hand the planner. All optional; the planner
+/// picks the best backends the resources allow.
+struct PlanResources {
+  const RTree* tree = nullptr;            ///< In-memory aggregate R*-tree.
+  const DiskRTree* disk_tree = nullptr;   ///< File-backed aggregate R*-tree.
+  const std::vector<RowId>* precomputed_skyline = nullptr;
+};
+
+/// Backend choices per stage.
+enum class SkylineBackend {
+  kPrecomputed,  ///< Caller-supplied rows, used verbatim (sorted).
+  kSfs,          ///< Sort-filter-skyline over the data file.
+  kParallelSfs,  ///< Sharded SFS + merge on the thread pool (== kSfs output).
+  kBbs,          ///< Branch-and-bound over the in-memory aggregate tree.
+  kBbsDisk,      ///< BBS over the file-backed tree (real preads).
+};
+
+enum class FingerprintBackend {
+  kSigGenIf,      ///< Index-free sequential pass (paper Fig. 3).
+  kParallelIf,    ///< Sharded IF, min-merged (bit-identical to kSigGenIf).
+  kSigGenIb,      ///< Aggregate-tree descent (paper Fig. 4).
+  kParallelIb,    ///< Subtree-parallel IB (deterministic DFS permutation).
+  kSigGenIbDisk,  ///< IB over the file-backed tree.
+};
+
+enum class SelectBackend {
+  kNone,        ///< Fingerprint-only pipeline (sessions).
+  kMinHash,     ///< Greedy k-MMDP over estimated Jaccard distances.
+  kLsh,         ///< Greedy k-MMDP over LSH Hamming distances.
+  kBruteForce,  ///< Exact k-MMDP over estimated Jaccard distances.
+};
+
+/// A resolved pipeline: one backend per stage plus the pool width.
+struct Plan {
+  SkylineBackend skyline = SkylineBackend::kSfs;
+  FingerprintBackend fingerprint = FingerprintBackend::kSigGenIf;
+  SelectBackend select = SelectBackend::kMinHash;
+  size_t threads = 0;  ///< Worker threads the pooled backends will use.
+};
+
+const char* ToString(SkylineBackend backend);
+const char* ToString(FingerprintBackend backend);
+const char* ToString(SelectBackend backend);
+
+}  // namespace skydiver

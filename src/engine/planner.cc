@@ -1,0 +1,169 @@
+#include "engine/planner.h"
+
+#include <sstream>
+
+namespace skydiver {
+
+const char* ToString(SkylineBackend backend) {
+  switch (backend) {
+    case SkylineBackend::kPrecomputed: return "precomputed";
+    case SkylineBackend::kSfs: return "sfs";
+    case SkylineBackend::kParallelSfs: return "parallel-sfs";
+    case SkylineBackend::kBbs: return "bbs";
+    case SkylineBackend::kBbsDisk: return "bbs-disk";
+  }
+  return "?";
+}
+
+const char* ToString(FingerprintBackend backend) {
+  switch (backend) {
+    case FingerprintBackend::kSigGenIf: return "siggen-if";
+    case FingerprintBackend::kParallelIf: return "parallel-siggen-if";
+    case FingerprintBackend::kSigGenIb: return "siggen-ib";
+    case FingerprintBackend::kParallelIb: return "parallel-siggen-ib";
+    case FingerprintBackend::kSigGenIbDisk: return "siggen-ib-disk";
+  }
+  return "?";
+}
+
+const char* ToString(SelectBackend backend) {
+  switch (backend) {
+    case SelectBackend::kNone: return "none";
+    case SelectBackend::kMinHash: return "greedy-minhash";
+    case SelectBackend::kLsh: return "greedy-lsh";
+    case SelectBackend::kBruteForce: return "brute-force-minhash";
+  }
+  return "?";
+}
+
+Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
+                              const PlanResources& resources, bool run_selection) {
+  if (run_selection && config.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (config.signature_size == 0) {
+    return Status::InvalidArgument("signature size must be positive");
+  }
+  if (config.threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "threads = " + std::to_string(config.threads) + " exceeds the sanity cap of " +
+        std::to_string(kMaxThreads) + " (0 means serial execution)");
+  }
+  if (resources.tree != nullptr && resources.disk_tree != nullptr) {
+    return Status::InvalidArgument(
+        "both an in-memory and a file-backed tree were supplied; pick one");
+  }
+  const bool have_index = resources.tree != nullptr || resources.disk_tree != nullptr;
+  if (config.siggen == SigGenMode::kIndexBased && !have_index) {
+    return Status::InvalidArgument("index-based signature generation requires an R-tree");
+  }
+  const bool pooled = config.threads >= 1;
+
+  Plan plan;
+  plan.threads = config.threads;
+
+  if (resources.precomputed_skyline != nullptr) {
+    plan.skyline = SkylineBackend::kPrecomputed;
+  } else if (resources.disk_tree != nullptr) {
+    plan.skyline = SkylineBackend::kBbsDisk;
+  } else if (resources.tree != nullptr) {
+    plan.skyline = SkylineBackend::kBbs;
+  } else {
+    plan.skyline = pooled ? SkylineBackend::kParallelSfs : SkylineBackend::kSfs;
+  }
+
+  const bool use_index =
+      config.siggen == SigGenMode::kIndexBased ||
+      (config.siggen == SigGenMode::kAuto && have_index);
+  if (use_index) {
+    if (resources.disk_tree != nullptr) {
+      // No pooled disk traversal exists (the frame cache is single-writer);
+      // the pool, if any, still serves the other stages.
+      plan.fingerprint = FingerprintBackend::kSigGenIbDisk;
+    } else {
+      plan.fingerprint =
+          pooled ? FingerprintBackend::kParallelIb : FingerprintBackend::kSigGenIb;
+    }
+  } else {
+    plan.fingerprint =
+        pooled ? FingerprintBackend::kParallelIf : FingerprintBackend::kSigGenIf;
+  }
+
+  if (!run_selection) {
+    plan.select = SelectBackend::kNone;
+  } else {
+    switch (config.select) {
+      case SelectMode::kMinHash: plan.select = SelectBackend::kMinHash; break;
+      case SelectMode::kLsh: plan.select = SelectBackend::kLsh; break;
+      case SelectMode::kBruteForce: plan.select = SelectBackend::kBruteForce; break;
+    }
+  }
+  return plan;
+}
+
+std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
+  std::ostringstream out;
+  out << "SkyDiver plan [threads=" << plan.threads << ", seed=" << config.seed << "]\n";
+
+  out << "  1. skyline:     " << ToString(plan.skyline);
+  switch (plan.skyline) {
+    case SkylineBackend::kPrecomputed:
+      out << " (caller-supplied rows, phase skipped)";
+      break;
+    case SkylineBackend::kSfs:
+      out << " (sort-filter scan, sequential I/O charge)";
+      break;
+    case SkylineBackend::kParallelSfs:
+      out << " (" << plan.threads << "-way shard + merge, == sfs output)";
+      break;
+    case SkylineBackend::kBbs:
+      out << " (branch-and-bound over the aggregate R*-tree)";
+      break;
+    case SkylineBackend::kBbsDisk:
+      out << " (branch-and-bound over the file-backed tree, real preads)";
+      break;
+  }
+  out << "\n";
+
+  out << "  2. fingerprint: " << ToString(plan.fingerprint) << " (t="
+      << config.signature_size;
+  switch (plan.fingerprint) {
+    case FingerprintBackend::kSigGenIf:
+      out << ", one sequential data pass";
+      break;
+    case FingerprintBackend::kParallelIf:
+      out << ", sharded min-merge, == siggen-if output";
+      break;
+    case FingerprintBackend::kSigGenIb:
+      out << ", aggregate-tree descent with bulk MBR updates";
+      break;
+    case FingerprintBackend::kParallelIb:
+      out << ", subtree-parallel, deterministic DFS permutation";
+      break;
+    case FingerprintBackend::kSigGenIbDisk:
+      out << ", tree descent through the 4 KB frame cache";
+      break;
+  }
+  out << ")\n";
+
+  out << "  3. select:      " << ToString(plan.select);
+  switch (plan.select) {
+    case SelectBackend::kNone:
+      out << " (fingerprint-only pipeline)";
+      break;
+    case SelectBackend::kMinHash:
+      out << " (k=" << config.k << ", greedy 2-approx over estimated Jaccard)";
+      break;
+    case SelectBackend::kLsh:
+      out << " (k=" << config.k << ", xi=" << config.lsh_threshold
+          << ", B=" << config.lsh_buckets << ", Hamming on bit-vectors)";
+      break;
+    case SelectBackend::kBruteForce:
+      out << " (k=" << config.k << ", exact k-MMDP over estimated Jaccard)";
+      break;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace skydiver

@@ -1,0 +1,47 @@
+// Planner — resolves a SkyDiverConfig plus available resources into an
+// executable Plan, and renders plans for humans.
+//
+// The planner owns every "which backend?" decision that used to be
+// hand-wired into SkyDiver::Run / RunOnDisk / SkyDiverSession / the CLI:
+//
+//   * skyline: precomputed rows > file-backed BBS > in-memory BBS >
+//     pooled sharded SFS > serial SFS;
+//   * fingerprint: the config's SigGenMode (kAuto prefers a tree when one
+//     is supplied), with the pooled variants picked automatically when
+//     config.threads >= 1;
+//   * selection: the config's SelectMode, or none for fingerprint-only
+//     pipelines (sessions).
+//
+// Config validation lives here, so every entry point rejects bad configs
+// identically.
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "engine/plan.h"
+
+namespace skydiver {
+
+/// Resolves configs + resources into plans.
+class Planner {
+ public:
+  /// Upper bound on `SkyDiverConfig::threads` (sanity cap; a pool wider
+  /// than this is a config bug, not a deployment).
+  static constexpr size_t kMaxThreads = 512;
+
+  /// Validates `config` against `resources` and picks one backend per
+  /// stage. With `run_selection == false` the plan stops after
+  /// fingerprinting (`SelectBackend::kNone`) and `config.k` is ignored.
+  static Result<Plan> Resolve(const SkyDiverConfig& config,
+                              const PlanResources& resources,
+                              bool run_selection = true);
+};
+
+/// Human-readable rendering of a resolved plan — one line per stage with
+/// the backend and its key knobs. Stable enough to grep in CLI output,
+/// not a machine interface.
+std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config);
+
+}  // namespace skydiver

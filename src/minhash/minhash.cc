@@ -54,16 +54,20 @@ MinHashFamily MinHashFamily::Create(size_t t, uint64_t universe, uint64_t seed) 
   return family;
 }
 
+double SlotAgreementSimilarity(std::span<const uint64_t> a, std::span<const uint64_t> b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
 double SignatureMatrix::EstimatedSimilarity(size_t c1, size_t c2) const {
   assert(c1 < m_ && c2 < m_);
-  if (t_ == 0) return 0.0;
-  size_t agree = 0;
-  const uint64_t* s1 = slots_.data() + c1 * t_;
-  const uint64_t* s2 = slots_.data() + c2 * t_;
-  for (size_t i = 0; i < t_; ++i) {
-    if (s1[i] == s2[i]) ++agree;
-  }
-  return static_cast<double>(agree) / static_cast<double>(t_);
+  return SlotAgreementSimilarity({slots_.data() + c1 * t_, t_},
+                                 {slots_.data() + c2 * t_, t_});
 }
 
 size_t RecommendedSignatureSize(double epsilon, double beta, double delta) {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -20,6 +21,12 @@ namespace skydiver {
 
 /// Slot value meaning "no row hashed yet" (empty dominated set).
 inline constexpr uint64_t kEmptySlot = std::numeric_limits<uint64_t>::max();
+
+/// Fraction of agreeing slots between two raw signature columns of equal
+/// length — the MinHash similarity estimate. Shared by SignatureMatrix and
+/// by callers holding signatures outside a matrix (e.g. the streaming
+/// monitor's per-skyline-point vectors). Returns 0 for empty signatures.
+double SlotAgreementSimilarity(std::span<const uint64_t> a, std::span<const uint64_t> b);
 
 /// A family of t linear hash functions h_i(x) = (a_i·x + b_i) mod P.
 ///

@@ -278,7 +278,7 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
   std::atomic<size_t> next_task{0};
   std::atomic<size_t> next_worker{0};
   for (size_t s = 0; s < shards; ++s) {
-    pool.Submit([&] {
+    const bool submitted = pool.Submit([&] {
       const size_t my_id = next_worker.fetch_add(1);
       IbWorker& worker = workers[my_id];
       for (;;) {
@@ -292,6 +292,7 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
         }
       }
     });
+    if (!submitted) break;  // pool shutting down; completed work still merges
   }
   pool.Wait();
 

@@ -14,22 +14,29 @@ ThreadPool::ThreadPool(size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   task_ready_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
   task_ready_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -43,7 +50,7 @@ void ThreadPool::ParallelFor(uint64_t n, size_t chunks,
   for (size_t c = 0; c < chunks; ++c) {
     const uint64_t begin = n * c / chunks;
     const uint64_t end = n * (c + 1) / chunks;
-    Submit([&fn, begin, end] { fn(begin, end); });
+    if (!Submit([&fn, begin, end] { fn(begin, end); })) break;  // shutting down
   }
   Wait();
 }

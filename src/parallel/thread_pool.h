@@ -27,8 +27,16 @@ class ThreadPool {
 
   size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; it may start immediately.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task; it may start immediately. Returns false (and does
+  /// NOT enqueue) once shutdown has begun — submitting to a shut-down pool
+  /// is a caller bug, rejected loudly rather than silently dropped into a
+  /// queue nobody will drain.
+  [[nodiscard]] bool Submit(std::function<void()> task);
+
+  /// Begins shutdown: already-queued tasks are drained, new submissions
+  /// are rejected, and the workers are joined. Idempotent; called by the
+  /// destructor. Must not race with Submit/Wait from other threads.
+  void Shutdown();
 
   /// Blocks until every submitted task has finished.
   void Wait();

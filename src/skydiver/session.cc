@@ -2,9 +2,10 @@
 
 #include "common/binio.h"
 #include "diversify/dispersion.h"
+#include "engine/engine.h"
+#include "engine/exec_context.h"
+#include "engine/planner.h"
 #include "lsh/lsh.h"
-#include "minhash/siggen.h"
-#include "skyline/skyline.h"
 
 namespace skydiver {
 
@@ -15,26 +16,25 @@ constexpr char kSessionMagic[8] = {'S', 'K', 'Y', 'D', 'S', 'E', 'S', '1'};
 Result<SkyDiverSession> SkyDiverSession::Create(const DataSet& data,
                                                 size_t signature_size, uint64_t seed,
                                                 const RTree* tree) {
-  if (data.empty()) return Status::InvalidArgument("dataset is empty");
-  if (signature_size == 0) {
-    return Status::InvalidArgument("signature size must be positive");
-  }
+  // A session is a fingerprint-only plan: skyline + SigGen run through the
+  // engine (identical accounting and backend choice as the batch API),
+  // selection is deferred to the Select* queries.
+  SkyDiverConfig config;
+  config.signature_size = signature_size;
+  config.seed = seed;
+  PlanResources resources;
+  resources.tree = tree;
+  auto plan = Planner::Resolve(config, resources, /*run_selection=*/false);
+  if (!plan.ok()) return plan.status();
+  ExecContext ctx(config);
+  auto output = Engine::Execute(ctx, plan.value(), config, data, resources);
+  if (!output.ok()) return output.status();
+
   SkyDiverSession session;
   session.seed_ = seed;
-  if (tree != nullptr) {
-    auto skyline = SkylineBBS(data, *tree);
-    if (!skyline.ok()) return skyline.status();
-    session.skyline_ = std::move(skyline.value().rows);
-  } else {
-    session.skyline_ = SkylineSFS(data).rows;
-  }
-  const auto family = MinHashFamily::Create(signature_size, data.size(), seed);
-  Result<SigGenResult> sig = tree != nullptr
-                                 ? SigGenIB(data, session.skyline_, family, *tree)
-                                 : SigGenIF(data, session.skyline_, family);
-  if (!sig.ok()) return sig.status();
-  session.signatures_ = std::move(sig.value().signatures);
-  session.scores_ = std::move(sig.value().domination_scores);
+  session.skyline_ = std::move(output.value().report.skyline);
+  session.signatures_ = std::move(output.value().signatures);
+  session.scores_ = std::move(output.value().domination_scores);
   return session;
 }
 
@@ -42,8 +42,7 @@ Result<std::vector<RowId>> SkyDiverSession::SelectMinHash(size_t k) const {
   auto distance = [this](size_t a, size_t b) {
     return signatures_.EstimatedDistance(a, b);
   };
-  auto score = [this](size_t j) { return static_cast<double>(scores_[j]); };
-  auto selection = SelectDiverseSet(skyline_.size(), k, distance, score);
+  auto selection = SelectDiverseSet(skyline_.size(), k, distance, scores_);
   if (!selection.ok()) return selection.status();
   std::vector<RowId> rows;
   rows.reserve(k);
@@ -58,8 +57,7 @@ Result<std::vector<RowId>> SkyDiverSession::SelectLsh(size_t k, double threshold
   auto index = LshIndex::Build(signatures_, params.value(), seed_ ^ 0xdecaf);
   if (!index.ok()) return index.status();
   auto distance = [&](size_t a, size_t b) { return index->Distance(a, b); };
-  auto score = [this](size_t j) { return static_cast<double>(scores_[j]); };
-  auto selection = SelectDiverseSet(skyline_.size(), k, distance, score);
+  auto selection = SelectDiverseSet(skyline_.size(), k, distance, scores_);
   if (!selection.ok()) return selection.status();
   std::vector<RowId> rows;
   rows.reserve(k);

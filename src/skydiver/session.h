@@ -5,7 +5,9 @@
 // A session materializes Phase 1's products — skyline rows, domination
 // scores, the signature matrix — and then answers any number of selection
 // queries with different k, different LSH bandings, or the MH distance,
-// without touching the data again. Sessions persist to a single
+// without touching the data again. Creation routes through the execution
+// engine (a fingerprint-only plan), so sessions share the batch API's
+// backend choice and accounting. Sessions persist to a single
 // checksummed file and can be reloaded WITHOUT the dataset: selection
 // needs only the fingerprints (the paper's index-independence taken to its
 // conclusion — ship the 100-slot signatures, not the 5M points).

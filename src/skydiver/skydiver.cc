@@ -1,123 +1,22 @@
 #include "skydiver/skydiver.h"
 
-#include <algorithm>
+#include <utility>
 
-#include "common/timer.h"
 #include "rtree/disk_rtree.h"
-#include "diversify/dispersion.h"
-#include "lsh/lsh.h"
-#include "minhash/minhash.h"
-#include "minhash/siggen.h"
-#include "skyline/skyline.h"
 
 namespace skydiver {
 
 namespace {
 
-// Pipeline over any indexed backend (RTree or DiskRTree) — or none.
-template <typename Tree>
-Result<SkyDiverReport> RunImpl(const DataSet& data, const SkyDiverConfig& config,
-                               const Tree* tree,
-                               const std::vector<RowId>* precomputed_skyline) {
-  if (data.empty()) return Status::InvalidArgument("dataset is empty");
-  if (config.k == 0) return Status::InvalidArgument("k must be positive");
-  if (config.signature_size == 0) {
-    return Status::InvalidArgument("signature size must be positive");
-  }
-  if (config.siggen == SigGenMode::kIndexBased && tree == nullptr) {
-    return Status::InvalidArgument("index-based signature generation requires an R-tree");
-  }
-  if (tree != nullptr && (tree->dims() != data.dims() || tree->size() != data.size())) {
-    return Status::InvalidArgument("R-tree does not index the given dataset");
-  }
-
-  SkyDiverReport report;
-
-  // --- Skyline ------------------------------------------------------------
-  {
-    CpuTimer cpu;
-    if (precomputed_skyline != nullptr) {
-      report.skyline = *precomputed_skyline;
-      std::sort(report.skyline.begin(), report.skyline.end());
-    } else if (tree != nullptr) {
-      const IoStats before = tree->io_stats();
-      auto result = SkylineBBS(data, *tree);
-      if (!result.ok()) return result.status();
-      report.skyline = std::move(result.value().rows);
-      const IoStats after = tree->io_stats();
-      report.skyline_phase.io.page_reads = after.page_reads - before.page_reads;
-      report.skyline_phase.io.page_faults = after.page_faults - before.page_faults;
-    } else {
-      report.skyline = SkylineSFS(data).rows;
-      const uint64_t pages = SequentialScanPages(data.size(), data.dims(), 4096);
-      report.skyline_phase.io.page_reads = pages;
-      report.skyline_phase.io.page_faults = pages;
-    }
-    report.skyline_phase.cpu_seconds = cpu.ElapsedSeconds();
-  }
-  const size_t m = report.skyline.size();
-  if (config.k > m) {
-    return Status::InvalidArgument("k = " + std::to_string(config.k) +
-                                   " exceeds skyline cardinality m = " + std::to_string(m));
-  }
-
-  // --- Phase 1: fingerprinting ---------------------------------------------
-  const bool use_index =
-      config.siggen == SigGenMode::kIndexBased ||
-      (config.siggen == SigGenMode::kAuto && tree != nullptr);
-  MinHashFamily family =
-      MinHashFamily::Create(config.signature_size, data.size(), config.seed);
-  SignatureMatrix signatures;
-  std::vector<uint64_t> domination_scores;
-  {
-    CpuTimer cpu;
-    Result<SigGenResult> result =
-        use_index ? SigGenIB(data, report.skyline, family, *tree)
-                  : SigGenIF(data, report.skyline, family);
-    if (!result.ok()) return result.status();
-    signatures = std::move(result.value().signatures);
-    domination_scores = std::move(result.value().domination_scores);
-    report.fingerprint_phase.io = result.value().io;
-    report.fingerprint_phase.cpu_seconds = cpu.ElapsedSeconds();
-  }
-  report.signature_memory_bytes = signatures.MemoryBytes();
-
-  // --- Phase 2: selection ---------------------------------------------------
-  {
-    CpuTimer cpu;
-    // Exact domination scores |Γ(s_j)| (byproduct of fingerprinting) seed
-    // the greedy and break ties, per Fig. 6.
-    auto score = [&](size_t j) { return static_cast<double>(domination_scores[j]); };
-
-    Result<DispersionResult> selection = Status::Internal("unset");
-    LshIndex lsh_index;
-    if (config.select == SelectMode::kMinHash) {
-      auto distance = [&](size_t a, size_t b) {
-        return signatures.EstimatedDistance(a, b);
-      };
-      selection = SelectDiverseSet(m, config.k, distance, score);
-    } else {
-      auto params = ChooseZones(config.signature_size, config.lsh_threshold,
-                                config.lsh_buckets);
-      if (!params.ok()) return params.status();
-      auto built = LshIndex::Build(signatures, params.value(), config.seed ^ 0xdecaf);
-      if (!built.ok()) return built.status();
-      lsh_index = std::move(built).value();
-      report.lsh_memory_bytes = lsh_index.MemoryBytes();
-      auto distance = [&](size_t a, size_t b) { return lsh_index.Distance(a, b); };
-      selection = SelectDiverseSet(m, config.k, distance, score);
-    }
-    if (!selection.ok()) return selection.status();
-    report.selected = std::move(selection.value().selected);
-    report.objective = selection.value().min_pairwise;
-    report.selection_phase.cpu_seconds = cpu.ElapsedSeconds();
-  }
-
-  report.selected_rows.reserve(report.selected.size());
-  for (size_t idx : report.selected) {
-    report.selected_rows.push_back(report.skyline[idx]);
-  }
-  return report;
+// The shared adapter: plan, build a context, execute, unwrap the report.
+Result<SkyDiverReport> PlanAndExecute(const DataSet& data, const SkyDiverConfig& config,
+                                      const PlanResources& resources) {
+  auto plan = Planner::Resolve(config, resources);
+  if (!plan.ok()) return plan.status();
+  ExecContext ctx(config);
+  auto output = Engine::Execute(ctx, plan.value(), config, data, resources);
+  if (!output.ok()) return output.status();
+  return std::move(output.value().report);
 }
 
 }  // namespace
@@ -125,14 +24,20 @@ Result<SkyDiverReport> RunImpl(const DataSet& data, const SkyDiverConfig& config
 Result<SkyDiverReport> SkyDiver::Run(const DataSet& data, const SkyDiverConfig& config,
                                      const RTree* tree,
                                      const std::vector<RowId>* precomputed_skyline) {
-  return RunImpl(data, config, tree, precomputed_skyline);
+  PlanResources resources;
+  resources.tree = tree;
+  resources.precomputed_skyline = precomputed_skyline;
+  return PlanAndExecute(data, config, resources);
 }
 
 Result<SkyDiverReport> SkyDiver::RunOnDisk(const DataSet& data,
                                            const SkyDiverConfig& config,
                                            const DiskRTree& tree,
                                            const std::vector<RowId>* precomputed_skyline) {
-  return RunImpl(data, config, &tree, precomputed_skyline);
+  PlanResources resources;
+  resources.disk_tree = &tree;
+  resources.precomputed_skyline = precomputed_skyline;
+  return PlanAndExecute(data, config, resources);
 }
 
 Result<SkyDiverReport> SkyDiver::RunWithPreference(const DataSet& data,

@@ -10,6 +10,15 @@
 // and reports per-phase CPU time, page-level I/O, and memory, under the
 // paper's cost model (8 ms per charged page fault).
 //
+// Every entry point here is a thin adapter over the execution engine
+// (src/engine/): the Planner resolves the config + resources into a Plan
+// (one backend per stage, pooled backends picked automatically when
+// config.threads >= 1), and the Engine executes it inside an ExecContext.
+// The returned report carries the resolved plan and its ExplainPlan()
+// rendering. Callers needing finer control (fingerprint-only pipelines,
+// shared pools across queries, trace events) can drive the engine
+// directly — see engine/engine.h.
+//
 // Quickstart:
 //
 //   DataSet data = GenerateIndependent(100'000, 4, /*seed=*/1);
@@ -24,77 +33,19 @@
 #include <vector>
 
 #include "common/io_stats.h"
+#include "common/phase_metrics.h"
 #include "common/status.h"
 #include "core/dataset.h"
 #include "core/preference.h"
+#include "engine/engine.h"
+#include "engine/exec_context.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
 #include "rtree/rtree.h"
 
 namespace skydiver {
 
 class DiskRTree;
-
-/// How Phase 1 builds the MinHash signatures.
-enum class SigGenMode {
-  kAuto,       ///< Index-based when a tree is supplied, index-free otherwise.
-  kIndexFree,  ///< Single sequential pass (paper Fig. 3).
-  kIndexBased, ///< Aggregate R*-tree descent (paper Fig. 4); requires a tree.
-};
-
-/// Which distance Phase 2 greedily disperses over.
-enum class SelectMode {
-  kMinHash,  ///< Estimated Jaccard distance on signatures (SkyDiver-MH).
-  kLsh,      ///< Hamming distance on LSH bit-vectors (SkyDiver-LSH).
-};
-
-/// Framework configuration; the defaults mirror the paper's
-/// (t = 100, k = 10, ξ = 0.2, B = 20).
-struct SkyDiverConfig {
-  size_t k = 10;                  ///< Number of diverse skyline points.
-  size_t signature_size = 100;    ///< t: MinHash slots per skyline point.
-  SigGenMode siggen = SigGenMode::kAuto;
-  SelectMode select = SelectMode::kMinHash;
-  double lsh_threshold = 0.2;     ///< ξ: banding threshold (kLsh only).
-  size_t lsh_buckets = 20;        ///< B: buckets per zone (kLsh only).
-  uint64_t seed = 42;             ///< Seed for hash-family / LSH draws.
-  CostModel cost_model;           ///< Page-fault charge (default 8 ms).
-};
-
-/// CPU + I/O accounting for one pipeline phase.
-struct PhaseMetrics {
-  double cpu_seconds = 0.0;
-  IoStats io;
-
-  /// CPU plus charged I/O time under `model`.
-  double TotalSeconds(const CostModel& model) const {
-    return model.TotalSeconds(cpu_seconds, io);
-  }
-};
-
-/// Everything the pipeline produced.
-struct SkyDiverReport {
-  /// The full skyline (row ids into the input dataset, ascending).
-  std::vector<RowId> skyline;
-  /// Selected diverse points as indices into `skyline`, in pick order.
-  std::vector<size_t> selected;
-  /// The same selection as row ids into the input dataset.
-  std::vector<RowId> selected_rows;
-  /// k-MMDP objective achieved under the working distance (estimated
-  /// Jaccard for MH, Hamming for LSH).
-  double objective = 0.0;
-
-  PhaseMetrics skyline_phase;
-  PhaseMetrics fingerprint_phase;
-  PhaseMetrics selection_phase;
-
-  size_t signature_memory_bytes = 0;
-  size_t lsh_memory_bytes = 0;
-
-  /// Convenience: fingerprint + selection total (the paper's reported
-  /// 2-step cost, excluding skyline computation).
-  double DiversificationSeconds(const CostModel& model) const {
-    return fingerprint_phase.TotalSeconds(model) + selection_phase.TotalSeconds(model);
-  }
-};
 
 /// The framework entry point.
 class SkyDiver {

@@ -114,21 +114,21 @@ Result<std::vector<RowId>> StreamingSkyDiver::SelectDiverse(size_t k) const {
                                    " exceeds current skyline cardinality m = " +
                                    std::to_string(rows.size()));
   }
+  // Phase 2 on live state, through the same primitives as the batch
+  // engine: slot-agreement distance, max-dominance seeding.
   std::vector<const SkylineEntry*> entries;
+  std::vector<uint64_t> scores;
   entries.reserve(rows.size());
-  for (RowId r : rows) entries.push_back(&skyline_.at(r));
+  scores.reserve(rows.size());
+  for (RowId r : rows) {
+    entries.push_back(&skyline_.at(r));
+    scores.push_back(entries.back()->domination_score);
+  }
 
   auto distance = [&](size_t a, size_t b) {
-    size_t agree = 0;
-    const auto& sa = entries[a]->signature;
-    const auto& sb = entries[b]->signature;
-    for (size_t i = 0; i < t_; ++i) agree += (sa[i] == sb[i]);
-    return 1.0 - static_cast<double>(agree) / static_cast<double>(t_);
+    return 1.0 - SlotAgreementSimilarity(entries[a]->signature, entries[b]->signature);
   };
-  auto score = [&](size_t j) {
-    return static_cast<double>(entries[j]->domination_score);
-  };
-  auto selection = SelectDiverseSet(rows.size(), k, distance, score);
+  auto selection = SelectDiverseSet(rows.size(), k, distance, scores);
   if (!selection.ok()) return selection.status();
   std::vector<RowId> out;
   out.reserve(k);

@@ -23,10 +23,44 @@ TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
   EXPECT_EQ(pool.size(), 4u);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+    EXPECT_TRUE(
+        pool.Submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);  // queued work drained before join
+  // Submission after shutdown must be rejected, not silently queued.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();  // idempotent
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedButUnstartedTasks) {
+  // Regression: destroying a pool with tasks still sitting in the queue
+  // must run them all (workers drain the queue before exiting), neither
+  // hanging nor dropping work.
+  std::atomic<int> counter{0};
+  std::atomic<bool> release{false};  // outlives the pool (workers read it)
+  {
+    ThreadPool pool(1);  // single worker => a slow head task queues the rest
+    EXPECT_TRUE(pool.Submit([&] {
+      while (!release.load()) std::this_thread::yield();
+      counter.fetch_add(1);
+    }));
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+    }
+    release.store(true);
+    // Destructor runs here with (up to) 50 queued-but-unstarted tasks.
+  }
+  EXPECT_EQ(counter.load(), 51);
 }
 
 TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {

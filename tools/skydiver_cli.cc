@@ -61,9 +61,10 @@ int Run(int argc, char** argv) {
   std::string csv, workload = "IND", pref_spec, select = "mh";
   std::string save_tree, load_tree, save_data;
   int64_t n = 100000, dims = 4, k = 10, t = 100, lsh_buckets = 20, seed = 42;
+  int64_t threads = 0;
   double lsh_threshold = 0.2;
   bool use_index = false, skip_header = false, quiet = false;
-  bool describe = false, advise = false;
+  bool describe = false, advise = false, explain = false;
 
   Flags flags;
   flags.AddString("csv", &csv, "input CSV of numeric rows (overrides --workload)");
@@ -75,7 +76,10 @@ int Run(int argc, char** argv) {
                   "comma list of min/max per column (default: all min)");
   flags.AddInt64("k", &k, "number of diverse skyline points");
   flags.AddInt64("t", &t, "MinHash signature size");
-  flags.AddString("select", &select, "selection distance: mh | lsh");
+  flags.AddString("select", &select, "selection distance: mh | lsh | bf (exact, small m)");
+  flags.AddInt64("threads", &threads,
+                 "worker threads (0 = serial; 1+ picks the pooled plan backends)");
+  flags.AddBool("explain", &explain, "print the resolved execution plan and exit");
   flags.AddDouble("lsh-threshold", &lsh_threshold, "LSH banding threshold xi");
   flags.AddInt64("lsh-buckets", &lsh_buckets, "LSH buckets per zone B");
   flags.AddBool("index", &use_index, "build an aggregate R*-tree (BBS + SigGen-IB)");
@@ -184,13 +188,32 @@ int Run(int argc, char** argv) {
   config.k = static_cast<size_t>(k);
   config.signature_size = static_cast<size_t>(t);
   config.seed = static_cast<uint64_t>(seed);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  config.threads = static_cast<size_t>(threads);
   if (select == "lsh") {
     config.select = SelectMode::kLsh;
     config.lsh_threshold = lsh_threshold;
     config.lsh_buckets = static_cast<size_t>(lsh_buckets);
+  } else if (select == "bf") {
+    config.select = SelectMode::kBruteForce;
   } else if (select != "mh") {
-    std::fprintf(stderr, "--select must be 'mh' or 'lsh'\n");
+    std::fprintf(stderr, "--select must be 'mh', 'lsh' or 'bf'\n");
     return 2;
+  }
+
+  if (explain) {
+    PlanResources resources;
+    resources.tree = have_tree ? &*tree : nullptr;
+    auto plan = Planner::Resolve(config, resources);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", ExplainPlan(*plan, config).c_str());
+    return 0;
   }
 
   auto report = SkyDiver::Run(*canonical, config, have_tree ? &*tree : nullptr);
@@ -203,6 +226,9 @@ int Run(int argc, char** argv) {
     std::printf("# n=%u d=%u skyline=%zu k=%zu select=%s index=%s\n", data->size(),
                 data->dims(), report->skyline.size(), config.k, select.c_str(),
                 have_tree ? "yes" : "no");
+    std::printf("# plan: skyline=%s fingerprint=%s select=%s threads=%zu\n",
+                ToString(report->plan.skyline), ToString(report->plan.fingerprint),
+                ToString(report->plan.select), report->plan.threads);
     std::printf("# objective (working min pairwise distance): %.4f\n",
                 report->objective);
     const CostModel& cost = config.cost_model;
