@@ -1,0 +1,104 @@
+// Dominance-kernel microbenchmark: scalar reference vs batched 64-row
+// tiled sweeps, on the two hot consumers the kernel layer rewires —
+// SkylineSFS and SigGen-IF — across IND/CORR/ANT at d = 4, 8, 12.
+//
+// Expected shape: the tiled kernel wins where dominance tests are
+// exhaustive or the candidate block is wide — SigGen-IF everywhere it is
+// not the scalar fallback, SFS once the skyline spans many tiles (d >= 8).
+// On CORR the skyline is a handful of points: SigGen-IF falls below one
+// tile and runs the scalar reference (ratio ~1), while SFS still pays the
+// tile-window upkeep on a ~10 ms run, so its ratio dips below 1 there —
+// as it does on low-d inputs where scalar window probes exit after a pair
+// or two. That tradeoff is why --kernel=scalar stays a plan choice.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/timer.h"
+#include "minhash/siggen.h"
+#include "skyline/skyline.h"
+
+namespace skydiver::bench {
+namespace {
+
+constexpr int kReps = 3;
+constexpr size_t kSignatureSize = 100;
+
+template <typename Fn>
+double BestOf(Fn&& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.ElapsedSeconds());
+  }
+  return best;
+}
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  if (!env.Init(argc, argv,
+                "Dominance kernels: scalar vs tiled 64-row sweeps for "
+                "SkylineSFS and SigGen-IF",
+                /*default_scale=*/1.0)) {
+    return 0;
+  }
+  const RowId paper_n = 100000;
+  ShapeChecks shape("kernels");
+  TablePrinter table({"data", "dims", "n", "m", "sfs_scalar_s", "sfs_tiled_s",
+                      "sfs_x", "if_scalar_s", "if_tiled_s", "if_x"});
+
+  for (const WorkloadKind kind :
+       {WorkloadKind::kIndependent, WorkloadKind::kCorrelated,
+        WorkloadKind::kAnticorrelated}) {
+    for (const Dim d : {Dim{4}, Dim{8}, Dim{12}}) {
+      const DataSet& data = env.Data(kind, paper_n, d);
+      const auto skyline = SkylineSFS(data).rows;
+      const size_t m = skyline.size();
+      const auto family =
+          MinHashFamily::Create(kSignatureSize, data.size(), env.seed());
+
+      std::vector<RowId> sink;
+      const double sfs_scalar = BestOf(
+          [&] { sink = SkylineSFS(data, DomKernel::kScalar).rows; });
+      const double sfs_tiled = BestOf(
+          [&] { sink = SkylineSFS(data, DomKernel::kTiled).rows; });
+
+      uint64_t checks_sink = 0;
+      const double if_scalar = BestOf([&] {
+        checks_sink +=
+            SigGenIF(data, skyline, family, DomKernel::kScalar)->dominance_checks;
+      });
+      const double if_tiled = BestOf([&] {
+        checks_sink +=
+            SigGenIF(data, skyline, family, DomKernel::kTiled)->dominance_checks;
+      });
+      (void)checks_sink;
+
+      table.Row({WorkloadKindName(kind), TablePrinter::Int(d),
+                 TablePrinter::Int(data.size()), TablePrinter::Int(m),
+                 TablePrinter::Secs(sfs_scalar), TablePrinter::Secs(sfs_tiled),
+                 TablePrinter::Num(sfs_scalar / sfs_tiled, 2),
+                 TablePrinter::Secs(if_scalar), TablePrinter::Secs(if_tiled),
+                 TablePrinter::Num(if_scalar / if_tiled, 2)});
+
+      // The tiled sweep should pay off wherever the skyline spans tiles and
+      // the pass is exhaustive (SigGen-IF); give it 10% slack for noise.
+      if (m >= 256) {
+        const std::string tag = std::string(WorkloadKindName(kind)) +
+                                " d=" + std::to_string(d);
+        shape.Check(tag + ": tiled SigGen-IF no slower than scalar",
+                    if_tiled <= if_scalar * 1.10);
+      }
+    }
+  }
+  shape.Summarize();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

@@ -8,6 +8,8 @@
 
 #pragma once
 
+#include <cstdint>
+
 #include "common/io_stats.h"
 
 namespace skydiver {
@@ -16,6 +18,12 @@ namespace skydiver {
 struct PhaseMetrics {
   double cpu_seconds = 0.0;
   IoStats io;
+  /// Dominance tests the stage performed (pooled backends fold their
+  /// workers' counts back into the running thread, so this covers them).
+  uint64_t dominance_checks = 0;
+  /// The subset of `dominance_checks` charged by tiled kernel sweeps
+  /// (equal to it on fully tiled paths, 0 on scalar ones).
+  uint64_t dominance_checks_tiled = 0;
 
   /// CPU plus charged I/O time under `model`.
   double TotalSeconds(const CostModel& model) const {

@@ -31,7 +31,17 @@ struct DominanceCounter {
     thread_local uint64_t count = 0;
     return count;
   }
-  static void Reset() { Count() = 0; }
+  /// Subset of Count() executed by the batched tiled kernels
+  /// (kernels/dominance_kernel.h); the scalar helpers below never touch it.
+  /// Count() - TiledCount() is the scalar-kernel share.
+  static uint64_t& TiledCount() {
+    thread_local uint64_t count = 0;
+    return count;
+  }
+  static void Reset() {
+    Count() = 0;
+    TiledCount() = 0;
+  }
 };
 
 /// Returns true iff `p` dominates `q` (p ≺ q). Both spans must have equal,

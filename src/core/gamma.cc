@@ -1,12 +1,15 @@
 #include "core/gamma.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/dominance.h"
+#include "kernels/tile_view.h"
 
 namespace skydiver {
 
-GammaSets GammaSets::Compute(const DataSet& data, const std::vector<RowId>& skyline) {
+GammaSets GammaSets::Compute(const DataSet& data, const std::vector<RowId>& skyline,
+                             DomKernel kernel) {
   GammaSets out;
   const RowId n = data.size();
   const size_t m = skyline.size();
@@ -14,6 +17,30 @@ GammaSets GammaSets::Compute(const DataSet& data, const std::vector<RowId>& skyl
   out.non_skyline_ = n - m;
   out.gammas_.assign(m, BitVector(n));
   out.counts_.assign(m, 0);
+  if (EffectiveKernel(kernel, m) == DomKernel::kTiled) {
+    // Skyline columns tiled column-major, tile ids = column index j. No
+    // self-skip is needed: strict dominance is irreflexive, so a skyline
+    // row's own column bit is never set.
+    TileSet sky_tiles(data.dims());
+    for (size_t j = 0; j < m; ++j) {
+      sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
+    }
+    const DominanceKernel batch(DomKernel::kTiled);
+    for (RowId r = 0; r < n; ++r) {
+      const auto point = data.row(r);
+      for (const Tile& tile : sky_tiles.tiles()) {
+        uint64_t mask = batch.FilterDominators(point, tile.view());
+        while (mask != 0) {
+          const int bit = std::countr_zero(mask);
+          mask &= mask - 1;
+          const size_t j = tile.id(static_cast<size_t>(bit));
+          out.gammas_[j].Set(r);
+          ++out.counts_[j];
+        }
+      }
+    }
+    return out;
+  }
   for (RowId r = 0; r < n; ++r) {
     const auto point = data.row(r);
     for (size_t j = 0; j < m; ++j) {

@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "core/dataset.h"
 #include "core/types.h"
+#include "kernels/dominance_kernel.h"
 
 namespace skydiver {
 
@@ -26,7 +27,11 @@ class GammaSets {
  public:
   /// Computes Γ(s) for every skyline row in `skyline` by a full scan of
   /// `data` (O(n·m) dominance tests). `data` must be in minimization space.
-  static GammaSets Compute(const DataSet& data, const std::vector<RowId>& skyline);
+  /// The scan is exhaustive, so kScalar and kTiled produce identical sets;
+  /// under kTiled the skyline columns are swept one 64-column tile at a
+  /// time per data row.
+  static GammaSets Compute(const DataSet& data, const std::vector<RowId>& skyline,
+                           DomKernel kernel = DomKernel::kScalar);
 
   /// Builds Γ sets directly from an explicit dominance graph: `gammas[j]`
   /// is the set of dominated items (bits over a universe of

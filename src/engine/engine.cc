@@ -49,7 +49,8 @@ Result<ThreadPool*> RequirePool(ExecContext& ctx, const char* backend) {
 // Computes (or adopts) the skyline rows and charges the phase's I/O.
 class SkylineStage : public Stage {
  public:
-  explicit SkylineStage(SkylineBackend backend) : backend_(backend) {}
+  SkylineStage(SkylineBackend backend, DomKernel kernel)
+      : backend_(backend), kernel_(kernel) {}
   const char* name() const override { return "skyline"; }
 
   Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
@@ -61,14 +62,14 @@ class SkylineStage : public Stage {
         return Status::OK();
       }
       case SkylineBackend::kSfs: {
-        skyline = SkylineSFS(state.data).rows;
+        skyline = SkylineSFS(state.data, kernel_).rows;
         ChargeSequentialScan(state, metrics);
         return Status::OK();
       }
       case SkylineBackend::kParallelSfs: {
         auto pool = RequirePool(ctx, "parallel-sfs");
         if (!pool.ok()) return pool.status();
-        skyline = ParallelSkyline(state.data, **pool);
+        skyline = ParallelSkyline(state.data, **pool, kernel_).rows;
         // Same logical cost as the serial scan: every shard together reads
         // the data file exactly once.
         ChargeSequentialScan(state, metrics);
@@ -93,7 +94,7 @@ class SkylineStage : public Stage {
   template <typename Tree>
   Status RunBbs(PipelineState& state, const Tree& tree, PhaseMetrics* metrics) {
     const IoStats before = tree.io_stats();
-    auto result = SkylineBBS(state.data, tree);
+    auto result = SkylineBBS(state.data, tree, kernel_);
     if (!result.ok()) return result.status();
     state.out.report.skyline = std::move(result.value().rows);
     const IoStats after = tree.io_stats();
@@ -103,12 +104,16 @@ class SkylineStage : public Stage {
   }
 
   SkylineBackend backend_;
+  DomKernel kernel_;
 };
 
 // Builds the MinHash signatures and exact domination scores (Phase 1).
+// The IF backends take the plan's kernel; the IB descent is tree-shaped
+// (corner tests against MBRs, not point blocks), so it stays scalar.
 class FingerprintStage : public Stage {
  public:
-  explicit FingerprintStage(FingerprintBackend backend) : backend_(backend) {}
+  FingerprintStage(FingerprintBackend backend, DomKernel kernel)
+      : backend_(backend), kernel_(kernel) {}
   const char* name() const override { return "fingerprint"; }
 
   Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
@@ -116,12 +121,12 @@ class FingerprintStage : public Stage {
     Result<SigGenResult> result = Status::Internal("unset");
     switch (backend_) {
       case FingerprintBackend::kSigGenIf:
-        result = SigGenIF(state.data, skyline, state.family);
+        result = SigGenIF(state.data, skyline, state.family, kernel_);
         break;
       case FingerprintBackend::kParallelIf: {
         auto pool = RequirePool(ctx, "parallel-siggen-if");
         if (!pool.ok()) return pool.status();
-        result = ParallelSigGenIF(state.data, skyline, state.family, **pool);
+        result = ParallelSigGenIF(state.data, skyline, state.family, **pool, kernel_);
         break;
       }
       case FingerprintBackend::kSigGenIb:
@@ -148,6 +153,7 @@ class FingerprintStage : public Stage {
 
  private:
   FingerprintBackend backend_;
+  DomKernel kernel_;
 };
 
 // Greedy (or exact) k-MMDP selection over the fingerprints (Phase 2).
@@ -244,7 +250,7 @@ Result<EngineOutput> Engine::Execute(ExecContext& ctx, const Plan& plan,
   state.out.report.plan = plan;
   state.out.report.plan_explain = ExplainPlan(plan, config);
 
-  SkylineStage skyline_stage(plan.skyline);
+  SkylineStage skyline_stage(plan.skyline, plan.kernel);
   SKYDIVER_RETURN_NOT_OK(ctx.RunStage(skyline_stage.name(),
                                       &state.out.report.skyline_phase,
                                       [&](PhaseMetrics* metrics) {
@@ -259,7 +265,7 @@ Result<EngineOutput> Engine::Execute(ExecContext& ctx, const Plan& plan,
                                    std::to_string(m));
   }
 
-  FingerprintStage fingerprint_stage(plan.fingerprint);
+  FingerprintStage fingerprint_stage(plan.fingerprint, plan.kernel);
   SKYDIVER_RETURN_NOT_OK(ctx.RunStage(
       fingerprint_stage.name(), &state.out.report.fingerprint_phase,
       [&](PhaseMetrics* metrics) { return fingerprint_stage.Run(ctx, state, metrics); }));

@@ -1,6 +1,7 @@
 #include "engine/exec_context.h"
 
 #include "common/timer.h"
+#include "core/dominance.h"
 
 namespace skydiver {
 
@@ -9,8 +10,15 @@ Status ExecContext::RunStage(std::string_view name, PhaseMetrics* out,
   *out = PhaseMetrics{};
   WallTimer wall;
   CpuTimer cpu;
+  // Snapshot the dominance counters around the stage. Pooled backends fold
+  // worker-side counts into this thread before returning, so the deltas
+  // see pool work too.
+  const uint64_t checks_before = DominanceCounter::Count();
+  const uint64_t tiled_before = DominanceCounter::TiledCount();
   const Status status = fn(out);
   out->cpu_seconds = cpu.ElapsedSeconds();
+  out->dominance_checks = DominanceCounter::Count() - checks_before;
+  out->dominance_checks_tiled = DominanceCounter::TiledCount() - tiled_before;
   if (!status.ok()) return status;
   io_ += out->io;
   phases_.emplace_back(std::string(name), *out);

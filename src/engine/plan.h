@@ -18,6 +18,7 @@
 
 #include "common/io_stats.h"
 #include "core/types.h"
+#include "kernels/dominance_kernel.h"
 
 namespace skydiver {
 
@@ -50,6 +51,10 @@ struct SkyDiverConfig {
   uint64_t seed = 42;             ///< Seed for hash-family / LSH draws.
   size_t threads = 0;             ///< 0 = serial; N >= 1 = pooled, N workers.
   CostModel cost_model;           ///< Page-fault charge (default 8 ms).
+  /// Dominance kernel for the batched stages (skyline, IF fingerprints).
+  /// Tiled by default: outputs are bit-identical to scalar, only the
+  /// dominance-check accounting differs (see kernels/dominance_kernel.h).
+  DomKernel kernel = DomKernel::kTiled;
 };
 
 /// Resources a caller can hand the planner. All optional; the planner
@@ -84,12 +89,14 @@ enum class SelectBackend {
   kBruteForce,  ///< Exact k-MMDP over estimated Jaccard distances.
 };
 
-/// A resolved pipeline: one backend per stage plus the pool width.
+/// A resolved pipeline: one backend per stage plus the pool width and the
+/// dominance kernel the batched stages run with.
 struct Plan {
   SkylineBackend skyline = SkylineBackend::kSfs;
   FingerprintBackend fingerprint = FingerprintBackend::kSigGenIf;
   SelectBackend select = SelectBackend::kMinHash;
   size_t threads = 0;  ///< Worker threads the pooled backends will use.
+  DomKernel kernel = DomKernel::kTiled;  ///< Dominance kernel (scalar|tiled).
 };
 
 const char* ToString(SkylineBackend backend);

@@ -57,10 +57,14 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
   if (config.siggen == SigGenMode::kIndexBased && !have_index) {
     return Status::InvalidArgument("index-based signature generation requires an R-tree");
   }
+  if (config.kernel != DomKernel::kScalar && config.kernel != DomKernel::kTiled) {
+    return Status::InvalidArgument("unknown dominance kernel value");
+  }
   const bool pooled = config.threads >= 1;
 
   Plan plan;
   plan.threads = config.threads;
+  plan.kernel = config.kernel;
 
   if (resources.precomputed_skyline != nullptr) {
     plan.skyline = SkylineBackend::kPrecomputed;
@@ -103,7 +107,8 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
 
 std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
   std::ostringstream out;
-  out << "SkyDiver plan [threads=" << plan.threads << ", seed=" << config.seed << "]\n";
+  out << "SkyDiver plan [threads=" << plan.threads << ", seed=" << config.seed
+      << ", kernel=" << ToString(plan.kernel) << "]\n";
 
   out << "  1. skyline:     " << ToString(plan.skyline);
   switch (plan.skyline) {

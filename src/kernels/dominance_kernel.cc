@@ -1,0 +1,226 @@
+#include "kernels/dominance_kernel.h"
+
+#include <cstring>
+
+namespace skydiver {
+
+const char* ToString(DomKernel kernel) {
+  switch (kernel) {
+    case DomKernel::kScalar: return "scalar";
+    case DomKernel::kTiled: return "tiled";
+  }
+  return "?";
+}
+
+Result<DomKernel> ParseDomKernel(std::string_view name) {
+  if (name == "scalar") return DomKernel::kScalar;
+  if (name == "tiled") return DomKernel::kTiled;
+  return Status::InvalidArgument("unknown dominance kernel '" + std::string(name) +
+                                 "' (expected 'scalar' or 'tiled')");
+}
+
+namespace {
+
+// Per-row comparison flags accumulated across one dimension sweep:
+// lt[r] != 0 iff the probe is strictly less than row r on some dimension,
+// gt[r] != 0 iff strictly greater on some dimension. Every dominance
+// outcome is a boolean function of (lt[r], gt[r]):
+//   probe dominates row r   <=>  lt[r] && !gt[r]
+//   row r dominates probe   <=>  gt[r] && !lt[r]
+//   probe weakly <= row r   <=>  !gt[r]
+//   equal                   <=>  !lt[r] && !gt[r]
+// The two inner loops are branch-free byte ops over a 64-entry column —
+// the layout the compiler's vectorizer was built for.
+struct SweepFlags {
+  alignas(kTileRows) uint8_t lt[kTileRows];
+  alignas(kTileRows) uint8_t gt[kTileRows];
+};
+
+// The sweep may stop early once every row's outcome is frozen: with lt[r]
+// set row r can never dominate the probe, with gt[r] set it can never be
+// (weakly) dominated, and with both set the pair is incomparable for good.
+// Callers pick the weakest condition covering the flags they read; the
+// dominance charge is per (probe, row) pair and unaffected by how many
+// dimensions the sweep actually visited.
+enum class StopWhen : uint8_t { kNever, kAllLt, kAllGt, kAllBoth };
+
+template <StopWhen kStop>
+void SweepImpl(std::span<const Coord> p, const TileView& tile, SweepFlags* flags) {
+  std::memset(flags->lt, 0, sizeof(flags->lt));
+  std::memset(flags->gt, 0, sizeof(flags->gt));
+  const size_t rows = tile.rows;
+  for (size_t d = 0; d < tile.dims; ++d) {
+    const Coord pd = p[d];
+    const Coord* col = tile.cols + d * kTileRows;
+    for (size_t r = 0; r < rows; ++r) {
+      flags->lt[r] |= static_cast<uint8_t>(pd < col[r]);
+      flags->gt[r] |= static_cast<uint8_t>(pd > col[r]);
+    }
+    if constexpr (kStop != StopWhen::kNever) {
+      uint8_t frozen = 1;  // flag bytes are 0/1, so AND-reduction works
+      for (size_t r = 0; r < rows; ++r) {
+        if constexpr (kStop == StopWhen::kAllLt) {
+          frozen &= flags->lt[r];
+        } else if constexpr (kStop == StopWhen::kAllGt) {
+          frozen &= flags->gt[r];
+        } else {
+          frozen &= static_cast<uint8_t>(flags->lt[r] & flags->gt[r]);
+        }
+      }
+      if (frozen) return;
+    }
+  }
+}
+
+
+// Packs `take(r)` over the occupied rows into a bitmask.
+template <typename Fn>
+uint64_t Pack(const TileView& tile, Fn take) {
+  uint64_t mask = 0;
+  for (size_t r = 0; r < tile.rows; ++r) {
+    mask |= static_cast<uint64_t>(take(r) ? 1 : 0) << r;
+  }
+  return mask;
+}
+
+// The tiled counting rule: one point-level test per (probe, row) pair.
+void ChargeTile(const TileView& tile) {
+  DominanceCounter::Count() += tile.rows;
+  DominanceCounter::TiledCount() += tile.rows;
+}
+
+}  // namespace
+
+uint64_t DominanceKernel::FilterDominated(std::span<const Coord> p,
+                                          const TileView& tile) const {
+  if (kind_ == DomKernel::kScalar) {
+    uint64_t mask = 0;
+    for (size_t r = 0; r < tile.rows; ++r) {
+      ++DominanceCounter::Count();
+      bool strictly_better = false;
+      bool dominated = true;
+      for (size_t d = 0; d < tile.dims; ++d) {
+        const Coord pd = p[d];
+        const Coord rv = tile.at(r, d);
+        if (pd > rv) {
+          dominated = false;
+          break;
+        }
+        if (pd < rv) strictly_better = true;
+      }
+      if (dominated && strictly_better) mask |= uint64_t{1} << r;
+    }
+    return mask;
+  }
+  SweepFlags flags;
+  SweepImpl<StopWhen::kAllGt>(p, tile, &flags);
+  ChargeTile(tile);
+  return Pack(tile, [&](size_t r) { return flags.lt[r] && !flags.gt[r]; });
+}
+
+uint64_t DominanceKernel::FilterDominators(std::span<const Coord> p,
+                                           const TileView& tile) const {
+  if (kind_ == DomKernel::kScalar) {
+    uint64_t mask = 0;
+    for (size_t r = 0; r < tile.rows; ++r) {
+      ++DominanceCounter::Count();
+      bool strictly_better = false;
+      bool dominates = true;
+      for (size_t d = 0; d < tile.dims; ++d) {
+        const Coord pd = p[d];
+        const Coord rv = tile.at(r, d);
+        if (rv > pd) {
+          dominates = false;
+          break;
+        }
+        if (rv < pd) strictly_better = true;
+      }
+      if (dominates && strictly_better) mask |= uint64_t{1} << r;
+    }
+    return mask;
+  }
+  SweepFlags flags;
+  SweepImpl<StopWhen::kAllLt>(p, tile, &flags);
+  ChargeTile(tile);
+  return Pack(tile, [&](size_t r) { return flags.gt[r] && !flags.lt[r]; });
+}
+
+uint64_t DominanceKernel::FilterWeaklyDominated(std::span<const Coord> p,
+                                                const TileView& tile) const {
+  if (kind_ == DomKernel::kScalar) {
+    uint64_t mask = 0;
+    for (size_t r = 0; r < tile.rows; ++r) {
+      ++DominanceCounter::Count();
+      bool weakly = true;
+      for (size_t d = 0; d < tile.dims; ++d) {
+        if (p[d] > tile.at(r, d)) {
+          weakly = false;
+          break;
+        }
+      }
+      if (weakly) mask |= uint64_t{1} << r;
+    }
+    return mask;
+  }
+  SweepFlags flags;
+  SweepImpl<StopWhen::kAllGt>(p, tile, &flags);
+  ChargeTile(tile);
+  return Pack(tile, [&](size_t r) { return !flags.gt[r]; });
+}
+
+bool DominanceKernel::AnyDominator(std::span<const Coord> p,
+                                   const TileView& tile) const {
+  if (kind_ == DomKernel::kScalar) {
+    for (size_t r = 0; r < tile.rows; ++r) {
+      ++DominanceCounter::Count();
+      bool strictly_better = false;
+      bool dominates = true;
+      for (size_t d = 0; d < tile.dims; ++d) {
+        const Coord pd = p[d];
+        const Coord rv = tile.at(r, d);
+        if (rv > pd) {
+          dominates = false;
+          break;
+        }
+        if (rv < pd) strictly_better = true;
+      }
+      if (dominates && strictly_better) return true;
+    }
+    return false;
+  }
+  return FilterDominators(p, tile) != 0;
+}
+
+BlockClassification DominanceKernel::ClassifyBlock(std::span<const Coord> p,
+                                                   const TileView& tile) const {
+  if (kind_ == DomKernel::kScalar) {
+    BlockClassification out;
+    for (size_t r = 0; r < tile.rows; ++r) {
+      ++DominanceCounter::Count();
+      bool p_better = false;
+      bool r_better = false;
+      for (size_t d = 0; d < tile.dims; ++d) {
+        const Coord pd = p[d];
+        const Coord rv = tile.at(r, d);
+        if (pd < rv) {
+          p_better = true;
+        } else if (rv < pd) {
+          r_better = true;
+        }
+        if (p_better && r_better) break;
+      }
+      if (p_better && !r_better) out.dominated |= uint64_t{1} << r;
+      if (r_better && !p_better) out.dominators |= uint64_t{1} << r;
+    }
+    return out;
+  }
+  SweepFlags flags;
+  SweepImpl<StopWhen::kAllBoth>(p, tile, &flags);
+  ChargeTile(tile);
+  BlockClassification out;
+  out.dominated = Pack(tile, [&](size_t r) { return flags.lt[r] && !flags.gt[r]; });
+  out.dominators = Pack(tile, [&](size_t r) { return flags.gt[r] && !flags.lt[r]; });
+  return out;
+}
+
+}  // namespace skydiver

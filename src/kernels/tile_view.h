@@ -1,0 +1,160 @@
+// Cache-resident, column-major tiles of points — the batched dominance
+// kernels' working layout.
+//
+// A `Tile` holds up to kTileRows (= 64, one mask bit per row) points
+// transposed into column-major order: all values of dimension 0, then all
+// of dimension 1, and so on, each column padded to kTileRows entries. The
+// transposition turns the per-pair d-length early-exit loops of
+// core/dominance.h into branch-free sweeps over one dimension at a time
+// (kernels/dominance_kernel.h), with every per-row outcome landing in a
+// 64-bit mask. `TileSet` is a dynamic sequence of tiles supporting append
+// and mask-driven compaction — the shape the BNL window, the SFS admitted
+// set, and the BBS skyline take under the tiled kernel.
+
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/types.h"
+
+namespace skydiver {
+
+/// Rows per tile. Equals the bit width of a kernel result mask.
+inline constexpr size_t kTileRows = 64;
+
+/// Non-owning column-major view of up to kTileRows points. `cols` stores
+/// dimension d at `cols[d * kTileRows + r]`; `ids` maps a tile-local row
+/// index to whatever identifier the producer tracks (a DataSet RowId, a
+/// signature column index, ...).
+struct TileView {
+  const Coord* cols = nullptr;
+  const RowId* ids = nullptr;
+  size_t rows = 0;
+  size_t dims = 0;
+
+  Coord at(size_t r, size_t d) const { return cols[d * kTileRows + r]; }
+
+  /// Mask with one bit set per occupied row.
+  uint64_t FullMask() const {
+    return rows >= 64 ? ~uint64_t{0} : (uint64_t{1} << rows) - 1;
+  }
+};
+
+/// Owning fixed-capacity tile.
+class Tile {
+ public:
+  explicit Tile(Dim dims)
+      : dims_(dims), values_(static_cast<size_t>(dims) * kTileRows) {
+    assert(dims >= 1);
+  }
+
+  Dim dims() const { return dims_; }
+  size_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+  bool full() const { return rows_ == kTileRows; }
+  RowId id(size_t r) const {
+    assert(r < rows_);
+    return ids_[r];
+  }
+
+  void Clear() { rows_ = 0; }
+
+  /// Appends one point (transposing it into the columns). Must not be full.
+  void PushRow(RowId id, std::span<const Coord> point) {
+    assert(!full());
+    assert(point.size() == dims_);
+    for (size_t d = 0; d < dims_; ++d) values_[d * kTileRows + rows_] = point[d];
+    ids_[rows_] = id;
+    ++rows_;
+  }
+
+  /// Keeps exactly the rows whose bit is set in `keep` (order preserved).
+  void Compact(uint64_t keep) {
+    size_t out = 0;
+    for (size_t r = 0; r < rows_; ++r) {
+      if ((keep >> r & 1) == 0) continue;
+      if (out != r) {
+        for (size_t d = 0; d < dims_; ++d) {
+          values_[d * kTileRows + out] = values_[d * kTileRows + r];
+        }
+        ids_[out] = ids_[r];
+      }
+      ++out;
+    }
+    rows_ = out;
+  }
+
+  TileView view() const {
+    return TileView{values_.data(), ids_.data(), rows_, dims_};
+  }
+
+ private:
+  Dim dims_;
+  size_t rows_ = 0;
+  std::vector<Coord> values_;  // column-major, stride kTileRows
+  std::array<RowId, kTileRows> ids_{};
+};
+
+/// Dynamic sequence of tiles. Appends go to the last tile (a new one opens
+/// when it fills); mask-driven compaction may leave interior tiles ragged,
+/// which the kernels handle (every tile carries its own row count).
+class TileSet {
+ public:
+  explicit TileSet(Dim dims) : dims_(dims) {}
+
+  Dim dims() const { return dims_; }
+  size_t size() const { return total_rows_; }
+  bool empty() const { return total_rows_ == 0; }
+  const std::vector<Tile>& tiles() const { return tiles_; }
+
+  void Append(RowId id, std::span<const Coord> point) {
+    if (tiles_.empty() || tiles_.back().full()) tiles_.emplace_back(dims_);
+    tiles_.back().PushRow(id, point);
+    ++total_rows_;
+  }
+
+  /// Compacts tile `i` to the rows in `keep`; empty tiles stay in place
+  /// (cheap) until DropEmptyTiles().
+  void CompactTile(size_t i, uint64_t keep) {
+    const size_t before = tiles_[i].rows();
+    tiles_[i].Compact(keep);
+    total_rows_ -= before - tiles_[i].rows();
+  }
+
+  /// Erases tiles left empty by compaction, preserving tile order.
+  void DropEmptyTiles() {
+    size_t out = 0;
+    for (size_t i = 0; i < tiles_.size(); ++i) {
+      if (tiles_[i].empty()) continue;
+      if (out != i) tiles_[out] = std::move(tiles_[i]);
+      ++out;
+    }
+    tiles_.resize(out, Tile(dims_));
+  }
+
+  void Clear() {
+    tiles_.clear();
+    total_rows_ = 0;
+  }
+
+ private:
+  Dim dims_;
+  size_t total_rows_ = 0;
+  std::vector<Tile> tiles_;
+};
+
+/// Materializes the rows of `ids` into a TileSet (tile ids = the given row
+/// ids, in order).
+inline TileSet MaterializeTiles(const DataSet& data, std::span<const RowId> ids) {
+  TileSet tiles(data.dims());
+  for (RowId r : ids) tiles.Append(r, data.row(r));
+  return tiles;
+}
+
+}  // namespace skydiver

@@ -1,9 +1,11 @@
 #include "minhash/siggen.h"
 
 #include <algorithm>
+#include <bit>
 #include <deque>
 
 #include "core/dominance.h"
+#include "kernels/tile_view.h"
 #include "rtree/disk_rtree.h"
 
 namespace skydiver {
@@ -37,13 +39,14 @@ uint64_t SequentialScanPages(uint64_t n, Dim dims, uint32_t page_size) {
 }
 
 Result<SigGenResult> SigGenIF(const DataSet& data, const std::vector<RowId>& skyline,
-                              const MinHashFamily& family) {
+                              const MinHashFamily& family, DomKernel kernel) {
   SKYDIVER_RETURN_NOT_OK(ValidateInputs(data, skyline, family));
   const uint64_t checks_before = DominanceCounter::Count();
 
   const size_t t = family.size();
   const size_t m = skyline.size();
   const RowId n = data.size();
+  kernel = EffectiveKernel(kernel, m);
   SigGenResult out;
   out.signatures = SignatureMatrix(t, m);
   out.domination_scores.assign(m, 0);
@@ -55,18 +58,49 @@ Result<SigGenResult> SigGenIF(const DataSet& data, const std::vector<RowId>& sky
   // dominating column (equivalent to the paper's per-column UpdateMatrix,
   // which re-evaluates the same t hashes).
   std::vector<uint64_t> row_hash(t);
-  for (RowId r = 0; r < n; ++r) {
-    if (is_skyline[r]) continue;  // skyline points belong to no Γ set
-    const auto point = data.row(r);
-    bool hashed = false;
+  if (kernel == DomKernel::kTiled) {
+    // The skyline columns live in column-major tiles; each tile id holds
+    // the signature-column index j, so mask bits map straight back to
+    // columns. Both the scalar and the tiled pass are exhaustive (no early
+    // exit), so signatures, scores, and dominance counts all match exactly.
+    TileSet sky_tiles(data.dims());
     for (size_t j = 0; j < m; ++j) {
-      if (!Dominates(data.row(skyline[j]), point)) continue;
-      ++out.domination_scores[j];
-      if (!hashed) {
-        for (size_t i = 0; i < t; ++i) row_hash[i] = family.Apply(i, r);
-        hashed = true;
+      sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
+    }
+    const DominanceKernel batch(DomKernel::kTiled);
+    for (RowId r = 0; r < n; ++r) {
+      if (is_skyline[r]) continue;
+      const auto point = data.row(r);
+      bool hashed = false;
+      for (const Tile& tile : sky_tiles.tiles()) {
+        uint64_t mask = batch.FilterDominators(point, tile.view());
+        while (mask != 0) {
+          const int bit = std::countr_zero(mask);
+          mask &= mask - 1;
+          const size_t j = tile.id(static_cast<size_t>(bit));
+          ++out.domination_scores[j];
+          if (!hashed) {
+            for (size_t i = 0; i < t; ++i) row_hash[i] = family.Apply(i, r);
+            hashed = true;
+          }
+          for (size_t i = 0; i < t; ++i) out.signatures.UpdateMin(j, i, row_hash[i]);
+        }
       }
-      for (size_t i = 0; i < t; ++i) out.signatures.UpdateMin(j, i, row_hash[i]);
+    }
+  } else {
+    for (RowId r = 0; r < n; ++r) {
+      if (is_skyline[r]) continue;  // skyline points belong to no Γ set
+      const auto point = data.row(r);
+      bool hashed = false;
+      for (size_t j = 0; j < m; ++j) {
+        if (!Dominates(data.row(skyline[j]), point)) continue;
+        ++out.domination_scores[j];
+        if (!hashed) {
+          for (size_t i = 0; i < t; ++i) row_hash[i] = family.Apply(i, r);
+          hashed = true;
+        }
+        for (size_t i = 0; i < t; ++i) out.signatures.UpdateMin(j, i, row_hash[i]);
+      }
     }
   }
 

@@ -25,6 +25,7 @@
 #include "common/io_stats.h"
 #include "common/status.h"
 #include "core/dataset.h"
+#include "kernels/dominance_kernel.h"
 #include "minhash/minhash.h"
 #include "rtree/rtree.h"
 
@@ -45,9 +46,15 @@ struct SigGenResult {
 
 /// Index-free generation (paper Fig. 3). `data` must be in minimization
 /// space; `skyline` holds the skyline row ids. The result has one signature
-/// column per skyline row, in the given order.
+/// column per skyline row, in the given order. Under DomKernel::kTiled the
+/// skyline columns are held in column-major tiles and each data row is
+/// tested against whole tiles at a time; because the IF pass is exhaustive
+/// (no early exit), the tiled run produces bit-identical signatures, scores,
+/// AND dominance counts ((n - m) * m either way). SigGen-IB's corner tests
+/// are tree-shaped, not batched, so it takes no kernel selector.
 Result<SigGenResult> SigGenIF(const DataSet& data, const std::vector<RowId>& skyline,
-                              const MinHashFamily& family);
+                              const MinHashFamily& family,
+                              DomKernel kernel = DomKernel::kScalar);
 
 /// Index-based generation (paper Fig. 4) over an aggregate R*-tree that
 /// indexes `data`. Uses the tree's buffer pool for I/O accounting (the

@@ -2,14 +2,32 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <mutex>
 
 #include "core/dominance.h"
-#include "skyline/skyline.h"
+#include "kernels/tile_view.h"
 
 namespace skydiver {
 
-std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool) {
+namespace {
+
+// Folds pool-side dominance work into the calling thread's counters so that
+// surrounding scopes (CheckScope, ExecContext stage accounting) observe it;
+// returns the harvested total for the result struct.
+uint64_t FoldHarvest(ThreadPool& pool) {
+  const DominanceHarvest h = pool.HarvestDominanceChecks();
+  DominanceCounter::Count() += h.total;
+  DominanceCounter::TiledCount() += h.tiled;
+  return h.total;
+}
+
+}  // namespace
+
+SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
+                              DomKernel kernel) {
+  const uint64_t checks_before = DominanceCounter::Count();
+  (void)pool.HarvestDominanceChecks();  // drop leftovers from earlier pool users
   const RowId n = data.size();
   const size_t shards = std::max<size_t>(1, pool.size());
   std::vector<std::vector<RowId>> locals(shards);
@@ -22,7 +40,7 @@ std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool) {
       std::vector<RowId> rows(end - begin);
       for (uint64_t r = begin; r < end; ++r) rows[r - begin] = static_cast<RowId>(r);
       const DataSet shard = data.Select(rows);
-      const auto local = SkylineSFS(shard).rows;
+      const auto local = SkylineSFS(shard, kernel).rows;
       std::vector<RowId> mapped;
       mapped.reserve(local.size());
       for (RowId lr : local) mapped.push_back(rows[lr]);
@@ -30,6 +48,7 @@ std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool) {
       locals[next_shard++] = std::move(mapped);
     });
   }
+  FoldHarvest(pool);
 
   // Phase 2: merge — the union of local skylines is a superset of the
   // global skyline; one SFS pass over it finishes the job.
@@ -37,17 +56,18 @@ std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool) {
   for (const auto& l : locals) candidates.insert(candidates.end(), l.begin(), l.end());
   std::sort(candidates.begin(), candidates.end());
   const DataSet candidate_set = data.Select(candidates);
-  const auto final_local = SkylineSFS(candidate_set).rows;
+  const auto final_local = SkylineSFS(candidate_set, kernel).rows;
   std::vector<RowId> out;
   out.reserve(final_local.size());
   for (RowId lr : final_local) out.push_back(candidates[lr]);
   std::sort(out.begin(), out.end());
-  return out;
+  return SkylineResult{std::move(out), DominanceCounter::Count() - checks_before};
 }
 
 Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
                                       const std::vector<RowId>& skyline,
-                                      const MinHashFamily& family, ThreadPool& pool) {
+                                      const MinHashFamily& family, ThreadPool& pool,
+                                      DomKernel kernel) {
   if (data.empty()) return Status::InvalidArgument("dataset is empty");
   if (skyline.empty()) return Status::InvalidArgument("skyline set is empty");
   if (family.prime() <= data.size()) {
@@ -59,9 +79,21 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
   for (RowId s : skyline) {
     if (s >= n) return Status::InvalidArgument("skyline row out of range");
   }
+  kernel = EffectiveKernel(kernel, m);
+  const uint64_t checks_before = DominanceCounter::Count();
+  (void)pool.HarvestDominanceChecks();  // drop leftovers from earlier pool users
 
   std::vector<bool> is_skyline(n, false);
   for (RowId s : skyline) is_skyline[s] = true;
+
+  // Shared read-only tiling of the skyline columns (tile ids = column
+  // index j), built once and swept by every shard under kTiled.
+  TileSet sky_tiles(data.dims());
+  if (kernel == DomKernel::kTiled) {
+    for (size_t j = 0; j < m; ++j) {
+      sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
+    }
+  }
 
   const size_t shards = std::max<size_t>(1, pool.size());
   std::vector<SignatureMatrix> shard_sig(shards, SignatureMatrix(t, m));
@@ -79,10 +111,28 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
     SignatureMatrix& sig = shard_sig[my_shard];
     std::vector<uint64_t>& scores = shard_scores[my_shard];
     std::vector<uint64_t> row_hash(t);
+    const DominanceKernel batch(kernel);
     for (uint64_t r = begin; r < end; ++r) {
       if (is_skyline[r]) continue;
       const auto point = data.row(static_cast<RowId>(r));
       bool hashed = false;
+      if (kernel == DomKernel::kTiled) {
+        for (const Tile& tile : sky_tiles.tiles()) {
+          uint64_t mask = batch.FilterDominators(point, tile.view());
+          while (mask != 0) {
+            const int bit = std::countr_zero(mask);
+            mask &= mask - 1;
+            const size_t j = tile.id(static_cast<size_t>(bit));
+            ++scores[j];
+            if (!hashed) {
+              for (size_t i = 0; i < t; ++i) row_hash[i] = family.Apply(i, r);
+              hashed = true;
+            }
+            for (size_t i = 0; i < t; ++i) sig.UpdateMin(j, i, row_hash[i]);
+          }
+        }
+        continue;
+      }
       for (size_t j = 0; j < m; ++j) {
         if (!Dominates(data.row(skyline[j]), point)) continue;
         ++scores[j];
@@ -94,6 +144,7 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
       }
     }
   });
+  FoldHarvest(pool);
 
   // Min-merge shard matrices; add shard scores.
   SigGenResult out;
@@ -110,6 +161,7 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
   const uint64_t pages = SequentialScanPages(n, data.dims(), 4096);
   out.io.page_reads = pages;
   out.io.page_faults = pages;
+  out.dominance_checks = DominanceCounter::Count() - checks_before;
   return out;
 }
 
@@ -221,6 +273,8 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
   }
   std::vector<std::span<const Coord>> sky(m);
   for (size_t j = 0; j < m; ++j) sky[j] = data.row(skyline[j]);
+  const uint64_t checks_before = DominanceCounter::Count();
+  (void)pool.HarvestDominanceChecks();  // drop leftovers from earlier pool users
 
   // Split the tree's top levels into tasks with DFS base offsets, until
   // there are enough tasks to feed the pool (or nothing is expandable).
@@ -295,6 +349,7 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
     if (!submitted) break;  // pool shutting down; completed work still merges
   }
   pool.Wait();
+  FoldHarvest(pool);
 
   SigGenResult out;
   out.signatures = SignatureMatrix(t, m);
@@ -310,6 +365,7 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
   uint64_t pages = 0;
   for (const IbWorker& worker : workers) pages += worker.pages_read;
   out.io.page_reads = pages;
+  out.dominance_checks = DominanceCounter::Count() - checks_before;
   return out;
 }
 

@@ -15,19 +15,30 @@
 
 #include "common/status.h"
 #include "core/dataset.h"
+#include "kernels/dominance_kernel.h"
 #include "minhash/siggen.h"
 #include "parallel/thread_pool.h"
+#include "skyline/skyline.h"
 
 namespace skydiver {
 
-/// Skyline of `data` computed on `pool` (result identical to SkylineSFS).
-std::vector<RowId> ParallelSkyline(const DataSet& data, ThreadPool& pool);
+// All pooled operations here harvest the workers' dominance-test deltas
+// (ThreadPool::HarvestDominanceChecks) and fold them into both the result's
+// `dominance_checks` and the calling thread's DominanceCounter, so pooled
+// runs report the same counts a serial run would (exactly, for the
+// exhaustive SigGen-IF pass; the sharded skyline does different work).
+
+/// Skyline of `data` computed on `pool` (rows identical to SkylineSFS).
+/// `dominance_checks` covers shard passes and the merge pass.
+SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
+                              DomKernel kernel = DomKernel::kScalar);
 
 /// Index-free signature generation sharded over `pool` (result identical
-/// to serial SigGenIF with the same family).
+/// to serial SigGenIF with the same family and kernel).
 Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
                                       const std::vector<RowId>& skyline,
-                                      const MinHashFamily& family, ThreadPool& pool);
+                                      const MinHashFamily& family, ThreadPool& pool,
+                                      DomKernel kernel = DomKernel::kScalar);
 
 /// Index-based signature generation parallelized over subtrees. Row-id
 /// ranges are assigned by the tree's DFS layout (each entry's range is its

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/dominance.h"
+
 namespace skydiver {
 
 ThreadPool::ThreadPool(size_t threads) {
@@ -55,6 +57,13 @@ void ThreadPool::ParallelFor(uint64_t n, size_t chunks,
   Wait();
 }
 
+DominanceHarvest ThreadPool::HarvestDominanceChecks() {
+  DominanceHarvest out;
+  out.total = harvest_total_.exchange(0, std::memory_order_relaxed);
+  out.tiled = harvest_tiled_.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -68,7 +77,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    // Snapshot this worker's thread-local dominance counters around the
+    // task so the submitting thread can account for work done here.
+    const uint64_t total_before = DominanceCounter::Count();
+    const uint64_t tiled_before = DominanceCounter::TiledCount();
     task();
+    harvest_total_.fetch_add(DominanceCounter::Count() - total_before,
+                             std::memory_order_relaxed);
+    harvest_tiled_.fetch_add(DominanceCounter::TiledCount() - tiled_before,
+                             std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,16 @@
 #include <vector>
 
 namespace skydiver {
+
+/// Dominance-test counters accumulated by pool workers since the last
+/// harvest. DominanceCounter is thread_local, so tests performed on worker
+/// threads are invisible to the submitting thread's counters; the pool
+/// snapshots each worker's delta around every task and parks the sums here
+/// for the caller to fold back in.
+struct DominanceHarvest {
+  uint64_t total = 0;  ///< all dominance tests (scalar + tiled)
+  uint64_t tiled = 0;  ///< the subset charged by tiled kernel sweeps
+};
 
 /// Fixed pool of worker threads draining a task queue.
 class ThreadPool {
@@ -47,6 +58,13 @@ class ThreadPool {
   void ParallelFor(uint64_t n, size_t chunks,
                    const std::function<void(uint64_t, uint64_t)>& fn);
 
+  /// Returns the dominance tests performed by pool tasks since the previous
+  /// harvest and resets the tally to zero. Callers running a pooled
+  /// operation harvest-and-discard before starting (clearing any leftovers
+  /// from earlier users of the pool), then harvest after Wait() and fold
+  /// the delta into their own thread-local counters / result counts.
+  DominanceHarvest HarvestDominanceChecks();
+
  private:
   void WorkerLoop();
 
@@ -57,6 +75,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::atomic<uint64_t> harvest_total_{0};
+  std::atomic<uint64_t> harvest_tiled_{0};
 };
 
 }  // namespace skydiver

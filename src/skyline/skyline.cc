@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "core/dominance.h"
+#include "kernels/tile_view.h"
 #include "rtree/disk_rtree.h"
 
 namespace skydiver {
@@ -21,19 +22,15 @@ class CheckScope {
   uint64_t start_;
 };
 
-}  // namespace
-
-SkylineResult SkylineBNL(const DataSet& data) {
-  CheckScope checks;
+// Scalar BNL window pass over `rows`; returns survivors in window order.
+std::vector<RowId> ScalarBnlWindow(const DataSet& data, std::span<const RowId> rows) {
   std::vector<RowId> window;
-  const RowId n = data.size();
-  for (RowId r = 0; r < n; ++r) {
+  for (RowId r : rows) {
     const auto p = data.row(r);
     bool dominated = false;
     size_t keep = 0;
     for (size_t i = 0; i < window.size(); ++i) {
-      const auto w = data.row(window[i]);
-      const DomRelation rel = Compare(w, p);
+      const DomRelation rel = Compare(data.row(window[i]), p);
       if (rel == DomRelation::kDominates) {
         dominated = true;
         // Everything before i survives; nothing after i has been filtered
@@ -49,13 +46,71 @@ SkylineResult SkylineBNL(const DataSet& data) {
     window.resize(keep);
     if (!dominated) window.push_back(r);
   }
+  return window;
+}
+
+// Tiled BNL window pass: the window is a TileSet; each arrival is
+// classified against whole tiles. A dominated arrival never dominates any
+// window entry (the window is an antichain), so breaking on the first
+// dominator leaves the window untouched — exactly the scalar semantics.
+std::vector<RowId> TiledBnlWindow(const DataSet& data, std::span<const RowId> rows,
+                                  const DominanceKernel& kernel) {
+  TileSet window(data.dims());
+  std::vector<uint64_t> dominated_masks;
+  for (RowId r : rows) {
+    const auto p = data.row(r);
+    const auto& tiles = window.tiles();
+    dominated_masks.assign(tiles.size(), 0);
+    bool dominated = false;
+    for (size_t ti = 0; ti < tiles.size(); ++ti) {
+      const BlockClassification cls = kernel.ClassifyBlock(p, tiles[ti].view());
+      if (cls.dominators != 0) {
+        dominated = true;
+        break;
+      }
+      dominated_masks[ti] = cls.dominated;
+    }
+    if (dominated) continue;
+    bool dropped = false;
+    for (size_t ti = 0; ti < dominated_masks.size(); ++ti) {
+      if (dominated_masks[ti] == 0) continue;
+      window.CompactTile(ti, tiles[ti].view().FullMask() & ~dominated_masks[ti]);
+      dropped = true;
+    }
+    if (dropped) window.DropEmptyTiles();
+    window.Append(r, p);
+  }
+  std::vector<RowId> out;
+  out.reserve(window.size());
+  for (const Tile& t : window.tiles()) {
+    for (size_t i = 0; i < t.rows(); ++i) out.push_back(t.id(i));
+  }
+  return out;
+}
+
+std::vector<RowId> BnlWindow(const DataSet& data, std::span<const RowId> rows,
+                             DomKernel kernel) {
+  if (EffectiveKernel(kernel, rows.size()) == DomKernel::kScalar) {
+    return ScalarBnlWindow(data, rows);
+  }
+  return TiledBnlWindow(data, rows, DominanceKernel(DomKernel::kTiled));
+}
+
+}  // namespace
+
+SkylineResult SkylineBNL(const DataSet& data, DomKernel kernel) {
+  CheckScope checks;
+  std::vector<RowId> rows(data.size());
+  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<RowId> window = BnlWindow(data, rows, kernel);
   std::sort(window.begin(), window.end());
   return SkylineResult{std::move(window), checks.Delta()};
 }
 
-SkylineResult SkylineSFS(const DataSet& data) {
+SkylineResult SkylineSFS(const DataSet& data, DomKernel kernel) {
   CheckScope checks;
   const RowId n = data.size();
+  kernel = EffectiveKernel(kernel, n);
   std::vector<RowId> order(n);
   std::iota(order.begin(), order.end(), RowId{0});
   // Monotone score: if p dominates q then score(p) < score(q), so a point
@@ -69,16 +124,35 @@ SkylineResult SkylineSFS(const DataSet& data) {
   std::sort(order.begin(), order.end(),
             [&](RowId a, RowId b) { return score[a] < score[b]; });
   std::vector<RowId> skyline;
-  for (RowId r : order) {
-    const auto p = data.row(r);
-    bool dominated = false;
-    for (RowId s : skyline) {
-      if (Dominates(data.row(s), p)) {
-        dominated = true;
-        break;
+  if (kernel == DomKernel::kTiled) {
+    const DominanceKernel batch(DomKernel::kTiled);
+    TileSet admitted(data.dims());
+    for (RowId r : order) {
+      const auto p = data.row(r);
+      bool dominated = false;
+      for (const Tile& t : admitted.tiles()) {
+        if (batch.AnyDominator(p, t.view())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        skyline.push_back(r);
+        admitted.Append(r, p);
       }
     }
-    if (!dominated) skyline.push_back(r);
+  } else {
+    for (RowId r : order) {
+      const auto p = data.row(r);
+      bool dominated = false;
+      for (RowId s : skyline) {
+        if (Dominates(data.row(s), p)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) skyline.push_back(r);
+    }
   }
   std::sort(skyline.begin(), skyline.end());
   return SkylineResult{std::move(skyline), checks.Delta()};
@@ -86,31 +160,48 @@ SkylineResult SkylineSFS(const DataSet& data) {
 
 namespace {
 
+// One direction of the D&C merge: survivors of `candidates` not dominated
+// by any member of `against`.
+void MergeFilter(const DataSet& data, const std::vector<RowId>& candidates,
+                 const std::vector<RowId>& against, DomKernel kernel,
+                 std::vector<RowId>* merged) {
+  if (EffectiveKernel(kernel, against.size()) == DomKernel::kTiled) {
+    const DominanceKernel batch(DomKernel::kTiled);
+    const TileSet tiles = MaterializeTiles(data, against);
+    for (RowId c : candidates) {
+      const auto p = data.row(c);
+      bool dominated = false;
+      for (const Tile& t : tiles.tiles()) {
+        if (batch.AnyDominator(p, t.view())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) merged->push_back(c);
+    }
+    return;
+  }
+  for (RowId c : candidates) {
+    bool dominated = false;
+    for (RowId a : against) {
+      if (Dominates(data.row(a), data.row(c))) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) merged->push_back(c);
+  }
+}
+
 // Recursive worker over an index range [begin, end) of `rows`. Rows are
 // reordered in place; returns the skyline rows of the range.
 std::vector<RowId> DCRec(const DataSet& data, std::vector<RowId>& rows, size_t begin,
-                         size_t end, Dim split_dim, size_t leaf_size) {
+                         size_t end, Dim split_dim, size_t leaf_size,
+                         DomKernel kernel) {
   const size_t n = end - begin;
   if (n <= leaf_size) {
     // BNL over the small range.
-    std::vector<RowId> window;
-    for (size_t i = begin; i < end; ++i) {
-      const auto p = data.row(rows[i]);
-      bool dominated = false;
-      size_t keep = 0;
-      for (size_t w = 0; w < window.size(); ++w) {
-        const DomRelation rel = Compare(data.row(window[w]), p);
-        if (rel == DomRelation::kDominates) {
-          dominated = true;
-          for (size_t j = w; j < window.size(); ++j) window[keep++] = window[j];
-          break;
-        }
-        if (rel != DomRelation::kDominatedBy) window[keep++] = window[w];
-      }
-      window.resize(keep);
-      if (!dominated) window.push_back(rows[i]);
-    }
-    return window;
+    return BnlWindow(data, std::span<const RowId>(rows).subspan(begin, n), kernel);
   }
 
   // Split at the median of the current dimension (ties may straddle the
@@ -123,45 +214,28 @@ std::vector<RowId> DCRec(const DataSet& data, std::vector<RowId>& rows, size_t b
                      return data.at(a, split_dim) < data.at(b, split_dim);
                    });
   const Dim next_dim = static_cast<Dim>((split_dim + 1) % data.dims());
-  std::vector<RowId> left = DCRec(data, rows, begin, mid, next_dim, leaf_size);
-  std::vector<RowId> right = DCRec(data, rows, mid, end, next_dim, leaf_size);
+  std::vector<RowId> left = DCRec(data, rows, begin, mid, next_dim, leaf_size, kernel);
+  std::vector<RowId> right = DCRec(data, rows, mid, end, next_dim, leaf_size, kernel);
 
   // Merge: a left candidate survives unless some right candidate dominates
   // it, and vice versa (both directions needed when split values tie).
   std::vector<RowId> merged;
   merged.reserve(left.size() + right.size());
-  for (RowId l : left) {
-    bool dominated = false;
-    for (RowId r : right) {
-      if (Dominates(data.row(r), data.row(l))) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) merged.push_back(l);
-  }
-  for (RowId r : right) {
-    bool dominated = false;
-    for (RowId l : left) {
-      if (Dominates(data.row(l), data.row(r))) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) merged.push_back(r);
-  }
+  MergeFilter(data, left, right, kernel, &merged);
+  MergeFilter(data, right, left, kernel, &merged);
   return merged;
 }
 
 }  // namespace
 
-SkylineResult SkylineDC(const DataSet& data, size_t leaf_size) {
+SkylineResult SkylineDC(const DataSet& data, size_t leaf_size, DomKernel kernel) {
   CheckScope checks;
   std::vector<RowId> rows(data.size());
   std::iota(rows.begin(), rows.end(), RowId{0});
   std::vector<RowId> skyline =
       data.empty() ? std::vector<RowId>{}
-                   : DCRec(data, rows, 0, rows.size(), 0, std::max<size_t>(1, leaf_size));
+                   : DCRec(data, rows, 0, rows.size(), 0, std::max<size_t>(1, leaf_size),
+                           kernel);
   std::sort(skyline.begin(), skyline.end());
   return SkylineResult{std::move(skyline), checks.Delta()};
 }
@@ -170,7 +244,8 @@ namespace {
 
 // BBS over any backend exposing ReadNode / root / dims / size.
 template <typename Tree>
-Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree) {
+Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
+                                     DomKernel kernel) {
   if (tree.dims() != data.dims()) {
     return Status::InvalidArgument("tree dimensionality does not match dataset");
   }
@@ -178,6 +253,9 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree) {
     return Status::InvalidArgument("tree cardinality does not match dataset");
   }
   CheckScope checks;
+  kernel = EffectiveKernel(kernel, data.size());
+  const bool tiled = kernel == DomKernel::kTiled;
+  const DominanceKernel batch(kernel);
 
   struct HeapItem {
     double mindist;
@@ -190,11 +268,22 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree) {
   std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
 
   std::vector<RowId> skyline;
+  TileSet skyline_tiles(data.dims());
   auto dominated_by_skyline = [&](std::span<const Coord> corner) {
+    if (tiled) {
+      for (const Tile& t : skyline_tiles.tiles()) {
+        if (batch.AnyDominator(corner, t.view())) return true;
+      }
+      return false;
+    }
     for (RowId s : skyline) {
       if (Dominates(data.row(s), corner)) return true;
     }
     return false;
+  };
+  auto admit = [&](RowId row) {
+    skyline.push_back(row);
+    if (tiled) skyline_tiles.Append(row, data.row(row));
   };
 
   if (tree.size() > 0) {
@@ -205,7 +294,7 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree) {
     heap.pop();
     if (item.is_point) {
       const auto p = data.row(item.row);
-      if (!dominated_by_skyline(p)) skyline.push_back(item.row);
+      if (!dominated_by_skyline(p)) admit(item.row);
       continue;
     }
     const RTreeNode& node = tree.ReadNode(item.child);
@@ -226,12 +315,14 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree) {
 
 }  // namespace
 
-Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree) {
-  return SkylineBBSImpl(data, tree);
+Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree,
+                                 DomKernel kernel) {
+  return SkylineBBSImpl(data, tree, kernel);
 }
 
-Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree) {
-  return SkylineBBSImpl(data, tree);
+Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree,
+                                 DomKernel kernel) {
+  return SkylineBBSImpl(data, tree, kernel);
 }
 
 bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows) {

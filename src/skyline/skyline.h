@@ -15,6 +15,14 @@
 // They return row ids sorted in ascending order, so results are directly
 // comparable across algorithms.
 
+// Every algorithm takes a `DomKernel` selector: kScalar (the default,
+// matching the historical per-pair loops and their early-exit dominance
+// counts exactly) or kTiled, which runs the window / candidate filters
+// through the batched 64-row kernels of kernels/dominance_kernel.h. Both
+// kernels return identical skyline rows; only the dominance-check
+// accounting differs (tiled sweeps whole tiles where scalar early-exits).
+// Inputs smaller than one tile fall back to the scalar reference.
+
 #pragma once
 
 #include <cstdint>
@@ -22,6 +30,7 @@
 
 #include "common/status.h"
 #include "core/dataset.h"
+#include "kernels/dominance_kernel.h"
 #include "rtree/rtree.h"
 
 namespace skydiver {
@@ -36,30 +45,42 @@ struct SkylineResult {
 
 /// Block-nested-loops skyline. O(n·m) dominance tests; the in-memory window
 /// is unbounded (the multi-pass disk variant degenerates to this when the
-/// window fits in memory, which it does for all our workloads).
-SkylineResult SkylineBNL(const DataSet& data);
+/// window fits in memory, which it does for all our workloads). Under
+/// kTiled the window lives in column-major tiles and every arrival is
+/// classified block-at-a-time.
+SkylineResult SkylineBNL(const DataSet& data,
+                         DomKernel kernel = DomKernel::kScalar);
 
 /// Sort-filter-skyline: presorts rows by the sum of coordinates (a monotone
 /// scoring function), after which every admitted candidate is definitively
-/// in the skyline — no candidate can be dominated by a later point.
-SkylineResult SkylineSFS(const DataSet& data);
+/// in the skyline — no candidate can be dominated by a later point. Under
+/// kTiled the admitted set is tiled and admission is one AnyDominator
+/// sweep per tile.
+SkylineResult SkylineSFS(const DataSet& data,
+                         DomKernel kernel = DomKernel::kScalar);
 
 /// Divide-and-conquer skyline (Börzsönyi et al.): recursively splits on
 /// the median of a cycling dimension, computes sub-skylines, and merges by
 /// cross-filtering the two candidate sets (tie-safe: both directions are
 /// checked, so duplicate coordinates on the split dimension are handled).
 /// `leaf_size` is the recursion cutoff below which BNL runs directly.
-SkylineResult SkylineDC(const DataSet& data, size_t leaf_size = 256);
+/// Under kTiled both the leaf BNL and the merge cross-filter are batched.
+SkylineResult SkylineDC(const DataSet& data, size_t leaf_size = 256,
+                        DomKernel kernel = DomKernel::kScalar);
 
 /// Branch-and-bound skyline over the aggregate R*-tree built on `data`.
 /// Progressive (emits skyline points in mindist order) and I/O-optimal
 /// (visits only nodes whose MBR is not dominated). The tree must index
-/// exactly `data` (same row ids).
-Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree);
+/// exactly `data` (same row ids). Under kTiled the "is this corner
+/// dominated by the skyline so far?" prune test is batched over tiles of
+/// the accumulated skyline.
+Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree,
+                                 DomKernel kernel = DomKernel::kScalar);
 
 /// BBS over a file-backed tree (real page reads through its frame cache).
 class DiskRTree;
-Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree);
+Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree,
+                                 DomKernel kernel = DomKernel::kScalar);
 
 /// Reference check (tests): true iff `rows` is exactly the skyline of
 /// `data` by exhaustive O(n^2) comparison. Intended for small inputs.

@@ -1,6 +1,7 @@
 #include "stream/streaming.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/dominance.h"
 #include "diversify/dispersion.h"
@@ -8,12 +9,14 @@
 namespace skydiver {
 
 StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
-                                     uint64_t max_points)
+                                     uint64_t max_points, DomKernel kernel)
     : dims_(dims),
       t_(signature_size),
       max_points_(max_points),
       family_(MinHashFamily::Create(signature_size, max_points, seed)),
-      data_(dims) {}
+      data_(dims),
+      kernel_(kernel),
+      sky_tiles_(dims) {}
 
 void StreamingSkyDiver::UpdateSignature(SkylineEntry* entry, RowId row) {
   // Hash the row once; consecutive calls for the same row (one per
@@ -43,6 +46,72 @@ Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
   const RowId row = data_.size();
   data_.Append(point);
   ++stats_.inserts;
+
+  if (kernel_ == DomKernel::kTiled) {
+    const DominanceKernel batch(DomKernel::kTiled);
+
+    // Pass 1 over the tiled skyline mirror: is the arrival dominated? If
+    // so, fold its id into the signature of every skyline dominator.
+    bool dominated = false;
+    for (const Tile& tile : sky_tiles_.tiles()) {
+      uint64_t mask = batch.FilterDominators(point, tile.view());
+      while (mask != 0) {
+        const int bit = std::countr_zero(mask);
+        mask &= mask - 1;
+        dominated = true;
+        UpdateSignature(&skyline_.at(tile.id(static_cast<size_t>(bit))), row);
+      }
+    }
+    if (dominated) {
+      ++stats_.dominated_arrivals;
+      return Status::OK();
+    }
+
+    // Demote every skyline point the arrival dominates; the map erases use
+    // each tile's ids BEFORE the tile is compacted.
+    const auto& tiles = sky_tiles_.tiles();
+    bool dropped = false;
+    for (size_t ti = 0; ti < tiles.size(); ++ti) {
+      const uint64_t demoted = batch.FilterDominated(point, tiles[ti].view());
+      if (demoted == 0) continue;
+      uint64_t mask = demoted;
+      while (mask != 0) {
+        const int bit = std::countr_zero(mask);
+        mask &= mask - 1;
+        skyline_.erase(tiles[ti].id(static_cast<size_t>(bit)));
+        ++stats_.demotions;
+      }
+      sky_tiles_.CompactTile(ti, tiles[ti].view().FullMask() & ~demoted);
+      dropped = true;
+    }
+    if (dropped) sky_tiles_.DropEmptyTiles();
+
+    // Build the arrival's signature by a tiled scan of the store (tiles
+    // assembled on the fly, current skyline rows excluded up front — the
+    // same rows the scalar scan skips).
+    SkylineEntry entry;
+    entry.signature.assign(t_, kEmptySlot);
+    Tile scan(dims_);
+    auto flush = [&] {
+      uint64_t mask = batch.FilterDominated(point, scan.view());
+      while (mask != 0) {
+        const int bit = std::countr_zero(mask);
+        mask &= mask - 1;
+        UpdateSignature(&entry, scan.id(static_cast<size_t>(bit)));
+      }
+      scan.Clear();
+    };
+    for (RowId r = 0; r < row; ++r) {
+      if (skyline_.count(r)) continue;  // current skyline points are in no Γ
+      scan.PushRow(r, data_.row(r));
+      if (scan.full()) flush();
+    }
+    if (!scan.empty()) flush();
+    skyline_.emplace(row, std::move(entry));
+    sky_tiles_.Append(row, point);
+    ++stats_.skyline_insertions;
+    return Status::OK();
+  }
 
   // Pass 1 over the skyline: is the arrival dominated? If so, fold its id
   // into the signature of every skyline dominator.

@@ -24,6 +24,8 @@
 
 #include "common/status.h"
 #include "core/dataset.h"
+#include "kernels/dominance_kernel.h"
+#include "kernels/tile_view.h"
 #include "minhash/minhash.h"
 
 namespace skydiver {
@@ -41,9 +43,14 @@ struct StreamingStats {
 class StreamingSkyDiver {
  public:
   /// `max_points` bounds the stream length (the hash family's prime must
-  /// exceed every row id); exceeding it makes Insert fail.
+  /// exceed every row id); exceeding it makes Insert fail. Under
+  /// DomKernel::kTiled the skyline is mirrored in column-major tiles and
+  /// every arrival is classified one tile sweep at a time (the store scan
+  /// after a skyline insertion is tiled on the fly); maintained state is
+  /// bit-identical to the scalar kernel's.
   StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
-                    uint64_t max_points = 1ULL << 22);
+                    uint64_t max_points = 1ULL << 22,
+                    DomKernel kernel = DomKernel::kScalar);
 
   /// Inserts the next point; assigns it the next row id.
   Status Insert(std::span<const Coord> point);
@@ -85,6 +92,10 @@ class StreamingSkyDiver {
   MinHashFamily family_;
   DataSet data_;
   std::unordered_map<RowId, SkylineEntry> skyline_;
+  DomKernel kernel_;
+  // Column-major mirror of the skyline rows, maintained only under kTiled
+  // (tile ids = skyline row ids).
+  TileSet sky_tiles_;
   StreamingStats stats_;
   // Per-row hash memo: a row is folded into one signature per dominator;
   // hash it only once.

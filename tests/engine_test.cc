@@ -150,7 +150,7 @@ LegacyOutput LegacyRun(const DataSet& data, const SkyDiverConfig& config,
   const auto family =
       MinHashFamily::Create(config.signature_size, data.size(), config.seed);
   if (pool != nullptr) {
-    out.skyline = ParallelSkyline(data, *pool);
+    out.skyline = ParallelSkyline(data, *pool).rows;
     sig = ParallelSigGenIF(data, out.skyline, family, *pool).value();
   } else {
     out.skyline = SkylineSFS(data).rows;

@@ -1,0 +1,390 @@
+// Tests for the batched dominance kernels: tile-level property tests
+// against the scalar reference, the tiled counting rule, and end-to-end
+// parity — every rewired consumer (skyline algorithms, SigGen-IF, Γ sets,
+// streaming, the pooled backends, whole engine plans) must produce
+// bit-identical outputs under kScalar and kTiled.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/dominance.h"
+#include "core/gamma.h"
+#include "datagen/generators.h"
+#include "engine/engine.h"
+#include "engine/exec_context.h"
+#include "engine/planner.h"
+#include "kernels/dominance_kernel.h"
+#include "kernels/tile_view.h"
+#include "minhash/siggen.h"
+#include "parallel/parallel_ops.h"
+#include "parallel/thread_pool.h"
+#include "rtree/rtree.h"
+#include "stream/streaming.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tile-level property tests: tiled masks == per-pair core dominance.
+
+// Builds a tile of `rows` random points over a tiny value alphabet (heavy
+// duplication → plenty of dominated / equal / incomparable pairs).
+Tile RandomTile(std::mt19937_64& rng, Dim dims, size_t rows) {
+  std::uniform_int_distribution<int> value(0, 3);
+  Tile tile(dims);
+  std::vector<Coord> point(dims);
+  for (size_t r = 0; r < rows; ++r) {
+    for (Dim d = 0; d < dims; ++d) point[d] = static_cast<Coord>(value(rng));
+    tile.PushRow(static_cast<RowId>(r), point);
+  }
+  return tile;
+}
+
+void ExpectKernelAgreesWithCore(std::span<const Coord> p, const Tile& tile) {
+  const DominanceKernel scalar(DomKernel::kScalar);
+  const DominanceKernel tiled(DomKernel::kTiled);
+  const TileView view = tile.view();
+
+  uint64_t want_dominated = 0, want_dominators = 0, want_weak = 0;
+  for (size_t r = 0; r < view.rows; ++r) {
+    std::vector<Coord> row(view.dims);
+    for (size_t d = 0; d < view.dims; ++d) row[d] = view.at(r, d);
+    if (Dominates(p, row)) want_dominated |= uint64_t{1} << r;
+    if (Dominates(row, p)) want_dominators |= uint64_t{1} << r;
+    if (WeaklyDominates(p, row)) want_weak |= uint64_t{1} << r;
+  }
+
+  for (const DominanceKernel& kernel : {scalar, tiled}) {
+    EXPECT_EQ(kernel.FilterDominated(p, view), want_dominated);
+    EXPECT_EQ(kernel.FilterDominators(p, view), want_dominators);
+    EXPECT_EQ(kernel.FilterWeaklyDominated(p, view), want_weak);
+    EXPECT_EQ(kernel.AnyDominator(p, view), want_dominators != 0);
+    const BlockClassification cls = kernel.ClassifyBlock(p, view);
+    EXPECT_EQ(cls.dominated, want_dominated);
+    EXPECT_EQ(cls.dominators, want_dominators);
+  }
+}
+
+TEST(DominanceKernelTest, RandomTilesMatchScalarReference) {
+  std::mt19937_64 rng(7);
+  for (const Dim dims : {Dim{1}, Dim{2}, Dim{4}, Dim{7}}) {
+    for (const size_t rows : {size_t{1}, size_t{5}, size_t{63}, size_t{64}}) {
+      for (int iter = 0; iter < 20; ++iter) {
+        const Tile tile = RandomTile(rng, dims, rows);
+        std::uniform_int_distribution<int> value(0, 3);
+        std::vector<Coord> probe(dims);
+        for (Dim d = 0; d < dims; ++d) probe[d] = static_cast<Coord>(value(rng));
+        ExpectKernelAgreesWithCore(probe, tile);
+      }
+    }
+  }
+}
+
+TEST(DominanceKernelTest, AllEqualRowsAreNeitherDominatedNorDominators) {
+  const Dim dims = 3;
+  Tile tile(dims);
+  const std::vector<Coord> point{1.0, 2.0, 3.0};
+  for (size_t r = 0; r < 10; ++r) tile.PushRow(static_cast<RowId>(r), point);
+
+  for (const DomKernel kind : {DomKernel::kScalar, DomKernel::kTiled}) {
+    const DominanceKernel kernel(kind);
+    const BlockClassification cls = kernel.ClassifyBlock(point, tile.view());
+    EXPECT_EQ(cls.dominated, 0u);
+    EXPECT_EQ(cls.dominators, 0u);
+    // Equal rows ARE weakly dominated.
+    EXPECT_EQ(kernel.FilterWeaklyDominated(point, tile.view()),
+              tile.view().FullMask());
+    EXPECT_FALSE(kernel.AnyDominator(point, tile.view()));
+  }
+}
+
+TEST(DominanceKernelTest, RaggedAndSingleDimensionTiles) {
+  std::mt19937_64 rng(11);
+  // d = 1: dominance degenerates to strict less-than.
+  for (int iter = 0; iter < 10; ++iter) {
+    const Tile tile = RandomTile(rng, 1, 37);  // ragged: 37 < kTileRows
+    for (Coord v : {0.0, 1.0, 2.0, 3.0}) {
+      const std::vector<Coord> probe{v};
+      ExpectKernelAgreesWithCore(probe, tile);
+    }
+  }
+}
+
+TEST(DominanceKernelTest, CountingRuleChargesTileRowsPerCall) {
+  std::mt19937_64 rng(13);
+  const Tile tile = RandomTile(rng, 4, 29);
+  const std::vector<Coord> probe{1.0, 1.0, 1.0, 1.0};
+
+  const DominanceKernel tiled(DomKernel::kTiled);
+  uint64_t total_before = DominanceCounter::Count();
+  uint64_t tiled_before = DominanceCounter::TiledCount();
+  (void)tiled.ClassifyBlock(probe, tile.view());
+  EXPECT_EQ(DominanceCounter::Count() - total_before, tile.rows());
+  EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, tile.rows());
+
+  // The scalar kernel never touches the tiled counter.
+  const DominanceKernel scalar(DomKernel::kScalar);
+  total_before = DominanceCounter::Count();
+  tiled_before = DominanceCounter::TiledCount();
+  (void)scalar.FilterDominated(probe, tile.view());
+  EXPECT_EQ(DominanceCounter::Count() - total_before, tile.rows());
+  EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tile containers.
+
+TEST(TileSetTest, AppendCompactAndDropPreserveOrder) {
+  TileSet tiles(2);
+  const std::vector<Coord> p{1.0, 2.0};
+  for (RowId r = 0; r < 100; ++r) tiles.Append(r, p);
+  ASSERT_EQ(tiles.size(), 100u);
+  ASSERT_EQ(tiles.tiles().size(), 2u);
+  EXPECT_EQ(tiles.tiles()[0].rows(), kTileRows);
+  EXPECT_EQ(tiles.tiles()[1].rows(), 100u - kTileRows);
+
+  // Keep only even rows of tile 0; ids must survive compaction in order.
+  uint64_t keep = 0;
+  for (size_t r = 0; r < kTileRows; r += 2) keep |= uint64_t{1} << r;
+  tiles.CompactTile(0, keep);
+  EXPECT_EQ(tiles.tiles()[0].rows(), kTileRows / 2);
+  for (size_t r = 0; r < kTileRows / 2; ++r) {
+    EXPECT_EQ(tiles.tiles()[0].id(r), static_cast<RowId>(2 * r));
+  }
+
+  tiles.CompactTile(1, 0);  // empty it out
+  tiles.DropEmptyTiles();
+  ASSERT_EQ(tiles.tiles().size(), 1u);
+  EXPECT_EQ(tiles.size(), kTileRows / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm parity: every skyline algorithm, scalar vs tiled.
+
+class KernelParityTest : public ::testing::TestWithParam<WorkloadKind> {};
+
+TEST_P(KernelParityTest, SkylineAlgorithmsMatchScalar) {
+  const DataSet data = GenerateWorkload(GetParam(), 3000, 4, 99).value();
+
+  EXPECT_EQ(SkylineBNL(data, DomKernel::kTiled).rows,
+            SkylineBNL(data, DomKernel::kScalar).rows);
+  EXPECT_EQ(SkylineSFS(data, DomKernel::kTiled).rows,
+            SkylineSFS(data, DomKernel::kScalar).rows);
+  EXPECT_EQ(SkylineDC(data, 256, DomKernel::kTiled).rows,
+            SkylineDC(data, 256, DomKernel::kScalar).rows);
+
+  const auto tree = RTree::BulkLoad(data).value();
+  EXPECT_EQ(SkylineBBS(data, tree, DomKernel::kTiled).value().rows,
+            SkylineBBS(data, tree, DomKernel::kScalar).value().rows);
+}
+
+TEST_P(KernelParityTest, SigGenIfMatchesScalarExactly) {
+  const DataSet data = GenerateWorkload(GetParam(), 2000, 4, 17).value();
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(32, data.size(), 5);
+
+  const auto scalar = SigGenIF(data, skyline, family, DomKernel::kScalar).value();
+  const auto tiled = SigGenIF(data, skyline, family, DomKernel::kTiled).value();
+
+  EXPECT_EQ(tiled.domination_scores, scalar.domination_scores);
+  for (size_t j = 0; j < skyline.size(); ++j) {
+    for (size_t i = 0; i < 32; ++i) {
+      ASSERT_EQ(tiled.signatures.at(j, i), scalar.signatures.at(j, i));
+    }
+  }
+  // The IF pass is exhaustive — no early exits for tiling to forgo — so
+  // even the dominance counts agree exactly: (n - m) * m.
+  EXPECT_EQ(tiled.dominance_checks, scalar.dominance_checks);
+  EXPECT_EQ(scalar.dominance_checks,
+            (data.size() - skyline.size()) * skyline.size());
+}
+
+TEST_P(KernelParityTest, GammaSetsMatchScalar) {
+  const DataSet data = GenerateWorkload(GetParam(), 1500, 4, 23).value();
+  const auto skyline = SkylineSFS(data).rows;
+
+  const GammaSets scalar = GammaSets::Compute(data, skyline, DomKernel::kScalar);
+  const GammaSets tiled = GammaSets::Compute(data, skyline, DomKernel::kTiled);
+  ASSERT_EQ(tiled.size(), scalar.size());
+  for (size_t j = 0; j < scalar.size(); ++j) {
+    EXPECT_EQ(tiled.DominationScore(j), scalar.DominationScore(j));
+    EXPECT_EQ(tiled.gamma(j), scalar.gamma(j));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, KernelParityTest,
+                         ::testing::Values(WorkloadKind::kIndependent,
+                                           WorkloadKind::kCorrelated,
+                                           WorkloadKind::kAnticorrelated),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case WorkloadKind::kIndependent: return "IND";
+                             case WorkloadKind::kCorrelated: return "CORR";
+                             case WorkloadKind::kAnticorrelated: return "ANT";
+                             default: return "other";
+                           }
+                         });
+
+TEST(KernelFallbackTest, TinyInputsFallBackToScalarCounts) {
+  // Below one tile the tiled request runs the scalar reference, so even
+  // the dominance counts match.
+  const DataSet data = GenerateIndependent(40, 3, 3);
+  const auto scalar = SkylineSFS(data, DomKernel::kScalar);
+  const auto tiled = SkylineSFS(data, DomKernel::kTiled);
+  EXPECT_EQ(tiled.rows, scalar.rows);
+  EXPECT_EQ(tiled.dominance_checks, scalar.dominance_checks);
+}
+
+TEST(KernelParseTest, ParseAndPrint) {
+  EXPECT_EQ(ParseDomKernel("scalar").value(), DomKernel::kScalar);
+  EXPECT_EQ(ParseDomKernel("tiled").value(), DomKernel::kTiled);
+  EXPECT_FALSE(ParseDomKernel("simd").ok());
+  EXPECT_STREQ(ToString(DomKernel::kScalar), "scalar");
+  EXPECT_STREQ(ToString(DomKernel::kTiled), "tiled");
+}
+
+// ---------------------------------------------------------------------------
+// Streaming parity.
+
+TEST(KernelStreamingTest, TiledStreamMatchesScalarStream) {
+  const DataSet data = GenerateWorkload(WorkloadKind::kAnticorrelated, 800, 3, 31).value();
+  StreamingSkyDiver scalar(3, 24, 77, 1 << 12, DomKernel::kScalar);
+  StreamingSkyDiver tiled(3, 24, 77, 1 << 12, DomKernel::kTiled);
+  for (RowId r = 0; r < data.size(); ++r) {
+    ASSERT_TRUE(scalar.Insert(data.row(r)).ok());
+    ASSERT_TRUE(tiled.Insert(data.row(r)).ok());
+  }
+  const auto rows = scalar.SkylineRows();
+  ASSERT_EQ(tiled.SkylineRows(), rows);
+  for (RowId r : rows) {
+    EXPECT_EQ(tiled.Signature(r).value(), scalar.Signature(r).value());
+    EXPECT_EQ(tiled.DominationScore(r).value(), scalar.DominationScore(r).value());
+  }
+  EXPECT_EQ(tiled.stats().demotions, scalar.stats().demotions);
+  EXPECT_EQ(tiled.stats().signature_updates, scalar.stats().signature_updates);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled dominance-check accounting (the thread_local undercount fix).
+
+TEST(PooledCountingTest, ParallelSigGenIfReportsSerialCounts) {
+  const DataSet data = GenerateWorkload(WorkloadKind::kIndependent, 3000, 4, 43).value();
+  const auto skyline = SkylineSFS(data).rows;
+  const auto family = MinHashFamily::Create(16, data.size(), 3);
+  ThreadPool pool(4);
+
+  for (const DomKernel kernel : {DomKernel::kScalar, DomKernel::kTiled}) {
+    const auto serial = SigGenIF(data, skyline, family, kernel).value();
+    const auto pooled = ParallelSigGenIF(data, skyline, family, pool, kernel).value();
+    // The IF pass does the same (n - m) x m work however it is sharded.
+    EXPECT_GT(pooled.dominance_checks, 0u);
+    EXPECT_EQ(pooled.dominance_checks, serial.dominance_checks);
+    EXPECT_EQ(pooled.domination_scores, serial.domination_scores);
+  }
+}
+
+TEST(PooledCountingTest, ParallelSkylineReportsNonZeroCounts) {
+  const DataSet data = GenerateWorkload(WorkloadKind::kIndependent, 3000, 4, 47).value();
+  ThreadPool pool(4);
+  const SkylineResult pooled = ParallelSkyline(data, pool);
+  EXPECT_EQ(pooled.rows, SkylineSFS(data).rows);
+  EXPECT_GT(pooled.dominance_checks, 0u);
+}
+
+TEST(PooledCountingTest, HarvestFoldsIntoCallerCounters) {
+  const DataSet data = GenerateWorkload(WorkloadKind::kIndependent, 2000, 4, 53).value();
+  ThreadPool pool(4);
+  const uint64_t before = DominanceCounter::Count();
+  (void)ParallelSkyline(data, pool);
+  // Pool-side work must be visible to the calling thread's counter (this
+  // is what stage-level accounting relies on).
+  EXPECT_GT(DominanceCounter::Count() - before, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level parity: whole plans, scalar vs tiled, serial and pooled.
+
+TEST(KernelPlanTest, PlanCarriesKernelAndExplainPrintsIt) {
+  SkyDiverConfig config;
+  EXPECT_EQ(config.kernel, DomKernel::kTiled);  // planner default
+  auto plan = Planner::Resolve(config, PlanResources{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->kernel, DomKernel::kTiled);
+  EXPECT_NE(ExplainPlan(*plan, config).find("kernel=tiled"), std::string::npos);
+
+  config.kernel = DomKernel::kScalar;
+  plan = Planner::Resolve(config, PlanResources{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(ExplainPlan(*plan, config).find("kernel=scalar"), std::string::npos);
+}
+
+TEST(KernelPlanTest, EnginePlansMatchAcrossKernelsSerialAndPooled) {
+  const DataSet data = GenerateWorkload(WorkloadKind::kAnticorrelated, 2500, 4, 61).value();
+
+  for (const size_t threads : {size_t{0}, size_t{3}}) {
+    SkyDiverConfig scalar_config;
+    scalar_config.k = 5;
+    scalar_config.signature_size = 32;
+    scalar_config.threads = threads;
+    scalar_config.kernel = DomKernel::kScalar;
+    SkyDiverConfig tiled_config = scalar_config;
+    tiled_config.kernel = DomKernel::kTiled;
+
+    auto run = [&](const SkyDiverConfig& config) {
+      const PlanResources resources;
+      const Plan plan = Planner::Resolve(config, resources).value();
+      ExecContext ctx(config);
+      return Engine::Execute(ctx, plan, config, data, resources).value();
+    };
+    const EngineOutput scalar_out = run(scalar_config);
+    const EngineOutput tiled_out = run(tiled_config);
+
+    EXPECT_EQ(tiled_out.report.skyline, scalar_out.report.skyline);
+    EXPECT_EQ(tiled_out.report.selected_rows, scalar_out.report.selected_rows);
+    EXPECT_EQ(tiled_out.domination_scores, scalar_out.domination_scores);
+    ASSERT_EQ(tiled_out.signatures.columns(), scalar_out.signatures.columns());
+    for (size_t j = 0; j < scalar_out.signatures.columns(); ++j) {
+      for (size_t i = 0; i < 32; ++i) {
+        ASSERT_EQ(tiled_out.signatures.at(j, i), scalar_out.signatures.at(j, i));
+      }
+    }
+  }
+}
+
+TEST(KernelPlanTest, PooledStagesReportSerialMatchingDominanceChecks) {
+  // Anticorrelated so the skyline comfortably exceeds one 64-row tile.
+  const DataSet data =
+      GenerateWorkload(WorkloadKind::kAnticorrelated, 2500, 4, 71).value();
+
+  auto run = [&](size_t threads) {
+    SkyDiverConfig config;
+    config.k = 5;
+    config.signature_size = 16;
+    config.threads = threads;
+    const PlanResources resources;
+    const Plan plan = Planner::Resolve(config, resources).value();
+    ExecContext ctx(config);
+    return Engine::Execute(ctx, plan, config, data, resources).value();
+  };
+  const EngineOutput serial = run(0);
+  const EngineOutput pooled = run(2);
+
+  // Before the harvest fix, pooled fingerprint stages reported 0 checks.
+  EXPECT_GT(pooled.report.skyline_phase.dominance_checks, 0u);
+  EXPECT_GT(pooled.report.fingerprint_phase.dominance_checks, 0u);
+  // The IF fingerprint pass is exhaustive: pooled == serial exactly.
+  EXPECT_EQ(pooled.report.fingerprint_phase.dominance_checks,
+            serial.report.fingerprint_phase.dominance_checks);
+  // Default plans are tiled; with m >= one tile every fingerprint check is
+  // a tiled one.
+  EXPECT_EQ(pooled.report.fingerprint_phase.dominance_checks_tiled,
+            pooled.report.fingerprint_phase.dominance_checks);
+}
+
+}  // namespace
+}  // namespace skydiver

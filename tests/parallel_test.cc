@@ -104,7 +104,7 @@ TEST_P(ParallelEquivalenceTest, SkylineMatchesSerial) {
   for (WorkloadKind kind : {WorkloadKind::kIndependent, WorkloadKind::kAnticorrelated,
                             WorkloadKind::kForestCoverLike}) {
     const auto data = GenerateWorkload(kind, 4000, 3, 77).value();
-    EXPECT_EQ(ParallelSkyline(data, pool), SkylineSFS(data).rows)
+    EXPECT_EQ(ParallelSkyline(data, pool).rows, SkylineSFS(data).rows)
         << WorkloadKindName(kind);
   }
 }

@@ -58,7 +58,7 @@ Result<Preference> ParsePreference(const std::string& spec, Dim dims) {
 }
 
 int Run(int argc, char** argv) {
-  std::string csv, workload = "IND", pref_spec, select = "mh";
+  std::string csv, workload = "IND", pref_spec, select = "mh", kernel = "tiled";
   std::string save_tree, load_tree, save_data;
   int64_t n = 100000, dims = 4, k = 10, t = 100, lsh_buckets = 20, seed = 42;
   int64_t threads = 0;
@@ -79,6 +79,8 @@ int Run(int argc, char** argv) {
   flags.AddString("select", &select, "selection distance: mh | lsh | bf (exact, small m)");
   flags.AddInt64("threads", &threads,
                  "worker threads (0 = serial; 1+ picks the pooled plan backends)");
+  flags.AddString("kernel", &kernel,
+                  "dominance kernel: tiled (batched 64-row sweeps) | scalar");
   flags.AddBool("explain", &explain, "print the resolved execution plan and exit");
   flags.AddDouble("lsh-threshold", &lsh_threshold, "LSH banding threshold xi");
   flags.AddInt64("lsh-buckets", &lsh_buckets, "LSH buckets per zone B");
@@ -193,6 +195,12 @@ int Run(int argc, char** argv) {
     return 2;
   }
   config.threads = static_cast<size_t>(threads);
+  auto parsed_kernel = ParseDomKernel(kernel);
+  if (!parsed_kernel.ok()) {
+    std::fprintf(stderr, "%s\n", parsed_kernel.status().ToString().c_str());
+    return 2;
+  }
+  config.kernel = *parsed_kernel;
   if (select == "lsh") {
     config.select = SelectMode::kLsh;
     config.lsh_threshold = lsh_threshold;
@@ -226,9 +234,10 @@ int Run(int argc, char** argv) {
     std::printf("# n=%u d=%u skyline=%zu k=%zu select=%s index=%s\n", data->size(),
                 data->dims(), report->skyline.size(), config.k, select.c_str(),
                 have_tree ? "yes" : "no");
-    std::printf("# plan: skyline=%s fingerprint=%s select=%s threads=%zu\n",
+    std::printf("# plan: skyline=%s fingerprint=%s select=%s threads=%zu kernel=%s\n",
                 ToString(report->plan.skyline), ToString(report->plan.fingerprint),
-                ToString(report->plan.select), report->plan.threads);
+                ToString(report->plan.select), report->plan.threads,
+                ToString(report->plan.kernel));
     std::printf("# objective (working min pairwise distance): %.4f\n",
                 report->objective);
     const CostModel& cost = config.cost_model;
