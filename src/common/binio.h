@@ -47,7 +47,7 @@ class BinaryWriter {
   void WriteBytes(const void* data, size_t len) { WriteRaw(data, len); }
 
   /// Appends the checksum and flushes. Returns IoError on write failure.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
  private:
   void WriteRaw(const void* data, size_t len);
@@ -70,7 +70,7 @@ class BinaryReader {
   bool ReadBytes(void* data, size_t len) { return ReadRaw(data, len); }
 
   /// Reads the trailing checksum and compares with the running digest.
-  Status VerifyChecksum();
+  [[nodiscard]] Status VerifyChecksum();
 
  private:
   bool ReadRaw(void* data, size_t len);

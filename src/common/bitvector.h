@@ -7,10 +7,11 @@
 #pragma once
 
 #include <bit>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
 
 namespace skydiver {
 
@@ -25,17 +26,17 @@ class BitVector {
   size_t size() const { return size_; }
 
   void Set(size_t i) {
-    assert(i < size_);
+    SKYDIVER_DCHECK_LT(i, size_);
     words_[i >> 6] |= (1ULL << (i & 63));
   }
 
   void Clear(size_t i) {
-    assert(i < size_);
+    SKYDIVER_DCHECK_LT(i, size_);
     words_[i >> 6] &= ~(1ULL << (i & 63));
   }
 
   bool Test(size_t i) const {
-    assert(i < size_);
+    SKYDIVER_DCHECK_LT(i, size_);
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
 
@@ -48,7 +49,7 @@ class BitVector {
 
   /// |this AND other|; sizes must match.
   size_t AndCount(const BitVector& other) const {
-    assert(size_ == other.size_);
+    SKYDIVER_DCHECK_EQ(size_, other.size_);
     size_t c = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
       c += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
@@ -58,7 +59,7 @@ class BitVector {
 
   /// |this OR other|; sizes must match.
   size_t OrCount(const BitVector& other) const {
-    assert(size_ == other.size_);
+    SKYDIVER_DCHECK_EQ(size_, other.size_);
     size_t c = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
       c += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
@@ -68,7 +69,7 @@ class BitVector {
 
   /// Hamming distance (|this XOR other|); sizes must match.
   size_t HammingDistance(const BitVector& other) const {
-    assert(size_ == other.size_);
+    SKYDIVER_DCHECK_EQ(size_, other.size_);
     size_t c = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
       c += static_cast<size_t>(std::popcount(words_[i] ^ other.words_[i]));
@@ -78,7 +79,7 @@ class BitVector {
 
   /// In-place union.
   BitVector& operator|=(const BitVector& other) {
-    assert(size_ == other.size_);
+    SKYDIVER_DCHECK_EQ(size_, other.size_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
     return *this;
   }
@@ -86,7 +87,7 @@ class BitVector {
   /// Number of bits set in `other` but not in this (gain of adding `other`
   /// to a running union) — the greedy max-coverage inner loop.
   size_t NewCoverage(const BitVector& other) const {
-    assert(size_ == other.size_);
+    SKYDIVER_DCHECK_EQ(size_, other.size_);
     size_t c = 0;
     for (size_t i = 0; i < words_.size(); ++i) {
       c += static_cast<size_t>(std::popcount(other.words_[i] & ~words_[i]));

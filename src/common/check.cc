@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace skydiver {
+namespace internal {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 std::string_view detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "SKYDIVER CHECK failed: %s at %s:%d\n", expr, file, line);
+  } else {
+    std::fprintf(stderr, "SKYDIVER CHECK failed: %s (%.*s) at %s:%d\n", expr,
+                 static_cast<int>(detail.size()), detail.data(), file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace skydiver

@@ -1,0 +1,145 @@
+// SkyDiver's single invariant-checking layer.
+//
+// Programming errors (violated preconditions, broken data-structure
+// invariants) abort through the macros below instead of bare `assert`:
+// failures log the expression, file:line, the operand values for the
+// comparison forms, and an optional message before calling abort(), so a
+// crashed CI job or production run says *what* broke, not just where.
+//
+// - SKYDIVER_CHECK*  — always on, in every build type. Use for cheap
+//   checks guarding memory safety or on cold paths.
+// - SKYDIVER_DCHECK* — compiled out under NDEBUG (Release/RelWithDebInfo).
+//   Use freely on hot paths; the Debug CI lane runs them.
+//
+// This header is the only place in the tree allowed to reference the
+// lowercase `assert` machinery; skylint (tools/skylint) enforces that no
+// other file under src/, tools/ or bench/ uses `assert(` directly.
+
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace skydiver {
+namespace internal {
+
+/// Prints "SKYDIVER CHECK failed: <expr> (<detail>) at <file>:<line>" to
+/// stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              std::string_view detail);
+
+/// Renders one comparison operand for the failure message.
+template <typename T>
+std::string CheckOpValue(const T& v) {
+  if constexpr (std::is_convertible_v<const T&, std::string_view>) {
+    return std::string(std::string_view(v));
+  } else {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+  }
+}
+
+/// Failure detail for SKYDIVER_CHECK_OK: works for both `Status` (has
+/// ToString) and `Result<T>` (has status()) without including status.h —
+/// this header sits below it.
+template <typename T>
+std::string StatusDetail(const T& st) {
+  if constexpr (requires { st.status(); }) {  // skylint:allow(discarded-status)
+    return st.status().ToString();
+  } else {
+    return st.ToString();
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* expr, const char* file, int line,
+                                const A& a, const B& b, std::string_view msg) {
+  std::string detail = CheckOpValue(a) + " vs. " + CheckOpValue(b);
+  if (!msg.empty()) {
+    detail += ": ";
+    detail += msg;
+  }
+  CheckFailed(expr, file, line, detail);
+}
+
+}  // namespace internal
+}  // namespace skydiver
+
+/// Aborts with a diagnostic unless `cond` holds. An optional extra argument
+/// (anything streamable into the message) is appended to the diagnostic.
+#define SKYDIVER_CHECK(cond, ...)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::skydiver::internal::CheckFailed(                                   \
+          #cond, __FILE__, __LINE__,                                       \
+          ::skydiver::internal::CheckOpValue(std::string_view(             \
+              "" __VA_ARGS__)));                                           \
+    }                                                                      \
+  } while (false)
+
+/// Aborts unless `status_expr` yields an OK Status/Result; the failure
+/// message carries the status's ToString().
+#define SKYDIVER_CHECK_OK(status_expr)                                      \
+  do {                                                                      \
+    auto&& _skydiver_st = (status_expr);                                    \
+    if (!_skydiver_st.ok()) {                                               \
+      ::skydiver::internal::CheckFailed(                                    \
+          #status_expr, __FILE__, __LINE__,                                 \
+          ::skydiver::internal::StatusDetail(_skydiver_st));                \
+    }                                                                       \
+  } while (false)
+
+#define SKYDIVER_CHECK_OP_(op, a, b, ...)                                    \
+  do {                                                                       \
+    auto&& _skydiver_a = (a);                                                \
+    auto&& _skydiver_b = (b);                                                \
+    if (!(_skydiver_a op _skydiver_b)) {                                     \
+      ::skydiver::internal::CheckOpFailed(#a " " #op " " #b, __FILE__,       \
+                                          __LINE__, _skydiver_a,             \
+                                          _skydiver_b, "" __VA_ARGS__);      \
+    }                                                                        \
+  } while (false)
+
+#define SKYDIVER_CHECK_EQ(a, b, ...) SKYDIVER_CHECK_OP_(==, a, b, __VA_ARGS__)
+#define SKYDIVER_CHECK_NE(a, b, ...) SKYDIVER_CHECK_OP_(!=, a, b, __VA_ARGS__)
+#define SKYDIVER_CHECK_LT(a, b, ...) SKYDIVER_CHECK_OP_(<, a, b, __VA_ARGS__)
+#define SKYDIVER_CHECK_LE(a, b, ...) SKYDIVER_CHECK_OP_(<=, a, b, __VA_ARGS__)
+#define SKYDIVER_CHECK_GT(a, b, ...) SKYDIVER_CHECK_OP_(>, a, b, __VA_ARGS__)
+#define SKYDIVER_CHECK_GE(a, b, ...) SKYDIVER_CHECK_OP_(>=, a, b, __VA_ARGS__)
+
+// Debug-only forms. Under NDEBUG they expand to a dead branch so the
+// condition still type-checks (no -Wunused fallout) but is never evaluated.
+#ifdef NDEBUG
+#define SKYDIVER_DCHECK_ACTIVE_ 0
+#else
+#define SKYDIVER_DCHECK_ACTIVE_ 1
+#endif
+
+#if SKYDIVER_DCHECK_ACTIVE_
+#define SKYDIVER_DCHECK(cond, ...) SKYDIVER_CHECK(cond, __VA_ARGS__)
+#define SKYDIVER_DCHECK_OK(expr) SKYDIVER_CHECK_OK(expr)
+#define SKYDIVER_DCHECK_EQ(a, b, ...) SKYDIVER_CHECK_EQ(a, b, __VA_ARGS__)
+#define SKYDIVER_DCHECK_NE(a, b, ...) SKYDIVER_CHECK_NE(a, b, __VA_ARGS__)
+#define SKYDIVER_DCHECK_LT(a, b, ...) SKYDIVER_CHECK_LT(a, b, __VA_ARGS__)
+#define SKYDIVER_DCHECK_LE(a, b, ...) SKYDIVER_CHECK_LE(a, b, __VA_ARGS__)
+#define SKYDIVER_DCHECK_GT(a, b, ...) SKYDIVER_CHECK_GT(a, b, __VA_ARGS__)
+#define SKYDIVER_DCHECK_GE(a, b, ...) SKYDIVER_CHECK_GE(a, b, __VA_ARGS__)
+#else
+#define SKYDIVER_DCHECK_NOOP_(cond)     \
+  do {                                  \
+    if (false) {                        \
+      (void)(cond);                     \
+    }                                   \
+  } while (false)
+#define SKYDIVER_DCHECK(cond, ...) SKYDIVER_DCHECK_NOOP_(cond)
+#define SKYDIVER_DCHECK_OK(expr) SKYDIVER_DCHECK_NOOP_((expr).ok())
+#define SKYDIVER_DCHECK_EQ(a, b, ...) SKYDIVER_DCHECK_NOOP_((a) == (b))
+#define SKYDIVER_DCHECK_NE(a, b, ...) SKYDIVER_DCHECK_NOOP_((a) != (b))
+#define SKYDIVER_DCHECK_LT(a, b, ...) SKYDIVER_DCHECK_NOOP_((a) < (b))
+#define SKYDIVER_DCHECK_LE(a, b, ...) SKYDIVER_DCHECK_NOOP_((a) <= (b))
+#define SKYDIVER_DCHECK_GT(a, b, ...) SKYDIVER_DCHECK_NOOP_((a) > (b))
+#define SKYDIVER_DCHECK_GE(a, b, ...) SKYDIVER_DCHECK_NOOP_((a) >= (b))
+#endif

@@ -26,7 +26,7 @@ class Flags {
 
   /// Parses argv; on error returns InvalidArgument with an explanation.
   /// Recognizes --help and sets help_requested().
-  Status Parse(int argc, char** argv);
+  [[nodiscard]] Status Parse(int argc, char** argv);
 
   bool help_requested() const { return help_requested_; }
 
@@ -42,7 +42,7 @@ class Flags {
     std::string default_value;
   };
 
-  Status Assign(const std::string& name, const std::string& value);
+  [[nodiscard]] Status Assign(const std::string& name, const std::string& value);
 
   std::map<std::string, Entry> entries_;
   bool help_requested_ = false;

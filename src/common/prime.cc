@@ -1,7 +1,8 @@
 #include "common/prime.h"
 
-#include <cassert>
 #include <initializer_list>
+
+#include "common/check.h"
 
 namespace skydiver {
 
@@ -59,7 +60,7 @@ bool IsPrime(uint64_t n) {
 }
 
 uint64_t NextPrime(uint64_t n) {
-  assert(n < (1ULL << 63) && "next prime must fit in 64 bits");
+  SKYDIVER_DCHECK(n < (1ULL << 63), "next prime must fit in 64 bits");
   if (n < 2) return 2;
   uint64_t candidate = n + 1;
   if (candidate % 2 == 0) {

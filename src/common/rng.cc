@@ -1,6 +1,6 @@
 #include "common/rng.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace skydiver {
 
@@ -41,7 +41,7 @@ double Rng::NextDouble() {
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
-  assert(bound > 0);
+  SKYDIVER_DCHECK_GT(bound, 0u);
   // Lemire's nearly-divisionless method.
   uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -75,7 +75,7 @@ double Rng::NextGaussian() {
 }
 
 double Rng::NextExponential(double lambda) {
-  assert(lambda > 0.0);
+  SKYDIVER_DCHECK_GT(lambda, 0.0);
   // Inverse CDF; guard against log(0).
   double u;
   do {

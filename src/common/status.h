@@ -3,15 +3,21 @@
 // SkyDiver follows the RocksDB/Arrow convention: recoverable errors are
 // reported through `Status` (or `Result<T>` for value-returning functions)
 // rather than exceptions. Programming errors (violated preconditions that
-// indicate a bug in the caller) abort via assertions in debug builds.
+// indicate a bug in the caller) abort through the SKYDIVER_DCHECK layer
+// (common/check.h) in debug builds.
+//
+// Both types are [[nodiscard]]: silently dropping an error is itself an
+// error, enforced by the compiler at -Werror and by skylint's
+// discarded-status rule for builds that disable warnings.
 
 #pragma once
 
-#include <cassert>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "common/check.h"
 
 namespace skydiver {
 
@@ -33,7 +39,7 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A `Status` is either OK (the default) or carries a code plus a
 /// human-readable message. It is cheap to copy in the OK case.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -42,23 +48,23 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotSupported(std::string msg) {
+  [[nodiscard]] static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
-  static Status IoError(std::string msg) {
+  [[nodiscard]] static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -90,35 +96,34 @@ class Status {
 /// Accessing the value of an errored Result is a programming error and
 /// asserts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
   /// Implicit construction from a non-OK status (failure).
   Result(Status status) : payload_(std::move(status)) {  // NOLINT
-    assert(!std::get<Status>(payload_).ok() &&
-           "Result constructed from OK status carries no value");
+    SKYDIVER_DCHECK(!std::get<Status>(payload_).ok(), "Result constructed from OK status carries no value");
   }
 
   bool ok() const { return std::holds_alternative<T>(payload_); }
 
   /// Returns the error status; OK if this result holds a value.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(payload_);
   }
 
   const T& value() const& {
-    assert(ok());
+    SKYDIVER_DCHECK(ok());
     return std::get<T>(payload_);
   }
   T& value() & {
-    assert(ok());
+    SKYDIVER_DCHECK(ok());
     return std::get<T>(payload_);
   }
   T&& value() && {
-    assert(ok());
+    SKYDIVER_DCHECK(ok());
     return std::get<T>(std::move(payload_));
   }
 

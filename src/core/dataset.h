@@ -8,11 +8,11 @@
 
 #pragma once
 
-#include <cassert>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "core/preference.h"
 #include "core/types.h"
@@ -23,13 +23,13 @@ namespace skydiver {
 class DataSet {
  public:
   /// Empty dataset with the given dimensionality (d >= 1).
-  explicit DataSet(Dim dims) : dims_(dims) { assert(dims >= 1); }
+  explicit DataSet(Dim dims) : dims_(dims) { SKYDIVER_DCHECK_GE(dims, 1u); }
 
   /// Dataset adopting pre-built storage; `values.size()` must be a multiple
   /// of `dims`.
   DataSet(Dim dims, std::vector<Coord> values) : dims_(dims), values_(std::move(values)) {
-    assert(dims >= 1);
-    assert(values_.size() % dims_ == 0);
+    SKYDIVER_DCHECK_GE(dims, 1u);
+    SKYDIVER_DCHECK(values_.size() % dims_ == 0);
   }
 
   Dim dims() const { return dims_; }
@@ -38,18 +38,18 @@ class DataSet {
 
   /// Read-only view of row `r`.
   std::span<const Coord> row(RowId r) const {
-    assert(r < size());
+    SKYDIVER_DCHECK_LT(r, size());
     return {values_.data() + static_cast<size_t>(r) * dims_, dims_};
   }
 
   Coord at(RowId r, Dim d) const {
-    assert(r < size() && d < dims_);
+    SKYDIVER_DCHECK(r < size() && d < dims_);
     return values_[static_cast<size_t>(r) * dims_ + d];
   }
 
   /// Appends a row; `point.size()` must equal dims().
   void Append(std::span<const Coord> point) {
-    assert(point.size() == dims_);
+    SKYDIVER_DCHECK_EQ(point.size(), dims_);
     values_.insert(values_.end(), point.begin(), point.end());
   }
 

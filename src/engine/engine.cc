@@ -241,6 +241,7 @@ Status ValidateInputs(const Plan& plan, const DataSet& data,
 Result<EngineOutput> Engine::Execute(ExecContext& ctx, const Plan& plan,
                                      const SkyDiverConfig& config, const DataSet& data,
                                      const PlanResources& resources) {
+  DebugValidatePlan(plan, resources);
   SKYDIVER_RETURN_NOT_OK(ValidateInputs(plan, data, resources));
 
   PipelineState state{

@@ -78,7 +78,7 @@ class Engine {
   /// the plan's backends need (the planner guarantees this when the plan
   /// came from `Planner::Resolve` with the same resources). `data` must be
   /// in minimization space.
-  static Result<EngineOutput> Execute(ExecContext& ctx, const Plan& plan,
+  [[nodiscard]] static Result<EngineOutput> Execute(ExecContext& ctx, const Plan& plan,
                                       const SkyDiverConfig& config, const DataSet& data,
                                       const PlanResources& resources);
 };

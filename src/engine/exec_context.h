@@ -69,7 +69,7 @@ class ExecContext {
   /// Runs `fn` as the stage `name`: measures its CPU/wall time, stores the
   /// stage's metrics (fn fills `out->io` itself) and appends a trace event.
   /// On failure nothing is recorded and the stage's status is returned.
-  Status RunStage(std::string_view name, PhaseMetrics* out,
+  [[nodiscard]] Status RunStage(std::string_view name, PhaseMetrics* out,
                   const std::function<Status(PhaseMetrics*)>& fn);
 
  private:

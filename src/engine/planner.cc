@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/check.h"
+
 namespace skydiver {
 
 const char* ToString(SkylineBackend backend) {
@@ -103,6 +105,54 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
     }
   }
   return plan;
+}
+
+void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
+#if SKYDIVER_DCHECK_ACTIVE_
+  const bool pooled = plan.threads >= 1;
+  SKYDIVER_DCHECK_LE(plan.threads, Planner::kMaxThreads);
+  SKYDIVER_DCHECK(plan.kernel == DomKernel::kScalar || plan.kernel == DomKernel::kTiled,
+                  "plan carries an unknown dominance kernel");
+  switch (plan.skyline) {
+    case SkylineBackend::kPrecomputed:
+      SKYDIVER_DCHECK(resources.precomputed_skyline != nullptr,
+                      "precomputed skyline backend without supplied rows");
+      break;
+    case SkylineBackend::kBbs:
+      SKYDIVER_DCHECK(resources.tree != nullptr, "BBS backend without an R-tree");
+      break;
+    case SkylineBackend::kBbsDisk:
+      SKYDIVER_DCHECK(resources.disk_tree != nullptr,
+                      "disk BBS backend without a disk tree");
+      break;
+    case SkylineBackend::kParallelSfs:
+      SKYDIVER_DCHECK(pooled, "pooled skyline backend in a serial plan");
+      break;
+    case SkylineBackend::kSfs:
+      break;
+  }
+  switch (plan.fingerprint) {
+    case FingerprintBackend::kSigGenIb:
+      SKYDIVER_DCHECK(resources.tree != nullptr, "IB backend without an R-tree");
+      break;
+    case FingerprintBackend::kParallelIb:
+      SKYDIVER_DCHECK(resources.tree != nullptr, "IB backend without an R-tree");
+      SKYDIVER_DCHECK(pooled, "pooled fingerprint backend in a serial plan");
+      break;
+    case FingerprintBackend::kSigGenIbDisk:
+      SKYDIVER_DCHECK(resources.disk_tree != nullptr,
+                      "disk IB backend without a disk tree");
+      break;
+    case FingerprintBackend::kParallelIf:
+      SKYDIVER_DCHECK(pooled, "pooled fingerprint backend in a serial plan");
+      break;
+    case FingerprintBackend::kSigGenIf:
+      break;
+  }
+#else
+  (void)plan;
+  (void)resources;
+#endif
 }
 
 std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {

@@ -34,7 +34,7 @@ class Planner {
   /// Validates `config` against `resources` and picks one backend per
   /// stage. With `run_selection == false` the plan stops after
   /// fingerprinting (`SelectBackend::kNone`) and `config.k` is ignored.
-  static Result<Plan> Resolve(const SkyDiverConfig& config,
+  [[nodiscard]] static Result<Plan> Resolve(const SkyDiverConfig& config,
                               const PlanResources& resources,
                               bool run_selection = true);
 };
@@ -43,5 +43,13 @@ class Planner {
 /// the backend and its key knobs. Stable enough to grep in CLI output,
 /// not a machine interface.
 std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config);
+
+/// Debug-only verifier of planner postconditions: every resource a backend
+/// needs is present (BBS => tree, disk BBS/IB => disk tree, precomputed =>
+/// rows), pooled backends appear only in pooled plans, and the kernel is a
+/// known value. Compiled out under NDEBUG; the engine runs it on every
+/// plan it is handed, so hand-rolled plans get the same scrutiny as
+/// planner output.
+void DebugValidatePlan(const Plan& plan, const PlanResources& resources);
 
 }  // namespace skydiver

@@ -14,12 +14,12 @@
 #pragma once
 
 #include <array>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "core/dataset.h"
 #include "core/types.h"
 
@@ -51,7 +51,7 @@ class Tile {
  public:
   explicit Tile(Dim dims)
       : dims_(dims), values_(static_cast<size_t>(dims) * kTileRows) {
-    assert(dims >= 1);
+    SKYDIVER_DCHECK_GE(dims, 1u);
   }
 
   Dim dims() const { return dims_; }
@@ -59,7 +59,7 @@ class Tile {
   bool empty() const { return rows_ == 0; }
   bool full() const { return rows_ == kTileRows; }
   RowId id(size_t r) const {
-    assert(r < rows_);
+    SKYDIVER_DCHECK_LT(r, rows_);
     return ids_[r];
   }
 
@@ -67,8 +67,8 @@ class Tile {
 
   /// Appends one point (transposing it into the columns). Must not be full.
   void PushRow(RowId id, std::span<const Coord> point) {
-    assert(!full());
-    assert(point.size() == dims_);
+    SKYDIVER_DCHECK(!full());
+    SKYDIVER_DCHECK_EQ(point.size(), dims_);
     for (size_t d = 0; d < dims_; ++d) values_[d * kTileRows + rows_] = point[d];
     ids_[rows_] = id;
     ++rows_;
@@ -94,6 +94,15 @@ class Tile {
     return TileView{values_.data(), ids_.data(), rows_, dims_};
   }
 
+  /// Debug-only structural verifier: the column storage must span exactly
+  /// dims * kTileRows coordinates (the column-major stride every kernel
+  /// sweep assumes) and the row count must fit the mask width.
+  void CheckInvariants() const {
+    SKYDIVER_DCHECK_EQ(values_.size(), static_cast<size_t>(dims_) * kTileRows,
+                       "tile column storage does not match its stride");
+    SKYDIVER_DCHECK_LE(rows_, kTileRows);
+  }
+
  private:
   Dim dims_;
   size_t rows_ = 0;
@@ -104,6 +113,11 @@ class Tile {
 /// Dynamic sequence of tiles. Appends go to the last tile (a new one opens
 /// when it fills); mask-driven compaction may leave interior tiles ragged,
 /// which the kernels handle (every tile carries its own row count).
+///
+/// A TileSet that will be shared read-only across threads (the pooled
+/// backends sweep one skyline tiling from every shard) should be Freeze()d
+/// first: mutations after freezing are a caller bug and abort under
+/// SKYDIVER_DCHECK in debug builds.
 class TileSet {
  public:
   explicit TileSet(Dim dims) : dims_(dims) {}
@@ -114,6 +128,7 @@ class TileSet {
   const std::vector<Tile>& tiles() const { return tiles_; }
 
   void Append(RowId id, std::span<const Coord> point) {
+    SKYDIVER_DCHECK(!frozen_, "Append on a frozen TileSet");
     if (tiles_.empty() || tiles_.back().full()) tiles_.emplace_back(dims_);
     tiles_.back().PushRow(id, point);
     ++total_rows_;
@@ -122,6 +137,8 @@ class TileSet {
   /// Compacts tile `i` to the rows in `keep`; empty tiles stay in place
   /// (cheap) until DropEmptyTiles().
   void CompactTile(size_t i, uint64_t keep) {
+    SKYDIVER_DCHECK(!frozen_, "CompactTile on a frozen TileSet");
+    SKYDIVER_DCHECK_LT(i, tiles_.size());
     const size_t before = tiles_[i].rows();
     tiles_[i].Compact(keep);
     total_rows_ -= before - tiles_[i].rows();
@@ -129,6 +146,7 @@ class TileSet {
 
   /// Erases tiles left empty by compaction, preserving tile order.
   void DropEmptyTiles() {
+    SKYDIVER_DCHECK(!frozen_, "DropEmptyTiles on a frozen TileSet");
     size_t out = 0;
     for (size_t i = 0; i < tiles_.size(); ++i) {
       if (tiles_[i].empty()) continue;
@@ -141,11 +159,37 @@ class TileSet {
   void Clear() {
     tiles_.clear();
     total_rows_ = 0;
+    frozen_ = false;
+  }
+
+  /// Marks the set immutable (e.g. before handing it to pool workers) and
+  /// verifies its structural invariants in debug builds. Clear() is the
+  /// only way back to a mutable set.
+  void Freeze() {
+    CheckInvariants();
+    frozen_ = true;
+  }
+  bool frozen() const { return frozen_; }
+
+  /// Debug-only verifier: per-tile column-major layout, per-tile dims
+  /// matching the set's, and the cached total row count agreeing with the
+  /// sum over tiles.
+  void CheckInvariants() const {
+#if SKYDIVER_DCHECK_ACTIVE_
+    size_t total = 0;
+    for (const Tile& tile : tiles_) {
+      tile.CheckInvariants();
+      SKYDIVER_DCHECK_EQ(tile.dims(), dims_, "tile dims diverge from the set's");
+      total += tile.rows();
+    }
+    SKYDIVER_DCHECK_EQ(total, total_rows_, "cached row total is stale");
+#endif
   }
 
  private:
   Dim dims_;
   size_t total_rows_ = 0;
+  bool frozen_ = false;
   std::vector<Tile> tiles_;
 };
 

@@ -1,8 +1,9 @@
 #include "lsh/lsh.h"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace skydiver {
 
@@ -18,13 +19,13 @@ uint64_t Mix64(uint64_t z) {
 }  // namespace
 
 double LshParams::Threshold() const {
-  assert(zones > 0 && rows_per_zone > 0);
+  SKYDIVER_DCHECK(zones > 0 && rows_per_zone > 0);
   return std::pow(1.0 / static_cast<double>(zones),
                   1.0 / static_cast<double>(rows_per_zone));
 }
 
 double LshParams::CollisionProbability(double s) const {
-  assert(zones > 0 && rows_per_zone > 0);
+  SKYDIVER_DCHECK(zones > 0 && rows_per_zone > 0);
   const double band_hit = std::pow(s, static_cast<double>(rows_per_zone));
   return 1.0 - std::pow(1.0 - band_hit, static_cast<double>(zones));
 }

@@ -1,9 +1,9 @@
 #include "minhash/minhash.h"
 
-#include <cassert>
 #include <cmath>
 
 #include "common/binio.h"
+#include "common/check.h"
 #include "common/prime.h"
 #include "common/rng.h"
 
@@ -40,7 +40,7 @@ Result<SignatureMatrix> SignatureMatrix::LoadFromFile(const std::string& path) {
 }
 
 MinHashFamily MinHashFamily::Create(size_t t, uint64_t universe, uint64_t seed) {
-  assert(t > 0);
+  SKYDIVER_DCHECK_GT(t, 0u);
   MinHashFamily family;
   family.prime_ = NextPrime(std::max<uint64_t>(universe, 2));
   Rng rng(seed);
@@ -55,7 +55,7 @@ MinHashFamily MinHashFamily::Create(size_t t, uint64_t universe, uint64_t seed) 
 }
 
 double SlotAgreementSimilarity(std::span<const uint64_t> a, std::span<const uint64_t> b) {
-  assert(a.size() == b.size());
+  SKYDIVER_DCHECK_EQ(a.size(), b.size());
   if (a.empty()) return 0.0;
   size_t agree = 0;
   for (size_t i = 0; i < a.size(); ++i) {
@@ -65,15 +65,15 @@ double SlotAgreementSimilarity(std::span<const uint64_t> a, std::span<const uint
 }
 
 double SignatureMatrix::EstimatedSimilarity(size_t c1, size_t c2) const {
-  assert(c1 < m_ && c2 < m_);
+  SKYDIVER_DCHECK(c1 < m_ && c2 < m_);
   return SlotAgreementSimilarity({slots_.data() + c1 * t_, t_},
                                  {slots_.data() + c2 * t_, t_});
 }
 
 size_t RecommendedSignatureSize(double epsilon, double beta, double delta) {
-  assert(epsilon > 0 && epsilon < 1);
-  assert(beta > 0 && beta < 1);
-  assert(delta > 0 && delta < 1);
+  SKYDIVER_DCHECK(epsilon > 0 && epsilon < 1);
+  SKYDIVER_DCHECK(beta > 0 && beta < 1);
+  SKYDIVER_DCHECK(delta > 0 && delta < 1);
   const double t = std::log(1.0 / delta) / (epsilon * epsilon * epsilon * beta);
   return static_cast<size_t>(std::ceil(t));
 }

@@ -94,6 +94,9 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
       sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
     }
   }
+  // Shards only read the tiling; freezing makes that contract explicit and
+  // turns an accidental cross-thread mutation into a debug-build abort.
+  sky_tiles.Freeze();
 
   const size_t shards = std::max<size_t>(1, pool.size());
   std::vector<SignatureMatrix> shard_sig(shards, SignatureMatrix(t, m));

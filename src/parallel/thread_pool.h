@@ -63,6 +63,26 @@ class ThreadPool {
   /// operation harvest-and-discard before starting (clearing any leftovers
   /// from earlier users of the pool), then harvest after Wait() and fold
   /// the delta into their own thread-local counters / result counts.
+  ///
+  /// Memory-ordering / harvest protocol:
+  ///
+  ///   worker:  run task -> fetch_add(delta, relaxed) -> lock(mutex_),
+  ///            --in_flight_, unlock
+  ///   caller:  Wait() observes in_flight_ == 0 under mutex_ -> harvest
+  ///            exchange(0, relaxed)
+  ///
+  /// Every counter update a finished task produced is sequenced before its
+  /// worker's mutex_ critical section, and that section happens-before the
+  /// caller's Wait() returning (same mutex). The mutex therefore carries
+  /// all the ordering the counters need, and the atomics themselves can be
+  /// (and deliberately are) `memory_order_relaxed`: they only need
+  /// atomicity for the increments racing between workers, not ordering.
+  /// A harvest that runs concurrently with in-flight tasks (e.g. the
+  /// harvest-and-discard before starting, or a monitoring thread) reads an
+  /// atomically-consistent partial tally; no update is lost or double
+  /// counted across harvests because exchange() drains atomically. The
+  /// Submit/harvest hammer test in tests/parallel_test.cc pins this down
+  /// under TSan.
   DominanceHarvest HarvestDominanceChecks();
 
  private:
@@ -75,6 +95,8 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  // Cross-thread counter tallies; relaxed atomics ordered by mutex_ (see
+  // HarvestDominanceChecks for the protocol).
   std::atomic<uint64_t> harvest_total_{0};
   std::atomic<uint64_t> harvest_tiled_{0};
 };

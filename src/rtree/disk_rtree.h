@@ -34,11 +34,11 @@ class DiskRTree {
   /// Serializes `tree` into a page file at `path`: a 4 KB header page
   /// (magic, geometry, root, checksum of the header fields) followed by
   /// one `page_size` page per node.
-  static Status Write(const RTree& tree, const std::string& path);
+  [[nodiscard]] static Status Write(const RTree& tree, const std::string& path);
 
   /// Opens a page file written by Write. `cache_fraction` sizes the frame
   /// cache relative to the file's node pages (paper default 20%).
-  static Result<DiskRTree> Open(const std::string& path, double cache_fraction = 0.2);
+  [[nodiscard]] static Result<DiskRTree> Open(const std::string& path, double cache_fraction = 0.2);
 
   DiskRTree(DiskRTree&&) = default;
   DiskRTree& operator=(DiskRTree&&) = default;

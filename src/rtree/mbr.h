@@ -10,11 +10,11 @@
 
 #pragma once
 
-#include <cassert>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "core/dominance.h"
 #include "core/types.h"
 
@@ -50,7 +50,7 @@ class Mbr {
 
   /// Grows this MBR to cover `p`.
   void Expand(std::span<const Coord> p) {
-    assert(p.size() == lo_.size());
+    SKYDIVER_DCHECK_EQ(p.size(), lo_.size());
     for (size_t i = 0; i < p.size(); ++i) {
       if (p[i] < lo_[i]) lo_[i] = p[i];
       if (p[i] > hi_[i]) hi_[i] = p[i];
@@ -59,7 +59,7 @@ class Mbr {
 
   /// Grows this MBR to cover `other`.
   void Expand(const Mbr& other) {
-    assert(other.dims() == dims());
+    SKYDIVER_DCHECK_EQ(other.dims(), dims());
     if (other.IsEmpty()) return;
     for (size_t i = 0; i < lo_.size(); ++i) {
       if (other.lo_[i] < lo_[i]) lo_[i] = other.lo_[i];

@@ -1,13 +1,13 @@
 #include "rtree/rtree.h"
 
-#include "rtree/traversal.h"
-
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <queue>
+
+#include "common/check.h"
+#include "rtree/traversal.h"
 
 namespace skydiver {
 
@@ -52,7 +52,7 @@ RTree::RTree(Dim dims, RTreeConfig config)
       config_(config),
       leaf_capacity_(CapacityFor(config.page_size, LeafEntryBytes(dims))),
       internal_capacity_(CapacityFor(config.page_size, InternalEntryBytes(dims))) {
-  assert(dims >= 1);
+  SKYDIVER_DCHECK_GE(dims, 1u);
 }
 
 Result<RTree> RTree::BulkLoad(const DataSet& data, RTreeConfig config) {
@@ -99,7 +99,7 @@ const RTreeNode& RTree::ReadNode(PageId id) const {
 // ---------------------------------------------------------------------------
 
 size_t RTree::ChooseSubtree(const RTreeNode& node, const Mbr& mbr) const {
-  assert(!node.is_leaf && !node.entries.empty());
+  SKYDIVER_DCHECK(!node.is_leaf && !node.entries.empty());
   const bool children_are_leaves = NodeNoIo(node.entries[0].child).is_leaf;
   size_t best = 0;
   if (children_are_leaves) {
@@ -154,8 +154,8 @@ PageId RTree::SplitNode(PageId node_id) {
   const size_t cap = node.is_leaf ? leaf_capacity_ : internal_capacity_;
   const auto min_entries =
       std::max<size_t>(1, static_cast<size_t>(std::floor(config_.min_fill * static_cast<double>(cap))));
-  assert(total > cap);
-  assert(total >= 2 * min_entries);
+  SKYDIVER_DCHECK_GT(total, cap);
+  SKYDIVER_DCHECK_GE(total, 2 * min_entries);
 
   // R* split, step 1: choose the axis minimizing the total margin over all
   // legal distributions of the lo-sorted order.
@@ -266,7 +266,7 @@ PageId RTree::InsertRec(PageId node_id, const RTreeEntry& entry) {
 }
 
 void RTree::Insert(std::span<const Coord> point, RowId row) {
-  assert(point.size() == dims_);
+  SKYDIVER_DCHECK_EQ(point.size(), dims_);
   if (root_ == kInvalidPageId) {
     root_ = AllocateNode(/*is_leaf=*/true);
     height_ = 1;
@@ -401,7 +401,7 @@ std::vector<RTree::Neighbor> RTree::NearestNeighbors(std::span<const Coord> poin
                                                      size_t k) const {
   std::vector<Neighbor> out;
   if (root_ == kInvalidPageId || k == 0) return out;
-  assert(point.size() == dims_);
+  SKYDIVER_DCHECK_EQ(point.size(), dims_);
 
   // Squared Euclidean distance from `point` to the nearest corner of `m`.
   auto min_dist2 = [&](const Mbr& m) {

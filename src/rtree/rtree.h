@@ -65,10 +65,10 @@ class RTree {
 
   /// Bulk-loads the whole dataset with Sort-Tile-Recursive packing, then
   /// finalizes the buffer pool. Replaces any existing content.
-  static Result<RTree> BulkLoad(const DataSet& data, RTreeConfig config = {});
+  [[nodiscard]] static Result<RTree> BulkLoad(const DataSet& data, RTreeConfig config = {});
 
   /// Builds by repeated dynamic insertion (exercises the R* split paths).
-  static Result<RTree> InsertLoad(const DataSet& data, RTreeConfig config = {});
+  [[nodiscard]] static Result<RTree> InsertLoad(const DataSet& data, RTreeConfig config = {});
 
   /// Inserts one point. O(log n) amortized.
   void Insert(std::span<const Coord> point, RowId row);
@@ -134,16 +134,16 @@ class RTree {
   /// Structural invariant check (tests): MBR tightness, aggregate-count
   /// consistency, fill factors, uniform leaf depth. Returns a non-OK status
   /// describing the first violation found.
-  Status CheckInvariants() const;
+  [[nodiscard]] Status CheckInvariants() const;
 
   /// Persists the whole tree (config, nodes, aggregates) to a checksummed
   /// binary file, so an index built once can be reloaded without another
   /// bulk load.
-  Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
 
   /// Loads a tree written by SaveToFile; verifies magic and checksum, and
   /// finalizes a fresh buffer pool.
-  static Result<RTree> LoadFromFile(const std::string& path);
+  [[nodiscard]] static Result<RTree> LoadFromFile(const std::string& path);
 
  private:
   RTreeNode& Node(PageId id) { return store_[id]; }

@@ -9,11 +9,11 @@
 #pragma once
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "core/dominance.h"
 #include "core/types.h"
 #include "rtree/buffer_pool.h"
@@ -84,7 +84,7 @@ template <typename Tree>
 uint64_t CommonDominatedCount(const Tree& tree, std::span<const Coord> p,
                               std::span<const Coord> q) {
   const Dim d = tree.dims();
-  assert(p.size() == d && q.size() == d);
+  SKYDIVER_DCHECK(p.size() == d && q.size() == d);
   const bool q_weak_p = WeaklyDominates(q, p);
   const bool p_weak_q = WeaklyDominates(p, q);
   if (q_weak_p && p_weak_q) return DominatedCount(tree, p);  // p == q

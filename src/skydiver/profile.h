@@ -34,7 +34,7 @@ struct DataProfile {
 };
 
 /// Computes the profile in one pass (plus the correlation sample).
-Result<DataProfile> ProfileDataSet(const DataSet& data);
+[[nodiscard]] Result<DataProfile> ProfileDataSet(const DataSet& data);
 
 /// Renders the profile as a human-readable multi-line report.
 std::string FormatProfile(const DataProfile& profile);

@@ -30,7 +30,7 @@ class SkyDiverSession {
  public:
   /// Runs the skyline (SFS, or BBS when `tree` is given) and fingerprints
   /// it (SigGen-IF, or SigGen-IB when `tree` is given).
-  static Result<SkyDiverSession> Create(const DataSet& data, size_t signature_size,
+  [[nodiscard]] static Result<SkyDiverSession> Create(const DataSet& data, size_t signature_size,
                                         uint64_t seed, const RTree* tree = nullptr);
 
   /// The skyline rows the fingerprints describe, ascending.
@@ -41,21 +41,21 @@ class SkyDiverSession {
 
   /// k most diverse skyline rows under the MinHash estimated distance
   /// (SkyDiver-MH's Phase 2). Pick order = progressive ranking.
-  Result<std::vector<RowId>> SelectMinHash(size_t k) const;
+  [[nodiscard]] Result<std::vector<RowId>> SelectMinHash(size_t k) const;
 
   /// Same under an LSH banding at threshold ξ with B buckets per zone
   /// (SkyDiver-LSH's Phase 2); a fresh banding is derived per call, so the
   /// memory/accuracy knob can be explored on one set of fingerprints.
-  Result<std::vector<RowId>> SelectLsh(size_t k, double threshold,
+  [[nodiscard]] Result<std::vector<RowId>> SelectLsh(size_t k, double threshold,
                                        size_t buckets) const;
 
   /// Persists skyline rows, domination scores and signatures to one
   /// checksummed file (format SKYDSES1).
-  Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
 
   /// Reloads a session. No dataset required: every Select* works on the
   /// fingerprints alone.
-  static Result<SkyDiverSession> LoadFromFile(const std::string& path);
+  [[nodiscard]] static Result<SkyDiverSession> LoadFromFile(const std::string& path);
 
  private:
   SkyDiverSession() = default;

@@ -55,21 +55,21 @@ class SkyDiver {
   /// skyline is then computed with BBS and (under kAuto / kIndexBased) the
   /// signatures with SigGen-IB. If `precomputed_skyline` is non-null the
   /// skyline phase is skipped and the given rows are used verbatim.
-  static Result<SkyDiverReport> Run(const DataSet& data, const SkyDiverConfig& config,
+  [[nodiscard]] static Result<SkyDiverReport> Run(const DataSet& data, const SkyDiverConfig& config,
                                     const RTree* tree = nullptr,
                                     const std::vector<RowId>* precomputed_skyline = nullptr);
 
   /// Same, but first maps `data` into minimization space under `pref`
   /// (e.g. maximize quality, minimize price). Row ids in the report refer
   /// to the original dataset.
-  static Result<SkyDiverReport> RunWithPreference(const DataSet& data,
+  [[nodiscard]] static Result<SkyDiverReport> RunWithPreference(const DataSet& data,
                                                   const Preference& pref,
                                                   const SkyDiverConfig& config);
 
   /// Fully indexed pipeline over a FILE-BACKED tree: BBS and SigGen-IB
   /// read real 4 KB pages through the disk tree's frame cache, so the
   /// reported fault counts are physical preads.
-  static Result<SkyDiverReport> RunOnDisk(const DataSet& data,
+  [[nodiscard]] static Result<SkyDiverReport> RunOnDisk(const DataSet& data,
                                           const SkyDiverConfig& config,
                                           const DiskRTree& tree,
                                           const std::vector<RowId>* precomputed_skyline = nullptr);

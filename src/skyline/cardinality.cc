@@ -1,13 +1,14 @@
 #include "skyline/cardinality.h"
 
-#include <cassert>
 #include <cmath>
 #include <vector>
+
+#include "common/check.h"
 
 namespace skydiver {
 
 double ExpectedSkylineSizeUniform(uint64_t n, Dim d) {
-  assert(n >= 1 && d >= 1);
+  SKYDIVER_DCHECK(n >= 1 && d >= 1);
   // E(i, 1) = 1 for all i; roll the recurrence dimension by dimension.
   // current[i] holds E(i+1, dim) while filling dimension `dim`.
   std::vector<double> current(n, 1.0);
@@ -23,7 +24,7 @@ double ExpectedSkylineSizeUniform(uint64_t n, Dim d) {
 }
 
 double AsymptoticSkylineSizeUniform(uint64_t n, Dim d) {
-  assert(n >= 1 && d >= 1);
+  SKYDIVER_DCHECK(n >= 1 && d >= 1);
   double result = 1.0;
   const double ln_n = std::log(static_cast<double>(n));
   for (Dim i = 1; i < d; ++i) {

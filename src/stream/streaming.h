@@ -53,8 +53,8 @@ class StreamingSkyDiver {
                     DomKernel kernel = DomKernel::kScalar);
 
   /// Inserts the next point; assigns it the next row id.
-  Status Insert(std::span<const Coord> point);
-  Status Insert(std::initializer_list<Coord> point) {
+  [[nodiscard]] Status Insert(std::span<const Coord> point);
+  [[nodiscard]] Status Insert(std::initializer_list<Coord> point) {
     return Insert(std::span<const Coord>(point.begin(), point.size()));
   }
 
@@ -65,17 +65,17 @@ class StreamingSkyDiver {
   std::vector<RowId> SkylineRows() const;
 
   /// Exact |Γ(row)| for a current skyline row.
-  Result<uint64_t> DominationScore(RowId skyline_row) const;
+  [[nodiscard]] Result<uint64_t> DominationScore(RowId skyline_row) const;
 
   /// Greedy k-most-diverse selection over the maintained signatures
   /// (estimated Jaccard distances, max-dominance seeding — the batch
   /// pipeline's Phase 2 on live state).
-  Result<std::vector<RowId>> SelectDiverse(size_t k) const;
+  [[nodiscard]] Result<std::vector<RowId>> SelectDiverse(size_t k) const;
 
   const StreamingStats& stats() const { return stats_; }
 
   /// Signature column of a current skyline row (for tests/inspection).
-  Result<std::vector<uint64_t>> Signature(RowId skyline_row) const;
+  [[nodiscard]] Result<std::vector<uint64_t>> Signature(RowId skyline_row) const;
 
  private:
   struct SkylineEntry {

@@ -8,9 +8,9 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <random>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/dominance.h"
 #include "core/gamma.h"
 #include "datagen/generators.h"
@@ -34,12 +34,11 @@ namespace {
 
 // Builds a tile of `rows` random points over a tiny value alphabet (heavy
 // duplication → plenty of dominated / equal / incomparable pairs).
-Tile RandomTile(std::mt19937_64& rng, Dim dims, size_t rows) {
-  std::uniform_int_distribution<int> value(0, 3);
+Tile RandomTile(Rng& rng, Dim dims, size_t rows) {
   Tile tile(dims);
   std::vector<Coord> point(dims);
   for (size_t r = 0; r < rows; ++r) {
-    for (Dim d = 0; d < dims; ++d) point[d] = static_cast<Coord>(value(rng));
+    for (Dim d = 0; d < dims; ++d) point[d] = static_cast<Coord>(rng.NextInt(0, 3));
     tile.PushRow(static_cast<RowId>(r), point);
   }
   return tile;
@@ -71,14 +70,13 @@ void ExpectKernelAgreesWithCore(std::span<const Coord> p, const Tile& tile) {
 }
 
 TEST(DominanceKernelTest, RandomTilesMatchScalarReference) {
-  std::mt19937_64 rng(7);
+  Rng rng(7);
   for (const Dim dims : {Dim{1}, Dim{2}, Dim{4}, Dim{7}}) {
     for (const size_t rows : {size_t{1}, size_t{5}, size_t{63}, size_t{64}}) {
       for (int iter = 0; iter < 20; ++iter) {
         const Tile tile = RandomTile(rng, dims, rows);
-        std::uniform_int_distribution<int> value(0, 3);
         std::vector<Coord> probe(dims);
-        for (Dim d = 0; d < dims; ++d) probe[d] = static_cast<Coord>(value(rng));
+        for (Dim d = 0; d < dims; ++d) probe[d] = static_cast<Coord>(rng.NextInt(0, 3));
         ExpectKernelAgreesWithCore(probe, tile);
       }
     }
@@ -104,7 +102,7 @@ TEST(DominanceKernelTest, AllEqualRowsAreNeitherDominatedNorDominators) {
 }
 
 TEST(DominanceKernelTest, RaggedAndSingleDimensionTiles) {
-  std::mt19937_64 rng(11);
+  Rng rng(11);
   // d = 1: dominance degenerates to strict less-than.
   for (int iter = 0; iter < 10; ++iter) {
     const Tile tile = RandomTile(rng, 1, 37);  // ragged: 37 < kTileRows
@@ -116,7 +114,7 @@ TEST(DominanceKernelTest, RaggedAndSingleDimensionTiles) {
 }
 
 TEST(DominanceKernelTest, CountingRuleChargesTileRowsPerCall) {
-  std::mt19937_64 rng(13);
+  Rng rng(13);
   const Tile tile = RandomTile(rng, 4, 29);
   const std::vector<Coord> probe{1.0, 1.0, 1.0, 1.0};
 

@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 #include <vector>
 
 #include <cmath>
 
+#include "core/dominance.h"
 #include "core/gamma.h"
 #include "datagen/generators.h"
 #include "minhash/siggen.h"
@@ -95,6 +97,50 @@ TEST(ThreadPoolTest, ParallelForHandlesDegenerateRanges) {
   pool.ParallelFor(2, 100, [&](uint64_t begin, uint64_t end) {
     EXPECT_LE(end - begin, 2u);
   });
+}
+
+// Hammers the Submit/harvest protocol from three sides at once — the
+// submitting thread, the pool workers, and a concurrent harvester thread —
+// so a TSan build sees every pairing the protocol allows (this is the
+// hammer test referenced by the protocol comment in parallel/thread_pool.h).
+// Dominance counts must be conserved: whatever the concurrent harvester
+// drains plus the final post-Wait harvest equals exactly the number of
+// tests the tasks performed, with nothing lost or double-counted.
+TEST(ThreadPoolTest, ConcurrentHarvestConservesCounts) {
+  ThreadPool pool(4);
+  (void)pool.HarvestDominanceChecks();  // clear leftovers from earlier tests
+
+  constexpr uint64_t kTasks = 200;
+  constexpr uint64_t kTestsPerTask = 64;
+  const std::vector<Coord> a{1.0, 2.0};
+  const std::vector<Coord> b{2.0, 3.0};
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> drained_total{0};
+  std::atomic<uint64_t> drained_tiled{0};
+  // A raw thread on purpose: the harvester must run outside the pool it is
+  // harvesting.
+  std::thread harvester([&] {  // skylint:allow(determinism)
+    while (!stop.load(std::memory_order_acquire)) {
+      const DominanceHarvest h = pool.HarvestDominanceChecks();
+      drained_total.fetch_add(h.total, std::memory_order_relaxed);
+      drained_tiled.fetch_add(h.tiled, std::memory_order_relaxed);
+    }
+  });
+
+  for (uint64_t i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(pool.Submit([&a, &b] {
+      for (uint64_t k = 0; k < kTestsPerTask; ++k) (void)Dominates(a, b);
+    }));
+  }
+  pool.Wait();
+  stop.store(true, std::memory_order_release);
+  harvester.join();
+
+  const DominanceHarvest rest = pool.HarvestDominanceChecks();
+  EXPECT_EQ(drained_total.load() + rest.total, kTasks * kTestsPerTask);
+  // Only scalar Dominates() ran; the tiled share must stay zero.
+  EXPECT_EQ(drained_tiled.load() + rest.tiled, 0u);
 }
 
 class ParallelEquivalenceTest : public testing::TestWithParam<size_t> {};

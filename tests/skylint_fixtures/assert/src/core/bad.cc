@@ -1,0 +1,9 @@
+#include <cassert>
+
+namespace demo {
+
+void Check(int x) {
+  assert(x > 0);
+}
+
+}  // namespace demo

@@ -1,0 +1,9 @@
+#include "demo/thing.h"
+
+namespace demo {
+
+int Answer() {
+  return 42;
+}
+
+}  // namespace demo

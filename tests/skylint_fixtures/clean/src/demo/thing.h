@@ -1,0 +1,7 @@
+#pragma once
+
+namespace demo {
+
+int Answer();
+
+}  // namespace demo

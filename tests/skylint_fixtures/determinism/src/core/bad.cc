@@ -1,0 +1,10 @@
+#include <random>
+
+namespace demo {
+
+int Draw() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+
+}  // namespace demo

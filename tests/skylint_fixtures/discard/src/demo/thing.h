@@ -1,0 +1,9 @@
+#pragma once
+
+namespace demo {
+
+class Status {};
+
+Status Flush();
+
+}  // namespace demo

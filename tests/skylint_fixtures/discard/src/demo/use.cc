@@ -1,0 +1,9 @@
+#include "demo/thing.h"
+
+namespace demo {
+
+void Run() {
+  Flush();
+}
+
+}  // namespace demo

@@ -1,0 +1,5 @@
+namespace demo {
+
+int Answer();
+
+}  // namespace demo

@@ -1,0 +1,9 @@
+#pragma once
+
+#include "engine/planner.h"
+
+namespace demo {
+
+int Answer();
+
+}  // namespace demo

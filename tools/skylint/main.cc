@@ -1,0 +1,69 @@
+// skylint CLI.
+//
+//   skylint --root <repo-root> [relative-paths...]
+//
+// With no explicit paths, lints every .cc/.h under src/, tools/, bench/
+// and tests/ (minus tests/skylint_fixtures). Prints one line per finding:
+//
+//   file:line: rule-id: message
+//
+// Exit code 0 = clean, 1 = findings, 2 = usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "skylint.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: skylint [--root DIR] [paths...]\n"
+               "  --root DIR   repository root to lint (default: .)\n"
+               "  paths        root-relative files to lint (default: all of\n"
+               "               src/, tools/, bench/, tests/)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0) {
+      if (i + 1 >= argc) {
+        PrintUsage();
+        return 2;
+      }
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "skylint: unknown flag '%s'\n", argv[i]);
+      PrintUsage();
+      return 2;
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.empty()) paths = skylint::DefaultFileSet(root);
+  if (paths.empty()) {
+    std::fprintf(stderr, "skylint: nothing to lint under '%s'\n", root.c_str());
+    return 2;
+  }
+
+  const std::vector<skylint::Violation> violations = skylint::LintTree(root, paths);
+  for (const skylint::Violation& v : violations) {
+    std::printf("%s:%zu: %s: %s\n", v.path.c_str(), v.line, v.rule.c_str(),
+                v.message.c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "skylint: %zu violation(s) in %zu file(s) linted\n",
+                 violations.size(), paths.size());
+    return 1;
+  }
+  return 0;
+}

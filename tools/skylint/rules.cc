@@ -1,0 +1,375 @@
+// Rule implementations for skylint. Everything here works on blanked code
+// (comments/strings removed) produced by text.cc; see skylint.h for the
+// rule catalogue.
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+
+#include "skylint.h"
+
+namespace skylint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `text` contains `token` at a position not preceded/followed by
+/// an identifier character (so `assert` does not match `static_assert`).
+size_t FindToken(const std::string& text, const std::string& token, size_t from = 0) {
+  size_t pos = text.find(token, from);
+  while (pos != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return pos;
+    pos = text.find(token, pos + 1);
+  }
+  return std::string::npos;
+}
+
+/// Rule suppression: `skylint:allow(rule)` on the finding's line, or
+/// `skylint:allow-file(rule)` anywhere in the file.
+bool Suppressed(const SourceFile& file, size_t line, const std::string& rule) {
+  const std::string line_tag = "skylint:allow(" + rule + ")";
+  if (line >= 1 && line <= file.raw.size() &&
+      file.raw[line - 1].find(line_tag) != std::string::npos) {
+    return true;
+  }
+  const std::string file_tag = "skylint:allow-file(" + rule + ")";
+  for (const std::string& raw : file.raw) {
+    if (raw.find(file_tag) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void Report(const SourceFile& file, size_t line, const std::string& rule,
+            const std::string& message, std::vector<Violation>* out) {
+  if (Suppressed(file, line, rule)) return;
+  out->push_back(Violation{file.path, line, rule, message});
+}
+
+// -------------------------------------------------------------------------
+// discarded-status
+// -------------------------------------------------------------------------
+
+// Matches declarations/definitions returning Status or Result<...>:
+//   [[nodiscard]] static Result<Foo> Name(
+const std::regex kStatusDeclRe(
+    R"((?:^|[;{}\s])(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+|inline\s+|friend\s+)*(?:Status|Result<[^;()]*>)\s+(?:\w+::)*(\w+)\s*\()");
+
+// Matches declarations with any other single-token (possibly qualified /
+// templated) return type, used to find names that are ambiguous at the
+// token level: `void Insert(...)` vs `Status Insert(...)`.
+const std::regex kOtherDeclRe(
+    R"((?:^|[;{}\s])(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+|inline\s+|constexpr\s+|friend\s+)*((?:\w+::)*\w+(?:<[^;()]*>)?(?:\s*[*&])?)\s+(?:\w+::)*(\w+)\s*\()");
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch", "return", "sizeof",
+      "case",   "new",    "delete", "else",   "do",     "catch",
+      "static_assert", "alignof", "decltype", "co_return", "co_await",
+      "co_yield", "throw", "goto", "using", "typedef", "template",
+      "operator", "public", "private", "protected", "explicit",
+  };
+  return kw;
+}
+
+void ScanDeclarations(const SourceFile& file, std::set<std::string>* status_names,
+                      std::set<std::string>* other_names) {
+  for (const Statement& stmt : SplitStatements(file.code)) {
+    std::smatch m;
+    std::string::const_iterator begin = stmt.text.cbegin();
+    while (std::regex_search(begin, stmt.text.cend(), m, kStatusDeclRe)) {
+      status_names->insert(m[1].str());
+      begin = m[0].second;
+    }
+    begin = stmt.text.cbegin();
+    while (std::regex_search(begin, stmt.text.cend(), m, kOtherDeclRe)) {
+      const std::string ret = m[1].str();
+      const std::string name = m[2].str();
+      if (!StartsWith(ret, "Status") && !StartsWith(ret, "Result<") &&
+          Keywords().count(ret) == 0 && Keywords().count(name) == 0 &&
+          ret != "return") {
+        other_names->insert(name);
+      }
+      begin = m[0].second;
+    }
+  }
+}
+
+// A bare-call statement: `receiver.chain->Name(args);` with nothing before
+// the chain and nothing after the closing paren. Assignments, returns,
+// comparisons, macro wraps all fail this shape.
+const std::regex kBareCallRe(
+    R"(^(?:\(\s*void\s*\)\s*)?((?:\w+(?:\.|->|::))*)(\w+)\s*\(.*\)\s*;$)");
+
+void CheckDiscardedStatus(const SourceFile& file, const StatusRegistry& registry,
+                          std::vector<Violation>* out) {
+  for (const Statement& stmt : SplitStatements(file.code)) {
+    std::smatch m;
+    if (!std::regex_match(stmt.text, m, kBareCallRe)) continue;
+    if (stmt.text.find("(void)") == 0 || StartsWith(stmt.text, "( void )")) {
+      continue;  // explicit discard is the sanctioned opt-out
+    }
+    const std::string name = m[2].str();
+    if (Keywords().count(name) != 0) continue;
+    if (!registry.Contains(name)) continue;
+    Report(file, stmt.line, "discarded-status",
+           "call to Status/Result-returning '" + name +
+               "' used as a bare statement; handle the status, propagate it "
+               "with SKYDIVER_RETURN_NOT_OK, or cast to (void) with a reason",
+           out);
+  }
+}
+
+// -------------------------------------------------------------------------
+// layering
+// -------------------------------------------------------------------------
+
+/// First path component under src/ (empty when not under src/).
+std::string SrcDir(const std::string& path) {
+  if (!StartsWith(path, "src/")) return "";
+  const size_t end = path.find('/', 4);
+  if (end == std::string::npos) return "";
+  return path.substr(4, end - 4);
+}
+
+const std::regex kProjectIncludeRe(R"|(^\s*#\s*include\s+"([^"]+)")|");
+const std::regex kSystemIncludeRe(R"(^\s*#\s*include\s+<([^>]+)>)");
+
+/// Include targets live inside string literals, which the blanking pass
+/// erases. Extract them from the raw line, but only when the blanked line
+/// still shows a `#` directive — a commented-out include has no directive
+/// left after blanking and must not count.
+bool IsDirectiveLine(const std::string& code_line) {
+  const size_t first = code_line.find_first_not_of(" \t");
+  return first != std::string::npos && code_line[first] == '#';
+}
+
+void CheckLayering(const SourceFile& file, std::vector<Violation>* out) {
+  const std::string dir = SrcDir(file.path);
+  const bool in_src = StartsWith(file.path, "src/");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (!IsDirectiveLine(file.code[i])) continue;
+    std::smatch m;
+    std::string target;
+    if (std::regex_search(file.raw[i], m, kProjectIncludeRe)) {
+      target = m[1].str();
+    } else if (std::regex_search(file.raw[i], m, kSystemIncludeRe)) {
+      // Only test-framework headers are restricted among <> includes.
+      const std::string sys = m[1].str();
+      if (in_src && (StartsWith(sys, "gtest/") || StartsWith(sys, "gmock/") ||
+                     StartsWith(sys, "catch2/"))) {
+        Report(file, i + 1, "layering",
+               "test-framework include <" + sys + "> inside src/", out);
+      }
+      continue;
+    } else {
+      continue;
+    }
+
+    const std::string inc_dir = target.substr(0, target.find('/'));
+    if (dir == "common" && inc_dir != "common") {
+      Report(file, i + 1, "layering",
+             "src/common is the bottom layer and may only include common/ "
+             "headers (found \"" + target + "\")",
+             out);
+    } else if ((dir == "core" || dir == "kernels") &&
+               inc_dir != "common" && inc_dir != "core" && inc_dir != "kernels") {
+      Report(file, i + 1, "layering",
+             "src/" + dir + " may only include common/, core/ and kernels/ "
+             "headers (found \"" + target + "\")",
+             out);
+    } else if (in_src && dir != "engine" && dir != "skydiver" &&
+               (inc_dir == "engine" || inc_dir == "skydiver")) {
+      Report(file, i + 1, "layering",
+             "src/" + dir + " may not include " + inc_dir +
+                 "/ headers (library layers below the engine must not "
+                 "depend on it)",
+             out);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// determinism
+// -------------------------------------------------------------------------
+
+bool DeterminismExempt(const std::string& path) {
+  return StartsWith(path, "src/parallel/") ||
+         StartsWith(path, "src/common/rng.");
+}
+
+const std::regex kArglessTimeRe(R"((^|[^\w.:>])time\s*\(\s*(NULL|nullptr|0)?\s*\))");
+const std::regex kRandCallRe(R"((^|[^\w.:>])s?rand\s*\()");
+
+void CheckDeterminism(const SourceFile& file, std::vector<Violation>* out) {
+  if (DeterminismExempt(file.path)) return;
+  static const std::vector<std::pair<std::string, std::string>> kBanned = {
+      {"std::thread", "spawn threads through parallel/ThreadPool"},
+      {"std::jthread", "spawn threads through parallel/ThreadPool"},
+      {"std::mt19937", "draw randomness through common/Rng with an explicit seed"},
+      {"std::mt19937_64", "draw randomness through common/Rng with an explicit seed"},
+      {"std::random_device", "nondeterministic seeds break experiment reproducibility"},
+      {"std::default_random_engine", "draw randomness through common/Rng"},
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const auto& [token, why] : kBanned) {
+      if (FindToken(line, token) != std::string::npos) {
+        Report(file, i + 1, "determinism", token + " outside src/parallel/: " + why,
+               out);
+      }
+    }
+    std::smatch m;
+    if (std::regex_search(line, m, kRandCallRe)) {
+      Report(file, i + 1, "determinism",
+             "rand()/srand() is global, unseeded state; use common/Rng", out);
+    }
+    if (std::regex_search(line, m, kArglessTimeRe)) {
+      Report(file, i + 1, "determinism",
+             "wall-clock time() as a value feeds nondeterminism into "
+             "experiments; plumb an explicit seed or timestamp",
+             out);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// assert
+// -------------------------------------------------------------------------
+
+void CheckAssert(const SourceFile& file, std::vector<Violation>* out) {
+  if (file.path == "src/common/check.h") return;  // the one sanctioned home
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    size_t pos = FindToken(file.code[i], "assert");
+    while (pos != std::string::npos) {
+      // Must be a call: next non-space is '('.
+      size_t j = pos + 6;
+      while (j < file.code[i].size() && file.code[i][j] == ' ') ++j;
+      if (j < file.code[i].size() && file.code[i][j] == '(') {
+        Report(file, i + 1, "assert",
+               "bare assert() is silent about what broke and vanishes under "
+               "NDEBUG; use SKYDIVER_CHECK / SKYDIVER_DCHECK from "
+               "common/check.h",
+               out);
+        break;  // one report per line is enough
+      }
+      pos = FindToken(file.code[i], "assert", pos + 1);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// include-hygiene
+// -------------------------------------------------------------------------
+
+void CheckIncludeHygiene(const SourceFile& file, const LintContext& context,
+                         std::vector<Violation>* out) {
+  const bool is_header = EndsWith(file.path, ".h") || EndsWith(file.path, ".hpp");
+  if (is_header) {
+    bool has_pragma = false;
+    for (const std::string& line : file.code) {
+      if (line.find("#pragma once") != std::string::npos) {
+        has_pragma = true;
+        break;
+      }
+    }
+    if (!has_pragma) {
+      Report(file, 1, "include-hygiene", "header is missing #pragma once", out);
+    }
+  }
+
+  // "../" escapes the include-root discipline (-I src with full paths).
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (IsDirectiveLine(file.code[i]) &&
+        std::regex_search(file.raw[i], m, kProjectIncludeRe) &&
+        m[1].str().find("../") != std::string::npos) {
+      Report(file, i + 1, "include-hygiene",
+             "relative \"../\" include; use a root-relative path", out);
+    }
+  }
+
+  // foo.cc with a sibling foo.h must include that header first: the
+  // cheap, compiler-backed way to keep headers self-contained.
+  if (EndsWith(file.path, ".cc") || EndsWith(file.path, ".cpp")) {
+    const size_t slash = file.path.rfind('/');
+    const size_t dot = file.path.rfind('.');
+    const std::string stem = file.path.substr(slash + 1, dot - slash - 1);
+    const std::string sibling = file.path.substr(0, dot) + ".h";
+    if (!context.HasFile(sibling)) return;
+    std::string first_include;
+    size_t first_line = 0;
+    for (size_t i = 0; i < file.code.size() && first_include.empty(); ++i) {
+      if (!IsDirectiveLine(file.code[i])) continue;
+      std::smatch m;
+      if (std::regex_search(file.raw[i], m, kProjectIncludeRe)) {
+        first_include = m[1].str();
+        first_line = i + 1;
+      } else if (std::regex_search(file.raw[i], m, kSystemIncludeRe)) {
+        first_include = "<" + m[1].str() + ">";
+        first_line = i + 1;
+      }
+    }
+    if (!first_include.empty() && !EndsWith(first_include, "/" + stem + ".h") &&
+        first_include != stem + ".h") {
+      Report(file, first_line, "include-hygiene",
+             "a .cc file should include its own header first to prove the "
+             "header is self-contained (first include is \"" +
+                 first_include + "\")",
+             out);
+    }
+  }
+}
+
+}  // namespace
+
+bool StatusRegistry::Contains(const std::string& name) const {
+  return std::binary_search(names.begin(), names.end(), name);
+}
+
+StatusRegistry BuildStatusRegistry(const std::vector<SourceFile>& files) {
+  std::set<std::string> status_names;
+  std::set<std::string> other_names;
+  for (const SourceFile& file : files) {
+    ScanDeclarations(file, &status_names, &other_names);
+  }
+  StatusRegistry registry;
+  for (const std::string& name : status_names) {
+    // Names also declared with a non-Status return type are ambiguous for
+    // a token-level tool (e.g. RTree::Insert returns void while
+    // StreamingSkyline::Insert returns Status); the compiler's
+    // [[nodiscard]] enforcement covers those precisely.
+    if (other_names.count(name) == 0) registry.names.push_back(name);
+  }
+  return registry;
+}
+
+bool LintContext::HasFile(const std::string& path) const {
+  return std::binary_search(paths.begin(), paths.end(), path);
+}
+
+void LintFile(const SourceFile& file, const LintContext& context,
+              std::vector<Violation>* out) {
+  CheckDiscardedStatus(file, context.registry, out);
+  CheckLayering(file, out);
+  CheckDeterminism(file, out);
+  CheckAssert(file, out);
+  CheckIncludeHygiene(file, context, out);
+}
+
+}  // namespace skylint

@@ -1,0 +1,61 @@
+# Self-test driver for skylint's golden bad fixtures.
+#
+# Each case directory under ${FIXTURES} mirrors a miniature repo tree and
+# carries an `expected_rule` file naming the rule-id that must fire on it.
+# The special `clean` case must produce no findings at all. Run with:
+#   cmake -DSKYLINT=... -DFIXTURES=... -P run_selftest.cmake
+
+if(NOT DEFINED SKYLINT OR NOT DEFINED FIXTURES)
+  message(FATAL_ERROR "usage: cmake -DSKYLINT=<bin> -DFIXTURES=<dir> -P run_selftest.cmake")
+endif()
+
+file(GLOB cases RELATIVE ${FIXTURES} ${FIXTURES}/*)
+set(failures 0)
+set(ran 0)
+
+foreach(case ${cases})
+  if(NOT IS_DIRECTORY ${FIXTURES}/${case})
+    continue()
+  endif()
+  math(EXPR ran "${ran} + 1")
+  execute_process(
+    COMMAND ${SKYLINT} --root ${FIXTURES}/${case}
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err
+    RESULT_VARIABLE rc)
+
+  if(case STREQUAL "clean")
+    if(NOT rc EQUAL 0)
+      message(SEND_ERROR "fixture '${case}': expected exit 0, got ${rc}\n${out}${err}")
+      math(EXPR failures "${failures} + 1")
+    endif()
+    continue()
+  endif()
+
+  if(NOT EXISTS ${FIXTURES}/${case}/expected_rule)
+    message(SEND_ERROR "fixture '${case}': missing expected_rule file")
+    math(EXPR failures "${failures} + 1")
+    continue()
+  endif()
+  file(READ ${FIXTURES}/${case}/expected_rule expected)
+  string(STRIP "${expected}" expected)
+
+  if(rc EQUAL 0)
+    message(SEND_ERROR "fixture '${case}': expected a '${expected}' finding, got exit 0")
+    math(EXPR failures "${failures} + 1")
+  elseif(NOT rc EQUAL 1)
+    message(SEND_ERROR "fixture '${case}': skylint errored (exit ${rc})\n${out}${err}")
+    math(EXPR failures "${failures} + 1")
+  elseif(NOT out MATCHES ": ${expected}: ")
+    message(SEND_ERROR "fixture '${case}': no '${expected}' finding in output:\n${out}")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+
+if(ran EQUAL 0)
+  message(FATAL_ERROR "no fixture cases found under ${FIXTURES}")
+endif()
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} fixture case(s) failed")
+endif()
+message(STATUS "all ${ran} skylint fixture case(s) passed")

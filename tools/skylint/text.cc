@@ -1,0 +1,132 @@
+// Lexical preprocessing for skylint: comment/string blanking and
+// statement splitting. Token-level by design — no preprocessor, no
+// templates, just enough C++ lexing that rules never fire inside comments
+// or literals.
+
+#include "skylint.h"
+
+namespace skylint {
+
+namespace {
+
+enum class LexState { kCode, kLineComment, kBlockComment, kString, kChar };
+
+}  // namespace
+
+std::vector<std::string> StripCommentsAndStrings(
+    const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  LexState state = LexState::kCode;
+  for (const std::string& line : lines) {
+    std::string blanked(line.size(), ' ');
+    if (state == LexState::kLineComment) state = LexState::kCode;
+    for (size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case LexState::kCode:
+          if (c == '/' && next == '/') {
+            state = LexState::kLineComment;
+            ++i;
+          } else if (c == '/' && next == '*') {
+            state = LexState::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            state = LexState::kString;
+            blanked[i] = '"';
+          } else if (c == '\'') {
+            state = LexState::kChar;
+            blanked[i] = '\'';
+          } else {
+            blanked[i] = c;
+          }
+          break;
+        case LexState::kLineComment:
+          break;  // rest of the line is comment
+        case LexState::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = LexState::kCode;
+            ++i;
+          }
+          break;
+        case LexState::kString:
+          if (c == '\\') {
+            ++i;  // skip the escaped character
+          } else if (c == '"') {
+            state = LexState::kCode;
+            blanked[i] = '"';
+          }
+          break;
+        case LexState::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = LexState::kCode;
+            blanked[i] = '\'';
+          }
+          break;
+      }
+      if (state == LexState::kLineComment && blanked[i] == ' ') {
+        // nothing; comments stay blank
+      }
+    }
+    if (state == LexState::kString || state == LexState::kChar) {
+      // Unterminated literal on this line (e.g. a multi-line raw string we
+      // do not model). Reset rather than poison the rest of the file.
+      state = LexState::kCode;
+    }
+    out.push_back(std::move(blanked));
+  }
+  return out;
+}
+
+std::vector<Statement> SplitStatements(const std::vector<std::string>& code) {
+  std::vector<Statement> out;
+  std::string current;
+  size_t start_line = 1;
+  bool in_statement = false;
+  // Parenthesis depth: a ';' inside a for(...) header must not end the
+  // statement, or the pieces would look like bare expressions.
+  int paren_depth = 0;
+  bool continuation = false;  // previous line ended in a backslash
+  for (size_t ln = 0; ln < code.size(); ++ln) {
+    const std::string& line = code[ln];
+    const size_t last = line.find_last_not_of(" \t");
+    const bool escapes_newline = last != std::string::npos && line[last] == '\\';
+    const size_t first = line.find_first_not_of(" \t");
+    const bool directive = first != std::string::npos && line[first] == '#';
+    if (directive || continuation) {
+      // Preprocessor directives (and their '\'-continued bodies) are not
+      // part of any runtime statement.
+      continuation = escapes_newline && (directive || continuation);
+      continue;
+    }
+    continuation = false;
+    for (char c : line) {
+      if (c == '(') ++paren_depth;
+      if (c == ')' && paren_depth > 0) --paren_depth;
+      if ((c == ';' && paren_depth == 0) || c == '{' || c == '}') {
+        if (c == ';') current += c;
+        if (in_statement) {
+          out.push_back(Statement{current, start_line});
+        }
+        current.clear();
+        in_statement = false;
+        paren_depth = 0;
+        continue;
+      }
+      if (!in_statement && (c == ' ' || c == '\t')) continue;
+      if (!in_statement) {
+        in_statement = true;
+        start_line = ln + 1;
+      }
+      current += c;
+    }
+    if (in_statement) current += ' ';  // newlines separate tokens
+  }
+  if (in_statement) out.push_back(Statement{current, start_line});
+  return out;
+}
+
+}  // namespace skylint
