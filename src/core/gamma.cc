@@ -17,7 +17,8 @@ GammaSets GammaSets::Compute(const DataSet& data, const std::vector<RowId>& skyl
   out.non_skyline_ = n - m;
   out.gammas_.assign(m, BitVector(n));
   out.counts_.assign(m, 0);
-  if (EffectiveKernel(kernel, m) == DomKernel::kTiled) {
+  const DomKernel effective = EffectiveKernel(kernel, m);
+  if (IsBatched(effective)) {
     // Skyline columns tiled column-major, tile ids = column index j. No
     // self-skip is needed: strict dominance is irreflexive, so a skyline
     // row's own column bit is never set.
@@ -25,7 +26,7 @@ GammaSets GammaSets::Compute(const DataSet& data, const std::vector<RowId>& skyl
     for (size_t j = 0; j < m; ++j) {
       sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
     }
-    const DominanceKernel batch(DomKernel::kTiled);
+    const DominanceKernel batch(effective);
     for (RowId r = 0; r < n; ++r) {
       const auto point = data.row(r);
       for (const Tile& tile : sky_tiles.tiles()) {

@@ -52,9 +52,11 @@ struct SkyDiverConfig {
   size_t threads = 0;             ///< 0 = serial; N >= 1 = pooled, N workers.
   CostModel cost_model;           ///< Page-fault charge (default 8 ms).
   /// Dominance kernel for the batched stages (skyline, IF fingerprints).
-  /// Tiled by default: outputs are bit-identical to scalar, only the
-  /// dominance-check accounting differs (see kernels/dominance_kernel.h).
-  DomKernel kernel = DomKernel::kTiled;
+  /// Simd by default — the planner downgrades it to tiled when the runtime
+  /// CPU probe (common/cpu.h) finds no vector ISA. Outputs are
+  /// bit-identical across all flavours; only the dominance-check
+  /// accounting differs (see kernels/dominance_kernel.h).
+  DomKernel kernel = DomKernel::kSimd;
 };
 
 /// Resources a caller can hand the planner. All optional; the planner
@@ -96,7 +98,9 @@ struct Plan {
   FingerprintBackend fingerprint = FingerprintBackend::kSigGenIf;
   SelectBackend select = SelectBackend::kMinHash;
   size_t threads = 0;  ///< Worker threads the pooled backends will use.
-  DomKernel kernel = DomKernel::kTiled;  ///< Dominance kernel (scalar|tiled).
+  /// Dominance kernel (scalar|tiled|simd); the planner never emits kSimd
+  /// unless the host's vector ISA probe succeeded.
+  DomKernel kernel = DomKernel::kTiled;
 };
 
 const char* ToString(SkylineBackend backend);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/cpu.h"
 
 namespace skydiver {
 
@@ -59,14 +60,21 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
   if (config.siggen == SigGenMode::kIndexBased && !have_index) {
     return Status::InvalidArgument("index-based signature generation requires an R-tree");
   }
-  if (config.kernel != DomKernel::kScalar && config.kernel != DomKernel::kTiled) {
+  if (config.kernel != DomKernel::kScalar && config.kernel != DomKernel::kTiled &&
+      config.kernel != DomKernel::kSimd) {
     return Status::InvalidArgument("unknown dominance kernel value");
   }
   const bool pooled = config.threads >= 1;
 
   Plan plan;
   plan.threads = config.threads;
-  plan.kernel = config.kernel;
+  // The missing-ISA half of the EffectiveKernel downgrade policy, applied
+  // at plan time so the resolved plan (and its ExplainPlan rendering)
+  // reflects what will actually run: simd is the default config value, but
+  // a plan only carries it when the runtime CPU probe found a vector ISA.
+  plan.kernel = config.kernel == DomKernel::kSimd && !SimdAvailable()
+                    ? DomKernel::kTiled
+                    : config.kernel;
 
   if (resources.precomputed_skyline != nullptr) {
     plan.skyline = SkylineBackend::kPrecomputed;
@@ -111,8 +119,15 @@ void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
 #if SKYDIVER_DCHECK_ACTIVE_
   const bool pooled = plan.threads >= 1;
   SKYDIVER_DCHECK_LE(plan.threads, Planner::kMaxThreads);
-  SKYDIVER_DCHECK(plan.kernel == DomKernel::kScalar || plan.kernel == DomKernel::kTiled,
+  SKYDIVER_DCHECK(plan.kernel == DomKernel::kScalar ||
+                      plan.kernel == DomKernel::kTiled ||
+                      plan.kernel == DomKernel::kSimd,
                   "plan carries an unknown dominance kernel");
+  // The downgrade policy is a planner postcondition: a plan may only carry
+  // kSimd when the host's vector ISA probe succeeded (hand-rolled plans
+  // get the same scrutiny — downgrade with EffectiveKernel first).
+  SKYDIVER_DCHECK(plan.kernel != DomKernel::kSimd || SimdAvailable(),
+                  "simd kernel plan on a host without a vector ISA");
   switch (plan.skyline) {
     case SkylineBackend::kPrecomputed:
       SKYDIVER_DCHECK(resources.precomputed_skyline != nullptr,
@@ -158,7 +173,9 @@ void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
 std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
   std::ostringstream out;
   out << "SkyDiver plan [threads=" << plan.threads << ", seed=" << config.seed
-      << ", kernel=" << ToString(plan.kernel) << "]\n";
+      << ", kernel=" << ToString(plan.kernel);
+  if (plan.kernel == DomKernel::kSimd) out << "(" << ToString(DetectSimdIsa()) << ")";
+  out << "]\n";
 
   out << "  1. skyline:     " << ToString(plan.skyline);
   switch (plan.skyline) {

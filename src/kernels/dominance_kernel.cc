@@ -2,12 +2,15 @@
 
 #include <cstring>
 
+#include "kernels/simd_sweep.h"
+
 namespace skydiver {
 
 const char* ToString(DomKernel kernel) {
   switch (kernel) {
     case DomKernel::kScalar: return "scalar";
     case DomKernel::kTiled: return "tiled";
+    case DomKernel::kSimd: return "simd";
   }
   return "?";
 }
@@ -15,11 +18,150 @@ const char* ToString(DomKernel kernel) {
 Result<DomKernel> ParseDomKernel(std::string_view name) {
   if (name == "scalar") return DomKernel::kScalar;
   if (name == "tiled") return DomKernel::kTiled;
+  if (name == "simd") return DomKernel::kSimd;
   return Status::InvalidArgument("unknown dominance kernel '" + std::string(name) +
-                                 "' (expected 'scalar' or 'tiled')");
+                                 "' (expected 'scalar', 'tiled' or 'simd')");
 }
 
+namespace kernel_internal {
+
+/// One resolved implementation per flavour; every DominanceKernel entry
+/// point forwards through exactly one of these tables, so adding a
+/// flavour means adding a table — call sites never branch on the kind.
+struct KernelOps {
+  uint64_t (*filter_dominated)(std::span<const Coord> p, const TileView& tile);
+  uint64_t (*filter_dominators)(std::span<const Coord> p, const TileView& tile);
+  uint64_t (*filter_weakly_dominated)(std::span<const Coord> p, const TileView& tile);
+  bool (*any_dominator)(std::span<const Coord> p, const TileView& tile);
+  BlockClassification (*classify_block)(std::span<const Coord> p,
+                                        const TileView& tile);
+};
+
+}  // namespace kernel_internal
+
 namespace {
+
+using kernel_internal::KernelOps;
+using kernel_internal::SweepFn;
+using kernel_internal::SweepStop;
+
+// The batched counting rule: one point-level test per (probe, row) pair.
+void ChargeTile(const TileView& tile) {
+  DominanceCounter::Count() += tile.rows;
+  DominanceCounter::TiledCount() += tile.rows;
+}
+
+// -------------------------------------------------------------------------
+// Scalar flavour: per-row calls with the pre-kernel loops' early exits.
+// -------------------------------------------------------------------------
+
+uint64_t ScalarFilterDominated(std::span<const Coord> p, const TileView& tile) {
+  uint64_t mask = 0;
+  for (size_t r = 0; r < tile.rows; ++r) {
+    ++DominanceCounter::Count();
+    bool strictly_better = false;
+    bool dominated = true;
+    for (size_t d = 0; d < tile.dims; ++d) {
+      const Coord pd = p[d];
+      const Coord rv = tile.at(r, d);
+      if (pd > rv) {
+        dominated = false;
+        break;
+      }
+      if (pd < rv) strictly_better = true;
+    }
+    if (dominated && strictly_better) mask |= uint64_t{1} << r;
+  }
+  return mask;
+}
+
+uint64_t ScalarFilterDominators(std::span<const Coord> p, const TileView& tile) {
+  uint64_t mask = 0;
+  for (size_t r = 0; r < tile.rows; ++r) {
+    ++DominanceCounter::Count();
+    bool strictly_better = false;
+    bool dominates = true;
+    for (size_t d = 0; d < tile.dims; ++d) {
+      const Coord pd = p[d];
+      const Coord rv = tile.at(r, d);
+      if (rv > pd) {
+        dominates = false;
+        break;
+      }
+      if (rv < pd) strictly_better = true;
+    }
+    if (dominates && strictly_better) mask |= uint64_t{1} << r;
+  }
+  return mask;
+}
+
+uint64_t ScalarFilterWeaklyDominated(std::span<const Coord> p, const TileView& tile) {
+  uint64_t mask = 0;
+  for (size_t r = 0; r < tile.rows; ++r) {
+    ++DominanceCounter::Count();
+    bool weakly = true;
+    for (size_t d = 0; d < tile.dims; ++d) {
+      if (p[d] > tile.at(r, d)) {
+        weakly = false;
+        break;
+      }
+    }
+    if (weakly) mask |= uint64_t{1} << r;
+  }
+  return mask;
+}
+
+bool ScalarAnyDominator(std::span<const Coord> p, const TileView& tile) {
+  for (size_t r = 0; r < tile.rows; ++r) {
+    ++DominanceCounter::Count();
+    bool strictly_better = false;
+    bool dominates = true;
+    for (size_t d = 0; d < tile.dims; ++d) {
+      const Coord pd = p[d];
+      const Coord rv = tile.at(r, d);
+      if (rv > pd) {
+        dominates = false;
+        break;
+      }
+      if (rv < pd) strictly_better = true;
+    }
+    if (dominates && strictly_better) return true;
+  }
+  return false;
+}
+
+BlockClassification ScalarClassifyBlock(std::span<const Coord> p,
+                                        const TileView& tile) {
+  BlockClassification out;
+  for (size_t r = 0; r < tile.rows; ++r) {
+    ++DominanceCounter::Count();
+    bool p_better = false;
+    bool r_better = false;
+    for (size_t d = 0; d < tile.dims; ++d) {
+      const Coord pd = p[d];
+      const Coord rv = tile.at(r, d);
+      if (pd < rv) {
+        p_better = true;
+      } else if (rv < pd) {
+        r_better = true;
+      }
+      if (p_better && r_better) break;
+    }
+    if (p_better && !r_better) out.dominated |= uint64_t{1} << r;
+    if (r_better && !p_better) out.dominators |= uint64_t{1} << r;
+  }
+  return out;
+}
+
+constexpr KernelOps kScalarOps = {
+    &ScalarFilterDominated,       &ScalarFilterDominators,
+    &ScalarFilterWeaklyDominated, &ScalarAnyDominator,
+    &ScalarClassifyBlock,
+};
+
+// -------------------------------------------------------------------------
+// Tiled flavour: branch-free byte-flag sweeps (the autovectorized layout).
+// -------------------------------------------------------------------------
 
 // Per-row comparison flags accumulated across one dimension sweep:
 // lt[r] != 0 iff the probe is strictly less than row r on some dimension,
@@ -72,7 +214,6 @@ void SweepImpl(std::span<const Coord> p, const TileView& tile, SweepFlags* flags
   }
 }
 
-
 // Packs `take(r)` over the occupied rows into a bitmask.
 template <typename Fn>
 uint64_t Pack(const TileView& tile, Fn take) {
@@ -83,137 +224,33 @@ uint64_t Pack(const TileView& tile, Fn take) {
   return mask;
 }
 
-// The tiled counting rule: one point-level test per (probe, row) pair.
-void ChargeTile(const TileView& tile) {
-  DominanceCounter::Count() += tile.rows;
-  DominanceCounter::TiledCount() += tile.rows;
-}
-
-}  // namespace
-
-uint64_t DominanceKernel::FilterDominated(std::span<const Coord> p,
-                                          const TileView& tile) const {
-  if (kind_ == DomKernel::kScalar) {
-    uint64_t mask = 0;
-    for (size_t r = 0; r < tile.rows; ++r) {
-      ++DominanceCounter::Count();
-      bool strictly_better = false;
-      bool dominated = true;
-      for (size_t d = 0; d < tile.dims; ++d) {
-        const Coord pd = p[d];
-        const Coord rv = tile.at(r, d);
-        if (pd > rv) {
-          dominated = false;
-          break;
-        }
-        if (pd < rv) strictly_better = true;
-      }
-      if (dominated && strictly_better) mask |= uint64_t{1} << r;
-    }
-    return mask;
-  }
+uint64_t TiledFilterDominated(std::span<const Coord> p, const TileView& tile) {
   SweepFlags flags;
   SweepImpl<StopWhen::kAllGt>(p, tile, &flags);
   ChargeTile(tile);
   return Pack(tile, [&](size_t r) { return flags.lt[r] && !flags.gt[r]; });
 }
 
-uint64_t DominanceKernel::FilterDominators(std::span<const Coord> p,
-                                           const TileView& tile) const {
-  if (kind_ == DomKernel::kScalar) {
-    uint64_t mask = 0;
-    for (size_t r = 0; r < tile.rows; ++r) {
-      ++DominanceCounter::Count();
-      bool strictly_better = false;
-      bool dominates = true;
-      for (size_t d = 0; d < tile.dims; ++d) {
-        const Coord pd = p[d];
-        const Coord rv = tile.at(r, d);
-        if (rv > pd) {
-          dominates = false;
-          break;
-        }
-        if (rv < pd) strictly_better = true;
-      }
-      if (dominates && strictly_better) mask |= uint64_t{1} << r;
-    }
-    return mask;
-  }
+uint64_t TiledFilterDominators(std::span<const Coord> p, const TileView& tile) {
   SweepFlags flags;
   SweepImpl<StopWhen::kAllLt>(p, tile, &flags);
   ChargeTile(tile);
   return Pack(tile, [&](size_t r) { return flags.gt[r] && !flags.lt[r]; });
 }
 
-uint64_t DominanceKernel::FilterWeaklyDominated(std::span<const Coord> p,
-                                                const TileView& tile) const {
-  if (kind_ == DomKernel::kScalar) {
-    uint64_t mask = 0;
-    for (size_t r = 0; r < tile.rows; ++r) {
-      ++DominanceCounter::Count();
-      bool weakly = true;
-      for (size_t d = 0; d < tile.dims; ++d) {
-        if (p[d] > tile.at(r, d)) {
-          weakly = false;
-          break;
-        }
-      }
-      if (weakly) mask |= uint64_t{1} << r;
-    }
-    return mask;
-  }
+uint64_t TiledFilterWeaklyDominated(std::span<const Coord> p, const TileView& tile) {
   SweepFlags flags;
   SweepImpl<StopWhen::kAllGt>(p, tile, &flags);
   ChargeTile(tile);
   return Pack(tile, [&](size_t r) { return !flags.gt[r]; });
 }
 
-bool DominanceKernel::AnyDominator(std::span<const Coord> p,
-                                   const TileView& tile) const {
-  if (kind_ == DomKernel::kScalar) {
-    for (size_t r = 0; r < tile.rows; ++r) {
-      ++DominanceCounter::Count();
-      bool strictly_better = false;
-      bool dominates = true;
-      for (size_t d = 0; d < tile.dims; ++d) {
-        const Coord pd = p[d];
-        const Coord rv = tile.at(r, d);
-        if (rv > pd) {
-          dominates = false;
-          break;
-        }
-        if (rv < pd) strictly_better = true;
-      }
-      if (dominates && strictly_better) return true;
-    }
-    return false;
-  }
-  return FilterDominators(p, tile) != 0;
+bool TiledAnyDominator(std::span<const Coord> p, const TileView& tile) {
+  return TiledFilterDominators(p, tile) != 0;
 }
 
-BlockClassification DominanceKernel::ClassifyBlock(std::span<const Coord> p,
-                                                   const TileView& tile) const {
-  if (kind_ == DomKernel::kScalar) {
-    BlockClassification out;
-    for (size_t r = 0; r < tile.rows; ++r) {
-      ++DominanceCounter::Count();
-      bool p_better = false;
-      bool r_better = false;
-      for (size_t d = 0; d < tile.dims; ++d) {
-        const Coord pd = p[d];
-        const Coord rv = tile.at(r, d);
-        if (pd < rv) {
-          p_better = true;
-        } else if (rv < pd) {
-          r_better = true;
-        }
-        if (p_better && r_better) break;
-      }
-      if (p_better && !r_better) out.dominated |= uint64_t{1} << r;
-      if (r_better && !p_better) out.dominators |= uint64_t{1} << r;
-    }
-    return out;
-  }
+BlockClassification TiledClassifyBlock(std::span<const Coord> p,
+                                       const TileView& tile) {
   SweepFlags flags;
   SweepImpl<StopWhen::kAllBoth>(p, tile, &flags);
   ChargeTile(tile);
@@ -221,6 +258,116 @@ BlockClassification DominanceKernel::ClassifyBlock(std::span<const Coord> p,
   out.dominated = Pack(tile, [&](size_t r) { return flags.lt[r] && !flags.gt[r]; });
   out.dominators = Pack(tile, [&](size_t r) { return flags.gt[r] && !flags.lt[r]; });
   return out;
+}
+
+constexpr KernelOps kTiledOps = {
+    &TiledFilterDominated,       &TiledFilterDominators,
+    &TiledFilterWeaklyDominated, &TiledAnyDominator,
+    &TiledClassifyBlock,
+};
+
+// -------------------------------------------------------------------------
+// Simd flavour: word-mask sweeps behind the runtime ISA dispatch. The
+// sweep backend (AVX2 / NEON / portable) is picked once per process from
+// the cached CPU probe; every entry point derives its mask from the same
+// (lt, gt) words the tiled flavour keeps as bytes, so masks are
+// bit-identical across all three flavours by construction.
+// -------------------------------------------------------------------------
+
+SweepFn ResolvedSweep() {
+  static const SweepFn fn = [] {
+    switch (DetectSimdIsa()) {
+      case SimdIsa::kAvx2:
+        if (const SweepFn avx2 = kernel_internal::Avx2Sweep()) return avx2;
+        break;
+      case SimdIsa::kNeon:
+        if (const SweepFn neon = kernel_internal::NeonSweep()) return neon;
+        break;
+      case SimdIsa::kPortable:
+      case SimdIsa::kNone:
+        break;
+    }
+    return kernel_internal::PortableSweep();
+  }();
+  return fn;
+}
+
+uint64_t SimdFilterDominated(std::span<const Coord> p, const TileView& tile) {
+  uint64_t lt = 0, gt = 0;
+  ResolvedSweep()(p.data(), tile, SweepStop::kAllGt, &lt, &gt);
+  ChargeTile(tile);
+  return lt & ~gt;
+}
+
+uint64_t SimdFilterDominators(std::span<const Coord> p, const TileView& tile) {
+  uint64_t lt = 0, gt = 0;
+  ResolvedSweep()(p.data(), tile, SweepStop::kAllLt, &lt, &gt);
+  ChargeTile(tile);
+  return gt & ~lt;
+}
+
+uint64_t SimdFilterWeaklyDominated(std::span<const Coord> p, const TileView& tile) {
+  uint64_t lt = 0, gt = 0;
+  ResolvedSweep()(p.data(), tile, SweepStop::kAllGt, &lt, &gt);
+  ChargeTile(tile);
+  return tile.FullMask() & ~gt;
+}
+
+bool SimdAnyDominator(std::span<const Coord> p, const TileView& tile) {
+  return SimdFilterDominators(p, tile) != 0;
+}
+
+BlockClassification SimdClassifyBlock(std::span<const Coord> p,
+                                      const TileView& tile) {
+  uint64_t lt = 0, gt = 0;
+  ResolvedSweep()(p.data(), tile, SweepStop::kAllBoth, &lt, &gt);
+  ChargeTile(tile);
+  return BlockClassification{lt & ~gt, gt & ~lt};
+}
+
+constexpr KernelOps kSimdOps = {
+    &SimdFilterDominated,       &SimdFilterDominators,
+    &SimdFilterWeaklyDominated, &SimdAnyDominator,
+    &SimdClassifyBlock,
+};
+
+const KernelOps* Resolve(DomKernel kind) {
+  switch (kind) {
+    case DomKernel::kScalar: return &kScalarOps;
+    case DomKernel::kTiled: return &kTiledOps;
+    case DomKernel::kSimd: return &kSimdOps;
+  }
+  return &kScalarOps;
+}
+
+}  // namespace
+
+DominanceKernel::DominanceKernel(DomKernel kind)
+    : kind_(kind), ops_(Resolve(kind)) {}
+
+uint64_t DominanceKernel::FilterDominated(std::span<const Coord> p,
+                                          const TileView& tile) const {
+  return ops_->filter_dominated(p, tile);
+}
+
+uint64_t DominanceKernel::FilterDominators(std::span<const Coord> p,
+                                           const TileView& tile) const {
+  return ops_->filter_dominators(p, tile);
+}
+
+uint64_t DominanceKernel::FilterWeaklyDominated(std::span<const Coord> p,
+                                                const TileView& tile) const {
+  return ops_->filter_weakly_dominated(p, tile);
+}
+
+bool DominanceKernel::AnyDominator(std::span<const Coord> p,
+                                   const TileView& tile) const {
+  return ops_->any_dominator(p, tile);
+}
+
+BlockClassification DominanceKernel::ClassifyBlock(std::span<const Coord> p,
+                                                   const TileView& tile) const {
+  return ops_->classify_block(p, tile);
 }
 
 }  // namespace skydiver

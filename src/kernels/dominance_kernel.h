@@ -13,23 +13,31 @@
 //                                mask are incomparable with / equal to p)
 //   FilterWeaklyDominated(p, tile) -> mask of rows with p <= row everywhere
 //
-// Two implementations sit behind the `DomKernel` selector:
+// Three implementations sit behind the `DomKernel` selector, resolved to
+// one per-flavour dispatch table at construction so all five entry points
+// route through the same implementation:
 //
 //   * kScalar — reference: per-row calls into core/dominance.h, with the
 //     same early exits the pre-kernel loops had. Counter behaviour is
 //     identical to hand-written loops.
 //   * kTiled  — one branch-free sweep per dimension over the transposed
 //     tile, accumulating per-row "probe is less somewhere" / "probe is
-//     greater somewhere" flags, from which all five results derive.
+//     greater somewhere" byte flags, from which all five results derive.
+//   * kSimd   — the same sweep with explicit compare-to-mask vector
+//     instructions accumulating the flags as 64-bit words: AVX2 (4 x
+//     double lanes, movemask) or NEON (2 x double lanes), chosen by the
+//     runtime CPU probe in common/cpu.h, with a portable word-mask
+//     fallback. SKYDIVER_FORCE_ISA overrides the probe for testing.
 //
-// Both report identical masks; only the dominance-check accounting
-// differs. COUNTING RULE: the tiled kernel charges exactly `tile.rows`
-// point-level tests per call — one per (probe, row) pair in the tile —
-// added to both DominanceCounter::Count() and ::TiledCount(). It never
-// discounts early exits the scalar loops would have taken (AnyDominator
-// stops scanning on the first scalar hit but sweeps whole tiles), so
-// tiled counts can exceed scalar counts for early-exit call sites, and
-// agree exactly for exhaustive ones (SigGen-IF, Γ-set construction).
+// All flavours report identical masks; only the dominance-check
+// accounting differs. COUNTING RULE: the batched flavours (kTiled and
+// kSimd) charge exactly `tile.rows` point-level tests per call — one per
+// (probe, row) pair in the tile — added to both DominanceCounter::Count()
+// and ::TiledCount(). They never discount early exits the scalar loops
+// would have taken (AnyDominator stops scanning on the first scalar hit
+// but sweeps whole tiles), so batched counts can exceed scalar counts for
+// early-exit call sites, and agree exactly for exhaustive ones (SigGen-IF,
+// Γ-set construction).
 
 #pragma once
 
@@ -37,6 +45,7 @@
 #include <span>
 #include <string_view>
 
+#include "common/cpu.h"
 #include "common/status.h"
 #include "core/dominance.h"
 #include "core/types.h"
@@ -47,20 +56,38 @@ namespace skydiver {
 /// Which dominance kernel a plan (or a direct algorithm call) runs with.
 enum class DomKernel : uint8_t {
   kScalar,  ///< Reference per-pair loops (core/dominance.h).
-  kTiled,   ///< Branch-free 64-row column-major tile sweeps.
+  kTiled,   ///< Branch-free 64-row column-major tile sweeps (byte flags).
+  kSimd,    ///< Explicit AVX2/NEON compare-to-mask sweeps (word flags).
 };
 
 const char* ToString(DomKernel kernel);
 
-/// Parses "scalar" / "tiled" (the CLI --kernel vocabulary).
+/// Parses "scalar" / "tiled" / "simd" (the CLI --kernel vocabulary).
 Result<DomKernel> ParseDomKernel(std::string_view name);
 
-/// Tiling only pays off past one tile of candidates; below that the scalar
-/// reference runs (results are identical either way, so consumers may apply
-/// this per call site with whatever candidate-count estimate they have).
+/// True for the flavours that sweep whole tiles (kTiled, kSimd) rather
+/// than running per-pair scalar loops. Call sites branch on this to pick
+/// the TileSet batch path over the scalar loop path; a batched consumer
+/// works identically under either batched flavour.
+inline bool IsBatched(DomKernel kernel) { return kernel != DomKernel::kScalar; }
+
+/// THE downgrade policy, applied in this order (both steps documented
+/// here, enforced nowhere else):
+///
+///   1. Missing ISA: kSimd needs the runtime CPU probe (common/cpu.h) to
+///      have found a vector ISA; without one it downgrades to kTiled — the
+///      strongest flavour that needs no hardware support. The planner
+///      applies the same rule when resolving plans, so a plan never
+///      carries kSimd on a host that cannot honor it.
+///   2. Small tile: batching only pays off past one tile of candidates;
+///      below kTileRows ANY batched flavour runs the scalar reference.
+///
+/// Results are identical either way, so consumers may apply this per call
+/// site with whatever candidate-count estimate they have.
 inline DomKernel EffectiveKernel(DomKernel kernel, size_t candidates) {
-  return kernel == DomKernel::kTiled && candidates < kTileRows ? DomKernel::kScalar
-                                                               : kernel;
+  if (kernel == DomKernel::kSimd && !SimdAvailable()) kernel = DomKernel::kTiled;
+  if (IsBatched(kernel) && candidates < kTileRows) return DomKernel::kScalar;
+  return kernel;
 }
 
 /// Three-way outcome of one probe against a tile; disjoint masks, rows in
@@ -70,13 +97,19 @@ struct BlockClassification {
   uint64_t dominators = 0;  ///< rows that strictly dominate the probe
 };
 
-/// Batched dominance tests behind a kernel selector. Cheap to copy.
+namespace kernel_internal {
+struct KernelOps;  // per-flavour dispatch table (dominance_kernel.cc)
+}  // namespace kernel_internal
+
+/// Batched dominance tests behind a kernel selector. Cheap to copy. The
+/// flavour (and, for kSimd, the probed ISA backend) is resolved once at
+/// construction into a function-pointer table.
 class DominanceKernel {
  public:
-  explicit DominanceKernel(DomKernel kind = DomKernel::kTiled) : kind_(kind) {}
+  explicit DominanceKernel(DomKernel kind = DomKernel::kTiled);
 
   DomKernel kind() const { return kind_; }
-  bool tiled() const { return kind_ == DomKernel::kTiled; }
+  bool batched() const { return IsBatched(kind_); }
 
   /// Mask of tile rows strictly dominated by `p` (p ≺ row).
   uint64_t FilterDominated(std::span<const Coord> p, const TileView& tile) const;
@@ -88,8 +121,8 @@ class DominanceKernel {
   uint64_t FilterWeaklyDominated(std::span<const Coord> p, const TileView& tile) const;
 
   /// True iff some tile row strictly dominates `p`. The scalar kernel
-  /// early-exits per row; the tiled kernel sweeps the whole tile (see the
-  /// counting rule above).
+  /// early-exits per row; the batched kernels sweep the whole tile (see
+  /// the counting rule above).
   bool AnyDominator(std::span<const Coord> p, const TileView& tile) const;
 
   /// Both direction masks from one sweep.
@@ -98,6 +131,7 @@ class DominanceKernel {
 
  private:
   DomKernel kind_;
+  const kernel_internal::KernelOps* ops_;
 };
 
 }  // namespace skydiver

@@ -1,0 +1,61 @@
+// AVX2 sweep backend: 4 x double compares per step, _mm256_cmp_pd to a
+// lane mask, movemask into the per-row lt/gt words. This TU is compiled
+// with -mavx2 (see CMakeLists.txt) and its body must only run after the
+// runtime probe (common/cpu.h) has confirmed the ISA — which the dispatch
+// in dominance_kernel.cc guarantees.
+//
+// Ragged tiles: columns are padded to kTileRows entries holding stale but
+// finite doubles, so the sweep rounds the row count up to a whole vector
+// and masks the junk bits off with FullMask() before returning.
+
+#include "kernels/simd_sweep.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace skydiver::kernel_internal {
+
+#if defined(__AVX2__)
+
+namespace {
+
+void SweepAvx2Impl(const Coord* p, const TileView& tile, SweepStop stop,
+                   uint64_t* lt_out, uint64_t* gt_out) {
+  const uint64_t full = tile.FullMask();
+  const size_t padded = (tile.rows + 3) & ~size_t{3};
+  uint64_t lt = 0;
+  uint64_t gt = 0;
+  for (size_t d = 0; d < tile.dims; ++d) {
+    const __m256d pv = _mm256_set1_pd(p[d]);
+    const Coord* col = tile.cols + d * kTileRows;
+    uint64_t lt_d = 0;
+    uint64_t gt_d = 0;
+    for (size_t r = 0; r < padded; r += 4) {
+      const __m256d cv = _mm256_loadu_pd(col + r);
+      lt_d |= static_cast<uint64_t>(
+                  _mm256_movemask_pd(_mm256_cmp_pd(pv, cv, _CMP_LT_OQ)))
+              << r;
+      gt_d |= static_cast<uint64_t>(
+                  _mm256_movemask_pd(_mm256_cmp_pd(pv, cv, _CMP_GT_OQ)))
+              << r;
+    }
+    lt |= lt_d;
+    gt |= gt_d;
+    if (SweepFrozen(stop, lt, gt, full)) break;
+  }
+  *lt_out = lt & full;
+  *gt_out = gt & full;
+}
+
+}  // namespace
+
+SweepFn Avx2Sweep() { return &SweepAvx2Impl; }
+
+#else
+
+SweepFn Avx2Sweep() { return nullptr; }
+
+#endif
+
+}  // namespace skydiver::kernel_internal

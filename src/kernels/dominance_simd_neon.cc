@@ -1,0 +1,60 @@
+// NEON sweep backend (AArch64 Advanced SIMD): 2 x double compares per
+// step, lane masks folded into the per-row lt/gt words. Double-precision
+// NEON compares (vcltq_f64 / vcgtq_f64) are AArch64-only, so 32-bit ARM
+// builds fall back to the portable sweep.
+//
+// Ragged tiles are handled exactly like the AVX2 path: the row count is
+// rounded up to a whole vector over the padded column and the junk bits
+// are masked off with FullMask() before returning.
+
+#include "kernels/simd_sweep.h"
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace skydiver::kernel_internal {
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+
+namespace {
+
+void SweepNeonImpl(const Coord* p, const TileView& tile, SweepStop stop,
+                   uint64_t* lt_out, uint64_t* gt_out) {
+  const uint64_t full = tile.FullMask();
+  const size_t padded = (tile.rows + 1) & ~size_t{1};
+  uint64_t lt = 0;
+  uint64_t gt = 0;
+  for (size_t d = 0; d < tile.dims; ++d) {
+    const float64x2_t pv = vdupq_n_f64(p[d]);
+    const Coord* col = tile.cols + d * kTileRows;
+    uint64_t lt_d = 0;
+    uint64_t gt_d = 0;
+    for (size_t r = 0; r < padded; r += 2) {
+      const float64x2_t cv = vld1q_f64(col + r);
+      const uint64x2_t lt_m = vcltq_f64(pv, cv);
+      const uint64x2_t gt_m = vcgtq_f64(pv, cv);
+      lt_d |= ((vgetq_lane_u64(lt_m, 0) & 1) | ((vgetq_lane_u64(lt_m, 1) & 1) << 1))
+              << r;
+      gt_d |= ((vgetq_lane_u64(gt_m, 0) & 1) | ((vgetq_lane_u64(gt_m, 1) & 1) << 1))
+              << r;
+    }
+    lt |= lt_d;
+    gt |= gt_d;
+    if (SweepFrozen(stop, lt, gt, full)) break;
+  }
+  *lt_out = lt & full;
+  *gt_out = gt & full;
+}
+
+}  // namespace
+
+SweepFn NeonSweep() { return &SweepNeonImpl; }
+
+#else
+
+SweepFn NeonSweep() { return nullptr; }
+
+#endif
+
+}  // namespace skydiver::kernel_internal

@@ -1,0 +1,39 @@
+// Portable word-mask sweep — the simd flavour's fallback backend. Same
+// mask layout as the ISA paths, plain C++ only, kept in its own TU so it
+// is never compiled with ISA-specific target flags (a -mavx2'd "fallback"
+// would defeat the runtime dispatch it exists to back up).
+
+#include "kernels/simd_sweep.h"
+
+namespace skydiver::kernel_internal {
+
+namespace {
+
+void SweepPortableImpl(const Coord* p, const TileView& tile, SweepStop stop,
+                       uint64_t* lt_out, uint64_t* gt_out) {
+  const uint64_t full = tile.FullMask();
+  const size_t rows = tile.rows;
+  uint64_t lt = 0;
+  uint64_t gt = 0;
+  for (size_t d = 0; d < tile.dims; ++d) {
+    const Coord pd = p[d];
+    const Coord* col = tile.cols + d * kTileRows;
+    uint64_t lt_d = 0;
+    uint64_t gt_d = 0;
+    for (size_t r = 0; r < rows; ++r) {
+      lt_d |= static_cast<uint64_t>(pd < col[r]) << r;
+      gt_d |= static_cast<uint64_t>(pd > col[r]) << r;
+    }
+    lt |= lt_d;
+    gt |= gt_d;
+    if (SweepFrozen(stop, lt, gt, full)) break;
+  }
+  *lt_out = lt;
+  *gt_out = gt;
+}
+
+}  // namespace
+
+SweepFn PortableSweep() { return &SweepPortableImpl; }
+
+}  // namespace skydiver::kernel_internal

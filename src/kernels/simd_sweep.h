@@ -1,0 +1,63 @@
+// Internal contract between the simd kernel flavour's dispatch point
+// (dominance_kernel.cc) and its per-ISA sweep backends. Each backend
+// compiles in its own translation unit so the ISA-specific one can be
+// built with the matching target flags (-mavx2) without letting the
+// compiler emit those instructions into code that runs before the CPUID
+// probe has confirmed them.
+//
+// A sweep computes, for one probe against one tile, the two per-row
+// comparison WORDS every dominance outcome derives from:
+//
+//   bit r of *lt  —  probe strictly less than row r on some visited dim
+//   bit r of *gt  —  probe strictly greater than row r on some visited dim
+//
+// This is the word-mask analogue of the tiled flavour's byte flags: the
+// ISA paths produce the bits with compare-to-mask + movemask instead of
+// byte ops. Bits at and above tile.rows are always zero on return.
+//
+// Backends may stop sweeping dimensions early once every occupied row is
+// frozen for the condition in `stop` (same contract as the tiled
+// flavour's StopWhen): with gt[r] set row r can never be (weakly)
+// dominated, with lt[r] set it can never dominate the probe, so the
+// caller's masks are identical whether or not later dimensions were
+// visited. The dominance charge is per (probe, row) pair and unaffected.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "kernels/tile_view.h"
+
+namespace skydiver::kernel_internal {
+
+/// Which rows' flag words must saturate before a sweep may stop early.
+enum class SweepStop : uint8_t { kNever, kAllLt, kAllGt, kAllBoth };
+
+/// True once every occupied row (per `full`, the tile's FullMask) is
+/// frozen for `stop`. Shared by every backend so early exits agree.
+inline bool SweepFrozen(SweepStop stop, uint64_t lt, uint64_t gt, uint64_t full) {
+  switch (stop) {
+    case SweepStop::kNever: return false;
+    case SweepStop::kAllLt: return (lt & full) == full;
+    case SweepStop::kAllGt: return (gt & full) == full;
+    case SweepStop::kAllBoth: return (lt & gt & full) == full;
+  }
+  return false;
+}
+
+using SweepFn = void (*)(const Coord* p, const TileView& tile, SweepStop stop,
+                         uint64_t* lt, uint64_t* gt);
+
+/// Plain-C++ word-mask sweep; always available (the kSimd fallback when no
+/// vector ISA is present or the forced-portable override is set).
+SweepFn PortableSweep();
+
+/// AVX2 sweep (4 x double compare + movemask); nullptr when this build has
+/// no AVX2 backend (non-x86 target or a compiler without -mavx2 support).
+SweepFn Avx2Sweep();
+
+/// NEON sweep (2 x double compare, AArch64); nullptr when not compiled in.
+SweepFn NeonSweep();
+
+}  // namespace skydiver::kernel_internal

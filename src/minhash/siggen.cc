@@ -58,16 +58,17 @@ Result<SigGenResult> SigGenIF(const DataSet& data, const std::vector<RowId>& sky
   // dominating column (equivalent to the paper's per-column UpdateMatrix,
   // which re-evaluates the same t hashes).
   std::vector<uint64_t> row_hash(t);
-  if (kernel == DomKernel::kTiled) {
+  if (IsBatched(kernel)) {
     // The skyline columns live in column-major tiles; each tile id holds
     // the signature-column index j, so mask bits map straight back to
-    // columns. Both the scalar and the tiled pass are exhaustive (no early
-    // exit), so signatures, scores, and dominance counts all match exactly.
+    // columns. Both the scalar and the batched passes are exhaustive (no
+    // early exit), so signatures, scores, and dominance counts all match
+    // exactly.
     TileSet sky_tiles(data.dims());
     for (size_t j = 0; j < m; ++j) {
       sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
     }
-    const DominanceKernel batch(DomKernel::kTiled);
+    const DominanceKernel batch(kernel);
     for (RowId r = 0; r < n; ++r) {
       if (is_skyline[r]) continue;
       const auto point = data.row(r);

@@ -46,12 +46,13 @@ struct SigGenResult {
 
 /// Index-free generation (paper Fig. 3). `data` must be in minimization
 /// space; `skyline` holds the skyline row ids. The result has one signature
-/// column per skyline row, in the given order. Under DomKernel::kTiled the
-/// skyline columns are held in column-major tiles and each data row is
-/// tested against whole tiles at a time; because the IF pass is exhaustive
-/// (no early exit), the tiled run produces bit-identical signatures, scores,
-/// AND dominance counts ((n - m) * m either way). SigGen-IB's corner tests
-/// are tree-shaped, not batched, so it takes no kernel selector.
+/// column per skyline row, in the given order. Under a batched kernel
+/// (tiled or simd) the skyline columns are held in column-major tiles and
+/// each data row is tested against whole tiles at a time; because the IF
+/// pass is exhaustive (no early exit), the batched run produces
+/// bit-identical signatures, scores, AND dominance counts ((n - m) * m
+/// either way). SigGen-IB's corner tests are tree-shaped, not batched, so
+/// it takes no kernel selector.
 Result<SigGenResult> SigGenIF(const DataSet& data, const std::vector<RowId>& skyline,
                               const MinHashFamily& family,
                               DomKernel kernel = DomKernel::kScalar);

@@ -87,9 +87,9 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
   for (RowId s : skyline) is_skyline[s] = true;
 
   // Shared read-only tiling of the skyline columns (tile ids = column
-  // index j), built once and swept by every shard under kTiled.
+  // index j), built once and swept by every shard under a batched kernel.
   TileSet sky_tiles(data.dims());
-  if (kernel == DomKernel::kTiled) {
+  if (IsBatched(kernel)) {
     for (size_t j = 0; j < m; ++j) {
       sky_tiles.Append(static_cast<RowId>(j), data.row(skyline[j]));
     }
@@ -119,7 +119,7 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
       if (is_skyline[r]) continue;
       const auto point = data.row(static_cast<RowId>(r));
       bool hashed = false;
-      if (kernel == DomKernel::kTiled) {
+      if (IsBatched(kernel)) {
         for (const Tile& tile : sky_tiles.tiles()) {
           uint64_t mask = batch.FilterDominators(point, tile.view());
           while (mask != 0) {

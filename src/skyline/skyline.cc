@@ -90,10 +90,9 @@ std::vector<RowId> TiledBnlWindow(const DataSet& data, std::span<const RowId> ro
 
 std::vector<RowId> BnlWindow(const DataSet& data, std::span<const RowId> rows,
                              DomKernel kernel) {
-  if (EffectiveKernel(kernel, rows.size()) == DomKernel::kScalar) {
-    return ScalarBnlWindow(data, rows);
-  }
-  return TiledBnlWindow(data, rows, DominanceKernel(DomKernel::kTiled));
+  const DomKernel effective = EffectiveKernel(kernel, rows.size());
+  if (!IsBatched(effective)) return ScalarBnlWindow(data, rows);
+  return TiledBnlWindow(data, rows, DominanceKernel(effective));
 }
 
 }  // namespace
@@ -124,8 +123,8 @@ SkylineResult SkylineSFS(const DataSet& data, DomKernel kernel) {
   std::sort(order.begin(), order.end(),
             [&](RowId a, RowId b) { return score[a] < score[b]; });
   std::vector<RowId> skyline;
-  if (kernel == DomKernel::kTiled) {
-    const DominanceKernel batch(DomKernel::kTiled);
+  if (IsBatched(kernel)) {
+    const DominanceKernel batch(kernel);
     TileSet admitted(data.dims());
     for (RowId r : order) {
       const auto p = data.row(r);
@@ -165,8 +164,9 @@ namespace {
 void MergeFilter(const DataSet& data, const std::vector<RowId>& candidates,
                  const std::vector<RowId>& against, DomKernel kernel,
                  std::vector<RowId>* merged) {
-  if (EffectiveKernel(kernel, against.size()) == DomKernel::kTiled) {
-    const DominanceKernel batch(DomKernel::kTiled);
+  const DomKernel effective = EffectiveKernel(kernel, against.size());
+  if (IsBatched(effective)) {
+    const DominanceKernel batch(effective);
     const TileSet tiles = MaterializeTiles(data, against);
     for (RowId c : candidates) {
       const auto p = data.row(c);
@@ -254,7 +254,7 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
   }
   CheckScope checks;
   kernel = EffectiveKernel(kernel, data.size());
-  const bool tiled = kernel == DomKernel::kTiled;
+  const bool batched = IsBatched(kernel);
   const DominanceKernel batch(kernel);
 
   struct HeapItem {
@@ -270,7 +270,7 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
   std::vector<RowId> skyline;
   TileSet skyline_tiles(data.dims());
   auto dominated_by_skyline = [&](std::span<const Coord> corner) {
-    if (tiled) {
+    if (batched) {
       for (const Tile& t : skyline_tiles.tiles()) {
         if (batch.AnyDominator(corner, t.view())) return true;
       }
@@ -283,7 +283,7 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
   };
   auto admit = [&](RowId row) {
     skyline.push_back(row);
-    if (tiled) skyline_tiles.Append(row, data.row(row));
+    if (batched) skyline_tiles.Append(row, data.row(row));
   };
 
   if (tree.size() > 0) {

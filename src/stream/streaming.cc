@@ -15,7 +15,11 @@ StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t s
       max_points_(max_points),
       family_(MinHashFamily::Create(signature_size, max_points, seed)),
       data_(dims),
-      kernel_(kernel),
+      // Resolve the flavour once at construction: the streaming mirror is
+      // re-swept on every insert, so only the missing-ISA half of the
+      // downgrade policy applies (the small-input half would flip the
+      // flavour back and forth as the skyline grows).
+      kernel_(EffectiveKernel(kernel, kTileRows)),
       sky_tiles_(dims) {}
 
 void StreamingSkyDiver::UpdateSignature(SkylineEntry* entry, RowId row) {
@@ -47,8 +51,8 @@ Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
   data_.Append(point);
   ++stats_.inserts;
 
-  if (kernel_ == DomKernel::kTiled) {
-    const DominanceKernel batch(DomKernel::kTiled);
+  if (IsBatched(kernel_)) {
+    const DominanceKernel batch(kernel_);
 
     // Pass 1 over the tiled skyline mirror: is the arrival dominated? If
     // so, fold its id into the signature of every skyline dominator.

@@ -43,11 +43,12 @@ struct StreamingStats {
 class StreamingSkyDiver {
  public:
   /// `max_points` bounds the stream length (the hash family's prime must
-  /// exceed every row id); exceeding it makes Insert fail. Under
-  /// DomKernel::kTiled the skyline is mirrored in column-major tiles and
-  /// every arrival is classified one tile sweep at a time (the store scan
-  /// after a skyline insertion is tiled on the fly); maintained state is
-  /// bit-identical to the scalar kernel's.
+  /// exceed every row id); exceeding it makes Insert fail. Under a batched
+  /// kernel (tiled or simd) the skyline is mirrored in column-major tiles
+  /// and every arrival is classified one tile sweep at a time (the store
+  /// scan after a skyline insertion is tiled on the fly); maintained state
+  /// is bit-identical to the scalar kernel's. kSimd downgrades to kTiled
+  /// at construction when the host has no vector ISA.
   StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
                     uint64_t max_points = 1ULL << 22,
                     DomKernel kernel = DomKernel::kScalar);

@@ -12,6 +12,7 @@
 #include "common/check.h"
 
 #include "common/bitvector.h"
+#include "common/cpu.h"
 #include "common/flags.h"
 #include "common/io_stats.h"
 #include "common/prime.h"
@@ -382,6 +383,39 @@ TEST(FlagsTest, HelpRequested) {
   ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
   EXPECT_TRUE(flags.help_requested());
   EXPECT_NE(flags.Usage("prog").find("Usage:"), std::string::npos);
+}
+
+// --- cpu.h -----------------------------------------------------------------
+
+TEST(CpuTest, OverrideCanOnlyRestrict) {
+  // "scalar"/"none" always force the probe result down to kNone.
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kAvx2, "scalar"), SimdIsa::kNone);
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kNeon, "none"), SimdIsa::kNone);
+  // "portable" keeps the simd kernel on the word-mask fallback sweep.
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kAvx2, "portable"), SimdIsa::kPortable);
+  // Naming the probed ISA is a no-op; naming a different one restricts to
+  // kNone — the override can never ENABLE an ISA the host lacks.
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kAvx2, "avx2"), SimdIsa::kAvx2);
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kNone, "avx2"), SimdIsa::kNone);
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kAvx2, "neon"), SimdIsa::kNone);
+  // Unset or unrecognized values leave the probe untouched.
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kAvx2, nullptr), SimdIsa::kAvx2);
+  EXPECT_EQ(ApplyIsaOverride(SimdIsa::kNeon, "sse9"), SimdIsa::kNeon);
+}
+
+TEST(CpuTest, IsaNamesRoundTrip) {
+  EXPECT_STREQ(ToString(SimdIsa::kNone), "none");
+  EXPECT_STREQ(ToString(SimdIsa::kPortable), "portable");
+  EXPECT_STREQ(ToString(SimdIsa::kAvx2), "avx2");
+  EXPECT_STREQ(ToString(SimdIsa::kNeon), "neon");
+}
+
+TEST(CpuTest, DetectIsStableAndConsistentWithAvailability) {
+  // The detection is cached; repeated calls must agree, and SimdAvailable
+  // is defined as exactly "some sweep implementation will dispatch".
+  const SimdIsa isa = DetectSimdIsa();
+  EXPECT_EQ(DetectSimdIsa(), isa);
+  EXPECT_EQ(SimdAvailable(), isa != SimdIsa::kNone);
 }
 
 }  // namespace

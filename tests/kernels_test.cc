@@ -1,15 +1,19 @@
 // Tests for the batched dominance kernels: tile-level property tests
-// against the scalar reference, the tiled counting rule, and end-to-end
+// against the scalar reference, the batched counting rule, and end-to-end
 // parity — every rewired consumer (skyline algorithms, SigGen-IF, Γ sets,
 // streaming, the pooled backends, whole engine plans) must produce
-// bit-identical outputs under kScalar and kTiled.
+// bit-identical outputs under kScalar, kTiled, and kSimd. The simd tests
+// run on every host: without a vector ISA the kernel dispatches to the
+// portable word-mask sweep, which must satisfy the same contracts.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "core/dominance.h"
 #include "core/gamma.h"
@@ -29,8 +33,11 @@
 namespace skydiver {
 namespace {
 
+constexpr DomKernel kAllKernels[] = {DomKernel::kScalar, DomKernel::kTiled,
+                                     DomKernel::kSimd};
+
 // ---------------------------------------------------------------------------
-// Tile-level property tests: tiled masks == per-pair core dominance.
+// Tile-level property tests: batched masks == per-pair core dominance.
 
 // Builds a tile of `rows` random points over a tiny value alphabet (heavy
 // duplication → plenty of dominated / equal / incomparable pairs).
@@ -45,8 +52,6 @@ Tile RandomTile(Rng& rng, Dim dims, size_t rows) {
 }
 
 void ExpectKernelAgreesWithCore(std::span<const Coord> p, const Tile& tile) {
-  const DominanceKernel scalar(DomKernel::kScalar);
-  const DominanceKernel tiled(DomKernel::kTiled);
   const TileView view = tile.view();
 
   uint64_t want_dominated = 0, want_dominators = 0, want_weak = 0;
@@ -58,7 +63,8 @@ void ExpectKernelAgreesWithCore(std::span<const Coord> p, const Tile& tile) {
     if (WeaklyDominates(p, row)) want_weak |= uint64_t{1} << r;
   }
 
-  for (const DominanceKernel& kernel : {scalar, tiled}) {
+  for (const DomKernel kind : kAllKernels) {
+    const DominanceKernel kernel(kind);
     EXPECT_EQ(kernel.FilterDominated(p, view), want_dominated);
     EXPECT_EQ(kernel.FilterDominators(p, view), want_dominators);
     EXPECT_EQ(kernel.FilterWeaklyDominated(p, view), want_weak);
@@ -89,7 +95,7 @@ TEST(DominanceKernelTest, AllEqualRowsAreNeitherDominatedNorDominators) {
   const std::vector<Coord> point{1.0, 2.0, 3.0};
   for (size_t r = 0; r < 10; ++r) tile.PushRow(static_cast<RowId>(r), point);
 
-  for (const DomKernel kind : {DomKernel::kScalar, DomKernel::kTiled}) {
+  for (const DomKernel kind : kAllKernels) {
     const DominanceKernel kernel(kind);
     const BlockClassification cls = kernel.ClassifyBlock(point, tile.view());
     EXPECT_EQ(cls.dominated, 0u);
@@ -118,20 +124,89 @@ TEST(DominanceKernelTest, CountingRuleChargesTileRowsPerCall) {
   const Tile tile = RandomTile(rng, 4, 29);
   const std::vector<Coord> probe{1.0, 1.0, 1.0, 1.0};
 
-  const DominanceKernel tiled(DomKernel::kTiled);
-  uint64_t total_before = DominanceCounter::Count();
-  uint64_t tiled_before = DominanceCounter::TiledCount();
-  (void)tiled.ClassifyBlock(probe, tile.view());
-  EXPECT_EQ(DominanceCounter::Count() - total_before, tile.rows());
-  EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, tile.rows());
+  // Both batched flavours charge exactly tile.rows to BOTH counters per
+  // call — early exits are never discounted, so the accounting is
+  // flavour-independent by construction.
+  for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+    const DominanceKernel batched(kind);
+    const uint64_t total_before = DominanceCounter::Count();
+    const uint64_t tiled_before = DominanceCounter::TiledCount();
+    (void)batched.ClassifyBlock(probe, tile.view());
+    EXPECT_EQ(DominanceCounter::Count() - total_before, tile.rows());
+    EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, tile.rows());
+  }
 
   // The scalar kernel never touches the tiled counter.
   const DominanceKernel scalar(DomKernel::kScalar);
-  total_before = DominanceCounter::Count();
-  tiled_before = DominanceCounter::TiledCount();
+  const uint64_t total_before = DominanceCounter::Count();
+  const uint64_t tiled_before = DominanceCounter::TiledCount();
   (void)scalar.FilterDominated(probe, tile.view());
   EXPECT_EQ(DominanceCounter::Count() - total_before, tile.rows());
   EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential test: the three flavours must produce identical
+// masks bit for bit, across every tile occupancy, a spread of dims, and a
+// value palette that forces ties, full-row equality, and extreme
+// magnitudes (the simd sweeps compare lanes of padded columns, so the
+// ragged cases and the +-max coordinates are the interesting ones).
+
+TEST(DominanceKernelTest, FlavoursProduceIdenticalMasks) {
+  constexpr Coord kMax = std::numeric_limits<double>::max();
+  constexpr Coord kPalette[] = {-kMax, -2.0, 0.0, 0.5, 1.0, 1.5, 2.0, kMax};
+  constexpr size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+  Rng rng(20260806);
+
+  const DominanceKernel scalar(DomKernel::kScalar);
+  const DominanceKernel tiled(DomKernel::kTiled);
+  const DominanceKernel simd(DomKernel::kSimd);
+
+  for (const Dim dims : {Dim{2}, Dim{4}, Dim{8}, Dim{12}}) {
+    std::vector<Coord> probe(dims);
+    std::vector<Coord> point(dims);
+    for (size_t rows = 1; rows <= kTileRows; ++rows) {
+      for (Dim d = 0; d < dims; ++d) {
+        probe[d] = kPalette[rng.NextInt(0, kPaletteSize - 1)];
+      }
+      Tile tile(dims);
+      for (size_t r = 0; r < rows; ++r) {
+        if (r % 7 == 3) {
+          // Exact duplicate of the probe: ties on every dimension.
+          tile.PushRow(static_cast<RowId>(r), probe);
+          continue;
+        }
+        for (Dim d = 0; d < dims; ++d) {
+          // Mostly probe-adjacent values so single-dimension ties are
+          // common, with occasional fresh palette draws.
+          point[d] = rng.NextInt(0, 3) == 0
+                         ? kPalette[rng.NextInt(0, kPaletteSize - 1)]
+                         : probe[d] + static_cast<Coord>(rng.NextInt(0, 2)) - 1.0;
+        }
+        tile.PushRow(static_cast<RowId>(r), point);
+      }
+
+      const TileView view = tile.view();
+      const uint64_t want_dominated = scalar.FilterDominated(probe, view);
+      const uint64_t want_dominators = scalar.FilterDominators(probe, view);
+      const uint64_t want_weak = scalar.FilterWeaklyDominated(probe, view);
+      for (const DominanceKernel* kernel : {&tiled, &simd}) {
+        ASSERT_EQ(kernel->FilterDominated(probe, view), want_dominated)
+            << "dims=" << dims << " rows=" << rows;
+        ASSERT_EQ(kernel->FilterDominators(probe, view), want_dominators)
+            << "dims=" << dims << " rows=" << rows;
+        ASSERT_EQ(kernel->FilterWeaklyDominated(probe, view), want_weak)
+            << "dims=" << dims << " rows=" << rows;
+        ASSERT_EQ(kernel->AnyDominator(probe, view), want_dominators != 0)
+            << "dims=" << dims << " rows=" << rows;
+        const BlockClassification cls = kernel->ClassifyBlock(probe, view);
+        ASSERT_EQ(cls.dominated, want_dominated)
+            << "dims=" << dims << " rows=" << rows;
+        ASSERT_EQ(cls.dominators, want_dominators)
+            << "dims=" << dims << " rows=" << rows;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -162,23 +237,24 @@ TEST(TileSetTest, AppendCompactAndDropPreserveOrder) {
 }
 
 // ---------------------------------------------------------------------------
-// Algorithm parity: every skyline algorithm, scalar vs tiled.
+// Algorithm parity: every skyline algorithm, scalar vs tiled vs simd.
 
 class KernelParityTest : public ::testing::TestWithParam<WorkloadKind> {};
 
 TEST_P(KernelParityTest, SkylineAlgorithmsMatchScalar) {
   const DataSet data = GenerateWorkload(GetParam(), 3000, 4, 99).value();
 
-  EXPECT_EQ(SkylineBNL(data, DomKernel::kTiled).rows,
-            SkylineBNL(data, DomKernel::kScalar).rows);
-  EXPECT_EQ(SkylineSFS(data, DomKernel::kTiled).rows,
-            SkylineSFS(data, DomKernel::kScalar).rows);
-  EXPECT_EQ(SkylineDC(data, 256, DomKernel::kTiled).rows,
-            SkylineDC(data, 256, DomKernel::kScalar).rows);
-
   const auto tree = RTree::BulkLoad(data).value();
-  EXPECT_EQ(SkylineBBS(data, tree, DomKernel::kTiled).value().rows,
-            SkylineBBS(data, tree, DomKernel::kScalar).value().rows);
+  const auto bnl = SkylineBNL(data, DomKernel::kScalar).rows;
+  const auto sfs = SkylineSFS(data, DomKernel::kScalar).rows;
+  const auto dc = SkylineDC(data, 256, DomKernel::kScalar).rows;
+  const auto bbs = SkylineBBS(data, tree, DomKernel::kScalar).value().rows;
+  for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+    EXPECT_EQ(SkylineBNL(data, kind).rows, bnl);
+    EXPECT_EQ(SkylineSFS(data, kind).rows, sfs);
+    EXPECT_EQ(SkylineDC(data, 256, kind).rows, dc);
+    EXPECT_EQ(SkylineBBS(data, tree, kind).value().rows, bbs);
+  }
 }
 
 TEST_P(KernelParityTest, SigGenIfMatchesScalarExactly) {
@@ -187,17 +263,18 @@ TEST_P(KernelParityTest, SigGenIfMatchesScalarExactly) {
   const auto family = MinHashFamily::Create(32, data.size(), 5);
 
   const auto scalar = SigGenIF(data, skyline, family, DomKernel::kScalar).value();
-  const auto tiled = SigGenIF(data, skyline, family, DomKernel::kTiled).value();
-
-  EXPECT_EQ(tiled.domination_scores, scalar.domination_scores);
-  for (size_t j = 0; j < skyline.size(); ++j) {
-    for (size_t i = 0; i < 32; ++i) {
-      ASSERT_EQ(tiled.signatures.at(j, i), scalar.signatures.at(j, i));
+  for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+    const auto batched = SigGenIF(data, skyline, family, kind).value();
+    EXPECT_EQ(batched.domination_scores, scalar.domination_scores);
+    for (size_t j = 0; j < skyline.size(); ++j) {
+      for (size_t i = 0; i < 32; ++i) {
+        ASSERT_EQ(batched.signatures.at(j, i), scalar.signatures.at(j, i));
+      }
     }
+    // The IF pass is exhaustive — no early exits for batching to forgo —
+    // so even the dominance counts agree exactly: (n - m) * m.
+    EXPECT_EQ(batched.dominance_checks, scalar.dominance_checks);
   }
-  // The IF pass is exhaustive — no early exits for tiling to forgo — so
-  // even the dominance counts agree exactly: (n - m) * m.
-  EXPECT_EQ(tiled.dominance_checks, scalar.dominance_checks);
   EXPECT_EQ(scalar.dominance_checks,
             (data.size() - skyline.size()) * skyline.size());
 }
@@ -207,11 +284,13 @@ TEST_P(KernelParityTest, GammaSetsMatchScalar) {
   const auto skyline = SkylineSFS(data).rows;
 
   const GammaSets scalar = GammaSets::Compute(data, skyline, DomKernel::kScalar);
-  const GammaSets tiled = GammaSets::Compute(data, skyline, DomKernel::kTiled);
-  ASSERT_EQ(tiled.size(), scalar.size());
-  for (size_t j = 0; j < scalar.size(); ++j) {
-    EXPECT_EQ(tiled.DominationScore(j), scalar.DominationScore(j));
-    EXPECT_EQ(tiled.gamma(j), scalar.gamma(j));
+  for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+    const GammaSets batched = GammaSets::Compute(data, skyline, kind);
+    ASSERT_EQ(batched.size(), scalar.size());
+    for (size_t j = 0; j < scalar.size(); ++j) {
+      EXPECT_EQ(batched.DominationScore(j), scalar.DominationScore(j));
+      EXPECT_EQ(batched.gamma(j), scalar.gamma(j));
+    }
   }
 }
 
@@ -229,42 +308,67 @@ INSTANTIATE_TEST_SUITE_P(Workloads, KernelParityTest,
                          });
 
 TEST(KernelFallbackTest, TinyInputsFallBackToScalarCounts) {
-  // Below one tile the tiled request runs the scalar reference, so even
-  // the dominance counts match.
+  // Below one tile every batched request runs the scalar reference, so
+  // even the dominance counts match.
   const DataSet data = GenerateIndependent(40, 3, 3);
   const auto scalar = SkylineSFS(data, DomKernel::kScalar);
-  const auto tiled = SkylineSFS(data, DomKernel::kTiled);
-  EXPECT_EQ(tiled.rows, scalar.rows);
-  EXPECT_EQ(tiled.dominance_checks, scalar.dominance_checks);
+  for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+    const auto batched = SkylineSFS(data, kind);
+    EXPECT_EQ(batched.rows, scalar.rows);
+    EXPECT_EQ(batched.dominance_checks, scalar.dominance_checks);
+  }
+}
+
+TEST(KernelFallbackTest, EffectiveKernelAppliesBothDowngrades) {
+  // Small-input downgrade: any batched flavour below one tile of
+  // candidates runs the scalar reference.
+  EXPECT_EQ(EffectiveKernel(DomKernel::kTiled, kTileRows - 1), DomKernel::kScalar);
+  EXPECT_EQ(EffectiveKernel(DomKernel::kSimd, kTileRows - 1), DomKernel::kScalar);
+  EXPECT_EQ(EffectiveKernel(DomKernel::kScalar, 1u << 20), DomKernel::kScalar);
+  EXPECT_EQ(EffectiveKernel(DomKernel::kTiled, kTileRows), DomKernel::kTiled);
+
+  // Missing-ISA downgrade: kSimd survives only when the runtime probe
+  // found a vector unit; otherwise it degrades to kTiled (and then to
+  // kScalar if the input is also small — the small-input rule wins).
+  const DomKernel simd_large = EffectiveKernel(DomKernel::kSimd, kTileRows);
+  EXPECT_EQ(simd_large, SimdAvailable() ? DomKernel::kSimd : DomKernel::kTiled);
 }
 
 TEST(KernelParseTest, ParseAndPrint) {
   EXPECT_EQ(ParseDomKernel("scalar").value(), DomKernel::kScalar);
   EXPECT_EQ(ParseDomKernel("tiled").value(), DomKernel::kTiled);
-  EXPECT_FALSE(ParseDomKernel("simd").ok());
+  EXPECT_EQ(ParseDomKernel("simd").value(), DomKernel::kSimd);
+  EXPECT_FALSE(ParseDomKernel("avx2").ok());  // ISA names are not flavours
   EXPECT_STREQ(ToString(DomKernel::kScalar), "scalar");
   EXPECT_STREQ(ToString(DomKernel::kTiled), "tiled");
+  EXPECT_STREQ(ToString(DomKernel::kSimd), "simd");
 }
 
 // ---------------------------------------------------------------------------
 // Streaming parity.
 
-TEST(KernelStreamingTest, TiledStreamMatchesScalarStream) {
+TEST(KernelStreamingTest, BatchedStreamsMatchScalarStream) {
   const DataSet data = GenerateWorkload(WorkloadKind::kAnticorrelated, 800, 3, 31).value();
   StreamingSkyDiver scalar(3, 24, 77, 1 << 12, DomKernel::kScalar);
   StreamingSkyDiver tiled(3, 24, 77, 1 << 12, DomKernel::kTiled);
+  StreamingSkyDiver simd(3, 24, 77, 1 << 12, DomKernel::kSimd);
   for (RowId r = 0; r < data.size(); ++r) {
     ASSERT_TRUE(scalar.Insert(data.row(r)).ok());
     ASSERT_TRUE(tiled.Insert(data.row(r)).ok());
+    ASSERT_TRUE(simd.Insert(data.row(r)).ok());
   }
   const auto rows = scalar.SkylineRows();
-  ASSERT_EQ(tiled.SkylineRows(), rows);
-  for (RowId r : rows) {
-    EXPECT_EQ(tiled.Signature(r).value(), scalar.Signature(r).value());
-    EXPECT_EQ(tiled.DominationScore(r).value(), scalar.DominationScore(r).value());
+  for (const StreamingSkyDiver* batched : {&tiled, &simd}) {
+    ASSERT_EQ(batched->SkylineRows(), rows);
+    for (RowId r : rows) {
+      EXPECT_EQ(batched->Signature(r).value(), scalar.Signature(r).value());
+      EXPECT_EQ(batched->DominationScore(r).value(),
+                scalar.DominationScore(r).value());
+    }
+    EXPECT_EQ(batched->stats().demotions, scalar.stats().demotions);
+    EXPECT_EQ(batched->stats().signature_updates,
+              scalar.stats().signature_updates);
   }
-  EXPECT_EQ(tiled.stats().demotions, scalar.stats().demotions);
-  EXPECT_EQ(tiled.stats().signature_updates, scalar.stats().signature_updates);
 }
 
 // ---------------------------------------------------------------------------
@@ -276,7 +380,7 @@ TEST(PooledCountingTest, ParallelSigGenIfReportsSerialCounts) {
   const auto family = MinHashFamily::Create(16, data.size(), 3);
   ThreadPool pool(4);
 
-  for (const DomKernel kernel : {DomKernel::kScalar, DomKernel::kTiled}) {
+  for (const DomKernel kernel : kAllKernels) {
     const auto serial = SigGenIF(data, skyline, family, kernel).value();
     const auto pooled = ParallelSigGenIF(data, skyline, family, pool, kernel).value();
     // The IF pass does the same (n - m) x m work however it is sharded.
@@ -309,8 +413,21 @@ TEST(PooledCountingTest, HarvestFoldsIntoCallerCounters) {
 
 TEST(KernelPlanTest, PlanCarriesKernelAndExplainPrintsIt) {
   SkyDiverConfig config;
-  EXPECT_EQ(config.kernel, DomKernel::kTiled);  // planner default
+  EXPECT_EQ(config.kernel, DomKernel::kSimd);  // planner default
   auto plan = Planner::Resolve(config, PlanResources{});
+  ASSERT_TRUE(plan.ok());
+  if (SimdAvailable()) {
+    // The plan keeps simd and the explain line names the dispatched ISA.
+    EXPECT_EQ(plan->kernel, DomKernel::kSimd);
+    EXPECT_NE(ExplainPlan(*plan, config).find("kernel=simd("), std::string::npos);
+  } else {
+    // Missing-ISA downgrade happens at plan time, not execution time.
+    EXPECT_EQ(plan->kernel, DomKernel::kTiled);
+    EXPECT_NE(ExplainPlan(*plan, config).find("kernel=tiled"), std::string::npos);
+  }
+
+  config.kernel = DomKernel::kTiled;
+  plan = Planner::Resolve(config, PlanResources{});
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->kernel, DomKernel::kTiled);
   EXPECT_NE(ExplainPlan(*plan, config).find("kernel=tiled"), std::string::npos);
@@ -330,8 +447,6 @@ TEST(KernelPlanTest, EnginePlansMatchAcrossKernelsSerialAndPooled) {
     scalar_config.signature_size = 32;
     scalar_config.threads = threads;
     scalar_config.kernel = DomKernel::kScalar;
-    SkyDiverConfig tiled_config = scalar_config;
-    tiled_config.kernel = DomKernel::kTiled;
 
     auto run = [&](const SkyDiverConfig& config) {
       const PlanResources resources;
@@ -340,15 +455,20 @@ TEST(KernelPlanTest, EnginePlansMatchAcrossKernelsSerialAndPooled) {
       return Engine::Execute(ctx, plan, config, data, resources).value();
     };
     const EngineOutput scalar_out = run(scalar_config);
-    const EngineOutput tiled_out = run(tiled_config);
 
-    EXPECT_EQ(tiled_out.report.skyline, scalar_out.report.skyline);
-    EXPECT_EQ(tiled_out.report.selected_rows, scalar_out.report.selected_rows);
-    EXPECT_EQ(tiled_out.domination_scores, scalar_out.domination_scores);
-    ASSERT_EQ(tiled_out.signatures.columns(), scalar_out.signatures.columns());
-    for (size_t j = 0; j < scalar_out.signatures.columns(); ++j) {
-      for (size_t i = 0; i < 32; ++i) {
-        ASSERT_EQ(tiled_out.signatures.at(j, i), scalar_out.signatures.at(j, i));
+    for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+      SkyDiverConfig batched_config = scalar_config;
+      batched_config.kernel = kind;
+      const EngineOutput batched_out = run(batched_config);
+
+      EXPECT_EQ(batched_out.report.skyline, scalar_out.report.skyline);
+      EXPECT_EQ(batched_out.report.selected_rows, scalar_out.report.selected_rows);
+      EXPECT_EQ(batched_out.domination_scores, scalar_out.domination_scores);
+      ASSERT_EQ(batched_out.signatures.columns(), scalar_out.signatures.columns());
+      for (size_t j = 0; j < scalar_out.signatures.columns(); ++j) {
+        for (size_t i = 0; i < 32; ++i) {
+          ASSERT_EQ(batched_out.signatures.at(j, i), scalar_out.signatures.at(j, i));
+        }
       }
     }
   }
@@ -378,8 +498,8 @@ TEST(KernelPlanTest, PooledStagesReportSerialMatchingDominanceChecks) {
   // The IF fingerprint pass is exhaustive: pooled == serial exactly.
   EXPECT_EQ(pooled.report.fingerprint_phase.dominance_checks,
             serial.report.fingerprint_phase.dominance_checks);
-  // Default plans are tiled; with m >= one tile every fingerprint check is
-  // a tiled one.
+  // Default plans are batched (simd, or tiled without a vector ISA); with
+  // m >= one tile every fingerprint check lands on both counters.
   EXPECT_EQ(pooled.report.fingerprint_phase.dominance_checks_tiled,
             pooled.report.fingerprint_phase.dominance_checks);
 }

@@ -1,0 +1,15 @@
+// Fixture: vendor intrinsics header included outside src/kernels/. Vector
+// code must stay behind the DomKernel dispatch so only the kernel layer
+// carries per-ISA compile flags.
+#include <immintrin.h>
+
+namespace demo {
+
+double SumLanes(const double* p) {
+  const __m256d v = _mm256_loadu_pd(p);
+  double out[4];
+  _mm256_storeu_pd(out, v);
+  return out[0] + out[1] + out[2] + out[3];
+}
+
+}  // namespace demo

@@ -58,7 +58,7 @@ Result<Preference> ParsePreference(const std::string& spec, Dim dims) {
 }
 
 int Run(int argc, char** argv) {
-  std::string csv, workload = "IND", pref_spec, select = "mh", kernel = "tiled";
+  std::string csv, workload = "IND", pref_spec, select = "mh", kernel = "simd";
   std::string save_tree, load_tree, save_data;
   int64_t n = 100000, dims = 4, k = 10, t = 100, lsh_buckets = 20, seed = 42;
   int64_t threads = 0;
@@ -80,7 +80,8 @@ int Run(int argc, char** argv) {
   flags.AddInt64("threads", &threads,
                  "worker threads (0 = serial; 1+ picks the pooled plan backends)");
   flags.AddString("kernel", &kernel,
-                  "dominance kernel: tiled (batched 64-row sweeps) | scalar");
+                  "dominance kernel: simd (runtime-dispatched AVX2/NEON sweeps, "
+                  "falls back to tiled) | tiled (batched 64-row sweeps) | scalar");
   flags.AddBool("explain", &explain, "print the resolved execution plan and exit");
   flags.AddDouble("lsh-threshold", &lsh_threshold, "LSH banding threshold xi");
   flags.AddInt64("lsh-buckets", &lsh_buckets, "LSH buckets per zone B");

@@ -274,6 +274,47 @@ void CheckAssert(const SourceFile& file, std::vector<Violation>* out) {
 }
 
 // -------------------------------------------------------------------------
+// intrinsics
+// -------------------------------------------------------------------------
+
+// Vendor intrinsics headers are confined to src/kernels/: every other layer
+// must stay ISA-agnostic and reach vector code only through the DomKernel
+// dispatch, so a single directory owns the per-ISA compile flags and the
+// runtime-probe discipline (no AVX2 instructions outside TUs built with
+// -mavx2).
+bool IsIntrinsicsHeader(const std::string& header) {
+  static const std::set<std::string> kExact = {
+      "immintrin.h", "x86intrin.h", "arm_neon.h", "arm_sve.h",
+      "emmintrin.h", "smmintrin.h", "avxintrin.h", "avx2intrin.h",
+  };
+  if (kExact.count(header) != 0) return true;
+  return EndsWith(header, "mmintrin.h");
+}
+
+void CheckIntrinsics(const SourceFile& file, std::vector<Violation>* out) {
+  if (StartsWith(file.path, "src/kernels/")) return;  // the sanctioned home
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (!IsDirectiveLine(file.code[i])) continue;
+    std::smatch m;
+    std::string target;
+    if (std::regex_search(file.raw[i], m, kSystemIncludeRe)) {
+      target = m[1].str();
+    } else if (std::regex_search(file.raw[i], m, kProjectIncludeRe)) {
+      target = m[1].str();
+    } else {
+      continue;
+    }
+    if (IsIntrinsicsHeader(target)) {
+      Report(file, i + 1, "intrinsics",
+             "intrinsics header <" + target +
+                 "> outside src/kernels/; vector code is confined to the "
+                 "kernel layer — go through the DomKernel dispatch instead",
+             out);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
 // include-hygiene
 // -------------------------------------------------------------------------
 
@@ -369,6 +410,7 @@ void LintFile(const SourceFile& file, const LintContext& context,
   CheckLayering(file, out);
   CheckDeterminism(file, out);
   CheckAssert(file, out);
+  CheckIntrinsics(file, out);
   CheckIncludeHygiene(file, context, out);
 }
 

@@ -20,6 +20,11 @@
 //   assert             No bare assert( outside src/common/check.h; invariants
 //                      go through SKYDIVER_CHECK / SKYDIVER_DCHECK, which
 //                      log what broke before aborting.
+//   intrinsics         Vendor intrinsics headers (immintrin.h, arm_neon.h,
+//                      ...) only under src/kernels/ — vector code is
+//                      confined to the kernel layer, which owns the per-ISA
+//                      compile flags and the runtime CPU probe; everything
+//                      else goes through the DomKernel dispatch.
 //   include-hygiene    Headers carry #pragma once; a foo.cc with a sibling
 //                      foo.h includes it first (keeps headers
 //                      self-contained); no "../" relative includes.
