@@ -18,6 +18,19 @@
 // --json writes the full flavour x distribution x d grid (seconds, charged
 // checks, ns per check, checks/s) to a machine-readable file for tracking
 // the kernel ratios across hosts.
+//
+// A second micro isolates the tile-aware BBS node prune: every tree
+// node's entry lo-corners, captured once from a full walk, are decided
+// against the materialized skyline tiles two ways — per-entry (the
+// pre-corner-tile traversal: corner outer, one AnyDominator skyline
+// stream per corner) and corner-tile (PruneCorners over one node's
+// corner tile, dominated corners compacted away between tiles). The
+// batched PruneCorners screens each skyline tile with the corner tile's
+// ceiling — node corners are R-tree siblings, so most skyline tiles
+// hold no row that could dominate any of them and the whole (node, tile)
+// pair retires in one sweep, where per-entry pays one sweep per
+// undecided corner; the ratio is that screen. --bbs-json writes the grid
+// to BENCH_bbs.json.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,6 +44,8 @@
 #include "core/dominance.h"
 #include "kernels/tile_view.h"
 #include "minhash/siggen.h"
+#include "rtree/node_corners.h"
+#include "rtree/rtree.h"
 #include "skyline/skyline.h"
 
 namespace skydiver::bench {
@@ -63,13 +78,14 @@ struct JsonRecord {
   uint64_t checks = 0;
 };
 
-void WriteJson(const std::string& path, RowId n, const std::vector<JsonRecord>& records) {
+void WriteJson(const std::string& path, const std::string& bench, RowId n,
+               const std::vector<JsonRecord>& records) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  out << "{\n  \"bench\": \"kernels\",\n  \"n\": " << n
+  out << "{\n  \"bench\": \"" << bench << "\",\n  \"n\": " << n
       << ",\n  \"isa\": \"" << ToString(DetectSimdIsa()) << "\",\n  \"records\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const JsonRecord& r = records[i];
@@ -88,11 +104,108 @@ void WriteJson(const std::string& path, RowId n, const std::vector<JsonRecord>& 
   std::printf("wrote %zu records to %s\n", records.size(), path.c_str());
 }
 
+// -------------------------------------------------------------------------
+// BBS node-prune micro: replay the prune decision for every node of the
+// tree against the full skyline tiling, in both loop orders.
+
+// One node chunk (<= kTileRows entries): the transposed corner tile plus
+// the offset of its first corner in the flat row-major probe array the
+// per-entry replay reads.
+struct CornerChunk {
+  Tile tile;
+  size_t flat_begin;
+};
+
+struct BbsWorkload {
+  std::vector<CornerChunk> chunks;
+  std::vector<Coord> flat;  // row-major corners, per-entry replay probes
+  size_t dims = 0;
+  size_t corners = 0;
+};
+
+BbsWorkload CollectNodeCorners(const RTree& tree) {
+  BbsWorkload w;
+  w.dims = tree.dims();
+  std::vector<PageId> stack{tree.root()};
+  while (!stack.empty()) {
+    const RTreeNode& node = tree.PeekNode(stack.back());
+    stack.pop_back();
+    for (size_t begin = 0; begin < node.entries.size(); begin += kTileRows) {
+      const size_t end = std::min(begin + kTileRows, node.entries.size());
+      Tile tile(tree.dims());
+      MaterializeLoCorners(node, begin, end, &tile);
+      const size_t flat_begin = w.flat.size();
+      for (size_t i = begin; i < end; ++i) {
+        const auto lo = node.entries[i].mbr.lo();
+        w.flat.insert(w.flat.end(), lo.begin(), lo.end());
+      }
+      w.corners += end - begin;
+      w.chunks.push_back(CornerChunk{std::move(tile), flat_begin});
+    }
+    if (!node.is_leaf) {
+      for (const auto& e : node.entries) stack.push_back(e.child);
+    }
+  }
+  return w;
+}
+
+// Order-sensitive FNV-style fold of the surviving entry ids; identical
+// pruning decisions => identical digests (the cross-flavour /
+// cross-order identity check).
+uint64_t FoldSurvivor(uint64_t digest, RowId id) {
+  return (digest ^ (id + 1)) * 1099511628211ULL;
+}
+
+// The pre-corner-tile order: corner outer, one AnyDominator probe per
+// corner streaming the skyline tiles until a dominator is found.
+uint64_t PerEntryReplay(const BbsWorkload& w, const TileSet& sky,
+                        const DominanceKernel& kernel) {
+  uint64_t digest = 0;
+  for (const CornerChunk& chunk : w.chunks) {
+    for (size_t r = 0; r < chunk.tile.rows(); ++r) {
+      const std::span<const Coord> p(w.flat.data() + chunk.flat_begin + r * w.dims,
+                                     w.dims);
+      bool dominated = false;
+      for (const Tile& t : sky.tiles()) {
+        if (kernel.AnyDominator(p, t.view())) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) digest = FoldSurvivor(digest, chunk.tile.id(r));
+    }
+  }
+  return digest;
+}
+
+// The tile-aware order: one PruneCorners call per (node corner tile,
+// skyline tile) pair, dominated corners compacted away between tiles
+// (bbs_scan.h's PruneAndPushNode, scratch copy included in the cost).
+uint64_t CornerTileReplay(const BbsWorkload& w, const TileSet& sky,
+                          const DominanceKernel& kernel, Tile* scratch) {
+  uint64_t digest = 0;
+  for (const CornerChunk& chunk : w.chunks) {
+    *scratch = chunk.tile;
+    for (const Tile& t : sky.tiles()) {
+      if (scratch->empty()) break;
+      const uint64_t pruned = kernel.PruneCorners(scratch->view(), t.view());
+      if (pruned != 0) scratch->Compact(scratch->view().FullMask() & ~pruned);
+    }
+    for (size_t r = 0; r < scratch->rows(); ++r) {
+      digest = FoldSurvivor(digest, scratch->id(r));
+    }
+  }
+  return digest;
+}
+
 int Run(int argc, char** argv) {
   BenchEnv env;
   std::string json_path = "BENCH_kernels.json";
+  std::string bbs_json_path = "BENCH_bbs.json";
   env.flags().AddString("json", &json_path,
                         "write the flavour x workload x d grid to this file");
+  env.flags().AddString("bbs-json", &bbs_json_path,
+                        "write the BBS node-prune micro grid to this file");
   if (!env.Init(argc, argv,
                 "Dominance kernels: scalar vs tiled vs simd sweeps for "
                 "SkylineSFS, SigGen-IF, and a FilterDominators micro",
@@ -193,7 +306,84 @@ int Run(int argc, char** argv) {
       }
     }
   }
-  if (!json_path.empty()) WriteJson(json_path, actual_n, records);
+  if (!json_path.empty()) WriteJson(json_path, "kernels", actual_n, records);
+
+  // ---------------------------------------------------------------------
+  // BBS node-prune micro. The grid is bounded where the skyline would be
+  // quadratically huge (ANT at high d): the screen story is told by IND
+  // across d, with one ANT cell (large skyline, low d) and one CORR cell
+  // (tiny skyline: both orders degenerate to one tile).
+  std::printf("\nBBS node prune: per-entry AnyDominator vs corner-tile "
+              "PruneCorners\n");
+  TablePrinter bbs_table({"data", "dims", "n", "m", "corners", "pe_scalar_s",
+                          "pe_tiled_s", "pe_simd_s", "ct_scalar_s", "ct_tiled_s",
+                          "ct_simd_s", "ct_x"});
+  std::vector<JsonRecord> bbs_records;
+  struct BbsCell {
+    WorkloadKind kind;
+    Dim dims;
+  };
+  const BbsCell kBbsGrid[] = {{WorkloadKind::kIndependent, 4},
+                              {WorkloadKind::kIndependent, 8},
+                              {WorkloadKind::kIndependent, 12},
+                              {WorkloadKind::kAnticorrelated, 4},
+                              {WorkloadKind::kCorrelated, 8}};
+  for (const BbsCell& cell : kBbsGrid) {
+    const DataSet& data = env.Data(cell.kind, paper_n, cell.dims);
+    const auto tree = RTree::BulkLoad(data).value();
+    const auto skyline = SkylineSFS(data).rows;
+    const size_t m = skyline.size();
+    const TileSet sky_tiles = MaterializeTiles(data, skyline);
+    const BbsWorkload workload = CollectNodeCorners(tree);
+    const std::string workload_name = WorkloadKindName(cell.kind);
+    Tile scratch(data.dims());
+
+    double pe_s[3], ct_s[3];
+    uint64_t pe_digest[3] = {0, 0, 0};
+    uint64_t ct_digest[3] = {0, 0, 0};
+    for (size_t f = 0; f < 3; ++f) {
+      const DominanceKernel kernel(kFlavours[f]);
+      uint64_t before = DominanceCounter::Count();
+      pe_s[f] = BestOf(
+          [&] { pe_digest[f] = PerEntryReplay(workload, sky_tiles, kernel); });
+      bbs_records.push_back({workload_name, cell.dims, ToString(kFlavours[f]),
+                             "bbs_per_entry", pe_s[f],
+                             (DominanceCounter::Count() - before) / kReps});
+      before = DominanceCounter::Count();
+      ct_s[f] = BestOf([&] {
+        ct_digest[f] = CornerTileReplay(workload, sky_tiles, kernel, &scratch);
+      });
+      bbs_records.push_back({workload_name, cell.dims, ToString(kFlavours[f]),
+                             "bbs_corner_tile", ct_s[f],
+                             (DominanceCounter::Count() - before) / kReps});
+    }
+
+    bbs_table.Row({workload_name, TablePrinter::Int(cell.dims),
+                   TablePrinter::Int(data.size()), TablePrinter::Int(m),
+                   TablePrinter::Int(workload.corners), TablePrinter::Secs(pe_s[0]),
+                   TablePrinter::Secs(pe_s[1]), TablePrinter::Secs(pe_s[2]),
+                   TablePrinter::Secs(ct_s[0]), TablePrinter::Secs(ct_s[1]),
+                   TablePrinter::Secs(ct_s[2]),
+                   TablePrinter::Num(pe_s[2] / ct_s[2], 2)});
+
+    const std::string tag =
+        std::string(workload_name) + " d=" + std::to_string(cell.dims);
+    shape.Check(tag + ": prune survivors identical across orders and flavours",
+                pe_digest[0] == pe_digest[1] && pe_digest[1] == pe_digest[2] &&
+                    ct_digest[0] == pe_digest[0] && ct_digest[1] == pe_digest[0] &&
+                    ct_digest[2] == pe_digest[0]);
+    // The headline acceptance ratio: corner-tile sweep vs per-entry
+    // AnyDominator under the simd flavour at the paper point (n=100k,
+    // d=8, AVX2); gated to full-scale runs with a multi-tile skyline.
+    if (SimdAvailable() && cell.kind == WorkloadKind::kIndependent &&
+        cell.dims == 8 && m >= 256 && env.scale() <= 1.0) {
+      shape.Check(tag + ": corner-tile prune >= 1.3x per-entry (simd)",
+                  ct_s[2] * 1.3 <= pe_s[2]);
+    }
+  }
+  if (!bbs_json_path.empty()) {
+    WriteJson(bbs_json_path, "bbs", actual_n, bbs_records);
+  }
   shape.Summarize();  // benches always exit 0; the summary is for eyeballing
   return 0;
 }

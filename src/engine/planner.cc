@@ -189,10 +189,11 @@ std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
       out << " (" << plan.threads << "-way shard + merge, == sfs output)";
       break;
     case SkylineBackend::kBbs:
-      out << " (branch-and-bound over the aggregate R*-tree)";
+      out << " (branch-and-bound over the aggregate R*-tree, bbs=corner-tiles)";
       break;
     case SkylineBackend::kBbsDisk:
-      out << " (branch-and-bound over the file-backed tree, real preads)";
+      out << " (branch-and-bound over the file-backed tree, real preads, "
+             "bbs=corner-tiles)";
       break;
   }
   out << "\n";

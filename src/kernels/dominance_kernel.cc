@@ -1,6 +1,8 @@
 #include "kernels/dominance_kernel.h"
 
+#include <bit>
 #include <cstring>
+#include <vector>
 
 #include "kernels/simd_sweep.h"
 
@@ -35,6 +37,7 @@ struct KernelOps {
   bool (*any_dominator)(std::span<const Coord> p, const TileView& tile);
   BlockClassification (*classify_block)(std::span<const Coord> p,
                                         const TileView& tile);
+  uint64_t (*prune_corners)(const TileView& corners, const TileView& skyline);
 };
 
 }  // namespace kernel_internal
@@ -153,10 +156,35 @@ BlockClassification ScalarClassifyBlock(std::span<const Coord> p,
   return out;
 }
 
+uint64_t ScalarPruneCorners(const TileView& corners, const TileView& skyline) {
+  uint64_t pruned = 0;
+  for (size_t c = 0; c < corners.rows; ++c) {
+    for (size_t s = 0; s < skyline.rows; ++s) {
+      ++DominanceCounter::Count();
+      bool strictly_better = false;
+      bool dominates = true;
+      for (size_t d = 0; d < corners.dims; ++d) {
+        const Coord cv = corners.at(c, d);
+        const Coord sv = skyline.at(s, d);
+        if (sv > cv) {
+          dominates = false;
+          break;
+        }
+        if (sv < cv) strictly_better = true;
+      }
+      if (dominates && strictly_better) {
+        pruned |= uint64_t{1} << c;
+        break;  // first dominator settles this corner
+      }
+    }
+  }
+  return pruned;
+}
+
 constexpr KernelOps kScalarOps = {
     &ScalarFilterDominated,       &ScalarFilterDominators,
     &ScalarFilterWeaklyDominated, &ScalarAnyDominator,
-    &ScalarClassifyBlock,
+    &ScalarClassifyBlock,         &ScalarPruneCorners,
 };
 
 // -------------------------------------------------------------------------
@@ -260,10 +288,65 @@ BlockClassification TiledClassifyBlock(std::span<const Coord> p,
   return out;
 }
 
+// Transposes one tile row back into a contiguous probe for the sweeps.
+// Thread-local scratch keeps the batched PruneCorners allocation-free in
+// steady state (and race-free under the pooled backends).
+std::span<const Coord> GatherRow(const TileView& tile, size_t r) {
+  thread_local std::vector<Coord> buf;
+  if (buf.size() < tile.dims) buf.resize(tile.dims);
+  for (size_t d = 0; d < tile.dims; ++d) buf[d] = tile.at(r, d);
+  return std::span<const Coord>(buf.data(), tile.dims);
+}
+
+// Componentwise maximum of a tile's occupied rows — the hi-corner of the
+// tile's own bounding box. Thread-local scratch for the same reason as
+// GatherRow's.
+std::span<const Coord> TileCeiling(const TileView& tile) {
+  thread_local std::vector<Coord> ceiling;
+  if (ceiling.size() < tile.dims) ceiling.resize(tile.dims);
+  for (size_t d = 0; d < tile.dims; ++d) {
+    const Coord* col = tile.cols + d * kTileRows;
+    Coord hi = col[0];
+    for (size_t r = 1; r < tile.rows; ++r) hi = col[r] > hi ? col[r] : hi;
+    ceiling[d] = hi;
+  }
+  return std::span<const Coord>(ceiling.data(), tile.dims);
+}
+
+// The batched prune screens the skyline tile before sweeping it: a
+// skyline row can dominate SOME corner only if it sits at or below the
+// corner tile's CEILING (the componentwise max) on every dimension, and
+// one sweep of the ceiling over the skyline tile finds all such candidate
+// rows at once. Corners are R-tree siblings — a tight box — so most
+// skyline tiles hold no candidate at all and the whole (node, tile) pair
+// retires for the cost of that single sweep, where the per-entry
+// formulation pays one full skyline sweep per undecided corner. Each
+// surviving candidate is then swept across the corner tile (transposed:
+// probe = skyline row, tile = corners), accumulating the pruned mask and
+// stopping once it saturates.
+uint64_t TiledPruneCorners(const TileView& corners, const TileView& skyline) {
+  if (corners.rows == 0 || skyline.rows == 0) return 0;
+  SweepFlags screen;
+  SweepImpl<StopWhen::kAllLt>(TileCeiling(corners), skyline, &screen);
+  ChargeTile(skyline);  // the screen: one virtual probe against every row
+  const uint64_t full = corners.FullMask();
+  uint64_t pruned = 0;
+  SweepFlags flags;
+  for (size_t s = 0; s < skyline.rows && pruned != full; ++s) {
+    if (screen.lt[s]) continue;  // row exceeds the ceiling somewhere
+    SweepImpl<StopWhen::kAllGt>(GatherRow(skyline, s), corners, &flags);
+    ChargeTile(corners);
+    for (size_t c = 0; c < corners.rows; ++c) {
+      if (flags.lt[c] && !flags.gt[c]) pruned |= uint64_t{1} << c;
+    }
+  }
+  return pruned;
+}
+
 constexpr KernelOps kTiledOps = {
     &TiledFilterDominated,       &TiledFilterDominators,
     &TiledFilterWeaklyDominated, &TiledAnyDominator,
-    &TiledClassifyBlock,
+    &TiledClassifyBlock,         &TiledPruneCorners,
 };
 
 // -------------------------------------------------------------------------
@@ -325,10 +408,29 @@ BlockClassification SimdClassifyBlock(std::span<const Coord> p,
   return BlockClassification{lt & ~gt, gt & ~lt};
 }
 
+uint64_t SimdPruneCorners(const TileView& corners, const TileView& skyline) {
+  if (corners.rows == 0 || skyline.rows == 0) return 0;
+  const SweepFn sweep = ResolvedSweep();
+  uint64_t lt = 0, gt = 0;
+  sweep(TileCeiling(corners).data(), skyline, SweepStop::kAllLt, &lt, &gt);
+  ChargeTile(skyline);  // the ceiling screen (see TiledPruneCorners)
+  uint64_t candidates = skyline.FullMask() & ~lt;
+  const uint64_t full = corners.FullMask();
+  uint64_t pruned = 0;
+  while (candidates != 0 && pruned != full) {
+    const size_t s = static_cast<size_t>(std::countr_zero(candidates));
+    candidates &= candidates - 1;
+    sweep(GatherRow(skyline, s).data(), corners, SweepStop::kAllGt, &lt, &gt);
+    ChargeTile(corners);
+    pruned |= lt & ~gt;  // this skyline row strictly dominates these corners
+  }
+  return pruned;
+}
+
 constexpr KernelOps kSimdOps = {
     &SimdFilterDominated,       &SimdFilterDominators,
     &SimdFilterWeaklyDominated, &SimdAnyDominator,
-    &SimdClassifyBlock,
+    &SimdClassifyBlock,         &SimdPruneCorners,
 };
 
 const KernelOps* Resolve(DomKernel kind) {
@@ -368,6 +470,11 @@ bool DominanceKernel::AnyDominator(std::span<const Coord> p,
 BlockClassification DominanceKernel::ClassifyBlock(std::span<const Coord> p,
                                                    const TileView& tile) const {
   return ops_->classify_block(p, tile);
+}
+
+uint64_t DominanceKernel::PruneCorners(const TileView& corners,
+                                       const TileView& skyline) const {
+  return ops_->prune_corners(corners, skyline);
 }
 
 }  // namespace skydiver

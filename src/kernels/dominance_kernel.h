@@ -12,9 +12,12 @@
 //   ClassifyBlock(p, tile)    -> both masks in one sweep (rows in neither
 //                                mask are incomparable with / equal to p)
 //   FilterWeaklyDominated(p, tile) -> mask of rows with p <= row everywhere
+//   PruneCorners(corners, skyline) -> mask of corner rows some skyline row
+//                                dominates (the BBS node-prune criterion,
+//                                tile-of-probes against tile-of-candidates)
 //
 // Three implementations sit behind the `DomKernel` selector, resolved to
-// one per-flavour dispatch table at construction so all five entry points
+// one per-flavour dispatch table at construction so all six entry points
 // route through the same implementation:
 //
 //   * kScalar — reference: per-row calls into core/dominance.h, with the
@@ -22,7 +25,7 @@
 //     identical to hand-written loops.
 //   * kTiled  — one branch-free sweep per dimension over the transposed
 //     tile, accumulating per-row "probe is less somewhere" / "probe is
-//     greater somewhere" byte flags, from which all five results derive.
+//     greater somewhere" byte flags, from which all results derive.
 //   * kSimd   — the same sweep with explicit compare-to-mask vector
 //     instructions accumulating the flags as 64-bit words: AVX2 (4 x
 //     double lanes, movemask) or NEON (2 x double lanes), chosen by the
@@ -37,7 +40,8 @@
 // would have taken (AnyDominator stops scanning on the first scalar hit
 // but sweeps whole tiles), so batched counts can exceed scalar counts for
 // early-exit call sites, and agree exactly for exhaustive ones (SigGen-IF,
-// Γ-set construction).
+// Γ-set construction). PruneCorners takes two tiles and charges per sweep
+// it actually performs — see its declaration.
 
 #pragma once
 
@@ -128,6 +132,19 @@ class DominanceKernel {
   /// Both direction masks from one sweep.
   BlockClassification ClassifyBlock(std::span<const Coord> p,
                                     const TileView& tile) const;
+
+  /// Mask of `corners` rows strictly dominated by some `skyline` row — the
+  /// BBS node-prune test, batched on both sides: one call decides a whole
+  /// node's worth of MBR lo-corners against one skyline tile. The scalar
+  /// kernel early-exits per corner on its first dominator. The batched
+  /// kernels screen first: one sweep of the corner tile's ceiling (its
+  /// componentwise max) over the skyline tile finds every row that could
+  /// dominate ANY corner — usually none, because corners are R-tree
+  /// siblings and sit in a tight box — then each candidate row is swept
+  /// across the corner tile until the pruned mask saturates. Counting:
+  /// `skyline.rows` for the screen plus `corners.rows` per candidate row
+  /// actually swept, to both counters.
+  uint64_t PruneCorners(const TileView& corners, const TileView& skyline) const;
 
  private:
   DomKernel kind_;

@@ -1,0 +1,34 @@
+// Corner-tile extraction for the tile-aware BBS traversal.
+//
+// When BBS pops a node it must decide, for every entry, whether the
+// entry's best corner (the MBR lo-corner — the point of the subtree
+// closest to the origin on every dimension) is already dominated by the
+// accumulated skyline. Transposing all those corners into one column-major
+// `Tile` lets the whole node be pruned with batched `PruneCorners` sweeps
+// instead of one `AnyDominator` probe per entry.
+//
+// Tile-local ids are the entry indices, so a surviving kernel-mask row
+// maps straight back to `node.entries[tile->id(r)]`.
+
+#pragma once
+
+#include "common/check.h"
+#include "kernels/tile_view.h"
+#include "rtree/rtree.h"
+
+namespace skydiver {
+
+/// Transposes the MBR lo-corners of `node.entries[begin, end)` into
+/// `tile` (cleared first). The range must fit one tile; callers chunk
+/// nodes whose fanout exceeds kTileRows.
+inline void MaterializeLoCorners(const RTreeNode& node, size_t begin, size_t end,
+                                 Tile* tile) {
+  SKYDIVER_DCHECK_LE(end, node.entries.size());
+  SKYDIVER_DCHECK_LE(end - begin, kTileRows);
+  tile->Clear();
+  for (size_t i = begin; i < end; ++i) {
+    tile->PushRow(static_cast<RowId>(i), node.entries[i].mbr.lo());
+  }
+}
+
+}  // namespace skydiver

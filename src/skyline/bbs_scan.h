@@ -1,34 +1,71 @@
-// Progressive BBS: skyline points on demand.
+// Tile-aware BBS: one best-first traversal behind both the progressive
+// scan and the batch SkylineBBS entry points.
 //
 // The paper prefers BBS among skyline algorithms for two properties —
 // result progressiveness and I/O optimality (Section 2). `BbsScan` exposes
 // the progressiveness: skyline points are emitted one at a time in
 // ascending coordinate-sum (mindist) order, reading only the index pages
 // needed so far. An application that wants the "first few" pareto points
-// for a preview pays a fraction of the full traversal.
+// for a preview pays a fraction of the full traversal; SkylineBBS simply
+// drains the scan to exhaustion, so both paths share one implementation.
+//
+// Node pruning is batched the way SFS/BNL batch their window checks: when
+// a node is popped, the MBR lo-corners of all its entries are transposed
+// into one scratch corner `Tile` (rtree/node_corners.h) and the whole node
+// is decided with `PruneCorners` calls against the accumulated skyline
+// `TileSet`. The batched kernels exploit that the corners are R-tree
+// siblings — a tight box: one sweep of the corner tile's ceiling over
+// each skyline tile finds the few rows that could dominate any corner at
+// all (usually none, retiring the whole node/tile pair in one sweep),
+// then sweeps just those candidates across the corner tile until the
+// pruned mask saturates. Corners are compacted away between skyline
+// tiles. The kernel flavour honors the plan's `DomKernel`,
+// downgraded PER PROBE on the current skyline size (the skyline starts
+// empty, so an up-front EffectiveKernel decision would never batch).
+//
+// Heap order is a deterministic total order: mindist first, then points
+// before nodes (a tied point admitted first prunes the node's other
+// entries — and never the reverse, since a node cannot dominate a point
+// tied with its own corner), then row/child id. Emission order is
+// therefore identical across kernel flavours, tree backends, and stdlib
+// heap implementations.
 //
 // Templated over the tree backend (RTree / DiskRTree), like the other
-// traversals.
+// traversals. Every dominance probe is charged to DominanceCounter and
+// accumulated into dominance_checks(), so progressive scans report the
+// same check counts a batch SkylineBBS call does.
 
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <queue>
 #include <vector>
 
 #include "core/dataset.h"
 #include "core/dominance.h"
-#include "rtree/buffer_pool.h"
-#include "rtree/mbr.h"
+#include "kernels/dominance_kernel.h"
+#include "kernels/tile_view.h"
+#include "rtree/node_corners.h"
+#include "rtree/rtree.h"
 
 namespace skydiver {
 
-/// Incremental best-first skyline scan.
+/// Incremental best-first skyline scan with batched node pruning.
 template <typename Tree>
 class BbsScan {
  public:
   /// `data` and `tree` must outlive the scan; the tree must index `data`.
-  BbsScan(const DataSet& data, const Tree& tree) : data_(data), tree_(tree) {
+  /// `kernel` picks the dominance flavour for probes once the skyline
+  /// spans at least one tile (below that the scalar reference runs).
+  BbsScan(const DataSet& data, const Tree& tree,
+          DomKernel kernel = DomKernel::kScalar)
+      : data_(data),
+        tree_(tree),
+        scalar_(DomKernel::kScalar),
+        batched_(EffectiveKernel(kernel, kTileRows)),
+        skyline_tiles_(data.dims()),
+        corners_(data.dims()) {
     if (tree.size() > 0) {
       heap_.push(Item{0.0, false, tree.root(), kInvalidRowId});
     }
@@ -36,20 +73,82 @@ class BbsScan {
 
   /// The next skyline row in mindist order, or nullopt when exhausted.
   std::optional<RowId> Next() {
+    const uint64_t before = DominanceCounter::Count();
+    std::optional<RowId> out;
     while (!heap_.empty()) {
       const Item item = heap_.top();
       heap_.pop();
       if (item.is_point) {
         const auto p = data_.row(item.row);
         if (!DominatedBySkyline(p)) {
+          skyline_tiles_.Append(item.row, p);
           emitted_.push_back(item.row);
-          return item.row;
+          out = item.row;
+          break;
         }
         continue;
       }
-      const auto& node = tree_.ReadNode(item.child);
-      for (const auto& e : node.entries) {
-        if (DominatedBySkyline(e.mbr.lo())) continue;
+      PruneAndPushNode(tree_.ReadNode(item.child));
+    }
+    dominance_checks_ += DominanceCounter::Count() - before;
+    return out;
+  }
+
+  /// Skyline rows emitted so far, in emission (mindist) order.
+  const std::vector<RowId>& emitted() const { return emitted_; }
+
+  /// Point-level dominance tests charged by the scan so far.
+  uint64_t dominance_checks() const { return dominance_checks_; }
+
+ private:
+  struct Item {
+    double mindist;
+    bool is_point;
+    PageId child;  // when !is_point
+    RowId row;     // when is_point
+    // Deterministic total order: mindist, then points before nodes, then
+    // id — no two live items compare equal (rows and pages are unique),
+    // so pop order never depends on the stdlib's heap layout.
+    bool operator>(const Item& other) const {
+      if (mindist != other.mindist) return mindist > other.mindist;
+      if (is_point != other.is_point) return !is_point;
+      const uint32_t id = is_point ? row : child;
+      const uint32_t other_id = other.is_point ? other.row : other.child;
+      return id > other_id;
+    }
+  };
+
+  // Per-probe downgrade (the skyline grows from empty): scalar until the
+  // accumulated skyline fills a tile, the requested batched flavour after.
+  const DominanceKernel& ProbeKernel() const {
+    return skyline_tiles_.size() < kTileRows ? scalar_ : batched_;
+  }
+
+  bool DominatedBySkyline(std::span<const Coord> p) const {
+    const DominanceKernel& kernel = ProbeKernel();
+    for (const Tile& t : skyline_tiles_.tiles()) {
+      if (kernel.AnyDominator(p, t.view())) return true;
+    }
+    return false;
+  }
+
+  // Batched node prune: materialize the entries' lo-corners into the
+  // scratch tile, sweep skyline tiles over it (compacting dominated
+  // corners away between tiles), and push the survivors. This is exactly
+  // the BBS criterion that yields I/O optimality — an entry is dropped iff
+  // its best corner is already dominated.
+  void PruneAndPushNode(const RTreeNode& node) {
+    const DominanceKernel& kernel = ProbeKernel();
+    for (size_t begin = 0; begin < node.entries.size(); begin += kTileRows) {
+      const size_t end = std::min(begin + kTileRows, node.entries.size());
+      MaterializeLoCorners(node, begin, end, &corners_);
+      for (const Tile& t : skyline_tiles_.tiles()) {
+        if (corners_.empty()) break;
+        const uint64_t pruned = kernel.PruneCorners(corners_.view(), t.view());
+        if (pruned != 0) corners_.Compact(corners_.view().FullMask() & ~pruned);
+      }
+      for (size_t r = 0; r < corners_.rows(); ++r) {
+        const RTreeEntry& e = node.entries[corners_.id(r)];
         if (node.is_leaf) {
           heap_.push(Item{e.mbr.MinDistL1(), true, kInvalidPageId, e.row});
         } else {
@@ -57,32 +156,17 @@ class BbsScan {
         }
       }
     }
-    return std::nullopt;
-  }
-
-  /// Skyline rows emitted so far, in emission (mindist) order.
-  const std::vector<RowId>& emitted() const { return emitted_; }
-
- private:
-  struct Item {
-    double mindist;
-    bool is_point;
-    PageId child;
-    RowId row;
-    bool operator>(const Item& other) const { return mindist > other.mindist; }
-  };
-
-  bool DominatedBySkyline(std::span<const Coord> corner) const {
-    for (RowId s : emitted_) {
-      if (Dominates(data_.row(s), corner)) return true;
-    }
-    return false;
   }
 
   const DataSet& data_;
   const Tree& tree_;
+  DominanceKernel scalar_;
+  DominanceKernel batched_;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
+  TileSet skyline_tiles_;
+  Tile corners_;  // scratch: one node's lo-corners per chunk
   std::vector<RowId> emitted_;
+  uint64_t dominance_checks_ = 0;
 };
 
 }  // namespace skydiver

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
-#include <queue>
 
 #include "core/dominance.h"
 #include "kernels/tile_view.h"
 #include "rtree/disk_rtree.h"
+#include "skyline/bbs_scan.h"
 
 namespace skydiver {
 
@@ -242,7 +242,10 @@ SkylineResult SkylineDC(const DataSet& data, size_t leaf_size, DomKernel kernel)
 
 namespace {
 
-// BBS over any backend exposing ReadNode / root / dims / size.
+// BBS over any backend exposing ReadNode / root / dims / size: validate,
+// then drain the unified tile-aware traversal (bbs_scan.h) — the batch
+// and progressive paths are the same code, so check counts, emission
+// order, and pruning behaviour cannot diverge between them.
 template <typename Tree>
 Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
                                      DomKernel kernel) {
@@ -253,62 +256,10 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
     return Status::InvalidArgument("tree cardinality does not match dataset");
   }
   CheckScope checks;
-  kernel = EffectiveKernel(kernel, data.size());
-  const bool batched = IsBatched(kernel);
-  const DominanceKernel batch(kernel);
-
-  struct HeapItem {
-    double mindist;
-    bool is_point;
-    PageId child;  // when !is_point
-    RowId row;     // when is_point
-    // For points we keep the coordinates implicit (resolved via `data`).
-    bool operator>(const HeapItem& other) const { return mindist > other.mindist; }
-  };
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
-
-  std::vector<RowId> skyline;
-  TileSet skyline_tiles(data.dims());
-  auto dominated_by_skyline = [&](std::span<const Coord> corner) {
-    if (batched) {
-      for (const Tile& t : skyline_tiles.tiles()) {
-        if (batch.AnyDominator(corner, t.view())) return true;
-      }
-      return false;
-    }
-    for (RowId s : skyline) {
-      if (Dominates(data.row(s), corner)) return true;
-    }
-    return false;
-  };
-  auto admit = [&](RowId row) {
-    skyline.push_back(row);
-    if (batched) skyline_tiles.Append(row, data.row(row));
-  };
-
-  if (tree.size() > 0) {
-    heap.push(HeapItem{0.0, false, tree.root(), kInvalidRowId});
+  BbsScan<Tree> scan(data, tree, kernel);
+  while (scan.Next()) {
   }
-  while (!heap.empty()) {
-    const HeapItem item = heap.top();
-    heap.pop();
-    if (item.is_point) {
-      const auto p = data.row(item.row);
-      if (!dominated_by_skyline(p)) admit(item.row);
-      continue;
-    }
-    const RTreeNode& node = tree.ReadNode(item.child);
-    for (const auto& e : node.entries) {
-      // Prune any entry whose best corner is already dominated; this is
-      // exactly the BBS criterion that yields I/O optimality.
-      if (dominated_by_skyline(e.mbr.lo())) continue;
-      if (node.is_leaf) {
-        heap.push(HeapItem{e.mbr.MinDistL1(), true, kInvalidPageId, e.row});
-      } else {
-        heap.push(HeapItem{e.mbr.MinDistL1(), false, e.child, kInvalidRowId});
-      }
-    }
-  }
+  std::vector<RowId> skyline = scan.emitted();
   std::sort(skyline.begin(), skyline.end());
   return SkylineResult{std::move(skyline), checks.Delta()};
 }

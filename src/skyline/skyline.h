@@ -71,9 +71,13 @@ SkylineResult SkylineDC(const DataSet& data, size_t leaf_size = 256,
 /// Branch-and-bound skyline over the aggregate R*-tree built on `data`.
 /// Progressive (emits skyline points in mindist order) and I/O-optimal
 /// (visits only nodes whose MBR is not dominated). The tree must index
-/// exactly `data` (same row ids). Under kTiled the "is this corner
-/// dominated by the skyline so far?" prune test is batched over tiles of
-/// the accumulated skyline.
+/// exactly `data` (same row ids). Implemented as a full drain of the
+/// unified tile-aware traversal (bbs_scan.h): each popped node's entry
+/// lo-corners are transposed into one corner tile and pruned with batched
+/// PruneCorners sweeps against the accumulated skyline TileSet, with the
+/// kernel flavour downgraded per probe on the current skyline size. Heap
+/// ties break deterministically (points before nodes, then id), so
+/// results AND emission order are identical across flavours and backends.
 Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree,
                                  DomKernel kernel = DomKernel::kScalar);
 

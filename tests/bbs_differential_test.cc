@@ -1,0 +1,177 @@
+// Randomized differential tests for the tile-aware BBS traversal: batch
+// (SkylineBBS) and progressive (BbsScan) paths, both tree backends
+// (RTree / DiskRTree), and all three kernel flavours must produce
+// bit-identical skylines AND identical emission order — on data salted
+// with coordinate ties and exact duplicate rows, across d = 2..12.
+// Also pins the deterministic heap-order contract: equal-mindist points
+// pop before nodes and in ascending row id, so duplicated points emit in
+// a fixed order on every stdlib.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "datagen/generators.h"
+#include "rtree/disk_rtree.h"
+#include "rtree/rtree.h"
+#include "skyline/bbs_scan.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+namespace {
+
+constexpr DomKernel kFlavours[] = {DomKernel::kScalar, DomKernel::kTiled,
+                                   DomKernel::kSimd};
+constexpr WorkloadKind kKinds[] = {WorkloadKind::kIndependent,
+                                   WorkloadKind::kCorrelated,
+                                   WorkloadKind::kAnticorrelated};
+
+// Quantizes coordinates to a coarse grid (forcing single-dimension and
+// full-row ties) and duplicates every 17th row exactly — the inputs where
+// a nondeterministic heap tie-break would show.
+DataSet TieifyWorkload(WorkloadKind kind, RowId n, Dim d, uint64_t seed) {
+  const DataSet src = GenerateWorkload(kind, n, d, seed).value();
+  DataSet out(d);
+  std::vector<Coord> p(d);
+  for (RowId r = 0; r < src.size(); ++r) {
+    for (Dim i = 0; i < d; ++i) p[i] = std::round(src.at(r, i) * 16.0) / 16.0;
+    out.Append(p);
+    if (r % 17 == 0) out.Append(p);
+  }
+  return out;
+}
+
+template <typename Tree>
+std::vector<RowId> Drain(const DataSet& data, const Tree& tree, DomKernel kernel,
+                         uint64_t* checks = nullptr) {
+  BbsScan<Tree> scan(data, tree, kernel);
+  while (scan.Next()) {
+  }
+  if (checks != nullptr) *checks = scan.dominance_checks();
+  return scan.emitted();
+}
+
+struct DiskFixture {
+  std::string path;
+  DiskRTree tree;
+};
+
+DiskFixture OpenDiskTree(const RTree& tree, const std::string& name) {
+  std::string path = testing::TempDir() + "/" + name;
+  EXPECT_TRUE(DiskRTree::Write(tree, path).ok());
+  return DiskFixture{path, DiskRTree::Open(path).value()};
+}
+
+TEST(BbsDifferentialTest, FlavoursBackendsAndPathsEmitIdenticalSkylines) {
+  for (const WorkloadKind kind : kKinds) {
+    for (const Dim d : {Dim{2}, Dim{4}, Dim{6}, Dim{8}, Dim{10}, Dim{12}}) {
+      const DataSet data = TieifyWorkload(kind, 800, d, 1000 + d);
+      const std::vector<RowId> ref = SkylineSFS(data).rows;
+      const auto tree = RTree::BulkLoad(data).value();
+      const DiskFixture disk = OpenDiskTree(
+          tree, "bbs_diff_" + std::to_string(static_cast<int>(kind)) + "_" +
+                    std::to_string(d) + ".pages");
+
+      // Reference emission sequence: scalar flavour on the memory tree.
+      const std::vector<RowId> order = Drain(data, tree, DomKernel::kScalar);
+      {
+        std::vector<RowId> sorted = order;
+        std::sort(sorted.begin(), sorted.end());
+        ASSERT_EQ(sorted, ref) << "d=" << d;
+      }
+
+      for (const DomKernel flavour : kFlavours) {
+        // Batch results match SFS bit for bit on both backends.
+        EXPECT_EQ(SkylineBBS(data, tree, flavour).value().rows, ref)
+            << ToString(flavour) << " d=" << d;
+        EXPECT_EQ(SkylineBBS(data, disk.tree, flavour).value().rows, ref)
+            << ToString(flavour) << " d=" << d;
+        // Progressive emission sequences are identical across flavours
+        // and backends — not just the same set.
+        EXPECT_EQ(Drain(data, tree, flavour), order)
+            << ToString(flavour) << " d=" << d;
+        EXPECT_EQ(Drain(data, disk.tree, flavour), order)
+            << ToString(flavour) << " d=" << d;
+      }
+      std::remove(disk.path.c_str());
+    }
+  }
+}
+
+TEST(BbsDifferentialTest, ProgressiveDrainReportsBatchCheckCounts) {
+  const DataSet data = TieifyWorkload(WorkloadKind::kAnticorrelated, 1200, 6, 77);
+  const auto tree = RTree::BulkLoad(data).value();
+  const DiskFixture disk = OpenDiskTree(tree, "bbs_diff_checks.pages");
+  for (const DomKernel flavour : kFlavours) {
+    uint64_t drained = 0;
+    (void)Drain(data, tree, flavour, &drained);
+    EXPECT_GT(drained, 0u) << ToString(flavour);
+    EXPECT_EQ(drained, SkylineBBS(data, tree, flavour).value().dominance_checks)
+        << ToString(flavour);
+    uint64_t disk_drained = 0;
+    (void)Drain(data, disk.tree, flavour, &disk_drained);
+    EXPECT_EQ(disk_drained,
+              SkylineBBS(data, disk.tree, flavour).value().dominance_checks)
+        << ToString(flavour);
+  }
+  std::remove(disk.path.c_str());
+}
+
+TEST(BbsDifferentialTest, FirstKPrefixIsStableAcrossFlavours) {
+  constexpr size_t kPrefix = 20;
+  const DataSet data = TieifyWorkload(WorkloadKind::kIndependent, 5000, 4, 42);
+  const auto tree = RTree::BulkLoad(data).value();
+  const DiskFixture disk = OpenDiskTree(tree, "bbs_diff_prefix.pages");
+
+  const std::vector<RowId> full = Drain(data, tree, DomKernel::kScalar);
+  ASSERT_GE(full.size(), kPrefix);
+  const std::vector<RowId> want(full.begin(),
+                                full.begin() + static_cast<ptrdiff_t>(kPrefix));
+
+  for (const DomKernel flavour : kFlavours) {
+    BbsScan<RTree> preview(data, tree, flavour);
+    BbsScan<DiskRTree> disk_preview(data, disk.tree, flavour);
+    for (size_t i = 0; i < kPrefix; ++i) {
+      ASSERT_TRUE(preview.Next().has_value());
+      ASSERT_TRUE(disk_preview.Next().has_value());
+    }
+    EXPECT_EQ(preview.emitted(), want) << ToString(flavour);
+    EXPECT_EQ(disk_preview.emitted(), want) << ToString(flavour);
+  }
+  std::remove(disk.path.c_str());
+}
+
+// Regression for the heap tie-break: five skyline points share one
+// mindist (sum 0.2), three of them exact duplicates. With the old
+// mindist-only comparator their pop order was whatever the stdlib heap
+// produced; the deterministic order is ascending row id.
+TEST(BbsDifferentialTest, DuplicatePointsEmitInAscendingRowOrder) {
+  DataSet data(2);
+  data.Append({0.05, 0.15});  // row 0: tied mindist, incomparable
+  data.Append({0.60, 0.50});  // row 1: dominated
+  data.Append({0.10, 0.10});  // row 2: duplicate A
+  data.Append({0.70, 0.55});  // row 3: dominated
+  data.Append({0.55, 0.80});  // row 4: dominated
+  data.Append({0.10, 0.10});  // row 5: duplicate A
+  data.Append({0.90, 0.60});  // row 6: dominated
+  data.Append({0.15, 0.05});  // row 7: tied mindist, incomparable
+  data.Append({0.65, 0.95});  // row 8: dominated
+  data.Append({0.10, 0.10});  // row 9: duplicate A
+  const std::vector<RowId> want{0, 2, 5, 7, 9};
+
+  const auto tree = RTree::BulkLoad(data).value();
+  const DiskFixture disk = OpenDiskTree(tree, "bbs_diff_dups.pages");
+  for (const DomKernel flavour : kFlavours) {
+    EXPECT_EQ(Drain(data, tree, flavour), want) << ToString(flavour);
+    EXPECT_EQ(Drain(data, disk.tree, flavour), want) << ToString(flavour);
+  }
+  std::remove(disk.path.c_str());
+}
+
+}  // namespace
+}  // namespace skydiver

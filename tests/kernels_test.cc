@@ -146,6 +146,121 @@ TEST(DominanceKernelTest, CountingRuleChargesTileRowsPerCall) {
 }
 
 // ---------------------------------------------------------------------------
+// PruneCorners: tile-of-probes against tile-of-candidates (the BBS node
+// prune). Reference is the per-pair core relation: a corner is pruned iff
+// some skyline row strictly dominates it.
+
+TEST(DominanceKernelTest, PruneCornersMatchesPerPairReference) {
+  Rng rng(31);
+  for (const Dim dims : {Dim{1}, Dim{2}, Dim{4}, Dim{7}}) {
+    for (const size_t corner_rows : {size_t{1}, size_t{13}, size_t{64}}) {
+      for (const size_t sky_rows : {size_t{1}, size_t{40}, size_t{64}}) {
+        for (int iter = 0; iter < 10; ++iter) {
+          const Tile corners = RandomTile(rng, dims, corner_rows);
+          const Tile skyline = RandomTile(rng, dims, sky_rows);
+          uint64_t want = 0;
+          std::vector<Coord> corner(dims), row(dims);
+          for (size_t c = 0; c < corner_rows; ++c) {
+            for (Dim d = 0; d < dims; ++d) corner[d] = corners.view().at(c, d);
+            for (size_t s = 0; s < sky_rows; ++s) {
+              for (Dim d = 0; d < dims; ++d) row[d] = skyline.view().at(s, d);
+              if (Dominates(row, corner)) {
+                want |= uint64_t{1} << c;
+                break;
+              }
+            }
+          }
+          for (const DomKernel kind : kAllKernels) {
+            const DominanceKernel kernel(kind);
+            ASSERT_EQ(kernel.PruneCorners(corners.view(), skyline.view()), want)
+                << ToString(kind) << " dims=" << dims << " corners=" << corner_rows
+                << " sky=" << sky_rows;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DominanceKernelTest, PruneCornersBatchedCountingRule) {
+  constexpr Dim kDims = 4;
+  constexpr size_t kCorners = 23;
+  constexpr size_t kSky = 59;
+
+  // Corners trade dim 0 against dim 1, so their ceiling is (2.22, 3.00,
+  // 2.5, 2.5). Three skylines probe the batched counting rule:
+  //   high       — every row above the ceiling: the screen rejects all of
+  //                them, no candidate is ever swept.
+  //   trap       — every row under the ceiling but dominating nothing
+  //                (needs r >= 21 on dim 0 and r <= 1 on dim 1 at once):
+  //                all rows swept, nothing pruned.
+  //   saturating — the origin first (dominates every corner in one
+  //                sweep), trap rows after it that saturation skips.
+  Tile corners(kDims);
+  for (size_t r = 0; r < kCorners; ++r) {
+    const Coord rc = static_cast<Coord>(r) * 0.01;
+    const std::vector<Coord> row = {2.0 + rc, 3.0 - rc, 2.5, 2.5};
+    corners.PushRow(static_cast<RowId>(r), row);
+  }
+  const std::vector<Coord> trap_row = {2.21, 2.99, 2.5, 2.5};
+  const std::vector<Coord> origin(kDims, 0.0);
+  Tile high(kDims);
+  Tile trap(kDims);
+  Tile saturating(kDims);
+  for (size_t s = 0; s < kSky; ++s) {
+    const std::vector<Coord> high_row(kDims, 5.0 + static_cast<Coord>(s) * 0.01);
+    high.PushRow(static_cast<RowId>(s), high_row);
+    trap.PushRow(static_cast<RowId>(s), trap_row);
+    saturating.PushRow(static_cast<RowId>(s), s == 0 ? origin : trap_row);
+  }
+
+  // Batched flavours charge skyline.rows for the ceiling screen plus
+  // corners.rows per candidate row swept, to BOTH counters.
+  for (const DomKernel kind : {DomKernel::kTiled, DomKernel::kSimd}) {
+    const DominanceKernel batched(kind);
+    uint64_t total_before = DominanceCounter::Count();
+    uint64_t tiled_before = DominanceCounter::TiledCount();
+    EXPECT_EQ(batched.PruneCorners(corners.view(), high.view()), 0u);
+    EXPECT_EQ(DominanceCounter::Count() - total_before, kSky);
+    EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, kSky);
+
+    total_before = DominanceCounter::Count();
+    tiled_before = DominanceCounter::TiledCount();
+    EXPECT_EQ(batched.PruneCorners(corners.view(), trap.view()), 0u);
+    EXPECT_EQ(DominanceCounter::Count() - total_before, kSky + kSky * kCorners);
+    EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before,
+              kSky + kSky * kCorners);
+
+    total_before = DominanceCounter::Count();
+    tiled_before = DominanceCounter::TiledCount();
+    EXPECT_EQ(batched.PruneCorners(corners.view(), saturating.view()),
+              corners.view().FullMask());
+    EXPECT_EQ(DominanceCounter::Count() - total_before, kSky + kCorners);
+    EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, kSky + kCorners);
+  }
+
+  // The scalar kernel counts per visited (corner, skyline) pair with an
+  // early exit on the first dominator, and never touches the tiled
+  // counter: the full rectangle when nothing dominates, one pair per
+  // corner against the saturating skyline's leading origin.
+  const DominanceKernel scalar(DomKernel::kScalar);
+  uint64_t total_before = DominanceCounter::Count();
+  uint64_t tiled_before = DominanceCounter::TiledCount();
+  EXPECT_EQ(scalar.PruneCorners(corners.view(), high.view()), 0u);
+  EXPECT_EQ(DominanceCounter::Count() - total_before, kCorners * kSky);
+
+  total_before = DominanceCounter::Count();
+  EXPECT_EQ(scalar.PruneCorners(corners.view(), trap.view()), 0u);
+  EXPECT_EQ(DominanceCounter::Count() - total_before, kCorners * kSky);
+
+  total_before = DominanceCounter::Count();
+  EXPECT_EQ(scalar.PruneCorners(corners.view(), saturating.view()),
+            corners.view().FullMask());
+  EXPECT_EQ(DominanceCounter::Count() - total_before, kCorners);
+  EXPECT_EQ(DominanceCounter::TiledCount() - tiled_before, 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Randomized differential test: the three flavours must produce identical
 // masks bit for bit, across every tile occupancy, a spread of dims, and a
 // value palette that forces ties, full-row equality, and extreme
