@@ -1,0 +1,225 @@
+// Concurrent serving: QPS scaling of one shared SkySnapshot under 1, 2, 4
+// and 8 client threads (the snapshot/QueryContext split's headline
+// experiment).
+//
+// Phase 1 runs once (IND, paper n = 100k scaled, d = 5); every client then
+// replays a mixed MinHash / LSH / varying-k schedule through one SkyServer.
+// Two passes per client count:
+//
+//   * uncached — result cache disabled, every query recomputes Phase 2.
+//     This is the scaling experiment: with the snapshot immutable and each
+//     query working only in its own QueryContext, clients share nothing
+//     but read-only state, so QPS should grow with client threads up to
+//     the core count. (On a single-core host the curve is honestly flat —
+//     the table reports whatever the machine gives.)
+//   * cached — default FIFO result cache. The schedule repeats specs, so
+//     this shows the hit path's latency floor and the hit/miss accounting.
+//
+// Parity is asserted, not assumed: every per-slot result at every client
+// count is compared against a 1-client reference replay (bit-identical
+// rows), so the scaling numbers can't silently come from divergent work.
+//
+// --json writes clients x {uncached, cached} rows (qps, p50/p99 ms, cache
+// counters) to BENCH_serve.json.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "engine/snapshot.h"
+#include "parallel/thread_pool.h"
+#include "serve/serve.h"
+
+namespace skydiver::bench {
+namespace {
+
+// Mixed schedule skeleton; repeated to fill --queries slots. Repeats give
+// the cached pass its hits; the (5, 0.2, 20) / (9, 0.2, 20) pair shares a
+// plan-cache entry across k.
+std::vector<QuerySpec> MakeSchedule(size_t queries) {
+  std::vector<QuerySpec> base;
+  auto mh = [&base](size_t k) {
+    QuerySpec s;
+    s.mode = SelectMode::kMinHash;
+    s.k = k;
+    base.push_back(s);
+  };
+  auto lsh = [&base](size_t k, double threshold, size_t buckets) {
+    QuerySpec s;
+    s.mode = SelectMode::kLsh;
+    s.k = k;
+    s.lsh_threshold = threshold;
+    s.lsh_buckets = buckets;
+    base.push_back(s);
+  };
+  mh(5);
+  mh(10);
+  mh(20);
+  lsh(5, 0.2, 20);
+  lsh(10, 0.2, 20);
+  lsh(9, 0.5, 20);
+  lsh(10, 0.2, 16);
+  mh(10);
+  std::vector<QuerySpec> schedule;
+  schedule.reserve(queries);
+  for (size_t i = 0; i < queries; ++i) schedule.push_back(base[i % base.size()]);
+  return schedule;
+}
+
+struct JsonRecord {
+  size_t clients = 0;
+  std::string pass;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  ServeStats stats;
+};
+
+void WriteJson(const std::string& path, RowId n, size_t m, size_t queries,
+               const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"serve\",\n  \"n\": " << n << ",\n  \"m\": " << m
+      << ",\n  \"queries\": " << queries << ",\n  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "    {\"clients\": " << r.clients << ", \"pass\": \"" << r.pass
+        << "\", \"qps\": " << r.qps << ", \"p50_ms\": " << r.p50_ms
+        << ", \"p99_ms\": " << r.p99_ms << ", \"result_hits\": " << r.stats.result_hits
+        << ", \"result_misses\": " << r.stats.result_misses
+        << ", \"plan_hits\": " << r.stats.plan_hits
+        << ", \"plan_misses\": " << r.stats.plan_misses << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %zu records to %s\n", records.size(), path.c_str());
+}
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  std::string json_path = "BENCH_serve.json";
+  int64_t queries = 512;
+  int64_t max_clients = 8;
+  env.flags().AddString("json", &json_path,
+                        "write the clients x pass QPS grid to this file");
+  env.flags().AddInt64("queries", &queries, "schedule length per pass");
+  env.flags().AddInt64("max-clients", &max_clients,
+                       "cap the client-count sweep (1, 2, 4, 8)");
+  if (!env.Init(argc, argv,
+                "Concurrent serving: QPS of one shared snapshot under 1-8 "
+                "client threads, uncached and cached",
+                /*default_scale=*/1.0)) {
+    return 0;
+  }
+  if (queries <= 0) {
+    std::fprintf(stderr, "--queries must be positive\n");
+    return 1;
+  }
+
+  const RowId paper_n = 100000;
+  const DataSet& data = env.Data(WorkloadKind::kIndependent, paper_n, 5);
+  SkyDiverConfig config;
+  config.signature_size = 100;
+  config.seed = env.seed();
+  auto built = SkySnapshot::Build(data, config);
+  if (!built.ok()) {
+    std::fprintf(stderr, "snapshot build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const auto snapshot = built.value();
+  const size_t m = snapshot->skyline().size();
+  std::printf("snapshot: n=%u m=%zu t=%zu\n\n", data.size(), m,
+              snapshot->signature_size());
+
+  const auto schedule = MakeSchedule(static_cast<size_t>(queries));
+
+  // 1-client uncached reference replay: the parity yardstick.
+  ServeOptions uncached;
+  uncached.result_cache_capacity = 0;
+  std::vector<std::shared_ptr<const QueryResult>> reference;
+  {
+    SkyServer server(snapshot, uncached);
+    auto report = ServeLoop(server, schedule, 1);
+    if (!report.ok()) {
+      std::fprintf(stderr, "reference replay failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    reference = std::move(report->results);
+  }
+
+  ShapeChecks shape("serve");
+  TablePrinter table({"clients", "pass", "qps", "p50_ms", "p99_ms", "res_hit",
+                      "res_miss", "plan_hit", "plan_miss"});
+  std::vector<JsonRecord> records;
+  double qps_1_uncached = 0.0;
+  double qps_8_uncached = 0.0;
+
+  for (const size_t clients : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    if (clients > static_cast<size_t>(max_clients)) break;
+    for (const bool cached : {false, true}) {
+      SkyServer server(snapshot, cached ? ServeOptions{} : uncached);
+      const auto report = ServeLoop(server, schedule, clients);
+      if (!report.ok()) {
+        std::fprintf(stderr, "serve loop failed: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      bool parity = report->results.size() == reference.size();
+      for (size_t i = 0; parity && i < reference.size(); ++i) {
+        parity = report->results[i]->rows == reference[i]->rows &&
+                 report->results[i]->objective == reference[i]->objective;
+      }
+      shape.Check("clients=" + std::to_string(clients) +
+                      (cached ? " cached" : " uncached") +
+                      ": results bit-identical to 1-client reference",
+                  parity);
+      const char* pass = cached ? "cached" : "uncached";
+      table.Row({TablePrinter::Int(clients), pass, TablePrinter::Num(report->qps, 1),
+                 TablePrinter::Num(report->p50_ms, 4), TablePrinter::Num(report->p99_ms, 4),
+                 TablePrinter::Int(report->stats.result_hits),
+                 TablePrinter::Int(report->stats.result_misses),
+                 TablePrinter::Int(report->stats.plan_hits),
+                 TablePrinter::Int(report->stats.plan_misses)});
+      records.push_back({clients, pass, report->qps, report->p50_ms, report->p99_ms,
+                         report->stats});
+      if (!cached && clients == 1) qps_1_uncached = report->qps;
+      if (!cached && clients == 8) qps_8_uncached = report->qps;
+      if (cached) {
+        shape.Check("clients=" + std::to_string(clients) +
+                        " cached: repeats hit the result cache",
+                    report->stats.result_hits > 0);
+      }
+    }
+  }
+
+  // The scaling claim is only testable given the cores; report it as data,
+  // gate the check on hardware that can express it.
+  const size_t cores = ThreadPool(0).size();  // 0 = hardware concurrency
+  if (qps_8_uncached > 0.0) {
+    std::printf("\nhardware threads: %zu; uncached QPS 1->8 clients: %.1f -> %.1f (%.2fx)\n",
+                cores, qps_1_uncached, qps_8_uncached,
+                qps_1_uncached > 0 ? qps_8_uncached / qps_1_uncached : 0.0);
+    if (cores >= 8) {
+      shape.Check("uncached QPS scales >= 3x from 1 to 8 clients",
+                  qps_8_uncached >= 3.0 * qps_1_uncached);
+    }
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, data.size(), m, schedule.size(), records);
+  }
+  shape.Summarize();  // bench binaries always exit 0
+  return 0;
+}
+
+}  // namespace
+}  // namespace skydiver::bench
+
+int main(int argc, char** argv) { return skydiver::bench::Run(argc, argv); }

@@ -27,21 +27,21 @@ struct PipelineState {
 };
 
 // One pipeline stage. Stages read and extend PipelineState; they fill
-// `metrics->io` themselves (CPU time is measured by ExecContext).
+// `metrics->io` themselves (CPU time is measured by QueryContext).
 class Stage {
  public:
   virtual ~Stage() = default;
   virtual const char* name() const = 0;
-  virtual Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) = 0;
+  virtual Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) = 0;
 };
 
 // Requires the pooled backends' pool to exist (the planner only emits
 // pooled backends for pooled configs, so a miss means plan/context skew).
-Result<ThreadPool*> RequirePool(ExecContext& ctx, const char* backend) {
+Result<ThreadPool*> RequirePool(QueryContext& ctx, const char* backend) {
   ThreadPool* pool = ctx.pool();
   if (pool == nullptr) {
     return Status::Internal(std::string(backend) +
-                            " requires a pooled ExecContext (config.threads >= 1)");
+                            " requires a pooled Runtime (config.threads >= 1)");
   }
   return pool;
 }
@@ -53,13 +53,15 @@ class SkylineStage : public Stage {
       : backend_(backend), kernel_(kernel) {}
   const char* name() const override { return "skyline"; }
 
-  Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
+  Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
     auto& skyline = state.out.report.skyline;
     switch (backend_) {
       case SkylineBackend::kPrecomputed: {
         skyline = *state.res.precomputed_skyline;
         std::sort(skyline.begin(), skyline.end());
-        return Status::OK();
+        // Caller-supplied rows skip the computation but not the scrutiny:
+        // out-of-range or duplicate ids would corrupt the fingerprints.
+        return ValidateSkylineRows(skyline, state.data.size());
       }
       case SkylineBackend::kSfs: {
         skyline = SkylineSFS(state.data, kernel_).rows;
@@ -116,7 +118,7 @@ class FingerprintStage : public Stage {
       : backend_(backend), kernel_(kernel) {}
   const char* name() const override { return "fingerprint"; }
 
-  Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
+  Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
     const auto& skyline = state.out.report.skyline;
     Result<SigGenResult> result = Status::Internal("unset");
     switch (backend_) {
@@ -162,12 +164,20 @@ class SelectStage : public Stage {
   explicit SelectStage(SelectBackend backend) : backend_(backend) {}
   const char* name() const override { return "select"; }
 
-  Status Run(ExecContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
+  Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
     (void)ctx;
     (void)metrics;  // selection is CPU-only
     auto& report = state.out.report;
     const size_t m = report.skyline.size();
     const SignatureMatrix& signatures = state.out.signatures;
+
+    // The batch path and the per-query serving path resolve selection
+    // through the same planner hook, so validation cannot drift.
+    QuerySpec spec;
+    spec.mode = state.config.select;
+    spec.k = state.config.k;
+    spec.lsh_threshold = state.config.lsh_threshold;
+    spec.lsh_buckets = state.config.lsh_buckets;
 
     Result<DispersionResult> selection = Status::Internal("unset");
     switch (backend_) {
@@ -182,11 +192,13 @@ class SelectStage : public Stage {
         break;
       }
       case SelectBackend::kLsh: {
-        auto params = ChooseZones(state.config.signature_size,
-                                  state.config.lsh_threshold, state.config.lsh_buckets);
-        if (!params.ok()) return params.status();
+        auto plan = Planner::ResolveSelect(spec, state.config.signature_size);
+        if (!plan.ok()) return plan.status();
+        // The batch pipeline's historical banding seed. The serving path
+        // (SkySnapshot::Select) instead derives it from the full query
+        // spec via BandingSeed — see engine/snapshot.h.
         auto built =
-            LshIndex::Build(signatures, params.value(), state.config.seed ^ 0xdecaf);
+            LshIndex::Build(signatures, plan.value().lsh, state.config.seed ^ 0xdecaf);
         if (!built.ok()) return built.status();
         const LshIndex index = std::move(built).value();
         report.lsh_memory_bytes = index.MemoryBytes();
@@ -238,7 +250,7 @@ Status ValidateInputs(const Plan& plan, const DataSet& data,
 
 }  // namespace
 
-Result<EngineOutput> Engine::Execute(ExecContext& ctx, const Plan& plan,
+Result<EngineOutput> Engine::Execute(QueryContext& ctx, const Plan& plan,
                                      const SkyDiverConfig& config, const DataSet& data,
                                      const PlanResources& resources) {
   DebugValidatePlan(plan, resources);

@@ -11,10 +11,13 @@
 //                                                exact brute force; or
 //                                                skipped for sessions)
 //
-// Every stage runs under ExecContext::RunStage, so all entry points get
+// Every stage runs under QueryContext::RunStage, so all entry points get
 // identical per-phase CPU/I-O accounting, cumulative IoStats, and trace
 // events. The engine is the single place later scaling work (batched
 // multi-query execution, signature caching, async stages) plugs into.
+// Snapshot serving (engine/snapshot.h, serve/serve.h) reuses the
+// fingerprint-only flavour of this pipeline (SelectBackend::kNone) and
+// runs Phase 2 separately per query.
 
 #pragma once
 
@@ -25,7 +28,7 @@
 #include "common/phase_metrics.h"
 #include "common/status.h"
 #include "core/dataset.h"
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "engine/plan.h"
 #include "minhash/minhash.h"
 
@@ -71,14 +74,14 @@ struct EngineOutput {
   std::vector<uint64_t> domination_scores;
 };
 
-/// Executes plans. Stateless; all execution state lives in ExecContext.
+/// Executes plans. Stateless; all execution state lives in QueryContext.
 class Engine {
  public:
   /// Runs `plan` over `data` inside `ctx`. `resources` must hold whatever
   /// the plan's backends need (the planner guarantees this when the plan
   /// came from `Planner::Resolve` with the same resources). `data` must be
   /// in minimization space.
-  [[nodiscard]] static Result<EngineOutput> Execute(ExecContext& ctx, const Plan& plan,
+  [[nodiscard]] static Result<EngineOutput> Execute(QueryContext& ctx, const Plan& plan,
                                       const SkyDiverConfig& config, const DataSet& data,
                                       const PlanResources& resources);
 };

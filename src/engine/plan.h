@@ -59,6 +59,29 @@ struct SkyDiverConfig {
   DomKernel kernel = DomKernel::kSimd;
 };
 
+/// One Phase-2 selection query against an already-built snapshot: the
+/// per-query analogue of SkyDiverConfig. The LSH knobs are meaningful only
+/// under SelectMode::kLsh; `Normalized()` zeroes them for the other modes
+/// so equality (and any cache key built on it) never distinguishes specs
+/// that run the same query.
+struct QuerySpec {
+  SelectMode mode = SelectMode::kMinHash;
+  size_t k = 10;                ///< Number of diverse skyline points.
+  double lsh_threshold = 0.2;   ///< ξ: banding threshold (kLsh only).
+  size_t lsh_buckets = 20;      ///< B: buckets per zone (kLsh only).
+
+  friend bool operator==(const QuerySpec&, const QuerySpec&) = default;
+
+  QuerySpec Normalized() const {
+    QuerySpec s = *this;
+    if (s.mode != SelectMode::kLsh) {
+      s.lsh_threshold = 0.0;
+      s.lsh_buckets = 0;
+    }
+    return s;
+  }
+};
+
 /// Resources a caller can hand the planner. All optional; the planner
 /// picks the best backends the resources allow.
 struct PlanResources {

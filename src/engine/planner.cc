@@ -115,6 +115,31 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
   return plan;
 }
 
+Result<SelectPlan> Planner::ResolveSelect(const QuerySpec& spec,
+                                          size_t signature_size) {
+  if (spec.k == 0) return Status::InvalidArgument("k must be positive");
+  if (signature_size == 0) {
+    return Status::InvalidArgument("signature size must be positive");
+  }
+  SelectPlan plan;
+  switch (spec.mode) {
+    case SelectMode::kMinHash:
+      plan.backend = SelectBackend::kMinHash;
+      break;
+    case SelectMode::kBruteForce:
+      plan.backend = SelectBackend::kBruteForce;
+      break;
+    case SelectMode::kLsh: {
+      auto params = ChooseZones(signature_size, spec.lsh_threshold, spec.lsh_buckets);
+      if (!params.ok()) return params.status();
+      plan.backend = SelectBackend::kLsh;
+      plan.lsh = params.value();
+      break;
+    }
+  }
+  return plan;
+}
+
 void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
 #if SKYDIVER_DCHECK_ACTIVE_
   const bool pooled = plan.threads >= 1;

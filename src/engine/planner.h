@@ -21,8 +21,18 @@
 
 #include "common/status.h"
 #include "engine/plan.h"
+#include "lsh/lsh.h"
 
 namespace skydiver {
+
+/// A resolved Phase-2-only plan: the selection backend plus, under LSH,
+/// the banding it will run with. Depends only on (mode, t, ξ, B) — never
+/// on k or the seed — so a serving layer can cache one per query
+/// configuration and reuse it across every k (see serve/serve.h).
+struct SelectPlan {
+  SelectBackend backend = SelectBackend::kMinHash;
+  LshParams lsh;  ///< Meaningful only when backend == kLsh.
+};
 
 /// Resolves configs + resources into plans.
 class Planner {
@@ -37,6 +47,14 @@ class Planner {
   [[nodiscard]] static Result<Plan> Resolve(const SkyDiverConfig& config,
                               const PlanResources& resources,
                               bool run_selection = true);
+
+  /// Resolves one selection query's spec against signatures of size
+  /// `signature_size` into a SelectPlan. Owns the per-query validation
+  /// (positive k, a viable LSH banding) the same way Resolve owns the
+  /// pipeline validation; k-vs-skyline-cardinality is checked at
+  /// execution time, where m is known.
+  [[nodiscard]] static Result<SelectPlan> ResolveSelect(const QuerySpec& spec,
+                                          size_t signature_size);
 };
 
 /// Human-readable rendering of a resolved plan — one line per stage with

@@ -1,12 +1,12 @@
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 
 #include "common/timer.h"
 #include "core/dominance.h"
 
 namespace skydiver {
 
-Status ExecContext::RunStage(std::string_view name, PhaseMetrics* out,
-                             const std::function<Status(PhaseMetrics*)>& fn) {
+Status QueryContext::RunStage(std::string_view name, PhaseMetrics* out,
+                              const std::function<Status(PhaseMetrics*)>& fn) {
   *out = PhaseMetrics{};
   WallTimer wall;
   CpuTimer cpu;

@@ -1,0 +1,56 @@
+// Runtime — the process-wide execution resources shared by snapshot builds
+// and every query served against them.
+//
+// A Runtime owns the worker ThreadPool. It is constructed ONCE (per server,
+// per test, per CLI invocation) and then handed by shared_ptr to whoever
+// needs workers: the engine's pooled stage backends during a snapshot
+// build, and any future pooled query paths. Construction is eager — the
+// pool is spawned in the constructor, never lazily on first use — so
+// `pool()` is a const read of an immutable pointer and is safe to call
+// from any number of threads concurrently. (The predecessor, ExecContext,
+// created its pool lazily on first use; two threads sharing a context
+// could double-construct it. Eager creation removes that race by
+// construction; tests/serve_test.cc pins it down under TSan.)
+//
+// threads == 0 means serial: no pool is spawned and pool() returns
+// nullptr, so serial plans still never start a thread.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "parallel/thread_pool.h"
+
+namespace skydiver {
+
+class Runtime {
+ public:
+  /// Spawns the worker pool eagerly (`threads` workers); 0 = serial, no
+  /// pool. The pool lives exactly as long as the Runtime.
+  explicit Runtime(size_t threads)
+      : threads_(threads),
+        pool_(threads == 0 ? nullptr : std::make_unique<ThreadPool>(threads)) {}
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Convenience for the common shared-ownership shape.
+  static std::shared_ptr<const Runtime> Create(size_t threads) {
+    return std::make_shared<const Runtime>(threads);
+  }
+
+  size_t threads() const { return threads_; }
+
+  /// The shared worker pool, or nullptr for a serial runtime. The pointer
+  /// is immutable after construction, so concurrent calls are safe; the
+  /// pool's own Submit/Wait protocol governs what callers may then do
+  /// with it (see parallel/thread_pool.h).
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace skydiver

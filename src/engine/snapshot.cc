@@ -1,0 +1,162 @@
+#include "engine/snapshot.h"
+
+#include <bit>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+#include "diversify/brute_force.h"
+#include "diversify/dispersion.h"
+#include "engine/engine.h"
+#include "engine/planner.h"
+#include "lsh/lsh.h"
+#include "skyline/skyline.h"
+
+namespace skydiver {
+
+uint64_t BandingSeed(uint64_t snapshot_seed, const QuerySpec& spec) {
+  // Boost-style hash mixing over the normalized spec. Normalization first:
+  // non-LSH modes must not perturb the seed through stale LSH knobs (they
+  // never draw banding salts, but the rule "equal queries, equal seeds"
+  // should hold for the spec as cached, not as typed).
+  const QuerySpec s = spec.Normalized();
+  auto mix = [](uint64_t h, uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  uint64_t h = snapshot_seed;
+  h = mix(h, static_cast<uint64_t>(s.mode));
+  h = mix(h, static_cast<uint64_t>(s.k));
+  h = mix(h, std::bit_cast<uint64_t>(s.lsh_threshold));
+  h = mix(h, static_cast<uint64_t>(s.lsh_buckets));
+  return h;
+}
+
+Result<std::shared_ptr<const SkySnapshot>> SkySnapshot::Build(
+    const DataSet& data, const SkyDiverConfig& config, const PlanResources& resources,
+    std::shared_ptr<const Runtime> runtime) {
+  auto plan = Planner::Resolve(config, resources, /*run_selection=*/false);
+  if (!plan.ok()) return plan.status();
+
+  if (runtime == nullptr) runtime = Runtime::Create(config.threads);
+  QueryContext ctx(runtime, config.cost_model, config.seed);
+  auto output = Engine::Execute(ctx, plan.value(), config, data, resources);
+  if (!output.ok()) return output.status();
+  EngineOutput out = std::move(output).value();
+
+  std::shared_ptr<SkySnapshot> snap(new SkySnapshot());
+  snap->skyline_ = std::move(out.report.skyline);
+  snap->scores_ = std::move(out.domination_scores);
+  snap->signatures_ = std::move(out.signatures);
+  snap->seed_ = config.seed;
+  snap->info_.plan = out.report.plan;
+  snap->info_.plan_explain = std::move(out.report.plan_explain);
+  snap->info_.skyline_phase = out.report.skyline_phase;
+  snap->info_.fingerprint_phase = out.report.fingerprint_phase;
+  snap->info_.io = ctx.io_stats();
+  snap->tiles_ = MaterializeTiles(data, snap->skyline_);
+  snap->Freeze();
+  return std::shared_ptr<const SkySnapshot>(std::move(snap));
+}
+
+Result<std::shared_ptr<const SkySnapshot>> SkySnapshot::Adopt(
+    std::vector<RowId> skyline, std::vector<uint64_t> domination_scores,
+    SignatureMatrix signatures, uint64_t seed, const DataSet* data) {
+  // Without the dataset the universe size is unknown; range-check against
+  // the widest possible id space and rely on ascending/duplicate checks.
+  const size_t n = data != nullptr ? data->size()
+                                   : static_cast<size_t>(std::numeric_limits<RowId>::max());
+  SKYDIVER_RETURN_NOT_OK(ValidateSkylineRows(skyline, n));
+  const size_t m = skyline.size();
+  if (domination_scores.size() != m) {
+    return Status::InvalidArgument(
+        "domination score count " + std::to_string(domination_scores.size()) +
+        " does not match skyline cardinality " + std::to_string(m));
+  }
+  if (signatures.columns() != m) {
+    return Status::InvalidArgument("signature matrix has " +
+                                   std::to_string(signatures.columns()) +
+                                   " columns for a skyline of " + std::to_string(m));
+  }
+  if (signatures.signature_size() == 0) {
+    return Status::InvalidArgument("signature size must be positive");
+  }
+
+  std::shared_ptr<SkySnapshot> snap(new SkySnapshot());
+  snap->skyline_ = std::move(skyline);
+  snap->scores_ = std::move(domination_scores);
+  snap->signatures_ = std::move(signatures);
+  snap->seed_ = seed;
+  snap->info_.plan.skyline = SkylineBackend::kPrecomputed;
+  snap->info_.plan.select = SelectBackend::kNone;
+  snap->info_.plan_explain = "adopted snapshot (externally produced fingerprints)";
+  if (data != nullptr) snap->tiles_ = MaterializeTiles(*data, snap->skyline_);
+  snap->Freeze();
+  return std::shared_ptr<const SkySnapshot>(std::move(snap));
+}
+
+void SkySnapshot::Freeze() {
+  tiles_.Freeze();
+  frozen_ = true;
+}
+
+Result<QueryResult> SkySnapshot::Select(const QuerySpec& spec, QueryContext& ctx) const {
+  auto plan = Planner::ResolveSelect(spec, signatures_.signature_size());
+  if (!plan.ok()) return plan.status();
+  return Select(spec, plan.value(), ctx);
+}
+
+Result<QueryResult> SkySnapshot::Select(const QuerySpec& spec, const SelectPlan& plan,
+                                        QueryContext& ctx) const {
+  SKYDIVER_CHECK(frozen_, "Select on an unfrozen snapshot");
+  const size_t m = skyline_.size();
+  if (spec.k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(spec.k) +
+                                   " exceeds skyline cardinality m = " +
+                                   std::to_string(m));
+  }
+
+  QueryResult result;
+  PhaseMetrics metrics;
+  SKYDIVER_RETURN_NOT_OK(ctx.RunStage("select", &metrics, [&](PhaseMetrics*) -> Status {
+    Result<DispersionResult> selection = Status::Internal("unset");
+    switch (plan.backend) {
+      case SelectBackend::kNone:
+        return Status::Internal("snapshot queries always select");
+      case SelectBackend::kMinHash: {
+        auto distance = [&](size_t a, size_t b) {
+          return signatures_.EstimatedDistance(a, b);
+        };
+        selection = SelectDiverseSet(m, spec.k, distance, scores_);
+        break;
+      }
+      case SelectBackend::kLsh: {
+        // Banding salts derive from (snapshot seed, full query spec) — see
+        // BandingSeed. Every thread issuing this spec builds the identical
+        // index, so concurrent answers are bit-identical to serial ones.
+        auto built = LshIndex::Build(signatures_, plan.lsh, BandingSeed(seed_, spec));
+        if (!built.ok()) return built.status();
+        const LshIndex index = std::move(built).value();
+        result.lsh_memory_bytes = index.MemoryBytes();
+        auto distance = [&](size_t a, size_t b) { return index.Distance(a, b); };
+        selection = SelectDiverseSet(m, spec.k, distance, scores_);
+        break;
+      }
+      case SelectBackend::kBruteForce: {
+        auto distance = [&](size_t a, size_t b) {
+          return signatures_.EstimatedDistance(a, b);
+        };
+        selection = BruteForceMaxMin(m, spec.k, distance);
+        break;
+      }
+    }
+    if (!selection.ok()) return selection.status();
+    result.selected = std::move(selection.value().selected);
+    result.objective = selection.value().min_pairwise;
+    result.rows.reserve(result.selected.size());
+    for (size_t idx : result.selected) result.rows.push_back(skyline_[idx]);
+    return Status::OK();
+  }));
+  return result;
+}
+
+}  // namespace skydiver

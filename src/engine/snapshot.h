@@ -1,0 +1,140 @@
+// SkySnapshot — the immutable, shareable half of the engine's state.
+//
+// SkyDiver's whole design is "fingerprint once, diversify many times":
+// Phase 1 (skyline + signature matrix + domination scores) is the
+// expensive part, Phase 2 (greedy selection) costs O(k·m) signature
+// comparisons. A SkySnapshot materializes Phase 1's products exactly once
+// — built through a fingerprint-only engine plan, so it shares the batch
+// API's backend choice and accounting — and is then Freeze()d: no method
+// mutates it afterwards, so one snapshot can serve any number of
+// concurrent selection queries by plain shared reference, without locks.
+//
+// Thread-safety contract:
+//   * Build()/Adopt() return a frozen, fully-constructed snapshot behind
+//     a shared_ptr<const ...>; publication happens-before any reader that
+//     obtains the pointer (shared_ptr's control block provides the
+//     ordering).
+//   * After Freeze() every member is physically const — Select() reads
+//     the skyline rows, scores, signatures and tiles but writes only into
+//     the caller's QueryContext. Concurrent Select() calls from any
+//     number of threads are safe and bit-identical to serial execution
+//     (tests/serve_test.cc proves it under TSan).
+//   * Per-query randomness (the LSH banding salts) is derived functionally
+//     from (snapshot seed, query spec) via BandingSeed — no shared Rng, no
+//     call-order dependence.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io_stats.h"
+#include "common/phase_metrics.h"
+#include "common/status.h"
+#include "core/dataset.h"
+#include "engine/plan.h"
+#include "engine/planner.h"
+#include "engine/query_context.h"
+#include "engine/runtime.h"
+#include "kernels/tile_view.h"
+#include "minhash/minhash.h"
+
+namespace skydiver {
+
+/// Deterministic per-query seed for the LSH banding salts: a functional
+/// mix of the snapshot's seed and every query knob (mode, k, ξ, B).
+/// Two calls with equal inputs — on any thread, in any order — derive the
+/// same banding and therefore the same picks; this is what makes LSH
+/// selections cacheable and concurrency-invariant.
+uint64_t BandingSeed(uint64_t snapshot_seed, const QuerySpec& spec);
+
+/// One selection query's products.
+struct QueryResult {
+  /// Selected points as indices into the snapshot's skyline, in pick order.
+  std::vector<size_t> selected;
+  /// The same selection as row ids into the original dataset.
+  std::vector<RowId> rows;
+  /// k-MMDP objective under the working distance.
+  double objective = 0.0;
+  /// LSH bit-vector bytes (kLsh only; the memory side of Fig. 13).
+  size_t lsh_memory_bytes = 0;
+};
+
+/// Immutable Phase-1 state: frozen skyline view (row ids + column-major
+/// tiles), exact domination scores, and the MinHash signature matrix.
+class SkySnapshot {
+ public:
+  /// How the snapshot was built, for explain/report surfaces.
+  struct BuildInfo {
+    Plan plan;
+    std::string plan_explain;
+    PhaseMetrics skyline_phase;
+    PhaseMetrics fingerprint_phase;
+    IoStats io;
+  };
+
+  /// Runs the fingerprint-only pipeline (skyline + SigGen) over `data`
+  /// through the engine, drawing workers from `runtime` (nullptr = a
+  /// private runtime sized by config.threads), and freezes the result.
+  /// `config.k` and the selection knobs are ignored — selection is what
+  /// queries are for.
+  [[nodiscard]] static Result<std::shared_ptr<const SkySnapshot>> Build(
+      const DataSet& data, const SkyDiverConfig& config,
+      const PlanResources& resources = {},
+      std::shared_ptr<const Runtime> runtime = nullptr);
+
+  /// Adopts externally produced Phase-1 products (a reloaded session, a
+  /// streaming export) after structural validation. When `data` is given
+  /// it must be the dataset the rows refer to; the skyline is then also
+  /// materialized into frozen tiles (selection itself never needs them,
+  /// so data-free adoption — e.g. a session file shipped without its 5M
+  /// points — stays fully functional).
+  [[nodiscard]] static Result<std::shared_ptr<const SkySnapshot>> Adopt(
+      std::vector<RowId> skyline, std::vector<uint64_t> domination_scores,
+      SignatureMatrix signatures, uint64_t seed, const DataSet* data = nullptr);
+
+  /// The skyline rows the fingerprints describe, ascending.
+  const std::vector<RowId>& skyline() const { return skyline_; }
+  /// Exact |Γ(s_j)| per skyline point.
+  const std::vector<uint64_t>& domination_scores() const { return scores_; }
+  const SignatureMatrix& signatures() const { return signatures_; }
+  /// Frozen column-major tiles of the skyline points (empty when adopted
+  /// without the dataset).
+  const TileSet& skyline_tiles() const { return tiles_; }
+  uint64_t seed() const { return seed_; }
+  size_t signature_size() const { return signatures_.signature_size(); }
+  const BuildInfo& build_info() const { return info_; }
+  /// Always true for a published snapshot; Select() checks it.
+  bool frozen() const { return frozen_; }
+
+  /// Answers one selection query. Read-only on the snapshot; metrics,
+  /// trace and accounting land in `ctx` (stage name "select"). Safe to
+  /// call concurrently with any other Select() on the same snapshot;
+  /// results are bit-identical to the serial path for equal specs.
+  [[nodiscard]] Result<QueryResult> Select(const QuerySpec& spec,
+                                           QueryContext& ctx) const;
+
+  /// Same, with the spec already resolved to a SelectPlan (a serving layer
+  /// caches one per (mode, ξ, B) — see serve/serve.h). `plan` must be the
+  /// resolution of `spec` against this snapshot's signature size.
+  [[nodiscard]] Result<QueryResult> Select(const QuerySpec& spec, const SelectPlan& plan,
+                                           QueryContext& ctx) const;
+
+ private:
+  SkySnapshot() : tiles_(1) {}
+
+  void Freeze();
+
+  std::vector<RowId> skyline_;
+  std::vector<uint64_t> scores_;
+  SignatureMatrix signatures_;
+  TileSet tiles_;
+  uint64_t seed_ = 0;
+  BuildInfo info_;
+  bool frozen_ = false;
+};
+
+}  // namespace skydiver

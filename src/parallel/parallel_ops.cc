@@ -13,7 +13,7 @@ namespace skydiver {
 namespace {
 
 // Folds pool-side dominance work into the calling thread's counters so that
-// surrounding scopes (CheckScope, ExecContext stage accounting) observe it;
+// surrounding scopes (CheckScope, QueryContext stage accounting) observe it;
 // returns the harvested total for the result struct.
 uint64_t FoldHarvest(ThreadPool& pool) {
   const DominanceHarvest h = pool.HarvestDominanceChecks();

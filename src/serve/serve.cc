@@ -1,0 +1,139 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "parallel/thread_pool.h"
+
+namespace skydiver {
+
+SkyServer::SkyServer(std::shared_ptr<const SkySnapshot> snapshot, ServeOptions options,
+                     std::shared_ptr<const Runtime> runtime)
+    : snapshot_(std::move(snapshot)),
+      options_(options),
+      runtime_(runtime != nullptr ? std::move(runtime) : Runtime::Create(0)) {
+  SKYDIVER_CHECK(snapshot_ != nullptr, "SkyServer requires a snapshot");
+  SKYDIVER_CHECK(snapshot_->frozen(), "SkyServer requires a frozen snapshot");
+}
+
+Result<std::shared_ptr<const QueryResult>> SkyServer::Query(const QuerySpec& spec) {
+  const QuerySpec q = spec.Normalized();
+  const ResultKey result_key{static_cast<int>(q.mode), q.k, q.lsh_threshold,
+                             q.lsh_buckets};
+  const PlanKey plan_key{static_cast<int>(q.mode), q.lsh_threshold, q.lsh_buckets};
+
+  // Bookkeeping pass: result hit returns immediately; otherwise take (or
+  // resolve and install) the spec's plan. Resolution runs inside the lock
+  // — it is a handful of integer divisions (ChooseZones), and admitting it
+  // once keeps a failed spec from being re-resolved by racing clients.
+  SelectPlan plan;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = result_cache_.find(result_key); it != result_cache_.end()) {
+      ++stats_.result_hits;
+      ++stats_.queries;
+      return it->second;
+    }
+    if (auto it = plan_cache_.find(plan_key); it != plan_cache_.end()) {
+      ++stats_.plan_hits;
+      plan = it->second;
+    } else {
+      auto resolved = Planner::ResolveSelect(q, snapshot_->signature_size());
+      ++stats_.plan_misses;
+      if (!resolved.ok()) return resolved.status();
+      plan = resolved.value();
+      plan_cache_.emplace(plan_key, plan);
+    }
+  }
+
+  // Compute pass, outside the lock: this is where concurrent clients
+  // actually overlap. Identical specs racing here each compute the same
+  // bits (deterministic selection), so double-compute is a perf hiccup,
+  // never an inconsistency.
+  QueryContext ctx(runtime_, CostModel{}, BandingSeed(snapshot_->seed(), q));
+  auto result = snapshot_->Select(q, plan, ctx);
+  if (!result.ok()) return result.status();
+  auto shared = std::make_shared<const QueryResult>(std::move(result).value());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.result_misses;
+  ++stats_.queries;
+  if (options_.result_cache_capacity > 0 && !result_cache_.contains(result_key)) {
+    if (result_cache_.size() >= options_.result_cache_capacity) {
+      result_cache_.erase(result_fifo_.front());
+      result_fifo_.pop_front();
+    }
+    result_cache_.emplace(result_key, shared);
+    result_fifo_.push_back(result_key);
+  }
+  return shared;
+}
+
+ServeStats SkyServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Result<ServeLoopReport> ServeLoop(SkyServer& server, std::span<const QuerySpec> schedule,
+                                  size_t client_threads) {
+  if (client_threads == 0) {
+    return Status::InvalidArgument("ServeLoop needs at least one client thread");
+  }
+  const size_t n = schedule.size();
+  ServeLoopReport report;
+  report.results.resize(n);
+  report.latencies_ms.resize(n);
+  std::vector<Status> failures(client_threads, Status::OK());
+
+  WallTimer wall;
+  {
+    // Private pool: clients are workers. Slot i belongs to client
+    // i % client_threads — disjoint slot sets, so the per-slot vectors
+    // need no synchronization beyond the pool's own join.
+    ThreadPool clients(client_threads);
+    for (size_t c = 0; c < client_threads; ++c) {
+      const bool submitted = clients.Submit([&, c] {
+        for (size_t i = c; i < n; i += client_threads) {
+          WallTimer latency;
+          auto result = server.Query(schedule[i]);
+          if (!result.ok()) {
+            failures[c] = result.status();
+            return;
+          }
+          report.results[i] = std::move(result).value();
+          report.latencies_ms[i] = latency.ElapsedSeconds() * 1e3;
+        }
+      });
+      SKYDIVER_CHECK(submitted, "client pool rejected a task before shutdown");
+    }
+    clients.Wait();
+  }
+  report.wall_seconds = wall.ElapsedSeconds();
+
+  for (const Status& status : failures) {
+    SKYDIVER_RETURN_NOT_OK(status);
+  }
+  report.qps = report.wall_seconds > 0.0 ? static_cast<double>(n) / report.wall_seconds
+                                         : 0.0;
+  if (n > 0) {
+    std::vector<double> sorted = report.latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    report.p50_ms = sorted[n / 2];
+    report.p99_ms = sorted[std::min(n - 1, n * 99 / 100)];
+  }
+  report.stats = server.stats();
+  return report;
+}
+
+Result<std::shared_ptr<const SkySnapshot>> SnapshotOfStream(
+    const StreamingSkyDiver& stream) {
+  auto fingerprints = stream.ExportFingerprints();
+  if (!fingerprints.ok()) return fingerprints.status();
+  StreamFingerprints fp = std::move(fingerprints).value();
+  return SkySnapshot::Adopt(std::move(fp.skyline), std::move(fp.domination_scores),
+                            std::move(fp.signatures), fp.seed, &stream.data());
+}
+
+}  // namespace skydiver

@@ -1,0 +1,129 @@
+// Concurrent query serving over a frozen SkySnapshot.
+//
+// The snapshot/query split (engine/snapshot.h) makes Phase 1 shareable;
+// this layer adds the serving loop on top: one `SkyServer` wraps one
+// snapshot and answers SelectMinHash / SelectLsh / varying-k queries from
+// any number of client threads, with two small caches in front of the
+// compute path:
+//
+//   * plan cache — keyed by (mode, ξ, B): the resolved SelectPlan (backend
+//     + ChooseZones banding geometry). Independent of k and of the seed,
+//     so one entry serves every k at that query configuration.
+//   * result cache — keyed by the full normalized QuerySpec: the finished
+//     QueryResult, shared by pointer. Capacity 0 disables it (benchmarks
+//     measuring compute want every query cold).
+//
+// Correctness contract: caching is invisible. A hit returns a pointer to
+// a result bit-identical to what recomputing would produce — guaranteed
+// because snapshot selection is deterministic per spec (BandingSeed) —
+// and concurrent clients get answers bit-identical to the serial path
+// (tests/serve_test.cc, also under TSan).
+//
+// `ServeLoop` drives a fixed query schedule from N client threads with a
+// deterministic slot→client partition, so the produced results are
+// comparable across client counts; `bench_serve` uses it for the QPS
+// scaling experiment.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/runtime.h"
+#include "engine/snapshot.h"
+#include "stream/streaming.h"
+
+namespace skydiver {
+
+/// Server tuning knobs.
+struct ServeOptions {
+  /// Max distinct specs the result cache retains (FIFO eviction).
+  /// 0 disables result caching entirely.
+  size_t result_cache_capacity = 256;
+};
+
+/// Cumulative serving counters (one server lifetime).
+struct ServeStats {
+  uint64_t queries = 0;       ///< Query() calls that returned OK.
+  uint64_t result_hits = 0;   ///< answered straight from the result cache
+  uint64_t result_misses = 0; ///< computed (and, capacity permitting, cached)
+  uint64_t plan_hits = 0;     ///< (mode, ξ, B) already resolved
+  uint64_t plan_misses = 0;   ///< resolved via Planner::ResolveSelect
+};
+
+/// A queryable server around one frozen snapshot. All methods are
+/// thread-safe; the caches are the only mutable state and sit behind one
+/// mutex (the guarded sections are map lookups and pointer copies — the
+/// selection compute runs outside the lock, so clients only serialize on
+/// bookkeeping, not on work).
+class SkyServer {
+ public:
+  /// Serves `snapshot` (must be non-null and frozen). `runtime` seeds the
+  /// per-query contexts' pool reference; the default serial runtime is
+  /// right for serving, where parallelism comes from the clients.
+  explicit SkyServer(std::shared_ptr<const SkySnapshot> snapshot,
+                     ServeOptions options = {},
+                     std::shared_ptr<const Runtime> runtime = nullptr);
+
+  /// Answers one query. Results are shared, immutable, and safe to hold
+  /// beyond the server's lifetime.
+  [[nodiscard]] Result<std::shared_ptr<const QueryResult>> Query(const QuerySpec& spec);
+
+  const std::shared_ptr<const SkySnapshot>& snapshot() const { return snapshot_; }
+
+  /// A consistent copy of the counters.
+  ServeStats stats() const;
+
+ private:
+  using PlanKey = std::tuple<int, double, size_t>;          // (mode, ξ, B)
+  using ResultKey = std::tuple<int, size_t, double, size_t>; // + k
+
+  std::shared_ptr<const SkySnapshot> snapshot_;
+  ServeOptions options_;
+  std::shared_ptr<const Runtime> runtime_;
+
+  mutable std::mutex mutex_;
+  std::map<PlanKey, SelectPlan> plan_cache_;
+  std::map<ResultKey, std::shared_ptr<const QueryResult>> result_cache_;
+  std::deque<ResultKey> result_fifo_;  // insertion order, for eviction
+  ServeStats stats_;
+};
+
+/// One ServeLoop execution's products.
+struct ServeLoopReport {
+  /// Per-slot results, in schedule order (slot i answered schedule[i]).
+  std::vector<std::shared_ptr<const QueryResult>> results;
+  /// Per-slot wall latency in milliseconds, in schedule order.
+  std::vector<double> latencies_ms;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Server counters after the loop (cumulative if the server was reused).
+  ServeStats stats;
+};
+
+/// Replays `schedule` against `server` from `client_threads` concurrent
+/// clients (>= 1). Slot i is answered by client i % client_threads — a
+/// deterministic partition, so per-slot results are comparable across any
+/// two client counts (and against a serial reference). Fails fast on the
+/// first failed query. Client workers run on a private ThreadPool.
+[[nodiscard]] Result<ServeLoopReport> ServeLoop(SkyServer& server,
+                                                std::span<const QuerySpec> schedule,
+                                                size_t client_threads);
+
+/// Freezes the live fingerprints of a streaming monitor into a servable
+/// snapshot (skyline tiles included, since the stream holds its data).
+/// The snapshot is a copy: the stream can keep inserting afterwards.
+[[nodiscard]] Result<std::shared_ptr<const SkySnapshot>> SnapshotOfStream(
+    const StreamingSkyDiver& stream);
+
+}  // namespace skydiver

@@ -1,81 +1,76 @@
 #include "skydiver/session.h"
 
+#include <utility>
+
 #include "common/binio.h"
-#include "diversify/dispersion.h"
-#include "engine/engine.h"
-#include "engine/exec_context.h"
-#include "engine/planner.h"
-#include "lsh/lsh.h"
+#include "engine/plan.h"
+#include "engine/query_context.h"
+#include "engine/runtime.h"
 
 namespace skydiver {
 
 namespace {
 constexpr char kSessionMagic[8] = {'S', 'K', 'Y', 'D', 'S', 'E', 'S', '1'};
+
+// Answers one query against the session's snapshot with a fresh serial
+// context (the session API is synchronous; concurrent serving goes through
+// serve/serve.h instead).
+Result<std::vector<RowId>> RunQuery(const SkySnapshot& snapshot, const QuerySpec& spec) {
+  QueryContext ctx(Runtime::Create(0), CostModel{}, BandingSeed(snapshot.seed(), spec));
+  auto result = snapshot.Select(spec, ctx);
+  if (!result.ok()) return result.status();
+  return std::move(result.value().rows);
+}
+
 }  // namespace
 
 Result<SkyDiverSession> SkyDiverSession::Create(const DataSet& data,
                                                 size_t signature_size, uint64_t seed,
                                                 const RTree* tree) {
-  // A session is a fingerprint-only plan: skyline + SigGen run through the
-  // engine (identical accounting and backend choice as the batch API),
-  // selection is deferred to the Select* queries.
   SkyDiverConfig config;
   config.signature_size = signature_size;
   config.seed = seed;
   PlanResources resources;
   resources.tree = tree;
-  auto plan = Planner::Resolve(config, resources, /*run_selection=*/false);
-  if (!plan.ok()) return plan.status();
-  ExecContext ctx(config);
-  auto output = Engine::Execute(ctx, plan.value(), config, data, resources);
-  if (!output.ok()) return output.status();
+  auto snapshot = SkySnapshot::Build(data, config, resources);
+  if (!snapshot.ok()) return snapshot.status();
 
   SkyDiverSession session;
-  session.seed_ = seed;
-  session.skyline_ = std::move(output.value().report.skyline);
-  session.signatures_ = std::move(output.value().signatures);
-  session.scores_ = std::move(output.value().domination_scores);
+  session.snapshot_ = std::move(snapshot).value();
   return session;
 }
 
 Result<std::vector<RowId>> SkyDiverSession::SelectMinHash(size_t k) const {
-  auto distance = [this](size_t a, size_t b) {
-    return signatures_.EstimatedDistance(a, b);
-  };
-  auto selection = SelectDiverseSet(skyline_.size(), k, distance, scores_);
-  if (!selection.ok()) return selection.status();
-  std::vector<RowId> rows;
-  rows.reserve(k);
-  for (size_t idx : selection->selected) rows.push_back(skyline_[idx]);
-  return rows;
+  QuerySpec spec;
+  spec.mode = SelectMode::kMinHash;
+  spec.k = k;
+  return RunQuery(*snapshot_, spec);
 }
 
 Result<std::vector<RowId>> SkyDiverSession::SelectLsh(size_t k, double threshold,
                                                       size_t buckets) const {
-  auto params = ChooseZones(signatures_.signature_size(), threshold, buckets);
-  if (!params.ok()) return params.status();
-  auto index = LshIndex::Build(signatures_, params.value(), seed_ ^ 0xdecaf);
-  if (!index.ok()) return index.status();
-  auto distance = [&](size_t a, size_t b) { return index->Distance(a, b); };
-  auto selection = SelectDiverseSet(skyline_.size(), k, distance, scores_);
-  if (!selection.ok()) return selection.status();
-  std::vector<RowId> rows;
-  rows.reserve(k);
-  for (size_t idx : selection->selected) rows.push_back(skyline_[idx]);
-  return rows;
+  QuerySpec spec;
+  spec.mode = SelectMode::kLsh;
+  spec.k = k;
+  spec.lsh_threshold = threshold;
+  spec.lsh_buckets = buckets;
+  return RunQuery(*snapshot_, spec);
 }
 
 Status SkyDiverSession::SaveToFile(const std::string& path) const {
+  const auto& skyline = snapshot_->skyline();
+  const auto& scores = snapshot_->domination_scores();
+  const SignatureMatrix& signatures = snapshot_->signatures();
   BinaryWriter writer(path, kSessionMagic);
   if (!writer.ok()) return Status::IoError("cannot open '" + path + "' for writing");
-  writer.WriteU64(seed_);
-  writer.WriteU64(skyline_.size());
-  for (RowId r : skyline_) writer.WriteU32(r);
-  for (uint64_t s : scores_) writer.WriteU64(s);
-  writer.WriteU64(signatures_.signature_size());
-  for (size_t j = 0; j < signatures_.columns(); ++j) {
-    for (size_t i = 0; i < signatures_.signature_size(); ++i) {
-      writer.WriteU64(signatures_.at(j, i));
+  writer.WriteU64(snapshot_->seed());
+  writer.WriteU64(skyline.size());
+  for (RowId r : skyline) writer.WriteU32(r);
+  for (uint64_t s : scores) writer.WriteU64(s);
+  writer.WriteU64(signatures.signature_size());
+  for (size_t j = 0; j < signatures.columns(); ++j) {
+    for (size_t i = 0; i < signatures.signature_size(); ++i) {
+      writer.WriteU64(signatures.at(j, i));
     }
   }
   return writer.Finish();
@@ -84,32 +79,37 @@ Status SkyDiverSession::SaveToFile(const std::string& path) const {
 Result<SkyDiverSession> SkyDiverSession::LoadFromFile(const std::string& path) {
   BinaryReader reader(path, kSessionMagic);
   SKYDIVER_RETURN_NOT_OK(reader.status());
-  SkyDiverSession session;
+  uint64_t seed = 0;
   uint64_t m = 0;
-  if (!reader.ReadU64(&session.seed_) || !reader.ReadU64(&m)) {
+  if (!reader.ReadU64(&seed) || !reader.ReadU64(&m)) {
     return Status::IoError("'" + path + "': truncated session header");
   }
-  session.skyline_.resize(m);
-  for (auto& r : session.skyline_) {
+  std::vector<RowId> skyline(m);
+  for (auto& r : skyline) {
     if (!reader.ReadU32(&r)) return Status::IoError("'" + path + "': truncated skyline");
   }
-  session.scores_.resize(m);
-  for (auto& s : session.scores_) {
+  std::vector<uint64_t> scores(m);
+  for (auto& s : scores) {
     if (!reader.ReadU64(&s)) return Status::IoError("'" + path + "': truncated scores");
   }
   uint64_t t = 0;
   if (!reader.ReadU64(&t)) return Status::IoError("'" + path + "': truncated header");
-  session.signatures_ = SignatureMatrix(t, m);
+  SignatureMatrix signatures(t, m);
   for (size_t j = 0; j < m; ++j) {
     for (size_t i = 0; i < t; ++i) {
       uint64_t v = 0;
       if (!reader.ReadU64(&v)) {
         return Status::IoError("'" + path + "': truncated signatures");
       }
-      session.signatures_.UpdateMin(j, i, v);
+      signatures.UpdateMin(j, i, v);
     }
   }
   SKYDIVER_RETURN_NOT_OK(reader.VerifyChecksum());
+  auto snapshot = SkySnapshot::Adopt(std::move(skyline), std::move(scores),
+                                     std::move(signatures), seed);
+  if (!snapshot.ok()) return snapshot.status();
+  SkyDiverSession session;
+  session.snapshot_ = std::move(snapshot).value();
   return session;
 }
 

@@ -2,24 +2,29 @@
 //
 // Phase 1 (skyline + MinHash fingerprinting) is the expensive part of the
 // pipeline; Phase 2 (greedy selection) costs O(k·m) signature comparisons.
-// A session materializes Phase 1's products — skyline rows, domination
-// scores, the signature matrix — and then answers any number of selection
-// queries with different k, different LSH bandings, or the MH distance,
-// without touching the data again. Creation routes through the execution
-// engine (a fingerprint-only plan), so sessions share the batch API's
-// backend choice and accounting. Sessions persist to a single
-// checksummed file and can be reloaded WITHOUT the dataset: selection
-// needs only the fingerprints (the paper's index-independence taken to its
-// conclusion — ship the 100-slot signatures, not the 5M points).
+// A session is a thin convenience wrapper over an immutable `SkySnapshot`
+// (engine/snapshot.h): Create() builds the snapshot through the engine's
+// fingerprint-only plan (identical backend choice and accounting as the
+// batch API), and every Select* answers one query against it. Sessions
+// persist to a single checksummed file and can be reloaded WITHOUT the
+// dataset: selection needs only the fingerprints (the paper's
+// index-independence taken to its conclusion — ship the 100-slot
+// signatures, not the 5M points).
+//
+// For concurrent serving — many clients querying one snapshot, with plan
+// and result caching — take snapshot() and hand it to a SkyServer
+// (serve/serve.h); the session itself answers queries serially.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/dataset.h"
+#include "engine/snapshot.h"
 #include "minhash/minhash.h"
 #include "rtree/rtree.h"
 
@@ -29,23 +34,36 @@ namespace skydiver {
 class SkyDiverSession {
  public:
   /// Runs the skyline (SFS, or BBS when `tree` is given) and fingerprints
-  /// it (SigGen-IF, or SigGen-IB when `tree` is given).
+  /// it (SigGen-IF, or SigGen-IB when `tree` is given), freezing the
+  /// products into a snapshot.
   [[nodiscard]] static Result<SkyDiverSession> Create(const DataSet& data, size_t signature_size,
                                         uint64_t seed, const RTree* tree = nullptr);
 
+  /// The snapshot this session queries. Shareable: keep a copy of the
+  /// shared_ptr and the Phase-1 state outlives the session.
+  const std::shared_ptr<const SkySnapshot>& snapshot() const { return snapshot_; }
+
   /// The skyline rows the fingerprints describe, ascending.
-  const std::vector<RowId>& skyline() const { return skyline_; }
+  const std::vector<RowId>& skyline() const { return snapshot_->skyline(); }
   /// Exact |Γ(s_j)| per skyline point.
-  const std::vector<uint64_t>& domination_scores() const { return scores_; }
-  const SignatureMatrix& signatures() const { return signatures_; }
+  const std::vector<uint64_t>& domination_scores() const {
+    return snapshot_->domination_scores();
+  }
+  const SignatureMatrix& signatures() const { return snapshot_->signatures(); }
 
   /// k most diverse skyline rows under the MinHash estimated distance
   /// (SkyDiver-MH's Phase 2). Pick order = progressive ranking.
   [[nodiscard]] Result<std::vector<RowId>> SelectMinHash(size_t k) const;
 
   /// Same under an LSH banding at threshold ξ with B buckets per zone
-  /// (SkyDiver-LSH's Phase 2); a fresh banding is derived per call, so the
-  /// memory/accuracy knob can be explored on one set of fingerprints.
+  /// (SkyDiver-LSH's Phase 2), so the memory/accuracy knob can be explored
+  /// on one set of fingerprints.
+  ///
+  /// Banding determinism rule: the banding Rng is seeded by a functional
+  /// mix of (session seed, k, ξ, B) — see BandingSeed in engine/snapshot.h.
+  /// Equal arguments therefore always derive the same banding and return
+  /// the same rows, on any thread, in any call order, live or reloaded;
+  /// different (k, ξ, B) tuples draw independent bandings.
   [[nodiscard]] Result<std::vector<RowId>> SelectLsh(size_t k, double threshold,
                                        size_t buckets) const;
 
@@ -60,10 +78,7 @@ class SkyDiverSession {
  private:
   SkyDiverSession() = default;
 
-  std::vector<RowId> skyline_;
-  std::vector<uint64_t> scores_;
-  SignatureMatrix signatures_;
-  uint64_t seed_ = 0;
+  std::shared_ptr<const SkySnapshot> snapshot_;
 };
 
 }  // namespace skydiver

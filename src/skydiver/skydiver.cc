@@ -13,7 +13,7 @@ Result<SkyDiverReport> PlanAndExecute(const DataSet& data, const SkyDiverConfig&
                                       const PlanResources& resources) {
   auto plan = Planner::Resolve(config, resources);
   if (!plan.ok()) return plan.status();
-  ExecContext ctx(config);
+  QueryContext ctx(config);
   auto output = Engine::Execute(ctx, plan.value(), config, data, resources);
   if (!output.ok()) return output.status();
   return std::move(output.value().report);

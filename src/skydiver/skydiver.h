@@ -13,11 +13,12 @@
 // Every entry point here is a thin adapter over the execution engine
 // (src/engine/): the Planner resolves the config + resources into a Plan
 // (one backend per stage, pooled backends picked automatically when
-// config.threads >= 1), and the Engine executes it inside an ExecContext.
+// config.threads >= 1), and the Engine executes it inside a QueryContext.
 // The returned report carries the resolved plan and its ExplainPlan()
 // rendering. Callers needing finer control (fingerprint-only pipelines,
 // shared pools across queries, trace events) can drive the engine
-// directly — see engine/engine.h.
+// directly — see engine/engine.h — or build a SkySnapshot and serve
+// queries against it — see engine/snapshot.h and serve/serve.h.
 //
 // Quickstart:
 //
@@ -38,8 +39,8 @@
 #include "core/dataset.h"
 #include "core/preference.h"
 #include "engine/engine.h"
-#include "engine/exec_context.h"
 #include "engine/plan.h"
+#include "engine/query_context.h"
 #include "engine/planner.h"
 #include "rtree/rtree.h"
 

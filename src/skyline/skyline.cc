@@ -296,4 +296,21 @@ bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows) {
   return true;
 }
 
+Status ValidateSkylineRows(std::span<const RowId> rows, size_t n) {
+  if (rows.empty()) return Status::InvalidArgument("skyline row set is empty");
+  RowId prev = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i] >= n) {
+      return Status::InvalidArgument("skyline row " + std::to_string(rows[i]) +
+                                     " is out of range for n = " + std::to_string(n));
+    }
+    if (i > 0 && rows[i] <= prev) {
+      return Status::InvalidArgument(
+          "skyline rows are not strictly ascending at index " + std::to_string(i));
+    }
+    prev = rows[i];
+  }
+  return Status::OK();
+}
+
 }  // namespace skydiver

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -89,5 +90,12 @@ Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree,
 /// Reference check (tests): true iff `rows` is exactly the skyline of
 /// `data` by exhaustive O(n^2) comparison. Intended for small inputs.
 bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows);
+
+/// Cheap structural validation of externally supplied skyline rows (a
+/// caller's precomputed skyline, a reloaded session, a streaming export):
+/// non-empty, strictly ascending (hence duplicate-free), and every id in
+/// range for `n` rows. O(m); does NOT verify dominance — that is
+/// IsSkyline's exhaustive job.
+[[nodiscard]] Status ValidateSkylineRows(std::span<const RowId> rows, size_t n);
 
 }  // namespace skydiver

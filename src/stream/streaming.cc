@@ -12,6 +12,7 @@ StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t s
                                      uint64_t max_points, DomKernel kernel)
     : dims_(dims),
       t_(signature_size),
+      seed_(seed),
       max_points_(max_points),
       family_(MinHashFamily::Create(signature_size, max_points, seed)),
       data_(dims),
@@ -177,6 +178,26 @@ Result<std::vector<uint64_t>> StreamingSkyDiver::Signature(RowId skyline_row) co
                             " is not on the current skyline");
   }
   return it->second.signature;
+}
+
+Result<StreamFingerprints> StreamingSkyDiver::ExportFingerprints() const {
+  StreamFingerprints out;
+  out.skyline = SkylineRows();
+  if (out.skyline.empty()) {
+    return Status::InvalidArgument("stream has no skyline points to export");
+  }
+  out.seed = seed_;
+  const size_t m = out.skyline.size();
+  out.domination_scores.reserve(m);
+  out.signatures = SignatureMatrix(t_, m);
+  for (size_t j = 0; j < m; ++j) {
+    const SkylineEntry& entry = skyline_.at(out.skyline[j]);
+    out.domination_scores.push_back(entry.domination_score);
+    for (size_t i = 0; i < t_; ++i) {
+      out.signatures.UpdateMin(j, i, entry.signature[i]);
+    }
+  }
+  return out;
 }
 
 Result<std::vector<RowId>> StreamingSkyDiver::SelectDiverse(size_t k) const {

@@ -39,6 +39,18 @@ struct StreamingStats {
   uint64_t signature_updates = 0;   ///< column min-merges performed
 };
 
+/// A frozen copy of the streaming monitor's live fingerprints, in the
+/// batch pipeline's shapes (ascending skyline rows, column-major signature
+/// matrix). Engine-free on purpose — the serving layer (serve/serve.h)
+/// turns one into a SkySnapshot without this module depending on the
+/// engine.
+struct StreamFingerprints {
+  std::vector<RowId> skyline;
+  std::vector<uint64_t> domination_scores;
+  SignatureMatrix signatures;
+  uint64_t seed = 0;
+};
+
 /// Incremental skyline + signature maintenance over an insert-only stream.
 class StreamingSkyDiver {
  public:
@@ -75,8 +87,20 @@ class StreamingSkyDiver {
 
   const StreamingStats& stats() const { return stats_; }
 
+  /// Seed the hash family was drawn with (also seeds queries against a
+  /// snapshot exported from this stream).
+  uint64_t seed() const { return seed_; }
+
   /// Signature column of a current skyline row (for tests/inspection).
   [[nodiscard]] Result<std::vector<uint64_t>> Signature(RowId skyline_row) const;
+
+  /// Copies the current skyline's fingerprints (rows ascending, signatures
+  /// column-major, exact scores) out of the live maps. Fails on an empty
+  /// skyline. The export is bit-identical to batch SigGen-IF over data()
+  /// with the same hash family — the invariant the streaming tests assert
+  /// — so a snapshot adopted from it answers queries exactly like one
+  /// built from scratch.
+  [[nodiscard]] Result<StreamFingerprints> ExportFingerprints() const;
 
  private:
   struct SkylineEntry {
@@ -89,6 +113,7 @@ class StreamingSkyDiver {
 
   Dim dims_;
   size_t t_;
+  uint64_t seed_;
   uint64_t max_points_;
   MinHashFamily family_;
   DataSet data_;

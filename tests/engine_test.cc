@@ -1,5 +1,5 @@
 // Tests for the execution engine: planner backend resolution, ExplainPlan,
-// ExecContext accounting, and — the load-bearing part — plan parity: the
+// QueryContext accounting, and — the load-bearing part — plan parity: the
 // engine-driven SkyDiver::Run must reproduce the legacy hand-wired
 // pipeline bit-for-bit.
 
@@ -12,7 +12,7 @@
 #include "datagen/generators.h"
 #include "diversify/dispersion.h"
 #include "engine/engine.h"
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "engine/plan.h"
 #include "engine/planner.h"
 #include "lsh/lsh.h"
@@ -252,7 +252,7 @@ TEST(EngineTest, PooledPlanIsBitIdenticalToSerialPlan) {
 }
 
 // ---------------------------------------------------------------------------
-// ExecContext accounting
+// QueryContext accounting
 
 TEST(EngineTest, ContextRecordsPhasesTraceAndCumulativeIo) {
   const DataSet data = GenerateIndependent(2000, 3, 31);
@@ -260,7 +260,7 @@ TEST(EngineTest, ContextRecordsPhasesTraceAndCumulativeIo) {
   config.k = 5;
   const PlanResources resources;
   const auto plan = Planner::Resolve(config, resources).value();
-  ExecContext ctx(config);
+  QueryContext ctx(config);
   const auto output = Engine::Execute(ctx, plan, config, data, resources);
   ASSERT_TRUE(output.ok()) << output.status().ToString();
 

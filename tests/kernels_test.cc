@@ -19,7 +19,7 @@
 #include "core/gamma.h"
 #include "datagen/generators.h"
 #include "engine/engine.h"
-#include "engine/exec_context.h"
+#include "engine/query_context.h"
 #include "engine/planner.h"
 #include "kernels/dominance_kernel.h"
 #include "kernels/tile_view.h"
@@ -566,7 +566,7 @@ TEST(KernelPlanTest, EnginePlansMatchAcrossKernelsSerialAndPooled) {
     auto run = [&](const SkyDiverConfig& config) {
       const PlanResources resources;
       const Plan plan = Planner::Resolve(config, resources).value();
-      ExecContext ctx(config);
+      QueryContext ctx(config);
       return Engine::Execute(ctx, plan, config, data, resources).value();
     };
     const EngineOutput scalar_out = run(scalar_config);
@@ -601,7 +601,7 @@ TEST(KernelPlanTest, PooledStagesReportSerialMatchingDominanceChecks) {
     config.threads = threads;
     const PlanResources resources;
     const Plan plan = Planner::Resolve(config, resources).value();
-    ExecContext ctx(config);
+    QueryContext ctx(config);
     return Engine::Execute(ctx, plan, config, data, resources).value();
   };
   const EngineOutput serial = run(0);

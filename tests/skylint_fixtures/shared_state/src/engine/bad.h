@@ -1,0 +1,21 @@
+// Golden-bad fixture for the shared-state rule: engine-layer objects are
+// shared const across query threads, so both of these are data races.
+#pragma once
+
+#include <cstddef>
+
+namespace skydiver {
+
+// Mutable namespace-scope static: every query thread sees it, nobody owns it.
+static size_t g_query_counter;
+
+class BadSnapshot {
+ public:
+  size_t hits() const { return ++hits_; }
+
+ private:
+  // Non-atomic mutable member mutated through a const reference.
+  mutable size_t hits_ = 0;
+};
+
+}  // namespace skydiver

@@ -17,6 +17,7 @@
 //   skydiver_cli --workload IND --n 500000 --dims 4 --index --save-tree idx.skyd
 //   skydiver_cli --workload IND --n 500000 --dims 4 --load-tree idx.skyd
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -27,6 +28,7 @@
 #include "datagen/csv.h"
 #include "datagen/generators.h"
 #include "rtree/rtree.h"
+#include "serve/serve.h"
 #include "skydiver/advisor.h"
 #include "skydiver/profile.h"
 #include "skydiver/skydiver.h"
@@ -83,6 +85,11 @@ int Run(int argc, char** argv) {
                   "dominance kernel: simd (runtime-dispatched AVX2/NEON sweeps, "
                   "falls back to tiled) | tiled (batched 64-row sweeps) | scalar");
   flags.AddBool("explain", &explain, "print the resolved execution plan and exit");
+  int64_t serve_clients = 0, serve_queries = 200;
+  flags.AddInt64("serve", &serve_clients,
+                 "serve mode: freeze a snapshot and answer a mixed MH/LSH query "
+                 "schedule from this many concurrent clients (0 = off)");
+  flags.AddInt64("serve-queries", &serve_queries, "serve mode: schedule length");
   flags.AddDouble("lsh-threshold", &lsh_threshold, "LSH banding threshold xi");
   flags.AddInt64("lsh-buckets", &lsh_buckets, "LSH buckets per zone B");
   flags.AddBool("index", &use_index, "build an aggregate R*-tree (BBS + SigGen-IB)");
@@ -222,6 +229,69 @@ int Run(int argc, char** argv) {
       return 1;
     }
     std::printf("%s", ExplainPlan(*plan, config).c_str());
+    return 0;
+  }
+
+  // --- serve mode --------------------------------------------------------------
+  if (serve_clients > 0) {
+    if (serve_queries <= 0) {
+      std::fprintf(stderr, "--serve-queries must be positive\n");
+      return 2;
+    }
+    PlanResources resources;
+    resources.tree = have_tree ? &*tree : nullptr;
+    auto snapshot = SkySnapshot::Build(*canonical, config, resources);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "snapshot build failed: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    const size_t m = (*snapshot)->skyline().size();
+    const size_t k1 = std::min(config.k, m);
+    const size_t k2 = std::max<size_t>(1, k1 / 2);
+    // Mixed schedule around the configured knobs: both distance families,
+    // two k values, repeated to length (repeats exercise the result cache).
+    std::vector<QuerySpec> base;
+    for (const size_t kk : {k1, k2}) {
+      QuerySpec mh;
+      mh.mode = SelectMode::kMinHash;
+      mh.k = kk;
+      base.push_back(mh);
+      QuerySpec lsh;
+      lsh.mode = SelectMode::kLsh;
+      lsh.k = kk;
+      lsh.lsh_threshold = lsh_threshold;
+      lsh.lsh_buckets = static_cast<size_t>(lsh_buckets);
+      base.push_back(lsh);
+    }
+    std::vector<QuerySpec> schedule;
+    schedule.reserve(static_cast<size_t>(serve_queries));
+    for (size_t i = 0; i < static_cast<size_t>(serve_queries); ++i) {
+      schedule.push_back(base[i % base.size()]);
+    }
+    SkyServer server(*snapshot);
+    auto loop = ServeLoop(server, schedule, static_cast<size_t>(serve_clients));
+    if (!loop.ok()) {
+      std::fprintf(stderr, "serve loop failed: %s\n", loop.status().ToString().c_str());
+      return 1;
+    }
+    if (!quiet) {
+      std::printf("# serve: n=%u m=%zu clients=%zu queries=%zu\n", data->size(), m,
+                  static_cast<size_t>(serve_clients), schedule.size());
+      std::printf("# qps=%.1f p50_ms=%.4f p99_ms=%.4f\n", loop->qps, loop->p50_ms,
+                  loop->p99_ms);
+      std::printf("# cache: result %llu hit / %llu miss, plan %llu hit / %llu miss\n",
+                  static_cast<unsigned long long>(loop->stats.result_hits),
+                  static_cast<unsigned long long>(loop->stats.result_misses),
+                  static_cast<unsigned long long>(loop->stats.plan_hits),
+                  static_cast<unsigned long long>(loop->stats.plan_misses));
+      std::printf("# row, original values... (first query, k=%zu, mh)\n", k1);
+    }
+    for (RowId row : loop->results.front()->rows) {
+      std::printf("%u", row);
+      for (Coord v : data->row(row)) std::printf(",%g", v);
+      std::printf("\n");
+    }
     return 0;
   }
 

@@ -193,12 +193,70 @@ void CheckLayering(const SourceFile& file, std::vector<Violation>* out) {
              "src/" + dir + " may only include common/, core/ and kernels/ "
              "headers (found \"" + target + "\")",
              out);
-    } else if (in_src && dir != "engine" && dir != "skydiver" &&
+    } else if (in_src && dir != "engine" && dir != "skydiver" && dir != "serve" &&
                (inc_dir == "engine" || inc_dir == "skydiver")) {
       Report(file, i + 1, "layering",
              "src/" + dir + " may not include " + inc_dir +
                  "/ headers (library layers below the engine must not "
                  "depend on it)",
+             out);
+    } else if (in_src && dir != "serve" && inc_dir == "serve") {
+      Report(file, i + 1, "layering",
+             "src/" + dir + " may not include serve/ headers (the serving "
+             "layer sits on top of the engine; nothing in src/ depends on it)",
+             out);
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
+// shared-state
+// -------------------------------------------------------------------------
+
+// The snapshot/serving layers' thread-safety story is "immutable after
+// publication": a SkySnapshot is shared by reference across query threads,
+// so any mutable escape hatch must be a synchronization primitive. Two
+// shapes are banned in src/engine/ and src/serve/:
+//   * non-const namespace/class statics (shared across every query with no
+//     owner — `static constexpr` / `static const` data and static member
+//     FUNCTIONS stay fine);
+//   * `mutable` members whose declaration is not a std::atomic / mutex /
+//     shared_mutex / once_flag / condition_variable (a mutable counter in
+//     a const-shared object is a data race waiting for a second client).
+
+bool SharedStateScoped(const std::string& path) {
+  return StartsWith(path, "src/engine/") || StartsWith(path, "src/serve/");
+}
+
+bool HasSyncPrimitive(const std::string& text) {
+  static const std::vector<std::string> kSync = {
+      "atomic", "mutex", "shared_mutex", "once_flag", "condition_variable",
+  };
+  for (const std::string& token : kSync) {
+    if (FindToken(text, token) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void CheckSharedState(const SourceFile& file, std::vector<Violation>* out) {
+  if (!SharedStateScoped(file.path)) return;
+  for (const Statement& stmt : SplitStatements(file.code)) {
+    if (FindToken(stmt.text, "static") != std::string::npos &&
+        stmt.text.find('(') == std::string::npos &&
+        FindToken(stmt.text, "const") == std::string::npos &&
+        FindToken(stmt.text, "constexpr") == std::string::npos) {
+      Report(file, stmt.line, "shared-state",
+             "mutable static in the snapshot/serving layer; engine state "
+             "shared across query threads must be constant or live behind "
+             "a synchronization primitive",
+             out);
+    }
+    if (FindToken(stmt.text, "mutable") != std::string::npos &&
+        !HasSyncPrimitive(stmt.text)) {
+      Report(file, stmt.line, "shared-state",
+             "non-atomic mutable member in the snapshot/serving layer; "
+             "objects here are shared const across query threads, so "
+             "mutable state must be a std::atomic / mutex / once_flag",
              out);
     }
   }
@@ -408,6 +466,7 @@ void LintFile(const SourceFile& file, const LintContext& context,
               std::vector<Violation>* out) {
   CheckDiscardedStatus(file, context.registry, out);
   CheckLayering(file, out);
+  CheckSharedState(file, out);
   CheckDeterminism(file, out);
   CheckAssert(file, out);
   CheckIntrinsics(file, out);

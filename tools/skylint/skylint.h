@@ -10,8 +10,19 @@
 //                      builds with warnings off, and documents the rule.
 //   layering           src/common and src/core must not reach up into
 //                      engine/ or skydiver/; src/kernels may include
-//                      nothing above core; no test-framework includes
-//                      anywhere under src/.
+//                      nothing above core; only src/serve (the serving
+//                      layer atop the engine) may also include engine/ and
+//                      skydiver/ headers, and nothing in src/ may include
+//                      serve/; no test-framework includes anywhere under
+//                      src/.
+//   shared-state       In src/engine/ and src/serve/ — the layers whose
+//                      objects (SkySnapshot, Runtime, SkyServer) are shared
+//                      by reference across query threads — no mutable
+//                      non-const statics and no `mutable` members that are
+//                      not a std::atomic / mutex / once_flag: the
+//                      concurrent-serving guarantee is "immutable after
+//                      publication", and a mutable counter in a const
+//                      object is a data race waiting for a second client.
 //   determinism        No raw std::thread / std::mt19937 / rand() /
 //                      argless time() outside src/parallel/ and
 //                      src/common/rng.* — the paper's experiments are
