@@ -1,0 +1,113 @@
+// DataView — a query-scoped view of a DataSet.
+//
+// Every skyline backend computes over a DataView instead of the raw
+// DataSet: the view names the rows that participate (those inside the
+// query's constraint box) and the subspace dominance runs in (the
+// projection mask). The data itself is never copied or re-laid-out —
+// scalar dominance tests run on full rows through the masked overloads of
+// core/dominance.h, and the batched kernels get tiles materialized with
+// only the projected columns (kernels/tile_view.h), so the kernel layer
+// stays dimension-count-generic and untouched.
+//
+// Identity contract: a view built from the identity SkyQuery iterates the
+// same rows in the same order, with the same dimension list [0, d), as
+// the pre-query code paths — the arithmetic (and therefore every sort
+// order, early exit, and emitted skyline) is bit-identical.
+
+#pragma once
+
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "core/dataset.h"
+#include "core/sky_query.h"
+#include "core/types.h"
+
+namespace skydiver {
+
+/// Read-only view of `data` shaped by a normalized SkyQuery. Cheap to pass
+/// by const reference; safe to share across threads after construction
+/// (all members are immutable). The DataSet must outlive the view.
+class DataView {
+ public:
+  /// Identity view over the whole dataset, full space.
+  explicit DataView(const DataSet& data) : DataView(data, SkyQuery{}) {}
+
+  /// View shaped by `query`, which must already be normalized against
+  /// `data.dims()` (NormalizeQuery) — shape errors are caller bugs here.
+  DataView(const DataSet& data, SkyQuery query)
+      : data_(&data), query_(std::move(query)) {
+    const Dim d = data.dims();
+    SKYDIVER_DCHECK(!query_.constrained() || query_.lo.size() == d,
+                    "DataView query box does not match the data dimensionality");
+    if (query_.projected()) {
+      proj_ = query_.project;
+      SKYDIVER_DCHECK_LT(proj_.back(), d, "DataView projection out of range");
+    } else {
+      proj_.resize(d);
+      std::iota(proj_.begin(), proj_.end(), Dim{0});
+    }
+    if (query_.constrained()) {
+      for (RowId r = 0; r < data.size(); ++r) {
+        if (InBox(data.row(r))) rows_.push_back(r);
+      }
+    } else {
+      rows_.resize(data.size());
+      std::iota(rows_.begin(), rows_.end(), RowId{0});
+    }
+  }
+
+  const DataSet& data() const { return *data_; }
+  const SkyQuery& query() const { return query_; }
+
+  /// Projected dimensionality d'.
+  Dim dims() const { return static_cast<Dim>(proj_.size()); }
+  /// The projected dimension list, always materialized (identity = [0, d)).
+  std::span<const Dim> proj() const { return proj_; }
+
+  bool constrained() const { return query_.constrained(); }
+  /// True iff the projection is the full space (masked arithmetic over
+  /// proj() is then bit-identical to the unmasked loops).
+  bool full_space() const { return !query_.projected(); }
+  bool identity() const { return query_.identity(); }
+
+  /// Rows inside the constraint box, ascending (all rows when
+  /// unconstrained).
+  const std::vector<RowId>& rows() const { return rows_; }
+  RowId size() const { return static_cast<RowId>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Closed-box membership of a full row (all dimensions, not just the
+  /// projected ones — the constraint is a full-space region).
+  bool InBox(std::span<const Coord> full_row) const {
+    for (size_t d = 0; d < query_.lo.size(); ++d) {
+      if (full_row[d] < query_.lo[d] || full_row[d] > query_.hi[d]) return false;
+    }
+    return true;
+  }
+
+  /// Projected coordinates of row `r`: the row span itself under the full
+  /// space (zero copy, bit-identical to the historical paths), otherwise
+  /// gathered into `scratch`.
+  std::span<const Coord> ProjectedRow(RowId r, std::vector<Coord>& scratch) const {
+    const auto full = data_->row(r);
+    if (full_space()) return full;
+    scratch.resize(proj_.size());
+    for (size_t k = 0; k < proj_.size(); ++k) scratch[k] = full[proj_[k]];
+    return {scratch.data(), scratch.size()};
+  }
+
+  /// Coordinate of row `r` on VIEW dimension `vd` (i.e. data dimension
+  /// proj()[vd]).
+  Coord at(RowId r, Dim vd) const { return data_->at(r, proj_[vd]); }
+
+ private:
+  const DataSet* data_;
+  SkyQuery query_;
+  std::vector<Dim> proj_;
+  std::vector<RowId> rows_;
+};
+
+}  // namespace skydiver

@@ -88,4 +88,53 @@ inline DomRelation Compare(std::span<const Coord> p, std::span<const Coord> q) {
   return DomRelation::kIncomparable;  // equal points
 }
 
+// Masked variants: dominance restricted to the subspace named by `dims`
+// (the projection mask of a DataView). `p` and `q` are FULL rows; the mask
+// indexes into them, so subspace tests never gather or copy coordinates.
+// When `dims` is the identity list [0, d) each variant performs the exact
+// arithmetic, in the exact order, of its unmasked twin above — including
+// the early exits and the single DominanceCounter charge — which is what
+// makes the identity SkyQuery bit-identical to the historical paths.
+
+/// Returns true iff `p` dominates `q` within the subspace `dims`.
+inline bool Dominates(std::span<const Coord> p, std::span<const Coord> q,
+                      std::span<const Dim> dims) {
+  ++DominanceCounter::Count();
+  bool strictly_better = false;
+  for (const Dim i : dims) {
+    if (p[i] > q[i]) return false;
+    if (p[i] < q[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+/// Returns true iff `p` weakly dominates `q` within the subspace `dims`.
+inline bool WeaklyDominates(std::span<const Coord> p, std::span<const Coord> q,
+                            std::span<const Dim> dims) {
+  ++DominanceCounter::Count();
+  for (const Dim i : dims) {
+    if (p[i] > q[i]) return false;
+  }
+  return true;
+}
+
+/// Three-way comparison within the subspace `dims`.
+inline DomRelation Compare(std::span<const Coord> p, std::span<const Coord> q,
+                           std::span<const Dim> dims) {
+  ++DominanceCounter::Count();
+  bool p_better = false;
+  bool q_better = false;
+  for (const Dim i : dims) {
+    if (p[i] < q[i]) {
+      p_better = true;
+    } else if (q[i] < p[i]) {
+      q_better = true;
+    }
+    if (p_better && q_better) return DomRelation::kIncomparable;
+  }
+  if (p_better) return DomRelation::kDominates;
+  if (q_better) return DomRelation::kDominatedBy;
+  return DomRelation::kIncomparable;  // equal points
+}
+
 }  // namespace skydiver

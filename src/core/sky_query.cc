@@ -1,0 +1,134 @@
+#include "core/sky_query.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace skydiver {
+
+Status ValidateQueryShape(const SkyQuery& query) {
+  if (query.lo.size() != query.hi.size()) {
+    return Status::InvalidArgument(
+        "constraint box sides disagree: lo has " + std::to_string(query.lo.size()) +
+        " dimensions, hi has " + std::to_string(query.hi.size()));
+  }
+  for (size_t d = 0; d < query.lo.size(); ++d) {
+    if (std::isnan(query.lo[d]) || std::isnan(query.hi[d])) {
+      return Status::InvalidArgument("constraint box has a NaN bound on dimension " +
+                                     std::to_string(d));
+    }
+    if (query.lo[d] > query.hi[d]) {
+      return Status::InvalidArgument("constraint box is inverted on dimension " +
+                                     std::to_string(d) + " (lo > hi)");
+    }
+  }
+  std::vector<Dim> sorted = query.project;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("projection lists a dimension twice");
+  }
+  if (query.shards > kMaxQueryShards) {
+    return Status::InvalidArgument("shards = " + std::to_string(query.shards) +
+                                   " exceeds the sanity cap of " +
+                                   std::to_string(kMaxQueryShards));
+  }
+  return Status::OK();
+}
+
+SkyQuery CanonicalShape(const SkyQuery& query) {
+  SkyQuery q = query;
+  if (q.shards == 0) q.shards = 1;
+  std::sort(q.project.begin(), q.project.end());
+  q.project.erase(std::unique(q.project.begin(), q.project.end()), q.project.end());
+  if (q.constrained()) {
+    bool unbounded = true;
+    constexpr Coord kInf = std::numeric_limits<Coord>::infinity();
+    for (size_t d = 0; d < q.lo.size() && unbounded; ++d) {
+      unbounded = q.lo[d] == -kInf && q.hi[d] == kInf;
+    }
+    if (unbounded) {
+      q.lo.clear();
+      q.hi.clear();
+    }
+  }
+  return q;
+}
+
+Result<SkyQuery> NormalizeQuery(const SkyQuery& query, Dim dims) {
+  SKYDIVER_RETURN_NOT_OK(ValidateQueryShape(query));
+  SkyQuery q = CanonicalShape(query);
+  if (q.constrained() && q.lo.size() != dims) {
+    return Status::InvalidArgument("constraint box has " + std::to_string(q.lo.size()) +
+                                   " dimensions but the data has " +
+                                   std::to_string(dims));
+  }
+  if (!q.project.empty()) {
+    if (q.project.back() >= dims) {
+      return Status::InvalidArgument(
+          "projection names dimension " + std::to_string(q.project.back()) +
+          " but the data has " + std::to_string(dims));
+    }
+    // A full-space list is the identity mask; collapse it so equal queries
+    // key (and plan) identically.
+    if (q.project.size() == dims) q.project.clear();
+  }
+  return q;
+}
+
+std::string QueryKey(const SkyQuery& query) {
+  if (query.identity()) return "id";
+  std::ostringstream out;
+  if (query.constrained()) {
+    out << "b:";
+    char buf[17];
+    for (size_t d = 0; d < query.lo.size(); ++d) {
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(std::bit_cast<uint64_t>(query.lo[d])));
+      out << buf;
+      std::snprintf(buf, sizeof(buf), "%016llx",
+                    static_cast<unsigned long long>(std::bit_cast<uint64_t>(query.hi[d])));
+      out << buf;
+    }
+  }
+  if (query.projected()) {
+    out << "|p:";
+    for (size_t i = 0; i < query.project.size(); ++i) {
+      if (i > 0) out << ",";
+      out << query.project[i];
+    }
+  }
+  if (query.sharded()) out << "|s:" << query.shards;
+  return out.str();
+}
+
+std::string ToString(const SkyQuery& query) {
+  if (query.identity()) return "identity (full space, unconstrained, 1 shard)";
+  std::ostringstream out;
+  if (query.constrained()) {
+    size_t bounded = 0;
+    for (size_t d = 0; d < query.lo.size(); ++d) {
+      if (std::isfinite(query.lo[d]) || std::isfinite(query.hi[d])) ++bounded;
+    }
+    out << "box on " << bounded << "/" << query.lo.size() << " dims";
+  } else {
+    out << "unconstrained";
+  }
+  if (query.projected()) {
+    out << ", proj {";
+    for (size_t i = 0; i < query.project.size(); ++i) {
+      if (i > 0) out << ",";
+      out << query.project[i];
+    }
+    out << "} (d'=" << query.project.size() << ")";
+  } else {
+    out << ", full space";
+  }
+  out << ", shards=" << query.shards;
+  return out.str();
+}
+
+}  // namespace skydiver

@@ -1,0 +1,92 @@
+// SkyQuery — the normalized shape of a skyline query.
+//
+// The paper computes one fixed skyline per dataset; real serving wants
+// *query-shaped* skylines (the two skyline surveys treat these as the
+// canonical variants):
+//
+//   * constraint box  — only points inside the closed box [lo, hi] (full
+//     dimensionality) participate; the skyline of the constrained region.
+//   * projection mask — dominance is evaluated in the subspace named by
+//     `project` (ascending, duplicate-free dimension indices); points
+//     equal on every projected dimension are mutually incomparable and
+//     all retained, consistent with the library's strict-dominance
+//     duplicate handling.
+//   * shards          — the row set is split into `shards` contiguous
+//     chunks whose local skylines are computed independently (in parallel
+//     when a pool is available) and merged with the D&C cross-filter.
+//
+// The IDENTITY query (no box, empty projection = full space, 1 shard)
+// must be — and is, see tests/query_test.cc — bit-identical to the
+// pre-query code paths on every backend and kernel flavour.
+//
+// Two normalization levels exist because the planner never sees the data:
+//   * CanonicalShape / ValidateQueryShape — dimensionality-independent
+//     (drop an all-infinite box, sort+dedup the projection, clamp shards);
+//     what Planner::Resolve and QuerySpec::Normalized apply.
+//   * NormalizeQuery(q, dims) — the full check against a concrete
+//     dimensionality (box/projection arity, range); what the engine and
+//     the serving layer apply before building a DataView. A full-space
+//     projection list normalizes to the empty (identity) mask here, so
+//     equal queries always produce equal cache keys.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+
+namespace skydiver {
+
+/// A normalized query shape. Value-semantic and cheap to copy; equality is
+/// structural, so two CanonicalShape'd queries compare equal iff they run
+/// the same computation.
+struct SkyQuery {
+  /// Closed constraint box, full dimensionality. Both empty (no
+  /// constraint) or both of the data's dimensionality; ±infinity opens a
+  /// side.
+  std::vector<Coord> lo;
+  std::vector<Coord> hi;
+  /// Subspace the dominance tests run in; empty = full space. Ascending
+  /// and duplicate-free once canonicalized.
+  std::vector<Dim> project;
+  /// Contiguous row shards whose local skylines are cross-filter merged.
+  size_t shards = 1;
+
+  bool constrained() const { return !lo.empty(); }
+  bool projected() const { return !project.empty(); }
+  bool sharded() const { return shards > 1; }
+  /// True iff this is the full-space, unconstrained, single-shard query.
+  bool identity() const { return !constrained() && !projected() && !sharded(); }
+
+  friend bool operator==(const SkyQuery&, const SkyQuery&) = default;
+};
+
+/// Upper bound on `shards` (a sanity cap, like Planner::kMaxThreads).
+inline constexpr size_t kMaxQueryShards = 1024;
+
+/// Dimensionality-independent validation: box arity/ordering/NaN, shard
+/// cap, duplicate-free projection. What the planner can check without data.
+[[nodiscard]] Status ValidateQueryShape(const SkyQuery& query);
+
+/// Dimensionality-independent canonicalization: shards 0 -> 1, projection
+/// sorted + deduplicated, an everywhere-unbounded box dropped. Does not
+/// validate; apply ValidateQueryShape first when the query is user input.
+SkyQuery CanonicalShape(const SkyQuery& query);
+
+/// Full normalization against a concrete dimensionality: CanonicalShape
+/// plus arity/range checks and collapsing a full-space projection list to
+/// the identity mask. The engine and the serving layer run every query
+/// through this before touching data.
+[[nodiscard]] Result<SkyQuery> NormalizeQuery(const SkyQuery& query, Dim dims);
+
+/// Stable cache key for a NORMALIZED query: equal keys iff equal
+/// computation. The identity query keys as "id"; box coordinates are
+/// rendered exactly (bit pattern), so no two distinct boxes collide.
+std::string QueryKey(const SkyQuery& query);
+
+/// Human-readable rendering for explain/report surfaces.
+std::string ToString(const SkyQuery& query);
+
+}  // namespace skydiver

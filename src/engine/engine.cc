@@ -23,6 +23,9 @@ struct PipelineState {
   const DataSet& data;
   const PlanResources& res;
   const MinHashFamily family;
+  // Query-scoped view every skyline backend computes over (identity for
+  // unshaped runs — bit-identical to the historical full-space paths).
+  const DataView view;
   EngineOutput out;
 };
 
@@ -64,16 +67,25 @@ class SkylineStage : public Stage {
         return ValidateSkylineRows(skyline, state.data.size());
       }
       case SkylineBackend::kSfs: {
-        skyline = SkylineSFS(state.data, kernel_).rows;
+        skyline = SkylineSFS(state.view, kernel_).rows;
         ChargeSequentialScan(state, metrics);
         return Status::OK();
       }
       case SkylineBackend::kParallelSfs: {
         auto pool = RequirePool(ctx, "parallel-sfs");
         if (!pool.ok()) return pool.status();
-        skyline = ParallelSkyline(state.data, **pool, kernel_).rows;
+        skyline = ParallelSkyline(state.view, **pool, kernel_).rows;
         // Same logical cost as the serial scan: every shard together reads
         // the data file exactly once.
+        ChargeSequentialScan(state, metrics);
+        return Status::OK();
+      }
+      case SkylineBackend::kSharded: {
+        // Pooled when a pool exists, serial otherwise — the result set is
+        // merge-order independent either way.
+        skyline = ShardedSkyline(state.view, state.view.query().shards, ctx.pool(),
+                                 kernel_)
+                      .rows;
         ChargeSequentialScan(state, metrics);
         return Status::OK();
       }
@@ -96,7 +108,7 @@ class SkylineStage : public Stage {
   template <typename Tree>
   Status RunBbs(PipelineState& state, const Tree& tree, PhaseMetrics* metrics) {
     const IoStats before = tree.io_stats();
-    auto result = SkylineBBS(state.data, tree, kernel_);
+    auto result = SkylineBBS(state.view, tree, kernel_);
     if (!result.ok()) return result.status();
     state.out.report.skyline = std::move(result.value().rows);
     const IoStats after = tree.io_stats();
@@ -256,12 +268,18 @@ Result<EngineOutput> Engine::Execute(QueryContext& ctx, const Plan& plan,
   DebugValidatePlan(plan, resources);
   SKYDIVER_RETURN_NOT_OK(ValidateInputs(plan, data, resources));
 
+  // Finish query normalization against the concrete dimensionality (the
+  // planner only ran the data-independent shape checks).
+  auto query = NormalizeQuery(plan.query, data.dims());
+  if (!query.ok()) return query.status();
+
   PipelineState state{
       config, data, resources,
       MinHashFamily::Create(config.signature_size, data.size(), config.seed),
-      EngineOutput{}};
+      DataView(data, query.value()), EngineOutput{}};
   state.out.report.plan = plan;
-  state.out.report.plan_explain = ExplainPlan(plan, config);
+  state.out.report.plan.query = std::move(query).value();
+  state.out.report.plan_explain = ExplainPlan(state.out.report.plan, config);
 
   SkylineStage skyline_stage(plan.skyline, plan.kernel);
   SKYDIVER_RETURN_NOT_OK(ctx.RunStage(skyline_stage.name(),
@@ -269,6 +287,14 @@ Result<EngineOutput> Engine::Execute(QueryContext& ctx, const Plan& plan,
                                       [&](PhaseMetrics* metrics) {
                                         return skyline_stage.Run(ctx, state, metrics);
                                       }));
+
+  // A constraint box may exclude every point; downstream fingerprinting
+  // requires a non-empty skyline, so fail with the real cause here.
+  if (state.out.report.skyline.empty()) {
+    return Status::InvalidArgument(
+        "the query's constraint box excludes every point: the skyline is "
+        "empty");
+  }
 
   // k is only meaningful when a selection will run (sessions defer it).
   const size_t m = state.out.report.skyline.size();

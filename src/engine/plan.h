@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/io_stats.h"
+#include "core/sky_query.h"
 #include "core/types.h"
 #include "kernels/dominance_kernel.h"
 
@@ -50,6 +51,10 @@ struct SkyDiverConfig {
   size_t lsh_buckets = 20;        ///< B: buckets per zone (kLsh only).
   uint64_t seed = 42;             ///< Seed for hash-family / LSH draws.
   size_t threads = 0;             ///< 0 = serial; N >= 1 = pooled, N workers.
+  /// Query shape (core/sky_query.h): constraint box, projection mask, and
+  /// shard count. The identity default runs the historical full-space
+  /// pipeline bit-for-bit. shards > 1 selects the sharded skyline backend.
+  SkyQuery query;
   CostModel cost_model;           ///< Page-fault charge (default 8 ms).
   /// Dominance kernel for the batched stages (skyline, IF fingerprints).
   /// Simd by default — the planner downgrades it to tiled when the runtime
@@ -69,6 +74,10 @@ struct QuerySpec {
   size_t k = 10;                ///< Number of diverse skyline points.
   double lsh_threshold = 0.2;   ///< ξ: banding threshold (kLsh only).
   size_t lsh_buckets = 20;      ///< B: buckets per zone (kLsh only).
+  /// Skyline shape the query runs against (identity = the full snapshot).
+  /// A multi-snapshot server resolves this to a snapshot keyed by the
+  /// normalized query; a single-snapshot server rejects non-identity specs.
+  SkyQuery query;
 
   friend bool operator==(const QuerySpec&, const QuerySpec&) = default;
 
@@ -78,6 +87,7 @@ struct QuerySpec {
       s.lsh_threshold = 0.0;
       s.lsh_buckets = 0;
     }
+    s.query = CanonicalShape(s.query);
     return s;
   }
 };
@@ -95,6 +105,7 @@ enum class SkylineBackend {
   kPrecomputed,  ///< Caller-supplied rows, used verbatim (sorted).
   kSfs,          ///< Sort-filter-skyline over the data file.
   kParallelSfs,  ///< Sharded SFS + merge on the thread pool (== kSfs output).
+  kSharded,      ///< Per-shard SFS + D&C cross-filter merge (query.shards).
   kBbs,          ///< Branch-and-bound over the in-memory aggregate tree.
   kBbsDisk,      ///< BBS over the file-backed tree (real preads).
 };
@@ -121,6 +132,10 @@ struct Plan {
   FingerprintBackend fingerprint = FingerprintBackend::kSigGenIf;
   SelectBackend select = SelectBackend::kMinHash;
   size_t threads = 0;  ///< Worker threads the pooled backends will use.
+  /// Shape-canonicalized copy of the config's SkyQuery (CanonicalShape at
+  /// plan time; the engine finishes normalization against the data's
+  /// dimensionality when it builds the DataView).
+  SkyQuery query;
   /// Dominance kernel (scalar|tiled|simd); the planner never emits kSimd
   /// unless the host's vector ISA probe succeeded.
   DomKernel kernel = DomKernel::kTiled;

@@ -12,6 +12,7 @@ const char* ToString(SkylineBackend backend) {
     case SkylineBackend::kPrecomputed: return "precomputed";
     case SkylineBackend::kSfs: return "sfs";
     case SkylineBackend::kParallelSfs: return "parallel-sfs";
+    case SkylineBackend::kSharded: return "sharded";
     case SkylineBackend::kBbs: return "bbs";
     case SkylineBackend::kBbsDisk: return "bbs-disk";
   }
@@ -64,10 +65,20 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
       config.kernel != DomKernel::kSimd) {
     return Status::InvalidArgument("unknown dominance kernel value");
   }
+  // Shape-level query validation (dimensionality-independent — the engine
+  // re-validates against the data's dims when it builds the view).
+  SKYDIVER_RETURN_NOT_OK(ValidateQueryShape(config.query));
+  const SkyQuery query = CanonicalShape(config.query);
+  if (resources.precomputed_skyline != nullptr && !query.identity()) {
+    return Status::InvalidArgument(
+        "a precomputed skyline cannot serve a shaped query (constraint box, "
+        "projection, or shards); recompute under the query instead");
+  }
   const bool pooled = config.threads >= 1;
 
   Plan plan;
   plan.threads = config.threads;
+  plan.query = query;
   // The missing-ISA half of the EffectiveKernel downgrade policy, applied
   // at plan time so the resolved plan (and its ExplainPlan rendering)
   // reflects what will actually run: simd is the default config value, but
@@ -78,6 +89,11 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
 
   if (resources.precomputed_skyline != nullptr) {
     plan.skyline = SkylineBackend::kPrecomputed;
+  } else if (query.sharded()) {
+    // An explicit shard count wins over the trees: the caller asked for the
+    // partition/merge execution shape (the tree still serves IB
+    // fingerprinting below).
+    plan.skyline = SkylineBackend::kSharded;
   } else if (resources.disk_tree != nullptr) {
     plan.skyline = SkylineBackend::kBbsDisk;
   } else if (resources.tree != nullptr) {
@@ -168,9 +184,15 @@ void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
     case SkylineBackend::kParallelSfs:
       SKYDIVER_DCHECK(pooled, "pooled skyline backend in a serial plan");
       break;
+    case SkylineBackend::kSharded:
+      SKYDIVER_DCHECK(plan.query.sharded(),
+                      "sharded skyline backend without query.shards > 1");
+      break;
     case SkylineBackend::kSfs:
       break;
   }
+  SKYDIVER_DCHECK(resources.precomputed_skyline == nullptr || plan.query.identity(),
+                  "precomputed skyline rows cannot serve a shaped query");
   switch (plan.fingerprint) {
     case FingerprintBackend::kSigGenIb:
       SKYDIVER_DCHECK(resources.tree != nullptr, "IB backend without an R-tree");
@@ -202,6 +224,8 @@ std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
   if (plan.kernel == DomKernel::kSimd) out << "(" << ToString(DetectSimdIsa()) << ")";
   out << "]\n";
 
+  out << "  query:          " << ToString(plan.query) << "\n";
+
   out << "  1. skyline:     " << ToString(plan.skyline);
   switch (plan.skyline) {
     case SkylineBackend::kPrecomputed:
@@ -212,6 +236,10 @@ std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
       break;
     case SkylineBackend::kParallelSfs:
       out << " (" << plan.threads << "-way shard + merge, == sfs output)";
+      break;
+    case SkylineBackend::kSharded:
+      out << " (" << plan.query.shards
+          << "-way shard + cross-filter merge, == sfs output)";
       break;
     case SkylineBackend::kBbs:
       out << " (branch-and-bound over the aggregate R*-tree, bbs=corner-tiles)";

@@ -28,6 +28,13 @@ uint64_t BandingSeed(uint64_t snapshot_seed, const QuerySpec& spec) {
   h = mix(h, static_cast<uint64_t>(s.k));
   h = mix(h, std::bit_cast<uint64_t>(s.lsh_threshold));
   h = mix(h, static_cast<uint64_t>(s.lsh_buckets));
+  // Shaped queries fold their canonical key in; the identity query mixes
+  // nothing so historical seeds (and cached selections) are preserved.
+  if (!s.query.identity()) {
+    for (const char c : QueryKey(s.query)) {
+      h = mix(h, static_cast<uint64_t>(static_cast<unsigned char>(c)));
+    }
+  }
   return h;
 }
 

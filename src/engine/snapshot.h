@@ -107,6 +107,10 @@ class SkySnapshot {
   uint64_t seed() const { return seed_; }
   size_t signature_size() const { return signatures_.signature_size(); }
   const BuildInfo& build_info() const { return info_; }
+  /// The fully normalized SkyQuery this snapshot was built under (identity
+  /// for unshaped builds and adopted snapshots). A serving layer keys its
+  /// snapshot cache by QueryKey(query()).
+  const SkyQuery& query() const { return info_.plan.query; }
   /// Always true for a published snapshot; Select() checks it.
   bool frozen() const { return frozen_; }
 

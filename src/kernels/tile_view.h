@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "core/data_view.h"
 #include "core/dataset.h"
 #include "core/types.h"
 
@@ -198,6 +199,17 @@ class TileSet {
 inline TileSet MaterializeTiles(const DataSet& data, std::span<const RowId> ids) {
   TileSet tiles(data.dims());
   for (RowId r : ids) tiles.Append(r, data.row(r));
+  return tiles;
+}
+
+/// View-scoped materialization: tiles carry only the projected columns
+/// (d' = view.dims()), so the dimension-count-generic kernels sweep the
+/// query subspace without knowing a mask exists. Under the full-space
+/// projection this is byte-identical to the DataSet overload.
+inline TileSet MaterializeTiles(const DataView& view, std::span<const RowId> ids) {
+  TileSet tiles(view.dims());
+  std::vector<Coord> scratch;
+  for (RowId r : ids) tiles.Append(r, view.ProjectedRow(r, scratch));
   return tiles;
 }
 

@@ -24,28 +24,27 @@ uint64_t FoldHarvest(ThreadPool& pool) {
 
 }  // namespace
 
-SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
+SkylineResult ParallelSkyline(const DataView& view, ThreadPool& pool,
                               DomKernel kernel) {
   const uint64_t checks_before = DominanceCounter::Count();
   (void)pool.HarvestDominanceChecks();  // drop leftovers from earlier pool users
-  const RowId n = data.size();
+  const std::vector<RowId>& all = view.rows();
   const size_t shards = std::max<size_t>(1, pool.size());
   std::vector<std::vector<RowId>> locals(shards);
 
-  // Phase 1: local skylines per shard.
+  // Phase 1: local skylines per shard. Each chunk is a contiguous slice of
+  // the view's (ascending) row list; SkylineSFSRows works on the shared
+  // view in place, so no per-shard dataset copies are made.
   {
     std::mutex mu;
     size_t next_shard = 0;
-    pool.ParallelFor(n, shards, [&](uint64_t begin, uint64_t end) {
-      std::vector<RowId> rows(end - begin);
-      for (uint64_t r = begin; r < end; ++r) rows[r - begin] = static_cast<RowId>(r);
-      const DataSet shard = data.Select(rows);
-      const auto local = SkylineSFS(shard, kernel).rows;
-      std::vector<RowId> mapped;
-      mapped.reserve(local.size());
-      for (RowId lr : local) mapped.push_back(rows[lr]);
+    pool.ParallelFor(all.size(), shards, [&](uint64_t begin, uint64_t end) {
+      auto local = SkylineSFSRows(
+                       view,
+                       std::span<const RowId>(all).subspan(begin, end - begin), kernel)
+                       .rows;
       std::lock_guard<std::mutex> lock(mu);
-      locals[next_shard++] = std::move(mapped);
+      locals[next_shard++] = std::move(local);
     });
   }
   FoldHarvest(pool);
@@ -55,13 +54,53 @@ SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
   std::vector<RowId> candidates;
   for (const auto& l : locals) candidates.insert(candidates.end(), l.begin(), l.end());
   std::sort(candidates.begin(), candidates.end());
-  const DataSet candidate_set = data.Select(candidates);
-  const auto final_local = SkylineSFS(candidate_set, kernel).rows;
-  std::vector<RowId> out;
-  out.reserve(final_local.size());
-  for (RowId lr : final_local) out.push_back(candidates[lr]);
-  std::sort(out.begin(), out.end());
+  std::vector<RowId> out = SkylineSFSRows(view, candidates, kernel).rows;
   return SkylineResult{std::move(out), DominanceCounter::Count() - checks_before};
+}
+
+SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
+                              DomKernel kernel) {
+  return ParallelSkyline(DataView(data), pool, kernel);
+}
+
+SkylineResult ShardedSkyline(const DataView& view, size_t shards, ThreadPool* pool,
+                             DomKernel kernel) {
+  if (pool == nullptr || shards <= 1 || view.empty()) {
+    return SkylineSharded(view, shards, kernel);
+  }
+  const uint64_t checks_before = DominanceCounter::Count();
+  (void)pool->HarvestDominanceChecks();  // drop leftovers from earlier pool users
+  const std::vector<RowId>& all = view.rows();
+  shards = std::clamp<size_t>(shards, 1, all.size());
+  std::vector<std::vector<RowId>> locals(shards);
+
+  // Shard phase on the pool; merge-order independence (the skyline of a
+  // union is unique) makes the slot assignment immaterial to the result.
+  {
+    std::mutex mu;
+    size_t next_shard = 0;
+    pool->ParallelFor(all.size(), shards, [&](uint64_t begin, uint64_t end) {
+      auto local = SkylineSFSRows(
+                       view,
+                       std::span<const RowId>(all).subspan(begin, end - begin), kernel)
+                       .rows;
+      std::lock_guard<std::mutex> lock(mu);
+      locals[next_shard++] = std::move(local);
+    });
+  }
+  FoldHarvest(*pool);
+
+  // Merge phase: left-fold the local antichains with the cross-filter.
+  std::vector<RowId> merged;
+  for (auto& l : locals) {
+    if (merged.empty()) {
+      merged = std::move(l);
+    } else if (!l.empty()) {
+      merged = CrossFilterMerge(view, merged, l, kernel);
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  return SkylineResult{std::move(merged), DominanceCounter::Count() - checks_before};
 }
 
 Result<SigGenResult> ParallelSigGenIF(const DataSet& data,

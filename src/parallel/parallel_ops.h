@@ -28,10 +28,24 @@ namespace skydiver {
 // runs report the same counts a serial run would (exactly, for the
 // exhaustive SigGen-IF pass; the sharded skyline does different work).
 
-/// Skyline of `data` computed on `pool` (rows identical to SkylineSFS).
-/// `dominance_checks` covers shard passes and the merge pass.
+/// Skyline of the view computed on `pool` (rows identical to SkylineSFS on
+/// the same view). `dominance_checks` covers shard passes and the merge
+/// pass. The DataSet overload runs the identity view, bit-identical to the
+/// historical path.
+SkylineResult ParallelSkyline(const DataView& view, ThreadPool& pool,
+                              DomKernel kernel = DomKernel::kScalar);
 SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
                               DomKernel kernel = DomKernel::kScalar);
+
+/// Pooled sharded skyline (the kSharded backend): the view's rows are cut
+/// into `shards` contiguous chunks whose local SFS skylines are computed on
+/// `pool` (serially when `pool` is null), then folded together with the D&C
+/// cross-filter merge. Rows are identical to SkylineSharded — the skyline
+/// of a union is the cross-filtered union of the local skylines,
+/// independent of merge order.
+SkylineResult ShardedSkyline(const DataView& view, size_t shards,
+                             ThreadPool* pool,
+                             DomKernel kernel = DomKernel::kScalar);
 
 /// Index-free signature generation sharded over `pool` (result identical
 /// to serial SigGenIF with the same family and kernel).

@@ -12,7 +12,11 @@
 
 #pragma once
 
+#include <algorithm>
+#include <vector>
+
 #include "common/check.h"
+#include "core/data_view.h"
 #include "kernels/tile_view.h"
 #include "rtree/rtree.h"
 
@@ -28,6 +32,50 @@ inline void MaterializeLoCorners(const RTreeNode& node, size_t begin, size_t end
   tile->Clear();
   for (size_t i = begin; i < end; ++i) {
     tile->PushRow(static_cast<RowId>(i), node.entries[i].mbr.lo());
+  }
+}
+
+/// Query-shaped corner extraction: entries whose MBR misses the view's
+/// constraint box are dropped outright (for a leaf the MBR is the point
+/// itself, so this is an exact in-box filter); the survivors' lo-corners
+/// are CLIPPED against the box (max(lo, box.lo) per dimension — a
+/// componentwise lower bound of every in-box subtree point, so strict
+/// dominance of the clipped corner still implies the subtree is prunable)
+/// and PROJECTED into the view's subspace before transposition. Under the
+/// identity query this takes the zero-copy full-span path and is
+/// byte-identical to MaterializeLoCorners.
+inline void MaterializeQueryCorners(const RTreeNode& node, size_t begin, size_t end,
+                                    const DataView& view, std::vector<Coord>& scratch,
+                                    Tile* tile) {
+  SKYDIVER_DCHECK_LE(end, node.entries.size());
+  SKYDIVER_DCHECK_LE(end - begin, kTileRows);
+  tile->Clear();
+  const SkyQuery& q = view.query();
+  const bool boxed = q.constrained();
+  const auto proj = view.proj();
+  for (size_t i = begin; i < end; ++i) {
+    const Mbr& mbr = node.entries[i].mbr;
+    if (boxed) {
+      bool miss = false;
+      for (Dim d = 0; d < static_cast<Dim>(q.lo.size()); ++d) {
+        if (mbr.hi(d) < q.lo[d] || mbr.lo(d) > q.hi[d]) {
+          miss = true;
+          break;
+        }
+      }
+      if (miss) continue;
+    }
+    if (!boxed && view.full_space()) {
+      tile->PushRow(static_cast<RowId>(i), mbr.lo());
+      continue;
+    }
+    scratch.resize(proj.size());
+    for (size_t k = 0; k < proj.size(); ++k) {
+      const Dim pd = proj[k];
+      const Coord v = mbr.lo(pd);
+      scratch[k] = boxed ? std::max(v, q.lo[pd]) : v;
+    }
+    tile->PushRow(static_cast<RowId>(i), scratch);
   }
 }
 

@@ -1,0 +1,75 @@
+// A small intrusive-order LRU cache for the serving layer.
+//
+// The result cache used to be FIFO: a deque of keys in insertion order,
+// evicting the oldest INSERT. Under a steady query mix that evicts the
+// hottest entries as readily as the coldest — a spec queried every second
+// ages out as fast as one queried once. This LRU keeps a recency list
+// (front = most recent) and moves an entry to the front on every hit, so
+// eviction always removes the least-recently USED key.
+//
+// Not thread-safe by design: the server's bookkeeping mutex already
+// serializes cache access, and the guarded sections are pointer splices.
+
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace skydiver {
+
+/// Least-recently-used map with a fixed capacity. Capacity 0 disables the
+/// cache entirely (Put is a no-op, Get always misses). K must be
+/// strictly-weakly ordered (std::map key); V is copied out on Get.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
+
+  /// Looks up `key`; a hit refreshes its recency (moves it to the front of
+  /// the eviction order) and returns a pointer to the stored value, valid
+  /// until the next mutation. Returns nullptr on miss.
+  const V* Get(const K& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);  // touch: now MRU
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, making it the most recent entry and
+  /// evicting the least recent one if the cache is over capacity.
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_) {
+      SKYDIVER_DCHECK(!order_.empty());
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<K, V>> order_;  // front = most recently used
+  std::map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+};
+
+}  // namespace skydiver

@@ -11,30 +11,96 @@ namespace skydiver {
 
 SkyServer::SkyServer(std::shared_ptr<const SkySnapshot> snapshot, ServeOptions options,
                      std::shared_ptr<const Runtime> runtime)
+    : SkyServer(std::move(snapshot), options, std::move(runtime), nullptr,
+                SkyDiverConfig{}, PlanResources{}) {}
+
+SkyServer::SkyServer(std::shared_ptr<const SkySnapshot> snapshot, ServeOptions options,
+                     std::shared_ptr<const Runtime> runtime, const DataSet* data,
+                     SkyDiverConfig config, PlanResources resources)
     : snapshot_(std::move(snapshot)),
       options_(options),
-      runtime_(runtime != nullptr ? std::move(runtime) : Runtime::Create(0)) {
+      runtime_(runtime != nullptr ? std::move(runtime) : Runtime::Create(0)),
+      data_(data),
+      config_(std::move(config)),
+      resources_(resources),
+      result_cache_(options.result_cache_capacity),
+      snapshot_cache_(options.snapshot_cache_capacity) {
   SKYDIVER_CHECK(snapshot_ != nullptr, "SkyServer requires a snapshot");
   SKYDIVER_CHECK(snapshot_->frozen(), "SkyServer requires a frozen snapshot");
 }
 
+Result<std::unique_ptr<SkyServer>> SkyServer::Create(
+    const DataSet& data, const SkyDiverConfig& config, const PlanResources& resources,
+    ServeOptions options, std::shared_ptr<const Runtime> runtime) {
+  if (!config.query.identity()) {
+    return Status::InvalidArgument(
+        "the server config's query must be identity; shaped queries arrive "
+        "per QuerySpec");
+  }
+  if (runtime == nullptr) runtime = Runtime::Create(config.threads);
+  auto identity = SkySnapshot::Build(data, config, resources, runtime);
+  if (!identity.ok()) return identity.status();
+  return std::unique_ptr<SkyServer>(new SkyServer(std::move(identity).value(), options,
+                                                  std::move(runtime), &data, config,
+                                                  resources));
+}
+
+Result<std::shared_ptr<const SkySnapshot>> SkyServer::SnapshotFor(
+    const SkyQuery& query) {
+  if (query.identity()) return snapshot_;
+  if (data_ == nullptr) {
+    return Status::InvalidArgument(
+        "this server wraps a single snapshot; query-shaped specs "
+        "(constraint box, projection, shards) need a data-backed server "
+        "(SkyServer::Create)");
+  }
+  // Key by the FULLY normalized query so e.g. a spelled-out full-space
+  // projection and the identity mask share one snapshot.
+  auto normalized = NormalizeQuery(query, data_->dims());
+  if (!normalized.ok()) return normalized.status();
+  if (normalized.value().identity()) return snapshot_;
+  const std::string key = QueryKey(normalized.value());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto* hit = snapshot_cache_.Get(key)) {
+      ++stats_.snapshot_hits;
+      return *hit;
+    }
+  }
+
+  // Build outside the lock (Phase 1 is the expensive part — this is the
+  // whole reason the snapshot cache exists). Concurrent misses on the same
+  // shape may build twice; the builds are bit-identical, first insert wins.
+  SkyDiverConfig config = config_;
+  config.query = std::move(normalized).value();
+  auto built = SkySnapshot::Build(*data_, config, resources_, runtime_);
+  if (!built.ok()) return built.status();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.snapshot_misses;
+  if (const auto* raced = snapshot_cache_.Get(key)) return *raced;
+  snapshot_cache_.Put(key, built.value());
+  return std::move(built).value();
+}
+
 Result<std::shared_ptr<const QueryResult>> SkyServer::Query(const QuerySpec& spec) {
   const QuerySpec q = spec.Normalized();
-  const ResultKey result_key{static_cast<int>(q.mode), q.k, q.lsh_threshold,
-                             q.lsh_buckets};
+  const ResultKey result_key{QueryKey(q.query), static_cast<int>(q.mode), q.k,
+                             q.lsh_threshold, q.lsh_buckets};
   const PlanKey plan_key{static_cast<int>(q.mode), q.lsh_threshold, q.lsh_buckets};
 
-  // Bookkeeping pass: result hit returns immediately; otherwise take (or
-  // resolve and install) the spec's plan. Resolution runs inside the lock
-  // — it is a handful of integer divisions (ChooseZones), and admitting it
-  // once keeps a failed spec from being re-resolved by racing clients.
+  // Bookkeeping pass: result hit returns immediately (touching its LRU
+  // recency); otherwise take (or resolve and install) the spec's plan.
+  // Resolution runs inside the lock — it is a handful of integer divisions
+  // (ChooseZones), and admitting it once keeps a failed spec from being
+  // re-resolved by racing clients.
   SelectPlan plan;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = result_cache_.find(result_key); it != result_cache_.end()) {
+    if (const auto* hit = result_cache_.Get(result_key)) {
       ++stats_.result_hits;
       ++stats_.queries;
-      return it->second;
+      return *hit;
     }
     if (auto it = plan_cache_.find(plan_key); it != plan_cache_.end()) {
       ++stats_.plan_hits;
@@ -48,26 +114,25 @@ Result<std::shared_ptr<const QueryResult>> SkyServer::Query(const QuerySpec& spe
     }
   }
 
+  // Resolve the snapshot for the spec's query shape (identity = the pinned
+  // snapshot; shaped = cache hit or an on-demand Phase-1 build).
+  auto snap = SnapshotFor(q.query);
+  if (!snap.ok()) return snap.status();
+  const std::shared_ptr<const SkySnapshot>& snapshot = snap.value();
+
   // Compute pass, outside the lock: this is where concurrent clients
   // actually overlap. Identical specs racing here each compute the same
   // bits (deterministic selection), so double-compute is a perf hiccup,
   // never an inconsistency.
-  QueryContext ctx(runtime_, CostModel{}, BandingSeed(snapshot_->seed(), q));
-  auto result = snapshot_->Select(q, plan, ctx);
+  QueryContext ctx(runtime_, CostModel{}, BandingSeed(snapshot->seed(), q));
+  auto result = snapshot->Select(q, plan, ctx);
   if (!result.ok()) return result.status();
   auto shared = std::make_shared<const QueryResult>(std::move(result).value());
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.result_misses;
   ++stats_.queries;
-  if (options_.result_cache_capacity > 0 && !result_cache_.contains(result_key)) {
-    if (result_cache_.size() >= options_.result_cache_capacity) {
-      result_cache_.erase(result_fifo_.front());
-      result_fifo_.pop_front();
-    }
-    result_cache_.emplace(result_key, shared);
-    result_fifo_.push_back(result_key);
-  }
+  result_cache_.Put(result_key, shared);
   return shared;
 }
 

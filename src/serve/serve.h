@@ -1,17 +1,27 @@
-// Concurrent query serving over a frozen SkySnapshot.
+// Concurrent query serving over frozen SkySnapshots.
 //
 // The snapshot/query split (engine/snapshot.h) makes Phase 1 shareable;
-// this layer adds the serving loop on top: one `SkyServer` wraps one
-// snapshot and answers SelectMinHash / SelectLsh / varying-k queries from
-// any number of client threads, with two small caches in front of the
-// compute path:
+// this layer adds the serving loop on top: one `SkyServer` answers
+// SelectMinHash / SelectLsh / varying-k queries from any number of client
+// threads, with small caches in front of the compute path:
 //
 //   * plan cache — keyed by (mode, ξ, B): the resolved SelectPlan (backend
 //     + ChooseZones banding geometry). Independent of k and of the seed,
 //     so one entry serves every k at that query configuration.
-//   * result cache — keyed by the full normalized QuerySpec: the finished
-//     QueryResult, shared by pointer. Capacity 0 disables it (benchmarks
-//     measuring compute want every query cold).
+//   * result cache — keyed by the full normalized QuerySpec (including its
+//     SkyQuery shape): the finished QueryResult, shared by pointer. LRU
+//     with touch-on-hit, so a steadily-queried spec never ages out under a
+//     churn of one-off specs. Capacity 0 disables it (benchmarks measuring
+//     compute want every query cold).
+//   * snapshot cache — data-backed servers only, keyed by the normalized
+//     SkyQuery: the frozen Phase-1 snapshot for each query shape
+//     (constraint box / projection / shards). LRU; the identity snapshot
+//     is pinned outside the cache and never evicted.
+//
+// A server constructed from one snapshot serves exactly that snapshot's
+// shape and REJECTS specs carrying a different SkyQuery (it has no data to
+// rebuild from). A server created from a dataset (SkyServer::Create)
+// builds query-shaped snapshots on demand.
 //
 // Correctness contract: caching is invisible. A hit returns a pointer to
 // a result bit-identical to what recomputing would produce — guaranteed
@@ -28,72 +38,108 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "common/status.h"
+#include "core/dataset.h"
 #include "engine/runtime.h"
 #include "engine/snapshot.h"
+#include "serve/lru_cache.h"
 #include "stream/streaming.h"
 
 namespace skydiver {
 
 /// Server tuning knobs.
 struct ServeOptions {
-  /// Max distinct specs the result cache retains (FIFO eviction).
+  /// Max distinct specs the result cache retains (LRU, touch-on-hit).
   /// 0 disables result caching entirely.
   size_t result_cache_capacity = 256;
+  /// Max non-identity query-shaped snapshots a data-backed server retains
+  /// (LRU). The identity snapshot is pinned and not counted. 0 disables
+  /// shaped-snapshot caching (every shaped query rebuilds Phase 1).
+  size_t snapshot_cache_capacity = 8;
 };
 
 /// Cumulative serving counters (one server lifetime).
 struct ServeStats {
-  uint64_t queries = 0;       ///< Query() calls that returned OK.
-  uint64_t result_hits = 0;   ///< answered straight from the result cache
-  uint64_t result_misses = 0; ///< computed (and, capacity permitting, cached)
-  uint64_t plan_hits = 0;     ///< (mode, ξ, B) already resolved
-  uint64_t plan_misses = 0;   ///< resolved via Planner::ResolveSelect
+  uint64_t queries = 0;         ///< Query() calls that returned OK.
+  uint64_t result_hits = 0;     ///< answered straight from the result cache
+  uint64_t result_misses = 0;   ///< computed (and, capacity permitting, cached)
+  uint64_t plan_hits = 0;       ///< (mode, ξ, B) already resolved
+  uint64_t plan_misses = 0;     ///< resolved via Planner::ResolveSelect
+  uint64_t snapshot_hits = 0;   ///< shaped snapshot already built
+  uint64_t snapshot_misses = 0; ///< shaped snapshot built (Phase 1 ran)
 };
 
-/// A queryable server around one frozen snapshot. All methods are
-/// thread-safe; the caches are the only mutable state and sit behind one
-/// mutex (the guarded sections are map lookups and pointer copies — the
-/// selection compute runs outside the lock, so clients only serialize on
-/// bookkeeping, not on work).
+/// A queryable server. All methods are thread-safe; the caches are the
+/// only mutable state and sit behind one mutex (the guarded sections are
+/// map lookups and pointer copies — selection compute and snapshot builds
+/// run outside the lock, so clients only serialize on bookkeeping, not on
+/// work).
 class SkyServer {
  public:
-  /// Serves `snapshot` (must be non-null and frozen). `runtime` seeds the
-  /// per-query contexts' pool reference; the default serial runtime is
-  /// right for serving, where parallelism comes from the clients.
+  /// Serves one frozen `snapshot` (must be non-null and frozen). Specs
+  /// whose SkyQuery differs from the snapshot's are rejected — there is no
+  /// dataset to rebuild from. `runtime` seeds the per-query contexts' pool
+  /// reference; the default serial runtime is right for serving, where
+  /// parallelism comes from the clients.
   explicit SkyServer(std::shared_ptr<const SkySnapshot> snapshot,
                      ServeOptions options = {},
                      std::shared_ptr<const Runtime> runtime = nullptr);
+
+  /// Data-backed server: builds the identity snapshot eagerly (through
+  /// `config`, whose own `query` field must be identity) and query-shaped
+  /// snapshots on demand, caching them by normalized SkyQuery. `data` and
+  /// any resources must outlive the server.
+  [[nodiscard]] static Result<std::unique_ptr<SkyServer>> Create(
+      const DataSet& data, const SkyDiverConfig& config,
+      const PlanResources& resources = {}, ServeOptions options = {},
+      std::shared_ptr<const Runtime> runtime = nullptr);
 
   /// Answers one query. Results are shared, immutable, and safe to hold
   /// beyond the server's lifetime.
   [[nodiscard]] Result<std::shared_ptr<const QueryResult>> Query(const QuerySpec& spec);
 
+  /// The identity (pinned) snapshot.
   const std::shared_ptr<const SkySnapshot>& snapshot() const { return snapshot_; }
 
   /// A consistent copy of the counters.
   ServeStats stats() const;
 
  private:
-  using PlanKey = std::tuple<int, double, size_t>;          // (mode, ξ, B)
-  using ResultKey = std::tuple<int, size_t, double, size_t>; // + k
+  using PlanKey = std::tuple<int, double, size_t>;  // (mode, ξ, B)
+  // (query shape, mode, k, ξ, B) — the full normalized spec.
+  using ResultKey = std::tuple<std::string, int, size_t, double, size_t>;
+
+  SkyServer(std::shared_ptr<const SkySnapshot> snapshot, ServeOptions options,
+            std::shared_ptr<const Runtime> runtime, const DataSet* data,
+            SkyDiverConfig config, PlanResources resources);
+
+  /// Resolves the snapshot serving `query` (already canonicalized by
+  /// QuerySpec::Normalized): the pinned identity snapshot, a snapshot-cache
+  /// hit, or a fresh Phase-1 build (outside the lock; concurrent misses on
+  /// the same shape may build twice — identical bits, first insert wins).
+  Result<std::shared_ptr<const SkySnapshot>> SnapshotFor(const SkyQuery& query);
 
   std::shared_ptr<const SkySnapshot> snapshot_;
   ServeOptions options_;
   std::shared_ptr<const Runtime> runtime_;
 
+  // Data-backed mode only (nullptr data_ = single-snapshot mode).
+  const DataSet* data_ = nullptr;
+  SkyDiverConfig config_;
+  PlanResources resources_;
+
   mutable std::mutex mutex_;
   std::map<PlanKey, SelectPlan> plan_cache_;
-  std::map<ResultKey, std::shared_ptr<const QueryResult>> result_cache_;
-  std::deque<ResultKey> result_fifo_;  // insertion order, for eviction
+  LruCache<ResultKey, std::shared_ptr<const QueryResult>> result_cache_;
+  LruCache<std::string, std::shared_ptr<const SkySnapshot>> snapshot_cache_;
   ServeStats stats_;
 };
 

@@ -9,19 +9,28 @@
 // for a preview pays a fraction of the full traversal; SkylineBBS simply
 // drains the scan to exhaustion, so both paths share one implementation.
 //
+// The scan is query-shaped: it runs over a `DataView`, clipping every
+// entry MBR against the view's constraint box before the corner prune
+// (entries that miss the box are dropped — for leaves this is an exact
+// in-box point filter) and evaluating dominance and mindist in the
+// projected subspace. The R-tree itself is query-independent: one tree
+// built on the full dataset serves every SkyQuery. The identity view runs
+// the historical full-space arithmetic bit-for-bit.
+//
 // Node pruning is batched the way SFS/BNL batch their window checks: when
-// a node is popped, the MBR lo-corners of all its entries are transposed
-// into one scratch corner `Tile` (rtree/node_corners.h) and the whole node
-// is decided with `PruneCorners` calls against the accumulated skyline
-// `TileSet`. The batched kernels exploit that the corners are R-tree
-// siblings — a tight box: one sweep of the corner tile's ceiling over
-// each skyline tile finds the few rows that could dominate any corner at
-// all (usually none, retiring the whole node/tile pair in one sweep),
-// then sweeps just those candidates across the corner tile until the
-// pruned mask saturates. Corners are compacted away between skyline
-// tiles. The kernel flavour honors the plan's `DomKernel`,
-// downgraded PER PROBE on the current skyline size (the skyline starts
-// empty, so an up-front EffectiveKernel decision would never batch).
+// a node is popped, the clipped+projected MBR lo-corners of its surviving
+// entries are transposed into one scratch corner `Tile`
+// (rtree/node_corners.h) and the whole node is decided with `PruneCorners`
+// calls against the accumulated skyline `TileSet`. The batched kernels
+// exploit that the corners are R-tree siblings — a tight box: one sweep of
+// the corner tile's ceiling over each skyline tile finds the few rows that
+// could dominate any corner at all (usually none, retiring the whole
+// node/tile pair in one sweep), then sweeps just those candidates across
+// the corner tile until the pruned mask saturates. Corners are compacted
+// away between skyline tiles. The kernel flavour honors the plan's
+// `DomKernel`, downgraded PER PROBE on the current skyline size (the
+// skyline starts empty, so an up-front EffectiveKernel decision would
+// never batch).
 //
 // Heap order is a deterministic total order: mindist first, then points
 // before nodes (a tied point admitted first prunes the node's other
@@ -42,6 +51,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/data_view.h"
 #include "core/dataset.h"
 #include "core/dominance.h"
 #include "kernels/dominance_kernel.h"
@@ -55,23 +65,42 @@ namespace skydiver {
 template <typename Tree>
 class BbsScan {
  public:
-  /// `data` and `tree` must outlive the scan; the tree must index `data`.
-  /// `kernel` picks the dominance flavour for probes once the skyline
-  /// spans at least one tile (below that the scalar reference runs).
-  BbsScan(const DataSet& data, const Tree& tree,
+  /// `view` and `tree` must outlive the scan; the tree must index the
+  /// view's FULL dataset (same row ids — the query shapes the traversal,
+  /// not the tree). `kernel` picks the dominance flavour for probes once
+  /// the skyline spans at least one tile (below that the scalar reference
+  /// runs).
+  BbsScan(const DataView& view, const Tree& tree,
           DomKernel kernel = DomKernel::kScalar)
-      : data_(data),
+      : view_(&view),
         tree_(tree),
         scalar_(DomKernel::kScalar),
         batched_(EffectiveKernel(kernel, kTileRows)),
-        skyline_tiles_(data.dims()),
-        corners_(data.dims()) {
+        skyline_tiles_(view.dims()),
+        corners_(view.dims()) {
     if (tree.size() > 0) {
       heap_.push(Item{0.0, false, tree.root(), kInvalidRowId});
     }
   }
 
-  /// The next skyline row in mindist order, or nullopt when exhausted.
+  /// Identity-view convenience: scans the full-space skyline of `data`.
+  /// (owned_ is the first member, so view_ may point into it here.)
+  BbsScan(const DataSet& data, const Tree& tree,
+          DomKernel kernel = DomKernel::kScalar)
+      : owned_(std::in_place, data),
+        view_(&*owned_),
+        tree_(tree),
+        scalar_(DomKernel::kScalar),
+        batched_(EffectiveKernel(kernel, kTileRows)),
+        skyline_tiles_(owned_->dims()),
+        corners_(owned_->dims()) {
+    if (tree.size() > 0) {
+      heap_.push(Item{0.0, false, tree.root(), kInvalidRowId});
+    }
+  }
+
+  /// The next skyline row in (masked) mindist order, or nullopt when
+  /// exhausted.
   std::optional<RowId> Next() {
     const uint64_t before = DominanceCounter::Count();
     std::optional<RowId> out;
@@ -79,7 +108,7 @@ class BbsScan {
       const Item item = heap_.top();
       heap_.pop();
       if (item.is_point) {
-        const auto p = data_.row(item.row);
+        const auto p = view_->ProjectedRow(item.row, probe_scratch_);
         if (!DominatedBySkyline(p)) {
           skyline_tiles_.Append(item.row, p);
           emitted_.push_back(item.row);
@@ -118,6 +147,22 @@ class BbsScan {
     }
   };
 
+  // Masked L1 mindist of an MBR: the sum of its box-clipped lo-corner over
+  // the projected dimensions. Admissible for in-box subtree points (the
+  // clipped corner lower-bounds them componentwise), so emission order
+  // stays progressive. Identity views sum lo coordinates in dimension
+  // order — the exact additions of Mbr::MinDistL1.
+  double ViewMinDist(const Mbr& mbr) const {
+    double s = 0.0;
+    if (!view_->constrained()) {
+      for (const Dim pd : view_->proj()) s += mbr.lo(pd);
+      return s;
+    }
+    const SkyQuery& q = view_->query();
+    for (const Dim pd : view_->proj()) s += std::max(mbr.lo(pd), q.lo[pd]);
+    return s;
+  }
+
   // Per-probe downgrade (the skyline grows from empty): scalar until the
   // accumulated skyline fills a tile, the requested batched flavour after.
   const DominanceKernel& ProbeKernel() const {
@@ -132,16 +177,17 @@ class BbsScan {
     return false;
   }
 
-  // Batched node prune: materialize the entries' lo-corners into the
-  // scratch tile, sweep skyline tiles over it (compacting dominated
-  // corners away between tiles), and push the survivors. This is exactly
-  // the BBS criterion that yields I/O optimality — an entry is dropped iff
-  // its best corner is already dominated.
+  // Batched node prune: materialize the entries' clipped+projected
+  // lo-corners into the scratch tile (box-missing entries never enter),
+  // sweep skyline tiles over it (compacting dominated corners away between
+  // tiles), and push the survivors. This is exactly the BBS criterion that
+  // yields I/O optimality — an entry is dropped iff its best reachable
+  // corner is already dominated or its subtree cannot intersect the box.
   void PruneAndPushNode(const RTreeNode& node) {
     const DominanceKernel& kernel = ProbeKernel();
     for (size_t begin = 0; begin < node.entries.size(); begin += kTileRows) {
       const size_t end = std::min(begin + kTileRows, node.entries.size());
-      MaterializeLoCorners(node, begin, end, &corners_);
+      MaterializeQueryCorners(node, begin, end, *view_, corner_scratch_, &corners_);
       for (const Tile& t : skyline_tiles_.tiles()) {
         if (corners_.empty()) break;
         const uint64_t pruned = kernel.PruneCorners(corners_.view(), t.view());
@@ -150,21 +196,24 @@ class BbsScan {
       for (size_t r = 0; r < corners_.rows(); ++r) {
         const RTreeEntry& e = node.entries[corners_.id(r)];
         if (node.is_leaf) {
-          heap_.push(Item{e.mbr.MinDistL1(), true, kInvalidPageId, e.row});
+          heap_.push(Item{ViewMinDist(e.mbr), true, kInvalidPageId, e.row});
         } else {
-          heap_.push(Item{e.mbr.MinDistL1(), false, e.child, kInvalidRowId});
+          heap_.push(Item{ViewMinDist(e.mbr), false, e.child, kInvalidRowId});
         }
       }
     }
   }
 
-  const DataSet& data_;
+  std::optional<DataView> owned_;  // set only by the DataSet ctor
+  const DataView* view_;
   const Tree& tree_;
   DominanceKernel scalar_;
   DominanceKernel batched_;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> heap_;
   TileSet skyline_tiles_;
-  Tile corners_;  // scratch: one node's lo-corners per chunk
+  Tile corners_;                       // scratch: one node's corners per chunk
+  std::vector<Coord> corner_scratch_;  // scratch: one clipped+projected corner
+  std::vector<Coord> probe_scratch_;   // scratch: one projected point probe
   std::vector<RowId> emitted_;
   uint64_t dominance_checks_ = 0;
 };

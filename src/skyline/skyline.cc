@@ -22,15 +22,28 @@ class CheckScope {
   uint64_t start_;
 };
 
+// Monotone SFS score of a row: the sum of its projected coordinates. If p
+// dominates q in the projected subspace then score(p) < score(q). For the
+// full-space view the additions run in dimension order 0..d-1, exactly the
+// historical arithmetic.
+double SfsScore(const DataView& view, RowId r) {
+  const auto row = view.data().row(r);
+  double s = 0.0;
+  for (const Dim i : view.proj()) s += row[i];
+  return s;
+}
+
 // Scalar BNL window pass over `rows`; returns survivors in window order.
-std::vector<RowId> ScalarBnlWindow(const DataSet& data, std::span<const RowId> rows) {
+std::vector<RowId> ScalarBnlWindow(const DataView& view, std::span<const RowId> rows) {
+  const DataSet& data = view.data();
+  const auto proj = view.proj();
   std::vector<RowId> window;
   for (RowId r : rows) {
     const auto p = data.row(r);
     bool dominated = false;
     size_t keep = 0;
     for (size_t i = 0; i < window.size(); ++i) {
-      const DomRelation rel = Compare(data.row(window[i]), p);
+      const DomRelation rel = Compare(data.row(window[i]), p, proj);
       if (rel == DomRelation::kDominates) {
         dominated = true;
         // Everything before i survives; nothing after i has been filtered
@@ -49,16 +62,18 @@ std::vector<RowId> ScalarBnlWindow(const DataSet& data, std::span<const RowId> r
   return window;
 }
 
-// Tiled BNL window pass: the window is a TileSet; each arrival is
-// classified against whole tiles. A dominated arrival never dominates any
-// window entry (the window is an antichain), so breaking on the first
-// dominator leaves the window untouched — exactly the scalar semantics.
-std::vector<RowId> TiledBnlWindow(const DataSet& data, std::span<const RowId> rows,
+// Tiled BNL window pass: the window is a TileSet of projected columns;
+// each arrival is classified against whole tiles. A dominated arrival
+// never dominates any window entry (the window is an antichain), so
+// breaking on the first dominator leaves the window untouched — exactly
+// the scalar semantics.
+std::vector<RowId> TiledBnlWindow(const DataView& view, std::span<const RowId> rows,
                                   const DominanceKernel& kernel) {
-  TileSet window(data.dims());
+  TileSet window(view.dims());
+  std::vector<Coord> scratch;
   std::vector<uint64_t> dominated_masks;
   for (RowId r : rows) {
-    const auto p = data.row(r);
+    const auto p = view.ProjectedRow(r, scratch);
     const auto& tiles = window.tiles();
     dominated_masks.assign(tiles.size(), 0);
     bool dominated = false;
@@ -88,46 +103,49 @@ std::vector<RowId> TiledBnlWindow(const DataSet& data, std::span<const RowId> ro
   return out;
 }
 
-std::vector<RowId> BnlWindow(const DataSet& data, std::span<const RowId> rows,
+std::vector<RowId> BnlWindow(const DataView& view, std::span<const RowId> rows,
                              DomKernel kernel) {
   const DomKernel effective = EffectiveKernel(kernel, rows.size());
-  if (!IsBatched(effective)) return ScalarBnlWindow(data, rows);
-  return TiledBnlWindow(data, rows, DominanceKernel(effective));
+  if (!IsBatched(effective)) return ScalarBnlWindow(view, rows);
+  return TiledBnlWindow(view, rows, DominanceKernel(effective));
 }
 
 }  // namespace
 
-SkylineResult SkylineBNL(const DataSet& data, DomKernel kernel) {
+SkylineResult SkylineBNL(const DataView& view, DomKernel kernel) {
   CheckScope checks;
-  std::vector<RowId> rows(data.size());
-  std::iota(rows.begin(), rows.end(), RowId{0});
-  std::vector<RowId> window = BnlWindow(data, rows, kernel);
+  std::vector<RowId> window = BnlWindow(view, view.rows(), kernel);
   std::sort(window.begin(), window.end());
   return SkylineResult{std::move(window), checks.Delta()};
 }
 
-SkylineResult SkylineSFS(const DataSet& data, DomKernel kernel) {
+SkylineResult SkylineBNL(const DataSet& data, DomKernel kernel) {
+  return SkylineBNL(DataView(data), kernel);
+}
+
+SkylineResult SkylineSFSRows(const DataView& view, std::span<const RowId> rows,
+                             DomKernel kernel) {
   CheckScope checks;
-  const RowId n = data.size();
+  const size_t n = rows.size();
   kernel = EffectiveKernel(kernel, n);
-  std::vector<RowId> order(n);
-  std::iota(order.begin(), order.end(), RowId{0});
-  // Monotone score: if p dominates q then score(p) < score(q), so a point
-  // can only be dominated by points sorted before it.
+  const DataSet& data = view.data();
+  const auto proj = view.proj();
+  // Positions into `rows`, sorted by the monotone score: a point can only
+  // be dominated by points sorted before it.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
   std::vector<double> score(n);
-  for (RowId r = 0; r < n; ++r) {
-    double s = 0.0;
-    for (Coord v : data.row(r)) s += v;
-    score[r] = s;
-  }
+  for (size_t i = 0; i < n; ++i) score[i] = SfsScore(view, rows[i]);
   std::sort(order.begin(), order.end(),
-            [&](RowId a, RowId b) { return score[a] < score[b]; });
+            [&](size_t a, size_t b) { return score[a] < score[b]; });
   std::vector<RowId> skyline;
   if (IsBatched(kernel)) {
     const DominanceKernel batch(kernel);
-    TileSet admitted(data.dims());
-    for (RowId r : order) {
-      const auto p = data.row(r);
+    TileSet admitted(view.dims());
+    std::vector<Coord> scratch;
+    for (size_t i : order) {
+      const RowId r = rows[i];
+      const auto p = view.ProjectedRow(r, scratch);
       bool dominated = false;
       for (const Tile& t : admitted.tiles()) {
         if (batch.AnyDominator(p, t.view())) {
@@ -141,11 +159,12 @@ SkylineResult SkylineSFS(const DataSet& data, DomKernel kernel) {
       }
     }
   } else {
-    for (RowId r : order) {
+    for (size_t i : order) {
+      const RowId r = rows[i];
       const auto p = data.row(r);
       bool dominated = false;
       for (RowId s : skyline) {
-        if (Dominates(data.row(s), p)) {
+        if (Dominates(data.row(s), p, proj)) {
           dominated = true;
           break;
         }
@@ -157,19 +176,30 @@ SkylineResult SkylineSFS(const DataSet& data, DomKernel kernel) {
   return SkylineResult{std::move(skyline), checks.Delta()};
 }
 
+SkylineResult SkylineSFS(const DataView& view, DomKernel kernel) {
+  return SkylineSFSRows(view, view.rows(), kernel);
+}
+
+SkylineResult SkylineSFS(const DataSet& data, DomKernel kernel) {
+  return SkylineSFS(DataView(data), kernel);
+}
+
 namespace {
 
 // One direction of the D&C merge: survivors of `candidates` not dominated
 // by any member of `against`.
-void MergeFilter(const DataSet& data, const std::vector<RowId>& candidates,
+void MergeFilter(const DataView& view, const std::vector<RowId>& candidates,
                  const std::vector<RowId>& against, DomKernel kernel,
                  std::vector<RowId>* merged) {
+  const DataSet& data = view.data();
+  const auto proj = view.proj();
   const DomKernel effective = EffectiveKernel(kernel, against.size());
   if (IsBatched(effective)) {
     const DominanceKernel batch(effective);
-    const TileSet tiles = MaterializeTiles(data, against);
+    const TileSet tiles = MaterializeTiles(view, against);
+    std::vector<Coord> scratch;
     for (RowId c : candidates) {
-      const auto p = data.row(c);
+      const auto p = view.ProjectedRow(c, scratch);
       bool dominated = false;
       for (const Tile& t : tiles.tiles()) {
         if (batch.AnyDominator(p, t.view())) {
@@ -184,7 +214,7 @@ void MergeFilter(const DataSet& data, const std::vector<RowId>& candidates,
   for (RowId c : candidates) {
     bool dominated = false;
     for (RowId a : against) {
-      if (Dominates(data.row(a), data.row(c))) {
+      if (Dominates(data.row(a), data.row(c), proj)) {
         dominated = true;
         break;
       }
@@ -194,14 +224,15 @@ void MergeFilter(const DataSet& data, const std::vector<RowId>& candidates,
 }
 
 // Recursive worker over an index range [begin, end) of `rows`. Rows are
-// reordered in place; returns the skyline rows of the range.
-std::vector<RowId> DCRec(const DataSet& data, std::vector<RowId>& rows, size_t begin,
-                         size_t end, Dim split_dim, size_t leaf_size,
+// reordered in place; returns the skyline rows of the range. `split_vd`
+// is a VIEW dimension (an index into view.proj()).
+std::vector<RowId> DCRec(const DataView& view, std::vector<RowId>& rows, size_t begin,
+                         size_t end, Dim split_vd, size_t leaf_size,
                          DomKernel kernel) {
   const size_t n = end - begin;
   if (n <= leaf_size) {
     // BNL over the small range.
-    return BnlWindow(data, std::span<const RowId>(rows).subspan(begin, n), kernel);
+    return BnlWindow(view, std::span<const RowId>(rows).subspan(begin, n), kernel);
   }
 
   // Split at the median of the current dimension (ties may straddle the
@@ -211,33 +242,75 @@ std::vector<RowId> DCRec(const DataSet& data, std::vector<RowId>& rows, size_t b
                    rows.begin() + static_cast<ptrdiff_t>(mid),
                    rows.begin() + static_cast<ptrdiff_t>(end),
                    [&](RowId a, RowId b) {
-                     return data.at(a, split_dim) < data.at(b, split_dim);
+                     return view.at(a, split_vd) < view.at(b, split_vd);
                    });
-  const Dim next_dim = static_cast<Dim>((split_dim + 1) % data.dims());
-  std::vector<RowId> left = DCRec(data, rows, begin, mid, next_dim, leaf_size, kernel);
-  std::vector<RowId> right = DCRec(data, rows, mid, end, next_dim, leaf_size, kernel);
+  const Dim next_vd = static_cast<Dim>((split_vd + 1) % view.dims());
+  std::vector<RowId> left = DCRec(view, rows, begin, mid, next_vd, leaf_size, kernel);
+  std::vector<RowId> right = DCRec(view, rows, mid, end, next_vd, leaf_size, kernel);
 
   // Merge: a left candidate survives unless some right candidate dominates
   // it, and vice versa (both directions needed when split values tie).
   std::vector<RowId> merged;
   merged.reserve(left.size() + right.size());
-  MergeFilter(data, left, right, kernel, &merged);
-  MergeFilter(data, right, left, kernel, &merged);
+  MergeFilter(view, left, right, kernel, &merged);
+  MergeFilter(view, right, left, kernel, &merged);
   return merged;
 }
 
 }  // namespace
 
-SkylineResult SkylineDC(const DataSet& data, size_t leaf_size, DomKernel kernel) {
+std::vector<RowId> CrossFilterMerge(const DataView& view, const std::vector<RowId>& a,
+                                    const std::vector<RowId>& b, DomKernel kernel) {
+  std::vector<RowId> merged;
+  merged.reserve(a.size() + b.size());
+  MergeFilter(view, a, b, kernel, &merged);
+  MergeFilter(view, b, a, kernel, &merged);
+  return merged;
+}
+
+SkylineResult SkylineDC(const DataView& view, size_t leaf_size, DomKernel kernel) {
   CheckScope checks;
-  std::vector<RowId> rows(data.size());
-  std::iota(rows.begin(), rows.end(), RowId{0});
+  std::vector<RowId> rows = view.rows();
   std::vector<RowId> skyline =
-      data.empty() ? std::vector<RowId>{}
-                   : DCRec(data, rows, 0, rows.size(), 0, std::max<size_t>(1, leaf_size),
+      rows.empty() ? std::vector<RowId>{}
+                   : DCRec(view, rows, 0, rows.size(), 0, std::max<size_t>(1, leaf_size),
                            kernel);
   std::sort(skyline.begin(), skyline.end());
   return SkylineResult{std::move(skyline), checks.Delta()};
+}
+
+SkylineResult SkylineDC(const DataSet& data, size_t leaf_size, DomKernel kernel) {
+  return SkylineDC(DataView(data), leaf_size, kernel);
+}
+
+SkylineResult SkylineSharded(const DataView& view, size_t shards, DomKernel kernel) {
+  CheckScope checks;
+  const std::vector<RowId>& all = view.rows();
+  if (all.empty()) return SkylineResult{{}, checks.Delta()};
+  shards = std::clamp<size_t>(shards, 1, all.size());
+  const size_t chunk = (all.size() + shards - 1) / shards;
+
+  // Shard phase: each contiguous chunk's local skyline (absolute row ids).
+  std::vector<std::vector<RowId>> locals;
+  locals.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(begin + chunk, all.size());
+    if (begin >= end) break;
+    locals.push_back(
+        SkylineSFSRows(view, std::span<const RowId>(all).subspan(begin, end - begin),
+                       kernel)
+            .rows);
+  }
+
+  // Merge phase: fold the local antichains with the D&C cross-filter —
+  // the skyline of a union is the cross-filtered union of the skylines.
+  std::vector<RowId> merged = std::move(locals.front());
+  for (size_t s = 1; s < locals.size(); ++s) {
+    merged = CrossFilterMerge(view, merged, locals[s], kernel);
+  }
+  std::sort(merged.begin(), merged.end());
+  return SkylineResult{std::move(merged), checks.Delta()};
 }
 
 namespace {
@@ -247,16 +320,16 @@ namespace {
 // and progressive paths are the same code, so check counts, emission
 // order, and pruning behaviour cannot diverge between them.
 template <typename Tree>
-Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
+Result<SkylineResult> SkylineBBSImpl(const DataView& view, const Tree& tree,
                                      DomKernel kernel) {
-  if (tree.dims() != data.dims()) {
+  if (tree.dims() != view.data().dims()) {
     return Status::InvalidArgument("tree dimensionality does not match dataset");
   }
-  if (tree.size() != data.size()) {
+  if (tree.size() != view.data().size()) {
     return Status::InvalidArgument("tree cardinality does not match dataset");
   }
   CheckScope checks;
-  BbsScan<Tree> scan(data, tree, kernel);
+  BbsScan<Tree> scan(view, tree, kernel);
   while (scan.Next()) {
   }
   std::vector<RowId> skyline = scan.emitted();
@@ -266,14 +339,24 @@ Result<SkylineResult> SkylineBBSImpl(const DataSet& data, const Tree& tree,
 
 }  // namespace
 
+Result<SkylineResult> SkylineBBS(const DataView& view, const RTree& tree,
+                                 DomKernel kernel) {
+  return SkylineBBSImpl(view, tree, kernel);
+}
+
 Result<SkylineResult> SkylineBBS(const DataSet& data, const RTree& tree,
                                  DomKernel kernel) {
-  return SkylineBBSImpl(data, tree, kernel);
+  return SkylineBBSImpl(DataView(data), tree, kernel);
+}
+
+Result<SkylineResult> SkylineBBS(const DataView& view, const DiskRTree& tree,
+                                 DomKernel kernel) {
+  return SkylineBBSImpl(view, tree, kernel);
 }
 
 Result<SkylineResult> SkylineBBS(const DataSet& data, const DiskRTree& tree,
                                  DomKernel kernel) {
-  return SkylineBBSImpl(data, tree, kernel);
+  return SkylineBBSImpl(DataView(data), tree, kernel);
 }
 
 bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows) {
@@ -296,6 +379,29 @@ bool IsSkyline(const DataSet& data, const std::vector<RowId>& rows) {
   return true;
 }
 
+bool IsSkyline(const DataView& view, const std::vector<RowId>& rows) {
+  const DataSet& data = view.data();
+  const auto proj = view.proj();
+  const RowId n = data.size();
+  std::vector<bool> in_result(n, false);
+  for (RowId r : rows) {
+    if (r >= n || !view.InBox(data.row(r))) return false;
+    in_result[r] = true;
+  }
+  const std::vector<RowId>& universe = view.rows();
+  for (RowId r : universe) {
+    bool dominated = false;
+    for (RowId q : universe) {
+      if (q != r && Dominates(data.row(q), data.row(r), proj)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated == in_result[r]) return false;  // must be in iff not dominated
+  }
+  return true;
+}
+
 Status ValidateSkylineRows(std::span<const RowId> rows, size_t n) {
   if (rows.empty()) return Status::InvalidArgument("skyline row set is empty");
   RowId prev = 0;
@@ -309,6 +415,23 @@ Status ValidateSkylineRows(std::span<const RowId> rows, size_t n) {
           "skyline rows are not strictly ascending at index " + std::to_string(i));
     }
     prev = rows[i];
+  }
+  return Status::OK();
+}
+
+Status ValidateSkylineRows(std::span<const RowId> rows, const DataView& view) {
+  if (rows.empty()) {
+    // A constraint box may legitimately exclude every point; an empty
+    // full-space skyline of non-empty data is impossible.
+    if (view.constrained()) return Status::OK();
+    return Status::InvalidArgument("skyline row set is empty");
+  }
+  SKYDIVER_RETURN_NOT_OK(ValidateSkylineRows(rows, view.data().size()));
+  for (RowId r : rows) {
+    if (!view.InBox(view.data().row(r))) {
+      return Status::InvalidArgument("skyline row " + std::to_string(r) +
+                                     " lies outside the query's constraint box");
+    }
   }
   return Status::OK();
 }

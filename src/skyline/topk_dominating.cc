@@ -1,5 +1,10 @@
 #include "skyline/topk_dominating.h"
 
+// skylint:allow-file(view-loops) — top-k dominating queries score points
+// by full-space domination counts over the whole dataset (a different
+// query class from skylines); they sit outside the SkyQuery surface, so
+// the raw-dimensionality check here is intentional.
+
 #include <algorithm>
 
 #include "core/dominance.h"

@@ -334,6 +334,86 @@ TEST(ServeTest, FifoEvictionBoundsTheResultCache) {
   EXPECT_EQ(stats.result_hits, 1u);
 }
 
+TEST(ServeTest, LruTouchOnHitProtectsHotEntriesFromChurn) {
+  const DataSet data = GenerateIndependent(1000, 3, 53);
+  ServeOptions options;
+  options.result_cache_capacity = 2;
+  SkyServer server(BuildSnapshot(data, 16, 5), options);
+
+  QuerySpec k3, k4, k5;
+  k3.k = 3;
+  k4.k = 4;
+  k5.k = 5;
+  ASSERT_TRUE(server.Query(k3).ok());  // miss, cached {k3}
+  ASSERT_TRUE(server.Query(k4).ok());  // miss, cached {k4, k3}
+  ASSERT_TRUE(server.Query(k3).ok());  // hit — touches k3 to the front
+  ASSERT_TRUE(server.Query(k5).ok());  // miss, evicts the LRU entry: k4
+  ASSERT_TRUE(server.Query(k3).ok());  // hit — k3 survived the churn
+  ASSERT_TRUE(server.Query(k4).ok());  // miss — k4 was the one evicted
+  const ServeStats stats = server.stats();
+  EXPECT_EQ(stats.result_hits, 2u);
+  EXPECT_EQ(stats.result_misses, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Query-shaped serving
+
+TEST(ServeTest, SingleSnapshotServerRejectsShapedSpecs) {
+  const DataSet data = GenerateIndependent(800, 3, 61);
+  SkyServer server(BuildSnapshot(data, 16, 5));
+  QuerySpec shaped;
+  shaped.k = 3;
+  shaped.query.shards = 2;
+  EXPECT_FALSE(server.Query(shaped).ok());  // no dataset to rebuild from
+  QuerySpec identity;
+  identity.k = 3;
+  EXPECT_TRUE(server.Query(identity).ok());
+}
+
+TEST(ServeTest, DataBackedServerBuildsAndCachesShapedSnapshots) {
+  const DataSet data = GenerateIndependent(1500, 3, 43);
+  SkyDiverConfig config;
+  config.signature_size = 16;
+  config.seed = 5;
+  auto server = SkyServer::Create(data, config);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  QuerySpec identity;
+  identity.k = 3;
+  ASSERT_TRUE((*server)->Query(identity).ok());
+  EXPECT_EQ((*server)->stats().snapshot_misses, 0u);  // identity is pinned
+
+  QuerySpec shaped;
+  shaped.k = 2;
+  shaped.query.lo = {0.0, 0.0, 0.0};
+  shaped.query.hi = {0.6, 1.0, 1.0};
+  shaped.query.project = {0, 1};
+  const auto first = (*server)->Query(shaped);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (const RowId row : (*first)->rows) {
+    EXPECT_LE(data.at(row, 0), 0.6);  // selection came from the boxed skyline
+  }
+
+  QuerySpec shaped_other_k = shaped;
+  shaped_other_k.k = 3;
+  ASSERT_TRUE((*server)->Query(shaped_other_k).ok());  // same shaped snapshot
+  const ServeStats stats = (*server)->stats();
+  EXPECT_EQ(stats.snapshot_misses, 1u);
+  EXPECT_EQ(stats.snapshot_hits, 1u);
+
+  const auto replay = (*server)->Query(shaped);  // result-cache hit
+  ASSERT_TRUE(replay.ok());
+  ExpectSameResult(**first, **replay);
+}
+
+TEST(ServeTest, CreateRejectsAShapedBaseConfig) {
+  const DataSet data = GenerateIndependent(500, 2, 7);
+  SkyDiverConfig config;
+  config.signature_size = 16;
+  config.query.shards = 4;  // the base config must be the identity shape
+  EXPECT_FALSE(SkyServer::Create(data, config).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Streaming hand-off
 

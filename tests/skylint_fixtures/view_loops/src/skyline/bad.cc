@@ -1,0 +1,13 @@
+namespace demo {
+
+struct DataSet {
+  unsigned dims() const { return 4; }
+};
+
+int SumDims(const DataSet& data) {
+  int total = 0;
+  for (unsigned d = 0; d < data.dims(); ++d) total += static_cast<int>(d);
+  return total;
+}
+
+}  // namespace demo

@@ -19,10 +19,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/flags.h"
+#include "core/sky_query.h"
 #include "core/dataset_io.h"
 #include "core/preference.h"
 #include "datagen/csv.h"
@@ -59,11 +63,80 @@ Result<Preference> ParsePreference(const std::string& spec, Dim dims) {
   return Preference(std::move(prefs));
 }
 
+// One side of a '--constrain lo:hi' pair. Empty text leaves the side open
+// (`open` is the matching infinity); anything else must parse fully as a
+// double, so 'inf'/'-inf' also work.
+Result<Coord> ParseBound(const std::string& text, Coord open) {
+  if (text.empty()) return open;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) {
+    return Status::InvalidArgument("--constrain bound '" + text +
+                                   "' is not a number");
+  }
+  return value;
+}
+
+// Parses '--constrain lo:hi,lo:hi,...' (one pair per column, in column
+// order) into the query's box. Bounds are given in the ORIGINAL column
+// values; maximized columns are mirrored into minimization space below.
+Status ParseConstraint(const std::string& spec, SkyQuery* query) {
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    const size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument(
+          "--constrain entries must be 'lo:hi' (either side may be empty), "
+          "got '" + token + "'");
+    }
+    auto lo = ParseBound(token.substr(0, colon),
+                         -std::numeric_limits<Coord>::infinity());
+    if (!lo.ok()) return lo.status();
+    auto hi = ParseBound(token.substr(colon + 1),
+                         std::numeric_limits<Coord>::infinity());
+    if (!hi.ok()) return hi.status();
+    query->lo.push_back(*lo);
+    query->hi.push_back(*hi);
+  }
+  if (query->lo.empty()) {
+    return Status::InvalidArgument("--constrain lists no 'lo:hi' pairs");
+  }
+  return Status::OK();
+}
+
+// Parses '--project d0,d2,...' (the 'd' prefix is optional) into the
+// query's projection mask.
+Status ParseProjection(const std::string& spec, SkyQuery* query) {
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    std::string digits = token;
+    if (!digits.empty() && (digits[0] == 'd' || digits[0] == 'D')) {
+      digits = digits.substr(1);
+    }
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(digits.c_str(), &end, 10);
+    if (digits.empty() || end != digits.c_str() + digits.size() ||
+        digits[0] == '-') {
+      return Status::InvalidArgument(
+          "--project entries must be column indices like 'd0' or '2', got '" +
+          token + "'");
+    }
+    query->project.push_back(static_cast<Dim>(value));
+  }
+  if (query->project.empty()) {
+    return Status::InvalidArgument("--project lists no columns");
+  }
+  return Status::OK();
+}
+
 int Run(int argc, char** argv) {
   std::string csv, workload = "IND", pref_spec, select = "mh", kernel = "simd";
   std::string save_tree, load_tree, save_data;
+  std::string constrain_spec, project_spec;
   int64_t n = 100000, dims = 4, k = 10, t = 100, lsh_buckets = 20, seed = 42;
-  int64_t threads = 0;
+  int64_t threads = 0, shards = 1;
   double lsh_threshold = 0.2;
   bool use_index = false, skip_header = false, quiet = false;
   bool describe = false, advise = false, explain = false;
@@ -84,6 +157,15 @@ int Run(int argc, char** argv) {
   flags.AddString("kernel", &kernel,
                   "dominance kernel: simd (runtime-dispatched AVX2/NEON sweeps, "
                   "falls back to tiled) | tiled (batched 64-row sweeps) | scalar");
+  flags.AddString("constrain", &constrain_spec,
+                  "closed constraint box 'lo:hi,lo:hi,...' (one pair per "
+                  "column, original values; an empty side is unbounded: "
+                  "':5', '2:')");
+  flags.AddString("project", &project_spec,
+                  "subspace for dominance, e.g. 'd0,d2' (default: all columns)");
+  flags.AddInt64("shards", &shards,
+                 "split the rows into this many chunks, skyline each and "
+                 "cross-filter merge — same output, parallel with --threads");
   flags.AddBool("explain", &explain, "print the resolved execution plan and exit");
   int64_t serve_clients = 0, serve_queries = 200;
   flags.AddInt64("serve", &serve_clients,
@@ -219,6 +301,43 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "--select must be 'mh', 'lsh' or 'bf'\n");
     return 2;
   }
+  if (!constrain_spec.empty()) {
+    if (const Status st = ParseConstraint(constrain_spec, &config.query); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+    if (config.query.lo.size() != data->dims()) {
+      std::fprintf(stderr,
+                   "--constrain lists %zu 'lo:hi' pairs but the data has %u "
+                   "columns\n",
+                   config.query.lo.size(), data->dims());
+      return 2;
+    }
+    // The pipeline runs over canonicalized (minimization-space) data; a
+    // maximized column is negated there, which mirrors and swaps its bounds.
+    for (Dim d = 0; d < data->dims(); ++d) {
+      if (pref->at(d) == Pref::kMax) {
+        const Coord lo = config.query.lo[d], hi = config.query.hi[d];
+        config.query.lo[d] = -hi;
+        config.query.hi[d] = -lo;
+      }
+    }
+  }
+  if (!project_spec.empty()) {
+    if (const Status st = ParseProjection(project_spec, &config.query); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  if (shards < 1 || static_cast<size_t>(shards) > kMaxQueryShards) {
+    std::fprintf(stderr, "--shards must be in [1, %zu]\n", kMaxQueryShards);
+    return 2;
+  }
+  config.query.shards = static_cast<size_t>(shards);
+  if (const Status st = ValidateQueryShape(config.query); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
 
   if (explain) {
     PlanResources resources;
@@ -305,6 +424,9 @@ int Run(int argc, char** argv) {
     std::printf("# n=%u d=%u skyline=%zu k=%zu select=%s index=%s\n", data->size(),
                 data->dims(), report->skyline.size(), config.k, select.c_str(),
                 have_tree ? "yes" : "no");
+    if (!report->plan.query.identity()) {
+      std::printf("# query: %s\n", ToString(report->plan.query).c_str());
+    }
     std::printf("# plan: skyline=%s fingerprint=%s select=%s threads=%zu kernel=%s\n",
                 ToString(report->plan.skyline), ToString(report->plan.fingerprint),
                 ToString(report->plan.select), report->plan.threads,

@@ -373,6 +373,37 @@ void CheckIntrinsics(const SourceFile& file, std::vector<Violation>* out) {
 }
 
 // -------------------------------------------------------------------------
+// view-loops
+// -------------------------------------------------------------------------
+
+// Skyline algorithms take their dimensionality from a query-scoped
+// DataView (view.dims() / view.proj()), never from the raw DataSet: a
+// direct `data.dims()` loop silently ignores the query's projection mask.
+// Token-level like everything here — `view.data().dims()` (reading the
+// FULL dimensionality through the view, e.g. to validate an R-tree) does
+// not match, because the member access interposes a call.
+void CheckViewLoops(const SourceFile& file, std::vector<Violation>* out) {
+  if (!StartsWith(file.path, "src/skyline/")) return;
+  static const char* const kPatterns[] = {"data.dims()", "data_.dims()",
+                                          "data->dims()"};
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (const char* pattern : kPatterns) {
+      for (size_t pos = line.find(pattern); pos != std::string::npos;
+           pos = line.find(pattern, pos + 1)) {
+        if (pos != 0 && IsIdentChar(line[pos - 1])) continue;
+        Report(file, i + 1, "view-loops",
+               "skyline code must read dimensionality through a DataView "
+               "(view.dims()/view.proj()); a raw DataSet dimension loop "
+               "ignores the query's projection mask",
+               out);
+        break;
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------------
 // include-hygiene
 // -------------------------------------------------------------------------
 
@@ -470,6 +501,7 @@ void LintFile(const SourceFile& file, const LintContext& context,
   CheckDeterminism(file, out);
   CheckAssert(file, out);
   CheckIntrinsics(file, out);
+  CheckViewLoops(file, out);
   CheckIncludeHygiene(file, context, out);
 }
 

@@ -36,6 +36,13 @@
 //                      confined to the kernel layer, which owns the per-ISA
 //                      compile flags and the runtime CPU probe; everything
 //                      else goes through the DomKernel dispatch.
+//   view-loops         In src/skyline/ — every skyline algorithm computes
+//                      over a query-scoped DataView, so dimensionality is
+//                      read through view.dims()/view.proj(); a raw
+//                      data.dims() loop would silently ignore the query's
+//                      projection mask. (view.data().dims() — the FULL
+//                      dimensionality, e.g. for R-tree validation — is
+//                      fine and does not match.)
 //   include-hygiene    Headers carry #pragma once; a foo.cc with a sibling
 //                      foo.h includes it first (keeps headers
 //                      self-contained); no "../" relative includes.
