@@ -1,0 +1,160 @@
+// Annotated synchronization primitives — the project's ONLY sanctioned
+// mutex/condition-variable types inside src/.
+//
+// Raw std::mutex / std::condition_variable / std::lock_guard are invisible
+// to Clang Thread Safety Analysis: the analysis only tracks types declared
+// as capabilities and RAII guards declared as scoped capabilities. These
+// thin wrappers carry those declarations (common/thread_annotations.h), so
+// every critical section in the tree is statically checked in the
+// `thread-safety` CI lane, and skylint's `guarded-mutex` /
+// `lock-discipline` rules reject raw primitives and naked lock()/unlock()
+// calls that would punch holes in the analysis.
+//
+// Usage pattern:
+//
+//   class Thing {
+//    public:
+//     void Touch() {
+//       MutexLock lock(mutex_);
+//       ++count_;                       // OK: mutex_ held
+//     }
+//    private:
+//     mutable Mutex mutex_;
+//     size_t count_ SKYDIVER_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Condition waits are single-cycle by design: `CondVar::Wait` performs ONE
+// wait (it may wake spuriously) so the predicate loop lives in the caller,
+// where the analysis can see the lock held across the guarded reads:
+//
+//   MutexLock lock(mutex_);
+//   while (queue_.empty()) ready_.Wait(mutex_);
+//
+// (A predicate-lambda overload would move the guarded reads into an
+// unannotated closure the analysis cannot attribute to the lock.)
+//
+// This file is the one sanctioned home of the underlying std primitives;
+// skylint exempts it from the concurrency rules it enforces everywhere
+// else under src/.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace skydiver {
+
+/// Exclusive mutex, declared as a thread-safety capability. Prefer the
+/// RAII guards (MutexLock) over calling Lock/Unlock directly — skylint's
+/// `lock-discipline` rule enforces exactly that outside this header.
+class SKYDIVER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SKYDIVER_ACQUIRE() { mu_.lock(); }
+  void Unlock() SKYDIVER_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() SKYDIVER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Reader-writer mutex capability. Exclusive mode for writers, shared mode
+/// for readers (ReaderMutexLock / WriterMutexLock below).
+class SKYDIVER_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() SKYDIVER_ACQUIRE() { mu_.lock(); }
+  void Unlock() SKYDIVER_RELEASE() { mu_.unlock(); }
+  void LockShared() SKYDIVER_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() SKYDIVER_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive lock over a Mutex (the std::lock_guard replacement the
+/// analysis can follow).
+class SKYDIVER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SKYDIVER_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SKYDIVER_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class SKYDIVER_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) SKYDIVER_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() SKYDIVER_RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex. The destructor is
+/// RELEASE_GENERIC: a scoped capability may hold either mode, and generic
+/// release is the annotation that matches whichever was acquired.
+class SKYDIVER_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) SKYDIVER_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() SKYDIVER_RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() is ONE wait cycle — it
+/// releases `mu`, blocks until notified (or a spurious wakeup), reacquires
+/// `mu`, and returns; callers therefore loop on their predicate with the
+/// lock held, which is both the correct use of condition variables and the
+/// shape the thread-safety analysis can check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// One wait cycle on `mu`, which must be held (and is held again on
+  /// return). May wake spuriously: loop on the predicate.
+  void Wait(Mutex& mu) SKYDIVER_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    // Single-cycle by contract: every caller loops on its predicate under
+    // the lock (see class comment), which is what the spurious-wakeup
+    // checker wants to see at the call site it cannot look up to.
+    cv_.wait(lock);  // NOLINT(bugprone-spuriously-wake-up-functions)
+    lock.release();  // ownership stays with the caller's scoped guard
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace skydiver

@@ -1,0 +1,97 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These make lock discipline a COMPILE-TIME property: a type wrapping a
+// mutex is declared a *capability*, the data it protects is tied to it
+// with SKYDIVER_GUARDED_BY, and functions declare what they acquire,
+// release, or require. Clang's `-Wthread-safety` then rejects, at build
+// time, any access to guarded state outside its critical section and any
+// unbalanced acquire/release — the static complement to the TSan lane,
+// which can only see the interleavings the tests happen to exercise.
+//
+// Under any compiler other than clang the macros expand to nothing, so
+// the annotations are free documentation everywhere and enforced in the
+// dedicated `thread-safety` CI lane (clang, `-Wthread-safety
+// -Wthread-safety-beta -Werror`; see .github/workflows/ci.yml).
+//
+// The vocabulary (mirrors the clang documentation's canonical macros):
+//
+//   SKYDIVER_CAPABILITY(name)       class is a capability (a lock)
+//   SKYDIVER_SCOPED_CAPABILITY      RAII class acquiring in ctor, releasing in dtor
+//   SKYDIVER_GUARDED_BY(mu)        data member readable/writable only under mu
+//   SKYDIVER_PT_GUARDED_BY(mu)     pointee protected by mu (the pointer is not)
+//   SKYDIVER_REQUIRES(mu)          callee runs with mu held (caller acquires)
+//   SKYDIVER_REQUIRES_SHARED(mu)   as above, shared (reader) mode suffices
+//   SKYDIVER_ACQUIRE(mu)           function acquires mu, holds it on return
+//   SKYDIVER_ACQUIRE_SHARED(mu)    as above, in shared mode
+//   SKYDIVER_RELEASE(mu)           function releases mu
+//   SKYDIVER_RELEASE_SHARED(mu)    as above, shared mode
+//   SKYDIVER_RELEASE_GENERIC(mu)   releases whichever mode is held
+//   SKYDIVER_TRY_ACQUIRE(ok, mu)   acquires mu iff it returns `ok`
+//   SKYDIVER_EXCLUDES(mu)          caller must NOT hold mu (deadlock guard)
+//   SKYDIVER_ASSERT_CAPABILITY(mu) runtime assertion that mu is held
+//   SKYDIVER_RETURN_CAPABILITY(mu) function returns a reference to mu
+//   SKYDIVER_ACQUIRED_BEFORE/AFTER lock-ordering declarations
+//   SKYDIVER_NO_THREAD_SAFETY_ANALYSIS  opt a function out (use sparingly,
+//                                       with a comment saying why)
+
+#pragma once
+
+#if defined(__clang__)
+#define SKYDIVER_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SKYDIVER_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+#define SKYDIVER_CAPABILITY(x) SKYDIVER_THREAD_ANNOTATION(capability(x))
+
+#define SKYDIVER_SCOPED_CAPABILITY SKYDIVER_THREAD_ANNOTATION(scoped_lockable)
+
+#define SKYDIVER_GUARDED_BY(x) SKYDIVER_THREAD_ANNOTATION(guarded_by(x))
+
+#define SKYDIVER_PT_GUARDED_BY(x) SKYDIVER_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define SKYDIVER_ACQUIRED_BEFORE(...) \
+  SKYDIVER_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define SKYDIVER_ACQUIRED_AFTER(...) \
+  SKYDIVER_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define SKYDIVER_REQUIRES(...) \
+  SKYDIVER_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define SKYDIVER_REQUIRES_SHARED(...) \
+  SKYDIVER_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define SKYDIVER_ACQUIRE(...) \
+  SKYDIVER_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define SKYDIVER_ACQUIRE_SHARED(...) \
+  SKYDIVER_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define SKYDIVER_RELEASE(...) \
+  SKYDIVER_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define SKYDIVER_RELEASE_SHARED(...) \
+  SKYDIVER_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define SKYDIVER_RELEASE_GENERIC(...) \
+  SKYDIVER_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define SKYDIVER_TRY_ACQUIRE(...) \
+  SKYDIVER_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define SKYDIVER_TRY_ACQUIRE_SHARED(...) \
+  SKYDIVER_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define SKYDIVER_EXCLUDES(...) SKYDIVER_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define SKYDIVER_ASSERT_CAPABILITY(x) \
+  SKYDIVER_THREAD_ANNOTATION(assert_capability(x))
+
+#define SKYDIVER_ASSERT_SHARED_CAPABILITY(x) \
+  SKYDIVER_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define SKYDIVER_RETURN_CAPABILITY(x) SKYDIVER_THREAD_ANNOTATION(lock_returned(x))
+
+#define SKYDIVER_NO_THREAD_SAFETY_ANALYSIS \
+  SKYDIVER_THREAD_ANNOTATION(no_thread_safety_analysis)

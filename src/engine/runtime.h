@@ -14,6 +14,13 @@
 //
 // threads == 0 means serial: no pool is spawned and pool() returns
 // nullptr, so serial plans still never start a thread.
+//
+// Capability story (see common/thread_annotations.h): a Runtime carries no
+// lock of its own because it has no mutable state — both members are set
+// in the constructor and never written again, which is the strongest
+// thread-safety property there is. Every mutable thing reachable through
+// it (the pool's queue and counters) lives behind ThreadPool::mutex_,
+// whose discipline the thread-safety CI lane checks statically.
 
 #pragma once
 

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "core/dominance.h"
 #include "kernels/tile_view.h"
 
@@ -36,14 +36,14 @@ SkylineResult ParallelSkyline(const DataView& view, ThreadPool& pool,
   // the view's (ascending) row list; SkylineSFSRows works on the shared
   // view in place, so no per-shard dataset copies are made.
   {
-    std::mutex mu;
+    Mutex mu;
     size_t next_shard = 0;
     pool.ParallelFor(all.size(), shards, [&](uint64_t begin, uint64_t end) {
       auto local = SkylineSFSRows(
                        view,
                        std::span<const RowId>(all).subspan(begin, end - begin), kernel)
                        .rows;
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       locals[next_shard++] = std::move(local);
     });
   }
@@ -77,14 +77,14 @@ SkylineResult ShardedSkyline(const DataView& view, size_t shards, ThreadPool* po
   // Shard phase on the pool; merge-order independence (the skyline of a
   // union is unique) makes the slot assignment immaterial to the result.
   {
-    std::mutex mu;
+    Mutex mu;
     size_t next_shard = 0;
     pool->ParallelFor(all.size(), shards, [&](uint64_t begin, uint64_t end) {
       auto local = SkylineSFSRows(
                        view,
                        std::span<const RowId>(all).subspan(begin, end - begin), kernel)
                        .rows;
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       locals[next_shard++] = std::move(local);
     });
   }
@@ -142,12 +142,12 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
   std::vector<std::vector<uint64_t>> shard_scores(shards,
                                                   std::vector<uint64_t>(m, 0));
 
-  std::mutex mu;
+  Mutex mu;
   size_t shard_counter = 0;
   pool.ParallelFor(n, shards, [&](uint64_t begin, uint64_t end) {
     size_t my_shard;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       my_shard = shard_counter++;
     }
     SignatureMatrix& sig = shard_sig[my_shard];

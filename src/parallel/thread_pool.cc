@@ -20,11 +20,11 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  task_ready_.notify_all();
+  task_ready_.NotifyAll();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -32,18 +32,18 @@ void ThreadPool::Shutdown() {
 
 bool ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return false;
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_ready_.notify_one();
+  task_ready_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::ParallelFor(uint64_t n, size_t chunks,
@@ -59,7 +59,11 @@ void ThreadPool::ParallelFor(uint64_t n, size_t chunks,
 
 DominanceHarvest ThreadPool::HarvestDominanceChecks() {
   DominanceHarvest out;
+  // skylint:allow(relaxed-ordering): atomicity-only drains; every ordering
+  // edge the tallies need is carried by mutex_ — see the harvest protocol
+  // in thread_pool.h (HarvestDominanceChecks doc comment).
   out.total = harvest_total_.exchange(0, std::memory_order_relaxed);
+  // skylint:allow(relaxed-ordering): same protocol as the line above.
   out.tiled = harvest_tiled_.exchange(0, std::memory_order_relaxed);
   return out;
 }
@@ -68,12 +72,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
+      MutexLock lock(mutex_);
+      while (!shutdown_ && tasks_.empty()) task_ready_.Wait(mutex_);
+      if (tasks_.empty()) return;  // shutdown with a drained queue
       task = std::move(tasks_.front());
       tasks_.pop();
     }
@@ -82,13 +83,17 @@ void ThreadPool::WorkerLoop() {
     const uint64_t total_before = DominanceCounter::Count();
     const uint64_t tiled_before = DominanceCounter::TiledCount();
     task();
-    harvest_total_.fetch_add(DominanceCounter::Count() - total_before,
-                             std::memory_order_relaxed);
-    harvest_tiled_.fetch_add(DominanceCounter::TiledCount() - tiled_before,
-                             std::memory_order_relaxed);
+    const uint64_t total_delta = DominanceCounter::Count() - total_before;
+    const uint64_t tiled_delta = DominanceCounter::TiledCount() - tiled_before;
+    // skylint:allow(relaxed-ordering): the increments are sequenced before
+    // this worker's mutex_ critical section below, which is what publishes
+    // them (harvest protocol, thread_pool.h).
+    harvest_total_.fetch_add(total_delta, std::memory_order_relaxed);
+    // skylint:allow(relaxed-ordering): same protocol as the line above.
+    harvest_tiled_.fetch_add(tiled_delta, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -6,13 +6,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace skydiver {
 
@@ -88,15 +89,24 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Spawned in the constructor, joined in Shutdown; never resized in
+  // between, so size() is a lock-free const read.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_ready_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+
+  // The pool's one capability: mutex_ guards the task queue and the
+  // counters the two condition variables wait on. Everything below is
+  // statically tied to it, so an unguarded touch is a clang
+  // -Wthread-safety build error, not a TSan hope.
+  Mutex mutex_;
+  CondVar task_ready_;  ///< signaled per Submit; waited on by workers
+  CondVar all_done_;    ///< signaled when in_flight_ drains; waited on by Wait
+  std::queue<std::function<void()>> tasks_ SKYDIVER_GUARDED_BY(mutex_);
+  size_t in_flight_ SKYDIVER_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ SKYDIVER_GUARDED_BY(mutex_) = false;
+
   // Cross-thread counter tallies; relaxed atomics ordered by mutex_ (see
-  // HarvestDominanceChecks for the protocol).
+  // HarvestDominanceChecks for the protocol). Deliberately NOT guarded:
+  // atomicity is all they need, the mutex carries the ordering.
   std::atomic<uint64_t> harvest_total_{0};
   std::atomic<uint64_t> harvest_tiled_{0};
 };

@@ -3,6 +3,7 @@
 namespace skydiver {
 
 void BufferPool::SetCapacity(size_t capacity_pages) {
+  WriterMutexLock lock(mutex_);
   capacity_ = capacity_pages == 0 ? 1 : capacity_pages;
   while (lru_.size() > capacity_) {
     index_.erase(lru_.back());
@@ -10,7 +11,14 @@ void BufferPool::SetCapacity(size_t capacity_pages) {
   }
 }
 
+size_t BufferPool::capacity() const {
+  ReaderMutexLock lock(mutex_);
+  return capacity_;
+}
+
 bool BufferPool::Access(PageId page) {
+  // Writer side even for a hit: touching a page splices the LRU chain.
+  WriterMutexLock lock(mutex_);
   ++stats_.page_reads;
   auto it = index_.find(page);
   if (it != index_.end()) {
@@ -27,9 +35,30 @@ bool BufferPool::Access(PageId page) {
   return false;
 }
 
+void BufferPool::RecordWrite() {
+  WriterMutexLock lock(mutex_);
+  ++stats_.page_writes;
+}
+
 void BufferPool::Clear() {
+  WriterMutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
+}
+
+IoStats BufferPool::stats() const {
+  ReaderMutexLock lock(mutex_);
+  return stats_;
+}
+
+void BufferPool::ResetStats() {
+  WriterMutexLock lock(mutex_);
+  stats_.Reset();
+}
+
+size_t BufferPool::cached_pages() const {
+  ReaderMutexLock lock(mutex_);
+  return lru_.size();
 }
 
 }  // namespace skydiver

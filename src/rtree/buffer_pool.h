@@ -5,6 +5,14 @@
 // node access is a logical read; accesses that miss the LRU working set are
 // physical faults. The pages themselves live in memory (see DESIGN.md §4 —
 // the substitution preserves the I/O counts, which drive the timing model).
+//
+// Thread-safety: the pool is internally synchronized behind a SharedMutex
+// capability. Today every operation that touches the LRU chain takes the
+// writer side (even a logical read splices the recency list), so the
+// reader/writer split only pays off for the stats accessors — but the
+// capability is declared now so the ROADMAP's per-page reader-writer access
+// (snapshots building while queries run) migrates onto an already-annotated
+// lock instead of retrofitting one.
 
 #pragma once
 
@@ -12,8 +20,11 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 
 #include "common/io_stats.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace skydiver {
 
@@ -22,16 +33,35 @@ using PageId = uint32_t;
 
 inline constexpr PageId kInvalidPageId = ~PageId{0};
 
-/// LRU page cache that records hit/miss statistics.
+/// LRU page cache that records hit/miss statistics. Internally locked; see
+/// the file comment for the capability story.
 class BufferPool {
  public:
   /// Pool with room for `capacity_pages` pages (minimum 1).
   explicit BufferPool(size_t capacity_pages = 1) { SetCapacity(capacity_pages); }
 
+  /// Moves transfer the cached pages and counters into a pool with a fresh
+  /// lock. They are NOT thread-safe: moving a pool while any thread uses
+  /// either side is a caller bug (the contract every std container has),
+  /// which is why the analysis is opted out here and nowhere else.
+  BufferPool(BufferPool&& other) noexcept SKYDIVER_NO_THREAD_SAFETY_ANALYSIS
+      : capacity_(other.capacity_),
+        lru_(std::move(other.lru_)),
+        index_(std::move(other.index_)),
+        stats_(other.stats_) {}
+  BufferPool& operator=(BufferPool&& other) noexcept
+      SKYDIVER_NO_THREAD_SAFETY_ANALYSIS {
+    capacity_ = other.capacity_;
+    lru_ = std::move(other.lru_);
+    index_ = std::move(other.index_);
+    stats_ = other.stats_;
+    return *this;
+  }
+
   /// Resizes the pool; keeps the most recently used pages that still fit.
   void SetCapacity(size_t capacity_pages);
 
-  size_t capacity() const { return capacity_; }
+  size_t capacity() const;
 
   /// Registers an access to `page`. Returns true on a hit; on a miss the
   /// page is (logically) fetched, a fault is recorded, and the LRU victim
@@ -39,21 +69,26 @@ class BufferPool {
   bool Access(PageId page);
 
   /// Registers a page write (index construction); does not populate the pool.
-  void RecordWrite() { ++stats_.page_writes; }
+  void RecordWrite();
 
   /// Drops all cached pages (does not reset statistics).
   void Clear();
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  /// A consistent copy of the I/O counters (by value: a reference into
+  /// guarded state would escape the critical section).
+  IoStats stats() const;
+  void ResetStats();
 
-  size_t cached_pages() const { return lru_.size(); }
+  size_t cached_pages() const;
 
  private:
-  size_t capacity_ = 1;
-  std::list<PageId> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
-  IoStats stats_;
+  // The pool capability: guards the LRU chain, its index, and the counters.
+  mutable SharedMutex mutex_;
+  size_t capacity_ SKYDIVER_GUARDED_BY(mutex_) = 1;
+  std::list<PageId> lru_ SKYDIVER_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_
+      SKYDIVER_GUARDED_BY(mutex_);
+  IoStats stats_ SKYDIVER_GUARDED_BY(mutex_);
 };
 
 }  // namespace skydiver

@@ -87,11 +87,18 @@ class DiskRTree {
   size_t cache_capacity_ = 1;
 
   std::unique_ptr<std::FILE, FileCloser> file_;
-  // LRU frame cache of deserialized nodes.
+  // LRU frame cache of deserialized nodes. Deliberately unguarded: a
+  // DiskRTree is a per-query, single-threaded reader (ReadNode hands out
+  // `const RTreeNode&` references into frames_ that would escape any
+  // critical section); per-page rwlocks are the ROADMAP's shared-access
+  // step.
+  // skylint:allow(guarded-mutex): single-threaded frame cache (see above)
   mutable std::list<PageId> lru_;
+  // skylint:allow(guarded-mutex): single-threaded frame cache (see above)
   mutable std::unordered_map<PageId,
                              std::pair<RTreeNode, std::list<PageId>::iterator>>
       frames_;
+  // skylint:allow(guarded-mutex): single-threaded frame cache (see above)
   mutable IoStats stats_;
 };
 

@@ -92,9 +92,11 @@ class RTree {
   /// possibly a fault).
   const RTreeNode& ReadNode(PageId id) const;
 
-  /// Reads a node WITHOUT touching the buffer pool. Thread-safe for
-  /// concurrent readers (the pool's LRU bookkeeping is not), at the price
-  /// of not being I/O-accounted; used by the parallel algorithms.
+  /// Reads a node WITHOUT touching the buffer pool. The pool is internally
+  /// locked, so ReadNode is also safe for concurrent readers — PeekNode
+  /// additionally skips the pool's lock and its I/O accounting; used by the
+  /// parallel algorithms, where per-access lock traffic would serialize the
+  /// sweep.
   const RTreeNode& PeekNode(PageId id) const { return store_[id]; }
 
   /// Number of points inside the closed box [lo, hi] — aggregate-aware:
@@ -126,8 +128,9 @@ class RTree {
   uint64_t CommonDominatedCount(std::span<const Coord> p,
                                 std::span<const Coord> q) const;
 
-  /// I/O statistics of the underlying buffer pool.
-  const IoStats& io_stats() const { return pool_.stats(); }
+  /// I/O statistics of the underlying buffer pool (a consistent copy; the
+  /// pool is internally locked).
+  IoStats io_stats() const { return pool_.stats(); }
   void ResetIoStats() const { pool_.ResetStats(); }
   BufferPool& pool() const { return pool_; }
 
@@ -168,6 +171,8 @@ class RTree {
   PageId root_ = kInvalidPageId;
   uint64_t size_ = 0;
   uint32_t height_ = 0;
+  // skylint:allow(guarded-mutex): internally synchronized — the pool owns
+  // a SharedMutex capability guarding all of its state (buffer_pool.h).
   mutable BufferPool pool_;
 };
 

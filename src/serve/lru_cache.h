@@ -7,8 +7,15 @@
 // (front = most recent) and moves an entry to the front on every hit, so
 // eviction always removes the least-recently USED key.
 //
-// Not thread-safe by design: the server's bookkeeping mutex already
-// serializes cache access, and the guarded sections are pointer splices.
+// Externally locked by design: the cache has no lock of its own — the
+// server's bookkeeping mutex already serializes access, and the guarded
+// sections are pointer splices. The locking contract is enforced at the
+// DECLARATION site, not here: SkyServer declares each cache instance
+// SKYDIVER_GUARDED_BY(mutex_), which makes any method call on it outside
+// the server's critical section a clang -Wthread-safety error. (The
+// container's methods cannot carry REQUIRES(...) themselves: the analysis
+// has no alias tracking, so a capability expression written inside this
+// template could never be matched up with the caller's member mutex.)
 
 #pragma once
 

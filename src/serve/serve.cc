@@ -61,7 +61,7 @@ Result<std::shared_ptr<const SkySnapshot>> SkyServer::SnapshotFor(
   if (normalized.value().identity()) return snapshot_;
   const std::string key = QueryKey(normalized.value());
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const auto* hit = snapshot_cache_.Get(key)) {
       ++stats_.snapshot_hits;
       return *hit;
@@ -76,7 +76,7 @@ Result<std::shared_ptr<const SkySnapshot>> SkyServer::SnapshotFor(
   auto built = SkySnapshot::Build(*data_, config, resources_, runtime_);
   if (!built.ok()) return built.status();
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.snapshot_misses;
   if (const auto* raced = snapshot_cache_.Get(key)) return *raced;
   snapshot_cache_.Put(key, built.value());
@@ -96,7 +96,7 @@ Result<std::shared_ptr<const QueryResult>> SkyServer::Query(const QuerySpec& spe
   // re-resolved by racing clients.
   SelectPlan plan;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (const auto* hit = result_cache_.Get(result_key)) {
       ++stats_.result_hits;
       ++stats_.queries;
@@ -129,7 +129,7 @@ Result<std::shared_ptr<const QueryResult>> SkyServer::Query(const QuerySpec& spe
   if (!result.ok()) return result.status();
   auto shared = std::make_shared<const QueryResult>(std::move(result).value());
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.result_misses;
   ++stats_.queries;
   result_cache_.Put(result_key, shared);
@@ -137,7 +137,7 @@ Result<std::shared_ptr<const QueryResult>> SkyServer::Query(const QuerySpec& spe
 }
 
 ServeStats SkyServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -40,13 +40,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/dataset.h"
 #include "engine/runtime.h"
 #include "engine/snapshot.h"
@@ -136,11 +137,17 @@ class SkyServer {
   SkyDiverConfig config_;
   PlanResources resources_;
 
-  mutable std::mutex mutex_;
-  std::map<PlanKey, SelectPlan> plan_cache_;
-  LruCache<ResultKey, std::shared_ptr<const QueryResult>> result_cache_;
-  LruCache<std::string, std::shared_ptr<const SkySnapshot>> snapshot_cache_;
-  ServeStats stats_;
+  // The server's one capability. The caches are externally-locked
+  // containers (see lru_cache.h): GUARDED_BY here is what makes a
+  // lock-free touch a clang -Wthread-safety error, since the analysis
+  // cannot see through the container's own methods.
+  mutable Mutex mutex_;
+  std::map<PlanKey, SelectPlan> plan_cache_ SKYDIVER_GUARDED_BY(mutex_);
+  LruCache<ResultKey, std::shared_ptr<const QueryResult>> result_cache_
+      SKYDIVER_GUARDED_BY(mutex_);
+  LruCache<std::string, std::shared_ptr<const SkySnapshot>> snapshot_cache_
+      SKYDIVER_GUARDED_BY(mutex_);
+  ServeStats stats_ SKYDIVER_GUARDED_BY(mutex_);
 };
 
 /// One ServeLoop execution's products.

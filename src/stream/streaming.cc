@@ -15,12 +15,12 @@ StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t s
       seed_(seed),
       max_points_(max_points),
       family_(MinHashFamily::Create(signature_size, max_points, seed)),
-      data_(dims),
       // Resolve the flavour once at construction: the streaming mirror is
       // re-swept on every insert, so only the missing-ISA half of the
       // downgrade policy applies (the small-input half would flip the
       // flavour back and forth as the skyline grows).
       kernel_(EffectiveKernel(kernel, kTileRows)),
+      data_(dims),
       sky_tiles_(dims) {}
 
 void StreamingSkyDiver::UpdateSignature(SkylineEntry* entry, RowId row) {
@@ -50,6 +50,8 @@ Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
   }
   const RowId row = data_.size();
   data_.Append(point);
+
+  MutexLock lock(monitor_mutex_);
   ++stats_.inserts;
 
   if (IsBatched(kernel_)) {
@@ -155,6 +157,11 @@ Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
 }
 
 std::vector<RowId> StreamingSkyDiver::SkylineRows() const {
+  MutexLock lock(monitor_mutex_);
+  return SkylineRowsLocked();
+}
+
+std::vector<RowId> StreamingSkyDiver::SkylineRowsLocked() const {
   std::vector<RowId> rows;
   rows.reserve(skyline_.size());
   for (const auto& [row, entry] : skyline_) rows.push_back(row);
@@ -163,6 +170,7 @@ std::vector<RowId> StreamingSkyDiver::SkylineRows() const {
 }
 
 Result<uint64_t> StreamingSkyDiver::DominationScore(RowId skyline_row) const {
+  MutexLock lock(monitor_mutex_);
   auto it = skyline_.find(skyline_row);
   if (it == skyline_.end()) {
     return Status::NotFound("row " + std::to_string(skyline_row) +
@@ -172,6 +180,7 @@ Result<uint64_t> StreamingSkyDiver::DominationScore(RowId skyline_row) const {
 }
 
 Result<std::vector<uint64_t>> StreamingSkyDiver::Signature(RowId skyline_row) const {
+  MutexLock lock(monitor_mutex_);
   auto it = skyline_.find(skyline_row);
   if (it == skyline_.end()) {
     return Status::NotFound("row " + std::to_string(skyline_row) +
@@ -181,8 +190,9 @@ Result<std::vector<uint64_t>> StreamingSkyDiver::Signature(RowId skyline_row) co
 }
 
 Result<StreamFingerprints> StreamingSkyDiver::ExportFingerprints() const {
+  MutexLock lock(monitor_mutex_);
   StreamFingerprints out;
-  out.skyline = SkylineRows();
+  out.skyline = SkylineRowsLocked();
   if (out.skyline.empty()) {
     return Status::InvalidArgument("stream has no skyline points to export");
   }
@@ -201,7 +211,8 @@ Result<StreamFingerprints> StreamingSkyDiver::ExportFingerprints() const {
 }
 
 Result<std::vector<RowId>> StreamingSkyDiver::SelectDiverse(size_t k) const {
-  const std::vector<RowId> rows = SkylineRows();
+  MutexLock lock(monitor_mutex_);
+  const std::vector<RowId> rows = SkylineRowsLocked();
   if (k == 0) return Status::InvalidArgument("k must be positive");
   if (k > rows.size()) {
     return Status::InvalidArgument("k = " + std::to_string(k) +

@@ -22,7 +22,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/dataset.h"
 #include "kernels/dominance_kernel.h"
 #include "kernels/tile_view.h"
@@ -52,6 +54,17 @@ struct StreamFingerprints {
 };
 
 /// Incremental skyline + signature maintenance over an insert-only stream.
+///
+/// Thread-safety: the monitor state (skyline map, tiled mirror, stats,
+/// hash memo) sits behind `monitor_mutex_`, so inspection calls
+/// (SkylineRows / DominationScore / Signature / SelectDiverse /
+/// ExportFingerprints / stats) are safe against a concurrent Insert. The
+/// point store `data_` is the one exception: data() hands out a long-lived
+/// reference (snapshots adopted from the stream keep pointing at it), so it
+/// cannot be lock-guarded — callers must not read data() (or query a
+/// snapshot adopted from this stream) concurrently with Insert. The
+/// guarded fingerprint state is what Insert and the inspection API
+/// genuinely race on.
 class StreamingSkyDiver {
  public:
   /// `max_points` bounds the stream length (the hash family's prime must
@@ -85,7 +98,12 @@ class StreamingSkyDiver {
   /// pipeline's Phase 2 on live state).
   [[nodiscard]] Result<std::vector<RowId>> SelectDiverse(size_t k) const;
 
-  const StreamingStats& stats() const { return stats_; }
+  /// A consistent copy of the maintenance counters (by value: a reference
+  /// into guarded state would escape the critical section).
+  StreamingStats stats() const {
+    MutexLock lock(monitor_mutex_);
+    return stats_;
+  }
 
   /// Seed the hash family was drawn with (also seeds queries against a
   /// snapshot exported from this stream).
@@ -109,24 +127,41 @@ class StreamingSkyDiver {
   };
 
   // Folds row id `row` into the signature of `entry`.
-  void UpdateSignature(SkylineEntry* entry, RowId row);
+  void UpdateSignature(SkylineEntry* entry, RowId row)
+      SKYDIVER_REQUIRES(monitor_mutex_);
 
+  // SkylineRows for callers already inside the monitor's critical section
+  // (ExportFingerprints, SelectDiverse) — taking the public entry point
+  // there would self-deadlock.
+  std::vector<RowId> SkylineRowsLocked() const SKYDIVER_REQUIRES(monitor_mutex_);
+
+  // Immutable after construction; readable from any thread without the
+  // monitor lock.
   Dim dims_;
   size_t t_;
   uint64_t seed_;
   uint64_t max_points_;
   MinHashFamily family_;
-  DataSet data_;
-  std::unordered_map<RowId, SkylineEntry> skyline_;
   DomKernel kernel_;
+
+  // The point store. Deliberately NOT guarded: data() exposes a reference
+  // that outlives any critical section (see class comment), so the
+  // single-writer contract is documented rather than lock-enforced.
+  DataSet data_;
+
+  // The monitor capability: everything the inspection API reads while
+  // Insert mutates it.
+  mutable Mutex monitor_mutex_;
+  std::unordered_map<RowId, SkylineEntry> skyline_
+      SKYDIVER_GUARDED_BY(monitor_mutex_);
   // Column-major mirror of the skyline rows, maintained only under kTiled
   // (tile ids = skyline row ids).
-  TileSet sky_tiles_;
-  StreamingStats stats_;
+  TileSet sky_tiles_ SKYDIVER_GUARDED_BY(monitor_mutex_);
+  StreamingStats stats_ SKYDIVER_GUARDED_BY(monitor_mutex_);
   // Per-row hash memo: a row is folded into one signature per dominator;
   // hash it only once.
-  std::vector<uint64_t> hash_cache_;
-  RowId hash_cache_row_ = kInvalidRowId;
+  std::vector<uint64_t> hash_cache_ SKYDIVER_GUARDED_BY(monitor_mutex_);
+  RowId hash_cache_row_ SKYDIVER_GUARDED_BY(monitor_mutex_) = kInvalidRowId;
 };
 
 }  // namespace skydiver

@@ -406,6 +406,88 @@ TEST(ServeTest, DataBackedServerBuildsAndCachesShapedSnapshots) {
   ExpectSameResult(**first, **replay);
 }
 
+// Lock-order stress for the data-backed server: 8 clients hammer a
+// snapshot cache two slots deep with six query shapes, so every round
+// builds, evicts, and rebuilds shaped snapshots while the result cache (4
+// slots) churns on top. Query() takes mutex_ for bookkeeping, drops it to
+// build Phase 1, and retakes it to publish — this schedule drives that
+// lock/unlock/relock dance from every client at once, and the TSan CI lane
+// (which runs serve_test) turns any ordering hole the annotations missed
+// into a hard failure. Results must still match a serial replay bit for
+// bit.
+TEST(ServeTest, EightClientsHammerTheShapedSnapshotCacheLockDance) {
+  const DataSet data = GenerateIndependent(1200, 3, 67);
+  SkyDiverConfig config;
+  config.signature_size = 16;
+  config.seed = 9;
+  ServeOptions options;
+  options.snapshot_cache_capacity = 2;  // 6 shapes → constant eviction churn
+  options.result_cache_capacity = 4;
+
+  std::vector<QuerySpec> shapes;
+  for (const double hi0 : {0.55, 0.65, 0.75, 0.85, 0.95}) {
+    QuerySpec s;
+    s.k = 2;
+    s.query.lo = {0.0, 0.0, 0.0};
+    s.query.hi = {hi0, 1.0, 1.0};
+    shapes.push_back(s);
+  }
+  QuerySpec projected;
+  projected.k = 2;
+  projected.query.project = {0, 1};
+  shapes.push_back(projected);
+  QuerySpec identity;  // pinned snapshot: never competes for cache slots
+  identity.k = 3;
+  shapes.push_back(identity);
+
+  std::vector<QuerySpec> schedule;
+  for (int round = 0; round < 6; ++round) {
+    schedule.insert(schedule.end(), shapes.begin(), shapes.end());
+  }
+
+  // Serial reference from a second, identically-configured server.
+  auto reference_server = SkyServer::Create(data, config, {}, options);
+  ASSERT_TRUE(reference_server.ok()) << reference_server.status().ToString();
+  std::vector<QueryResult> reference;
+  reference.reserve(schedule.size());
+  for (const QuerySpec& spec : schedule) {
+    const auto result = (*reference_server)->Query(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reference.push_back(**result);
+  }
+
+  auto server = SkyServer::Create(data, config, {}, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  constexpr size_t kClients = 8;
+  // Slot i belongs to client i % kClients — disjoint slot sets, so the
+  // results vector needs no synchronization beyond the pool's join; all
+  // assertions happen back on the main thread.
+  std::vector<std::shared_ptr<const QueryResult>> results(schedule.size());
+  {
+    ThreadPool clients(kClients);
+    for (size_t c = 0; c < kClients; ++c) {
+      ASSERT_TRUE(clients.Submit([&, c] {
+        for (size_t i = c; i < schedule.size(); i += kClients) {
+          auto result = (*server)->Query(schedule[i]);
+          if (result.ok()) results[i] = std::move(result).value();
+        }
+      }));
+    }
+    clients.Wait();
+  }
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    ASSERT_NE(results[i], nullptr) << "slot " << i << " failed";
+    ExpectSameResult(*results[i], reference[i]);
+  }
+  const ServeStats stats = (*server)->stats();
+  EXPECT_EQ(stats.queries, schedule.size());
+  // Every one of the 6 shaped specs starts uncached, so each must record at
+  // least one snapshot miss (a Phase-1 build). Anything beyond 6 is
+  // eviction-driven rebuild churn — the round-robin over 6 shapes through a
+  // 2-slot LRU thrashes by construction, which is the point.
+  EXPECT_GE(stats.snapshot_misses, 6u);
+}
+
 TEST(ServeTest, CreateRejectsAShapedBaseConfig) {
   const DataSet data = GenerateIndependent(500, 2, 7);
   SkyDiverConfig config;

@@ -1,0 +1,22 @@
+// Negative fixture: skylint:allow-file(...) suppression. The naked
+// Lock()/Unlock() pair below would fire lock-discipline on two lines; the
+// single file-level tag silences the whole file, so this tree must lint
+// clean.
+//
+// skylint:allow-file(lock-discipline): fixture exercising file-level suppression
+
+namespace demo {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+int Withdraw(Mutex& mu, int amount, int balance) {
+  mu.Lock();
+  const int next = balance - amount;
+  mu.Unlock();
+  return next;
+}
+
+}  // namespace demo

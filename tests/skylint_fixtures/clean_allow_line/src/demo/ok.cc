@@ -1,0 +1,23 @@
+// Negative fixture: per-line skylint:allow(...) suppression. Both relaxed
+// sites would fire without their tags — one tagged on the finding's own
+// line, one tagged in the comment directly above — so this tree must lint
+// clean.
+
+#include <atomic>
+#include <cstdint>
+
+namespace demo {
+
+std::atomic<uint64_t> g_events{0};
+
+uint64_t Drain() {
+  // skylint:allow(relaxed-ordering): counter is monotonic telemetry; no
+  // other state is published through it, so ordering is not needed.
+  return g_events.exchange(0, std::memory_order_relaxed);
+}
+
+void Record() {
+  g_events.fetch_add(1, std::memory_order_relaxed);  // skylint:allow(relaxed-ordering): telemetry only
+}
+
+}  // namespace demo

@@ -1,0 +1,20 @@
+// Golden-bad fixture for the guarded-mutex rule: both the raw std::mutex
+// member (invisible to thread-safety analysis) and the unannotated mutable
+// member (no GUARDED_BY, not a sync primitive) must fire.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+
+namespace demo {
+
+class BadCache {
+ public:
+  size_t hits() const;
+
+ private:
+  std::mutex mu_;
+  mutable size_t hits_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,20 @@
+// Golden-bad fixture for the lock-discipline rule: hand-balanced
+// Lock()/Unlock() calls instead of a RAII guard — an early return between
+// them would leak the lock. (Wrapper type names on purpose: the fixture
+// isolates the naked-call check from the raw-primitive check.)
+
+namespace demo {
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+int Withdraw(Mutex& mu, int amount, int balance) {
+  mu.Lock();
+  const int next = balance - amount;
+  mu.Unlock();
+  return next;
+}
+
+}  // namespace demo

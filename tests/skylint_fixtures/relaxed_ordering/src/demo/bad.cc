@@ -1,0 +1,14 @@
+// Golden-bad fixture for the relaxed-ordering rule: a memory_order_relaxed
+// site with no skylint:allow tag citing the protocol that carries the
+// ordering the atomic gives up.
+
+#include <atomic>
+#include <cstdint>
+
+namespace demo {
+
+std::atomic<uint64_t> g_events{0};
+
+void Record() { g_events.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace demo

@@ -40,13 +40,25 @@ size_t FindToken(const std::string& text, const std::string& token, size_t from 
   return std::string::npos;
 }
 
-/// Rule suppression: `skylint:allow(rule)` on the finding's line, or
-/// `skylint:allow-file(rule)` anywhere in the file.
+bool IsCommentLine(const std::string& raw) {
+  const size_t first = raw.find_first_not_of(" \t");
+  return first != std::string::npos && raw.compare(first, 2, "//") == 0;
+}
+
+/// Rule suppression: `skylint:allow(rule)` on the finding's line or in the
+/// contiguous comment block directly above it (so the tag can carry a
+/// full-sentence justification), or `skylint:allow-file(rule)` anywhere in
+/// the file.
 bool Suppressed(const SourceFile& file, size_t line, const std::string& rule) {
   const std::string line_tag = "skylint:allow(" + rule + ")";
   if (line >= 1 && line <= file.raw.size() &&
       file.raw[line - 1].find(line_tag) != std::string::npos) {
     return true;
+  }
+  for (size_t above = line - 1;
+       above >= 1 && above <= file.raw.size() && IsCommentLine(file.raw[above - 1]);
+       --above) {
+    if (file.raw[above - 1].find(line_tag) != std::string::npos) return true;
   }
   const std::string file_tag = "skylint:allow-file(" + rule + ")";
   for (const std::string& raw : file.raw) {
@@ -231,6 +243,9 @@ bool SharedStateScoped(const std::string& path) {
 bool HasSyncPrimitive(const std::string& text) {
   static const std::vector<std::string> kSync = {
       "atomic", "mutex", "shared_mutex", "once_flag", "condition_variable",
+      // The project's annotated wrappers (common/mutex.h) — what mutable
+      // members in src/ should actually be declared as.
+      "Mutex", "SharedMutex", "CondVar",
   };
   for (const std::string& token : kSync) {
     if (FindToken(text, token) != std::string::npos) return true;
@@ -466,7 +481,136 @@ void CheckIncludeHygiene(const SourceFile& file, const LintContext& context,
   }
 }
 
+// -------------------------------------------------------------------------
+// guarded-mutex / lock-discipline / relaxed-ordering
+// -------------------------------------------------------------------------
+
+// The concurrency rules are the token-level backstop for Clang Thread
+// Safety Analysis (common/thread_annotations.h): TSA only checks what is
+// annotated, so these rules make sure the raw std primitives that TSA
+// cannot see never appear in src/ in the first place. common/mutex.h is
+// the one sanctioned home of the underlying std types.
+
+bool ConcurrencyScoped(const std::string& path) {
+  return StartsWith(path, "src/") && path != "src/common/mutex.h";
+}
+
+void CheckGuardedMutex(const SourceFile& file, std::vector<Violation>* out) {
+  if (!ConcurrencyScoped(file.path)) return;
+  // Raw std synchronization types defeat the thread-safety analysis (they
+  // carry no capability annotations); the wrappers in common/mutex.h are
+  // the sanctioned spelling.
+  static const std::vector<std::string> kRawPrimitives = {
+      "std::mutex",          "std::timed_mutex",
+      "std::recursive_mutex", "std::recursive_timed_mutex",
+      "std::shared_mutex",   "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    for (const std::string& token : kRawPrimitives) {
+      if (FindToken(file.code[i], token) != std::string::npos) {
+        Report(file, i + 1, "guarded-mutex",
+               token + " is invisible to thread-safety analysis; use the "
+               "annotated wrappers in common/mutex.h (Mutex, SharedMutex, "
+               "CondVar, MutexLock)",
+               out);
+        break;  // one report per line is enough
+      }
+    }
+  }
+  // A `mutable` member is cross-thread mutable state in any const-shared
+  // object: it must be a synchronization primitive, an atomic, or carry a
+  // GUARDED_BY annotation naming the lock that protects it. (Checked only
+  // when `mutable` opens the statement, so `mutable` lambdas never match.)
+  for (const Statement& stmt : SplitStatements(file.code)) {
+    if (!StartsWith(stmt.text, "mutable") ||
+        (stmt.text.size() > 7 && IsIdentChar(stmt.text[7]))) {
+      continue;
+    }
+    if (HasSyncPrimitive(stmt.text) ||
+        stmt.text.find("SKYDIVER_GUARDED_BY") != std::string::npos ||
+        stmt.text.find("SKYDIVER_PT_GUARDED_BY") != std::string::npos) {
+      continue;
+    }
+    Report(file, stmt.line, "guarded-mutex",
+           "mutable member is neither a synchronization primitive nor "
+           "SKYDIVER_GUARDED_BY an annotated lock; tie it to its capability "
+           "or tag the line with the reason it needs no guard",
+           out);
+  }
+}
+
+void CheckLockDiscipline(const SourceFile& file, std::vector<Violation>* out) {
+  if (!ConcurrencyScoped(file.path)) return;
+  // Naked acquire/release calls can leak a lock on any early return or
+  // exception, and hand-unlocked sections are exactly the holes TSA's
+  // scoped-capability checking cannot vouch for. RAII guards only.
+  static const char* const kNakedCalls[] = {
+      ".lock(",  "->lock(",  ".unlock(",  "->unlock(",
+      ".Lock(",  "->Lock(",  ".Unlock(",  "->Unlock(",
+  };
+  // The std RAII guards are banned alongside: they manage a raw std::mutex
+  // and carry no scoped-capability annotation.
+  static const std::vector<std::string> kRawGuards = {
+      "std::lock_guard", "std::unique_lock", "std::scoped_lock",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    bool reported = false;
+    for (const char* pattern : kNakedCalls) {
+      if (line.find(pattern) != std::string::npos) {
+        Report(file, i + 1, "lock-discipline",
+               std::string("naked '") + pattern +
+                   ")' call; critical sections use the RAII guards from "
+                   "common/mutex.h (MutexLock, ReaderMutexLock, "
+                   "WriterMutexLock) so no path can leak the lock",
+               out);
+        reported = true;
+        break;
+      }
+    }
+    if (reported) continue;
+    for (const std::string& token : kRawGuards) {
+      if (FindToken(line, token) != std::string::npos) {
+        Report(file, i + 1, "lock-discipline",
+               token + " guards a raw std::mutex the thread-safety analysis "
+               "cannot track; use MutexLock / ReaderMutexLock / "
+               "WriterMutexLock from common/mutex.h",
+               out);
+        break;
+      }
+    }
+  }
+}
+
+void CheckRelaxedOrdering(const SourceFile& file, std::vector<Violation>* out) {
+  if (!ConcurrencyScoped(file.path)) return;
+  // memory_order_relaxed is correct only when some OTHER mechanism carries
+  // the ordering (a mutex, a fence protocol). Every site must say which,
+  // via a skylint:allow(relaxed-ordering) tag citing the protocol doc —
+  // the report below is what forces the tag to exist.
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (FindToken(file.code[i], "memory_order_relaxed") != std::string::npos) {
+      Report(file, i + 1, "relaxed-ordering",
+             "memory_order_relaxed without a skylint:allow(relaxed-ordering) "
+             "tag; cite the protocol that carries the ordering this atomic "
+             "gives up (e.g. the ThreadPool harvest contract)",
+             out);
+    }
+  }
+}
+
 }  // namespace
+
+const std::vector<std::string>& KnownRules() {
+  static const std::vector<std::string> kRules = {
+      "assert",          "determinism",     "discarded-status",
+      "guarded-mutex",   "include-hygiene", "intrinsics",
+      "layering",        "lock-discipline", "relaxed-ordering",
+      "shared-state",    "view-loops",
+  };
+  return kRules;
+}
 
 bool StatusRegistry::Contains(const std::string& name) const {
   return std::binary_search(names.begin(), names.end(), name);
@@ -503,6 +647,9 @@ void LintFile(const SourceFile& file, const LintContext& context,
   CheckIntrinsics(file, out);
   CheckViewLoops(file, out);
   CheckIncludeHygiene(file, context, out);
+  CheckGuardedMutex(file, out);
+  CheckLockDiscipline(file, out);
+  CheckRelaxedOrdering(file, out);
 }
 
 }  // namespace skylint

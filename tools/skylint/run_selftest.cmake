@@ -1,8 +1,12 @@
-# Self-test driver for skylint's golden bad fixtures.
+# Self-test driver for skylint's golden bad fixtures and its CLI.
 #
 # Each case directory under ${FIXTURES} mirrors a miniature repo tree and
 # carries an `expected_rule` file naming the rule-id that must fire on it.
-# The special `clean` case must produce no findings at all. Run with:
+# Cases whose name starts with `clean` must produce no findings at all
+# (the clean_allow_* cases prove per-line and per-file skylint:allow
+# suppression). A trailing block exercises the CLI itself: the --rules
+# filter (including its unknown-rule usage error) and the summary line.
+# Run with:
 #   cmake -DSKYLINT=... -DFIXTURES=... -P run_selftest.cmake
 
 if(NOT DEFINED SKYLINT OR NOT DEFINED FIXTURES)
@@ -24,7 +28,7 @@ foreach(case ${cases})
     ERROR_VARIABLE err
     RESULT_VARIABLE rc)
 
-  if(case STREQUAL "clean")
+  if(case MATCHES "^clean")
     if(NOT rc EQUAL 0)
       message(SEND_ERROR "fixture '${case}': expected exit 0, got ${rc}\n${out}${err}")
       math(EXPR failures "${failures} + 1")
@@ -55,7 +59,57 @@ endforeach()
 if(ran EQUAL 0)
   message(FATAL_ERROR "no fixture cases found under ${FIXTURES}")
 endif()
-if(failures GREATER 0)
-  message(FATAL_ERROR "${failures} fixture case(s) failed")
+
+# ---------------------------------------------------------------------------
+# CLI: --rules filter and the summary line (run against the lock_discipline
+# fixture, whose one finding makes the expectations exact).
+# ---------------------------------------------------------------------------
+
+# Filtering to a rule the fixture does NOT violate must report clean, and
+# the always-printed summary line must say so.
+execute_process(
+  COMMAND ${SKYLINT} --root ${FIXTURES}/lock_discipline --rules relaxed-ordering
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(SEND_ERROR "--rules filter: expected exit 0 when filtering to an "
+                     "unviolated rule, got ${rc}\n${out}${err}")
+  math(EXPR failures "${failures} + 1")
+elseif(NOT out MATCHES "skylint: 0 violations across [0-9]+ files")
+  message(SEND_ERROR "--rules filter: clean summary line missing:\n${out}")
+  math(EXPR failures "${failures} + 1")
 endif()
-message(STATUS "all ${ran} skylint fixture case(s) passed")
+
+# Filtering to the violated rule must still fail, and the summary must
+# carry the per-rule breakdown.
+execute_process(
+  COMMAND ${SKYLINT} --root ${FIXTURES}/lock_discipline --rules lock-discipline
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(SEND_ERROR "--rules filter: expected exit 1 when filtering to the "
+                     "violated rule, got ${rc}\n${out}${err}")
+  math(EXPR failures "${failures} + 1")
+elseif(NOT out MATCHES ": lock-discipline: ")
+  message(SEND_ERROR "--rules filter: lock-discipline finding missing:\n${out}")
+  math(EXPR failures "${failures} + 1")
+elseif(NOT out MATCHES "skylint: [0-9]+ violations across 1 files \\(lock-discipline: [0-9]+\\)")
+  message(SEND_ERROR "--rules filter: summary breakdown missing:\n${out}")
+  math(EXPR failures "${failures} + 1")
+endif()
+
+# A typo'd rule id must be a loud usage error, not a silent empty filter.
+execute_process(
+  COMMAND ${SKYLINT} --root ${FIXTURES}/lock_discipline --rules bogus-rule
+  OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 2)
+  message(SEND_ERROR "--rules filter: expected usage error (exit 2) for an "
+                     "unknown rule, got ${rc}\n${out}${err}")
+  math(EXPR failures "${failures} + 1")
+elseif(NOT err MATCHES "unknown rule 'bogus-rule'")
+  message(SEND_ERROR "--rules filter: unknown-rule diagnostic missing:\n${err}")
+  math(EXPR failures "${failures} + 1")
+endif()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} fixture/CLI case(s) failed")
+endif()
+message(STATUS "all ${ran} skylint fixture case(s) + CLI checks passed")

@@ -46,10 +46,26 @@
 //   include-hygiene    Headers carry #pragma once; a foo.cc with a sibling
 //                      foo.h includes it first (keeps headers
 //                      self-contained); no "../" relative includes.
+//   guarded-mutex      In src/ (common/mutex.h excepted, the one sanctioned
+//                      home of the std primitives): no raw std::mutex /
+//                      shared_mutex / condition_variable — they are
+//                      invisible to Clang Thread Safety Analysis; and every
+//                      `mutable` member must be a synchronization primitive
+//                      or carry SKYDIVER_GUARDED_BY naming its lock.
+//   lock-discipline    No naked .lock()/.unlock() (or .Lock()/.Unlock())
+//                      calls and no std::lock_guard/unique_lock/scoped_lock
+//                      in src/: critical sections go through the annotated
+//                      RAII guards (MutexLock & co in common/mutex.h) so no
+//                      path can leak a lock.
+//   relaxed-ordering   Every memory_order_relaxed site in src/ must carry a
+//                      skylint:allow(relaxed-ordering) tag citing the
+//                      protocol that carries the ordering the atomic gives
+//                      up (e.g. the ThreadPool harvest contract).
 //
 // Suppressions: a comment containing `skylint:allow(<rule-id>)` silences
-// that rule on its line; `skylint:allow-file(<rule-id>)` anywhere in a file
-// silences the rule for the whole file. Violations print
+// that rule on its line or, when placed in the contiguous comment block
+// directly above, on the finding below it; `skylint:allow-file(<rule-id>)`
+// anywhere in a file silences the rule for the whole file. Violations print
 // `file:line: rule-id: message` and the process exits nonzero.
 
 #pragma once
@@ -104,6 +120,10 @@ struct LintContext {
   std::vector<std::string> paths;  // sorted, root-relative
   bool HasFile(const std::string& path) const;
 };
+
+/// Sorted list of every rule id the linter implements (what `--rules`
+/// validates against).
+const std::vector<std::string>& KnownRules();
 
 /// Runs every rule over `file`, appending findings to `out`.
 void LintFile(const SourceFile& file, const LintContext& context,
