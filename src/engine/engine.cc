@@ -52,8 +52,8 @@ Result<ThreadPool*> RequirePool(QueryContext& ctx, const char* backend) {
 // Computes (or adopts) the skyline rows and charges the phase's I/O.
 class SkylineStage : public Stage {
  public:
-  SkylineStage(SkylineBackend backend, DomKernel kernel)
-      : backend_(backend), kernel_(kernel) {}
+  SkylineStage(SkylineBackend backend, DomKernel kernel, size_t morsel_rows)
+      : backend_(backend), kernel_(kernel), morsel_rows_(morsel_rows) {}
   const char* name() const override { return "skyline"; }
 
   Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
@@ -74,7 +74,7 @@ class SkylineStage : public Stage {
       case SkylineBackend::kParallelSfs: {
         auto pool = RequirePool(ctx, "parallel-sfs");
         if (!pool.ok()) return pool.status();
-        skyline = ParallelSkyline(state.view, **pool, kernel_).rows;
+        skyline = ParallelSkyline(state.view, **pool, kernel_, morsel_rows_).rows;
         // Same logical cost as the serial scan: every shard together reads
         // the data file exactly once.
         ChargeSequentialScan(state, metrics);
@@ -119,6 +119,7 @@ class SkylineStage : public Stage {
 
   SkylineBackend backend_;
   DomKernel kernel_;
+  size_t morsel_rows_;
 };
 
 // Builds the MinHash signatures and exact domination scores (Phase 1).
@@ -126,8 +127,8 @@ class SkylineStage : public Stage {
 // (corner tests against MBRs, not point blocks), so it stays scalar.
 class FingerprintStage : public Stage {
  public:
-  FingerprintStage(FingerprintBackend backend, DomKernel kernel)
-      : backend_(backend), kernel_(kernel) {}
+  FingerprintStage(FingerprintBackend backend, DomKernel kernel, size_t morsel_rows)
+      : backend_(backend), kernel_(kernel), morsel_rows_(morsel_rows) {}
   const char* name() const override { return "fingerprint"; }
 
   Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
@@ -140,7 +141,8 @@ class FingerprintStage : public Stage {
       case FingerprintBackend::kParallelIf: {
         auto pool = RequirePool(ctx, "parallel-siggen-if");
         if (!pool.ok()) return pool.status();
-        result = ParallelSigGenIF(state.data, skyline, state.family, **pool, kernel_);
+        result = ParallelSigGenIF(state.data, skyline, state.family, **pool, kernel_,
+                                  morsel_rows_);
         break;
       }
       case FingerprintBackend::kSigGenIb:
@@ -168,16 +170,17 @@ class FingerprintStage : public Stage {
  private:
   FingerprintBackend backend_;
   DomKernel kernel_;
+  size_t morsel_rows_;
 };
 
 // Greedy (or exact) k-MMDP selection over the fingerprints (Phase 2).
 class SelectStage : public Stage {
  public:
-  explicit SelectStage(SelectBackend backend) : backend_(backend) {}
+  SelectStage(SelectBackend backend, size_t morsel_rows)
+      : backend_(backend), morsel_rows_(morsel_rows) {}
   const char* name() const override { return "select"; }
 
   Status Run(QueryContext& ctx, PipelineState& state, PhaseMetrics* metrics) override {
-    (void)ctx;
     (void)metrics;  // selection is CPU-only
     auto& report = state.out.report;
     const size_t m = report.skyline.size();
@@ -199,8 +202,7 @@ class SelectStage : public Stage {
         auto distance = [&](size_t a, size_t b) {
           return signatures.EstimatedDistance(a, b);
         };
-        selection =
-            SelectDiverseSet(m, state.config.k, distance, state.out.domination_scores);
+        selection = Select(ctx, state, m, distance);
         break;
       }
       case SelectBackend::kLsh: {
@@ -215,8 +217,7 @@ class SelectStage : public Stage {
         const LshIndex index = std::move(built).value();
         report.lsh_memory_bytes = index.MemoryBytes();
         auto distance = [&](size_t a, size_t b) { return index.Distance(a, b); };
-        selection =
-            SelectDiverseSet(m, state.config.k, distance, state.out.domination_scores);
+        selection = Select(ctx, state, m, distance);
         break;
       }
       case SelectBackend::kBruteForce: {
@@ -238,7 +239,23 @@ class SelectStage : public Stage {
   }
 
  private:
+  // Greedy k-MMDP, morsel-parallel when the runtime has a pool — the
+  // pooled argmax is bit-identical to the serial scan (parallel_ops.h),
+  // so the two paths are interchangeable per plan. The distances above
+  // are pure reads of frozen matrices, safe for concurrent evaluation.
+  Result<DispersionResult> Select(QueryContext& ctx, PipelineState& state, size_t m,
+                                  const DistanceFn& distance) const {
+    ThreadPool* pool = ctx.pool();
+    if (pool != nullptr) {
+      return ParallelSelectDiverseSet(m, state.config.k, distance,
+                                      state.out.domination_scores, *pool,
+                                      morsel_rows_);
+    }
+    return SelectDiverseSet(m, state.config.k, distance, state.out.domination_scores);
+  }
+
   SelectBackend backend_;
+  size_t morsel_rows_;
 };
 
 // Validates the data-dependent invariants the planner cannot see.
@@ -281,7 +298,7 @@ Result<EngineOutput> Engine::Execute(QueryContext& ctx, const Plan& plan,
   state.out.report.plan.query = std::move(query).value();
   state.out.report.plan_explain = ExplainPlan(state.out.report.plan, config);
 
-  SkylineStage skyline_stage(plan.skyline, plan.kernel);
+  SkylineStage skyline_stage(plan.skyline, plan.kernel, plan.morsel_rows);
   SKYDIVER_RETURN_NOT_OK(ctx.RunStage(skyline_stage.name(),
                                       &state.out.report.skyline_phase,
                                       [&](PhaseMetrics* metrics) {
@@ -304,13 +321,13 @@ Result<EngineOutput> Engine::Execute(QueryContext& ctx, const Plan& plan,
                                    std::to_string(m));
   }
 
-  FingerprintStage fingerprint_stage(plan.fingerprint, plan.kernel);
+  FingerprintStage fingerprint_stage(plan.fingerprint, plan.kernel, plan.morsel_rows);
   SKYDIVER_RETURN_NOT_OK(ctx.RunStage(
       fingerprint_stage.name(), &state.out.report.fingerprint_phase,
       [&](PhaseMetrics* metrics) { return fingerprint_stage.Run(ctx, state, metrics); }));
 
   if (plan.select != SelectBackend::kNone) {
-    SelectStage select_stage(plan.select);
+    SelectStage select_stage(plan.select, plan.morsel_rows);
     SKYDIVER_RETURN_NOT_OK(ctx.RunStage(
         select_stage.name(), &state.out.report.selection_phase,
         [&](PhaseMetrics* metrics) { return select_stage.Run(ctx, state, metrics); }));

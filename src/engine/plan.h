@@ -62,6 +62,12 @@ struct SkyDiverConfig {
   /// bit-identical across all flavours; only the dominance-check
   /// accounting differs (see kernels/dominance_kernel.h).
   DomKernel kernel = DomKernel::kSimd;
+  /// Rows per morsel for the pooled backends (parallel/morsel.h). 0 = auto
+  /// (kDefaultMorselRows); explicit values must be tile-aligned (a
+  /// multiple of kTileRows = 64) and at most kMaxMorselRows. Ignored by
+  /// serial plans. Reductions are bit-identical for every value; this is
+  /// purely a scheduling-granularity knob.
+  size_t morsel_rows = 0;
 };
 
 /// One Phase-2 selection query against an already-built snapshot: the
@@ -139,6 +145,10 @@ struct Plan {
   /// Dominance kernel (scalar|tiled|simd); the planner never emits kSimd
   /// unless the host's vector ISA probe succeeded.
   DomKernel kernel = DomKernel::kTiled;
+  /// Resolved morsel size for the pooled backends: the config value (or
+  /// kDefaultMorselRows when the config said auto) on pooled plans, 0 on
+  /// serial plans (no morsel dispatch happens).
+  size_t morsel_rows = 0;
 };
 
 const char* ToString(SkylineBackend backend);

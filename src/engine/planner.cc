@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/cpu.h"
+#include "kernels/tile_view.h"
+#include "parallel/morsel.h"
 
 namespace skydiver {
 
@@ -65,6 +67,19 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
       config.kernel != DomKernel::kSimd) {
     return Status::InvalidArgument("unknown dominance kernel value");
   }
+  if (config.morsel_rows != 0) {
+    if (config.morsel_rows % kTileRows != 0) {
+      return Status::InvalidArgument(
+          "morsel_rows = " + std::to_string(config.morsel_rows) +
+          " is not tile-aligned (must be a multiple of " + std::to_string(kTileRows) +
+          "; 0 means auto)");
+    }
+    if (config.morsel_rows > kMaxMorselRows) {
+      return Status::InvalidArgument(
+          "morsel_rows = " + std::to_string(config.morsel_rows) +
+          " exceeds the sanity cap of " + std::to_string(kMaxMorselRows));
+    }
+  }
   // Shape-level query validation (dimensionality-independent — the engine
   // re-validates against the data's dims when it builds the view).
   SKYDIVER_RETURN_NOT_OK(ValidateQueryShape(config.query));
@@ -86,6 +101,11 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
   plan.kernel = config.kernel == DomKernel::kSimd && !SimdAvailable()
                     ? DomKernel::kTiled
                     : config.kernel;
+  // Morsel size is a plan dimension only for pooled plans — serial plans
+  // dispatch no morsels and carry 0 so equality/rendering never suggests
+  // otherwise.
+  plan.morsel_rows =
+      pooled ? (config.morsel_rows == 0 ? kDefaultMorselRows : config.morsel_rows) : 0;
 
   if (resources.precomputed_skyline != nullptr) {
     plan.skyline = SkylineBackend::kPrecomputed;
@@ -169,6 +189,15 @@ void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
   // get the same scrutiny — downgrade with EffectiveKernel first).
   SKYDIVER_DCHECK(plan.kernel != DomKernel::kSimd || SimdAvailable(),
                   "simd kernel plan on a host without a vector ISA");
+  // Morsel-size postconditions: pooled plans carry a resolved tile-aligned
+  // size, serial plans carry 0 (no morsel dispatch happens).
+  if (pooled) {
+    SKYDIVER_DCHECK(plan.morsel_rows != 0, "pooled plan without a morsel size");
+    SKYDIVER_DCHECK_EQ(plan.morsel_rows % kTileRows, 0u);
+    SKYDIVER_DCHECK_LE(plan.morsel_rows, Planner::kMaxMorselRows);
+  } else {
+    SKYDIVER_DCHECK_EQ(plan.morsel_rows, 0u);
+  }
   switch (plan.skyline) {
     case SkylineBackend::kPrecomputed:
       SKYDIVER_DCHECK(resources.precomputed_skyline != nullptr,
@@ -222,6 +251,7 @@ std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
   out << "SkyDiver plan [threads=" << plan.threads << ", seed=" << config.seed
       << ", kernel=" << ToString(plan.kernel);
   if (plan.kernel == DomKernel::kSimd) out << "(" << ToString(DetectSimdIsa()) << ")";
+  if (plan.threads >= 1) out << ", morsel=" << plan.morsel_rows;
   out << "]\n";
 
   out << "  query:          " << ToString(plan.query) << "\n";

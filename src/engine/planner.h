@@ -41,6 +41,10 @@ class Planner {
   /// than this is a config bug, not a deployment).
   static constexpr size_t kMaxThreads = 512;
 
+  /// Upper bound on `SkyDiverConfig::morsel_rows` (sanity cap: one claim
+  /// covering 2^20 rows is a static chunking, not morsel dispatch).
+  static constexpr size_t kMaxMorselRows = 1u << 20;
+
   /// Validates `config` against `resources` and picks one backend per
   /// stage. With `run_selection == false` the plan stops after
   /// fingerprinting (`SelectBackend::kNone`) and `config.k` is ignored.

@@ -10,6 +10,7 @@
 #include "engine/engine.h"
 #include "engine/planner.h"
 #include "lsh/lsh.h"
+#include "parallel/parallel_ops.h"
 #include "skyline/skyline.h"
 
 namespace skydiver {
@@ -125,6 +126,15 @@ Result<QueryResult> SkySnapshot::Select(const QuerySpec& spec, const SelectPlan&
   QueryResult result;
   PhaseMetrics metrics;
   SKYDIVER_RETURN_NOT_OK(ctx.RunStage("select", &metrics, [&](PhaseMetrics*) -> Status {
+    // Greedy k-MMDP, morsel-parallel when the runtime has a pool; the
+    // pooled argmax is bit-identical to the serial scan (parallel_ops.h),
+    // so cached results and serial/concurrent parity are unaffected.
+    ThreadPool* pool = ctx.pool();
+    const auto greedy = [&](const DistanceFn& distance) {
+      return pool != nullptr
+                 ? ParallelSelectDiverseSet(m, spec.k, distance, scores_, *pool)
+                 : SelectDiverseSet(m, spec.k, distance, scores_);
+    };
     Result<DispersionResult> selection = Status::Internal("unset");
     switch (plan.backend) {
       case SelectBackend::kNone:
@@ -133,7 +143,7 @@ Result<QueryResult> SkySnapshot::Select(const QuerySpec& spec, const SelectPlan&
         auto distance = [&](size_t a, size_t b) {
           return signatures_.EstimatedDistance(a, b);
         };
-        selection = SelectDiverseSet(m, spec.k, distance, scores_);
+        selection = greedy(distance);
         break;
       }
       case SelectBackend::kLsh: {
@@ -145,7 +155,7 @@ Result<QueryResult> SkySnapshot::Select(const QuerySpec& spec, const SelectPlan&
         const LshIndex index = std::move(built).value();
         result.lsh_memory_bytes = index.MemoryBytes();
         auto distance = [&](size_t a, size_t b) { return index.Distance(a, b); };
-        selection = SelectDiverseSet(m, spec.k, distance, scores_);
+        selection = greedy(distance);
         break;
       }
       case SelectBackend::kBruteForce: {

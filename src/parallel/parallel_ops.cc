@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <limits>
 
 #include "common/mutex.h"
 #include "core/dominance.h"
 #include "kernels/tile_view.h"
+#include "parallel/morsel.h"
 
 namespace skydiver {
 
@@ -25,28 +27,29 @@ uint64_t FoldHarvest(ThreadPool& pool) {
 }  // namespace
 
 SkylineResult ParallelSkyline(const DataView& view, ThreadPool& pool,
-                              DomKernel kernel) {
+                              DomKernel kernel, size_t morsel_rows) {
   const uint64_t checks_before = DominanceCounter::Count();
   (void)pool.HarvestDominanceChecks();  // drop leftovers from earlier pool users
   const std::vector<RowId>& all = view.rows();
-  const size_t shards = std::max<size_t>(1, pool.size());
-  std::vector<std::vector<RowId>> locals(shards);
 
-  // Phase 1: local skylines per shard. Each chunk is a contiguous slice of
+  // Phase 1: local skylines per claim. Each claim is a contiguous slice of
   // the view's (ascending) row list; SkylineSFSRows works on the shared
-  // view in place, so no per-shard dataset copies are made.
-  {
-    Mutex mu;
-    size_t next_shard = 0;
-    pool.ParallelFor(all.size(), shards, [&](uint64_t begin, uint64_t end) {
-      auto local = SkylineSFSRows(
-                       view,
-                       std::span<const RowId>(all).subspan(begin, end - begin), kernel)
-                       .rows;
-      MutexLock lock(mu);
-      locals[next_shard++] = std::move(local);
-    });
-  }
+  // view in place, so no per-shard dataset copies are made. Slots index
+  // the claims (pure function of the row range), so the fold below is
+  // scheduling-independent.
+  MorselConfig cfg;
+  cfg.morsel_rows = morsel_rows;
+  MorselQueue queue(all.size(), pool.size(), cfg);
+  std::vector<std::vector<RowId>> locals(queue.slots());
+  RunMorsels(pool, queue, [&](const MorselQueue::Claim& c) {
+    locals[c.slot] =
+        SkylineSFSRows(view,
+                       std::span<const RowId>(all).subspan(
+                           static_cast<size_t>(c.begin),
+                           static_cast<size_t>(c.end - c.begin)),
+                       kernel)
+            .rows;
+  });
   FoldHarvest(pool);
 
   // Phase 2: merge — the union of local skylines is a superset of the
@@ -59,8 +62,8 @@ SkylineResult ParallelSkyline(const DataView& view, ThreadPool& pool,
 }
 
 SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
-                              DomKernel kernel) {
-  return ParallelSkyline(DataView(data), pool, kernel);
+                              DomKernel kernel, size_t morsel_rows) {
+  return ParallelSkyline(DataView(data), pool, kernel, morsel_rows);
 }
 
 SkylineResult ShardedSkyline(const DataView& view, size_t shards, ThreadPool* pool,
@@ -72,22 +75,31 @@ SkylineResult ShardedSkyline(const DataView& view, size_t shards, ThreadPool* po
   (void)pool->HarvestDominanceChecks();  // drop leftovers from earlier pool users
   const std::vector<RowId>& all = view.rows();
   shards = std::clamp<size_t>(shards, 1, all.size());
-  std::vector<std::vector<RowId>> locals(shards);
+  // SkylineSharded's exact chunking (ceil-sized chunks, short tail), so the
+  // per-shard inputs — and with them the dominance-check tally — match the
+  // serial backend, not just the merged row set.
+  const size_t chunk = (all.size() + shards - 1) / shards;
+  const size_t populated = (all.size() + chunk - 1) / chunk;
+  std::vector<std::vector<RowId>> locals(populated);
 
-  // Shard phase on the pool; merge-order independence (the skyline of a
-  // union is unique) makes the slot assignment immaterial to the result.
-  {
-    Mutex mu;
-    size_t next_shard = 0;
-    pool->ParallelFor(all.size(), shards, [&](uint64_t begin, uint64_t end) {
-      auto local = SkylineSFSRows(
-                       view,
-                       std::span<const RowId>(all).subspan(begin, end - begin), kernel)
-                       .rows;
-      MutexLock lock(mu);
-      locals[next_shard++] = std::move(local);
-    });
-  }
+  // Shard phase on the pool: the claim unit is one shard (morsel_rows = 1,
+  // batch = 1 over [0, populated)), so slot == shard id and the merge below
+  // folds in shard order — the result set is order-independent (the
+  // skyline of a union is unique), but a fixed fold order also makes the
+  // dominance-check tally deterministic.
+  MorselConfig cfg;
+  cfg.morsel_rows = 1;
+  cfg.batch_morsels = 1;
+  MorselQueue queue(populated, pool->size(), cfg);
+  RunMorsels(*pool, queue, [&](const MorselQueue::Claim& c) {
+    const size_t s = c.slot;
+    const size_t begin = s * chunk;
+    const size_t end = std::min(begin + chunk, all.size());
+    locals[s] = SkylineSFSRows(
+                    view, std::span<const RowId>(all).subspan(begin, end - begin),
+                    kernel)
+                    .rows;
+  });
   FoldHarvest(*pool);
 
   // Merge phase: left-fold the local antichains with the cross-filter.
@@ -106,7 +118,7 @@ SkylineResult ShardedSkyline(const DataView& view, size_t shards, ThreadPool* po
 Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
                                       const std::vector<RowId>& skyline,
                                       const MinHashFamily& family, ThreadPool& pool,
-                                      DomKernel kernel) {
+                                      DomKernel kernel, size_t morsel_rows) {
   if (data.empty()) return Status::InvalidArgument("dataset is empty");
   if (skyline.empty()) return Status::InvalidArgument("skyline set is empty");
   if (family.prime() <= data.size()) {
@@ -137,24 +149,23 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
   // turns an accidental cross-thread mutation into a debug-build abort.
   sky_tiles.Freeze();
 
-  const size_t shards = std::max<size_t>(1, pool.size());
-  std::vector<SignatureMatrix> shard_sig(shards, SignatureMatrix(t, m));
-  std::vector<std::vector<uint64_t>> shard_scores(shards,
-                                                  std::vector<uint64_t>(m, 0));
+  // One reduction slot per claim (a batch of consecutive morsels — see
+  // parallel/morsel.h); the auto batch size bounds the per-slot t x m
+  // matrices to ~kClaimsPerWorker x pool size.
+  MorselConfig cfg;
+  cfg.morsel_rows = morsel_rows;
+  MorselQueue queue(n, pool.size(), cfg);
+  const size_t slots = queue.slots();
+  std::vector<SignatureMatrix> slot_sig(slots, SignatureMatrix(t, m));
+  std::vector<std::vector<uint64_t>> slot_scores(slots,
+                                                 std::vector<uint64_t>(m, 0));
 
-  Mutex mu;
-  size_t shard_counter = 0;
-  pool.ParallelFor(n, shards, [&](uint64_t begin, uint64_t end) {
-    size_t my_shard;
-    {
-      MutexLock lock(mu);
-      my_shard = shard_counter++;
-    }
-    SignatureMatrix& sig = shard_sig[my_shard];
-    std::vector<uint64_t>& scores = shard_scores[my_shard];
+  RunMorsels(pool, queue, [&](const MorselQueue::Claim& c) {
+    SignatureMatrix& sig = slot_sig[c.slot];
+    std::vector<uint64_t>& scores = slot_scores[c.slot];
     std::vector<uint64_t> row_hash(t);
     const DominanceKernel batch(kernel);
-    for (uint64_t r = begin; r < end; ++r) {
+    for (uint64_t r = c.begin; r < c.end; ++r) {
       if (is_skyline[r]) continue;
       const auto point = data.row(static_cast<RowId>(r));
       bool hashed = false;
@@ -188,15 +199,18 @@ Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
   });
   FoldHarvest(pool);
 
-  // Min-merge shard matrices; add shard scores.
+  // Min-merge slot matrices in ascending slot order; add slot scores.
+  // (MinHash minima and sums are associative/commutative, so any order
+  // yields the serial result — the fixed order is belt-and-braces and
+  // keeps this loop trivially auditable against the determinism bar.)
   SigGenResult out;
   out.signatures = SignatureMatrix(t, m);
   out.domination_scores.assign(m, 0);
-  for (size_t s = 0; s < shards; ++s) {
+  for (size_t s = 0; s < slots; ++s) {
     for (size_t j = 0; j < m; ++j) {
-      out.domination_scores[j] += shard_scores[s][j];
+      out.domination_scores[j] += slot_scores[s][j];
       for (size_t i = 0; i < t; ++i) {
-        out.signatures.UpdateMin(j, i, shard_sig[s].at(j, i));
+        out.signatures.UpdateMin(j, i, slot_sig[s].at(j, i));
       }
     }
   }
@@ -409,6 +423,134 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
   out.io.page_reads = pages;
   out.dominance_checks = DominanceCounter::Count() - checks_before;
   return out;
+}
+
+namespace {
+
+// Per-slot argmax state for one selection round. Initialized exactly like
+// the serial scan's running best (index m, -inf distance and score), so
+// folding slots in ascending order with the serial loop's strict
+// comparisons reproduces the serial ascending scan bit for bit.
+struct SelectionBest {
+  size_t index;
+  double dist;
+  double score;
+};
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Result<DispersionResult> ParallelSelectDiverseSet(size_t m, size_t k,
+                                                  const DistanceFn& distance,
+                                                  const ScoreFn& score,
+                                                  ThreadPool& pool,
+                                                  size_t morsel_rows) {
+  // Mirror SelectDiverseSet's validation (messages included) so callers
+  // can switch between the two paths without changing error handling.
+  if (m == 0) return Status::InvalidArgument("no skyline points to select from");
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (k > m) {
+    return Status::InvalidArgument("k = " + std::to_string(k) +
+                                   " exceeds skyline cardinality m = " + std::to_string(m));
+  }
+  DispersionResult out;
+  out.selected.reserve(k);
+
+  MorselConfig cfg;
+  cfg.morsel_rows = morsel_rows;
+
+  // Written by the coordinator between rounds, read by workers during a
+  // round; deliberately uint8_t (vector<bool> packs bits, whose word-level
+  // writes would be a race if the flag were ever set mid-round).
+  std::vector<uint8_t> taken(m, 0);
+  // Cached minimum distance from each unselected point to the selected set
+  // (the paper's "boosted SG"). Entry i is written only by the one claim
+  // whose range contains i; cross-round visibility rides the pool's mutex
+  // (task completion -> Wait() -> next round's SubmitBatch).
+  std::vector<double> min_dist(m, std::numeric_limits<double>::infinity());
+
+  // Seed round: morsel argmax of the score, first index wins on ties —
+  // identical to the serial MaxScoreIndex ascending scan.
+  {
+    MorselQueue queue(m, pool.size(), cfg);
+    std::vector<SelectionBest> bests(queue.slots());
+    RunMorsels(pool, queue, [&](const MorselQueue::Claim& c) {
+      SelectionBest best{static_cast<size_t>(c.begin), score(c.begin), 0.0};
+      for (uint64_t i = c.begin + 1; i < c.end; ++i) {
+        const double s = score(i);
+        if (s > best.dist) {  // dist doubles as the seed's score key
+          best.dist = s;
+          best.index = static_cast<size_t>(i);
+        }
+      }
+      bests[c.slot] = best;
+    });
+    SelectionBest seed = bests[0];
+    for (size_t s = 1; s < bests.size(); ++s) {
+      if (bests[s].dist > seed.dist) seed = bests[s];
+    }
+    out.selected.push_back(seed.index);
+    taken[seed.index] = 1;
+  }
+  out.min_pairwise = std::numeric_limits<double>::infinity();
+
+  while (out.selected.size() < k) {
+    const size_t newest = out.selected.back();
+    // Refresh caches against the newest member, then pick the argmax of the
+    // cached min distance; ties resolved by domination score, then by the
+    // lowest index (the strict comparisons keep the first winner, within a
+    // slot and across the ascending fold alike).
+    MorselQueue queue(m, pool.size(), cfg);
+    std::vector<SelectionBest> bests(queue.slots(), SelectionBest{m, kNegInf, kNegInf});
+    std::vector<uint64_t> evals(queue.slots(), 0);
+    RunMorsels(pool, queue, [&](const MorselQueue::Claim& c) {
+      SelectionBest best{m, kNegInf, kNegInf};
+      uint64_t local_evals = 0;
+      for (uint64_t i = c.begin; i < c.end; ++i) {
+        if (taken[i] != 0) continue;
+        const double d = distance(i, newest);
+        ++local_evals;
+        if (d < min_dist[i]) min_dist[i] = d;
+        const double s = score(i);
+        if (min_dist[i] > best.dist || (min_dist[i] == best.dist && s > best.score)) {
+          best.index = static_cast<size_t>(i);
+          best.dist = min_dist[i];
+          best.score = s;
+        }
+      }
+      bests[c.slot] = best;
+      evals[c.slot] = local_evals;
+    });
+    SelectionBest round{m, kNegInf, kNegInf};
+    for (size_t s = 0; s < bests.size(); ++s) {
+      out.distance_evaluations += evals[s];
+      const SelectionBest& b = bests[s];
+      if (b.dist > round.dist || (b.dist == round.dist && b.score > round.score)) {
+        round = b;
+      }
+    }
+    out.selected.push_back(round.index);
+    taken[round.index] = 1;
+    out.min_pairwise = std::min(out.min_pairwise, round.dist);
+  }
+  if (k < 2) out.min_pairwise = 0.0;
+  return out;
+}
+
+Result<DispersionResult> ParallelSelectDiverseSet(
+    size_t m, size_t k, const DistanceFn& distance,
+    const std::vector<uint64_t>& domination_scores, ThreadPool& pool,
+    size_t morsel_rows) {
+  if (domination_scores.size() < m) {
+    return Status::InvalidArgument("domination scores cover " +
+                                   std::to_string(domination_scores.size()) +
+                                   " points but m = " + std::to_string(m));
+  }
+  return ParallelSelectDiverseSet(
+      m, k, distance,
+      [&](size_t j) { return static_cast<double>(domination_scores[j]); }, pool,
+      morsel_rows);
 }
 
 }  // namespace skydiver

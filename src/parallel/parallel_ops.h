@@ -1,12 +1,19 @@
-// Parallel skyline computation and parallel index-free signature
-// generation (paper future-work direction ii).
+// Parallel skyline computation, parallel index-free signature generation
+// (paper future-work direction ii), and a morsel-parallel greedy k-MMDP
+// selection.
 //
-// Both parallelizations preserve exact outputs:
-//  * skyline: partition -> local SFS skylines -> merge (the skyline of a
-//    union is the skyline of the union of local skylines);
-//  * SigGen-IF: MinHash minima are associative/commutative, so per-shard
+// All parallelizations preserve exact outputs and, since the morsel
+// rewiring, exact bit-identical reductions at every thread count and
+// morsel size (see parallel/morsel.h for the slot protocol):
+//  * skyline: morsel ranges -> local SFS skylines folded in slot order ->
+//    merge pass (the skyline of a union is the skyline of the union of
+//    local skylines);
+//  * SigGen-IF: MinHash minima are associative/commutative, so per-slot
 //    signature matrices min-merge into exactly the serial matrix, and
-//    domination scores add up.
+//    domination scores add up;
+//  * selection: per-round morsel argmax with the serial loop's exact
+//    strict comparisons, folded in ascending slot order (first index wins
+//    on ties, exactly like the serial ascending scan).
 
 #pragma once
 
@@ -15,6 +22,7 @@
 
 #include "common/status.h"
 #include "core/dataset.h"
+#include "diversify/dispersion.h"
 #include "kernels/dominance_kernel.h"
 #include "minhash/siggen.h"
 #include "parallel/thread_pool.h"
@@ -27,32 +35,41 @@ namespace skydiver {
 // `dominance_checks` and the calling thread's DominanceCounter, so pooled
 // runs report the same counts a serial run would (exactly, for the
 // exhaustive SigGen-IF pass; the sharded skyline does different work).
+//
+// `morsel_rows` on the batched entry points is the plan's morsel size
+// (0 = kDefaultMorselRows); the kernel defaults match the planner's
+// default (kSimd — EffectiveKernel degrades it per-callsite when the ISA
+// is missing or the candidate set is too small), so no caller silently
+// runs scalar.
 
 /// Skyline of the view computed on `pool` (rows identical to SkylineSFS on
 /// the same view). `dominance_checks` covers shard passes and the merge
 /// pass. The DataSet overload runs the identity view, bit-identical to the
 /// historical path.
 SkylineResult ParallelSkyline(const DataView& view, ThreadPool& pool,
-                              DomKernel kernel = DomKernel::kScalar);
+                              DomKernel kernel = DomKernel::kSimd,
+                              size_t morsel_rows = 0);
 SkylineResult ParallelSkyline(const DataSet& data, ThreadPool& pool,
-                              DomKernel kernel = DomKernel::kScalar);
+                              DomKernel kernel = DomKernel::kSimd,
+                              size_t morsel_rows = 0);
 
 /// Pooled sharded skyline (the kSharded backend): the view's rows are cut
 /// into `shards` contiguous chunks whose local SFS skylines are computed on
 /// `pool` (serially when `pool` is null), then folded together with the D&C
-/// cross-filter merge. Rows are identical to SkylineSharded — the skyline
-/// of a union is the cross-filtered union of the local skylines,
-/// independent of merge order.
+/// cross-filter merge in shard order (slot = shard id, so the merge
+/// sequence — and with it the dominance-check count — is deterministic).
+/// Rows are identical to SkylineSharded.
 SkylineResult ShardedSkyline(const DataView& view, size_t shards,
                              ThreadPool* pool,
-                             DomKernel kernel = DomKernel::kScalar);
+                             DomKernel kernel = DomKernel::kSimd);
 
-/// Index-free signature generation sharded over `pool` (result identical
-/// to serial SigGenIF with the same family and kernel).
+/// Index-free signature generation morsel-parallelized over `pool` (result
+/// bit-identical to serial SigGenIF with the same family and kernel).
 Result<SigGenResult> ParallelSigGenIF(const DataSet& data,
                                       const std::vector<RowId>& skyline,
                                       const MinHashFamily& family, ThreadPool& pool,
-                                      DomKernel kernel = DomKernel::kScalar);
+                                      DomKernel kernel = DomKernel::kSimd,
+                                      size_t morsel_rows = 0);
 
 /// Index-based signature generation parallelized over subtrees. Row-id
 /// ranges are assigned by the tree's DFS layout (each entry's range is its
@@ -66,5 +83,27 @@ Result<SigGenResult> ParallelSigGenIB(const DataSet& data,
                                       const std::vector<RowId>& skyline,
                                       const MinHashFamily& family, const RTree& tree,
                                       ThreadPool& pool);
+
+/// Morsel-parallel greedy k-MMDP selection, bit-identical to the serial
+/// SelectDiverseSet (same seed, same picks, same min_pairwise, same
+/// distance_evaluations) at every thread count and morsel size: each round
+/// runs the cached-min-distance argmax over candidate morsels and folds
+/// the per-slot winners in ascending slot order with the serial loop's
+/// exact strict comparisons, so ties resolve to the first index, exactly
+/// like the serial ascending scan. `distance` and `score` must be safe to
+/// call concurrently (the engine's MinHash / LSH distances are pure reads
+/// of frozen matrices).
+Result<DispersionResult> ParallelSelectDiverseSet(size_t m, size_t k,
+                                                  const DistanceFn& distance,
+                                                  const ScoreFn& score,
+                                                  ThreadPool& pool,
+                                                  size_t morsel_rows = 0);
+
+/// Convenience overload matching SelectDiverseSet's: scores given as raw
+/// |Γ| domination counts (must have at least `m` entries).
+Result<DispersionResult> ParallelSelectDiverseSet(
+    size_t m, size_t k, const DistanceFn& distance,
+    const std::vector<uint64_t>& domination_scores, ThreadPool& pool,
+    size_t morsel_rows = 0);
 
 }  // namespace skydiver

@@ -41,6 +41,24 @@ bool ThreadPool::Submit(std::function<void()> task) {
   return true;
 }
 
+bool ThreadPool::SubmitBatch(std::span<std::function<void()>> tasks) {
+  if (tasks.empty()) return true;
+  {
+    MutexLock lock(mutex_);
+    if (shutdown_) return false;
+    for (std::function<void()>& task : tasks) {
+      tasks_.push(std::move(task));
+      ++in_flight_;
+    }
+  }
+  if (tasks.size() == 1) {
+    task_ready_.NotifyOne();
+  } else {
+    task_ready_.NotifyAll();
+  }
+  return true;
+}
+
 void ThreadPool::Wait() {
   MutexLock lock(mutex_);
   while (in_flight_ != 0) all_done_.Wait(mutex_);

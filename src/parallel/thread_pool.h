@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -44,6 +45,14 @@ class ThreadPool {
   /// is a caller bug, rejected loudly rather than silently dropped into a
   /// queue nobody will drain.
   [[nodiscard]] bool Submit(std::function<void()> task);
+
+  /// Enqueues every task in `tasks` (moved from) under ONE queue-mutex
+  /// acquisition — burst submission for the morsel paths, which enqueue a
+  /// worker task per pool thread at once. All-or-nothing: returns false
+  /// (and enqueues none) once shutdown has begun. The harvest protocol is
+  /// untouched — batched tasks are drained by the same WorkerLoop that
+  /// snapshots per-task dominance deltas.
+  [[nodiscard]] bool SubmitBatch(std::span<std::function<void()>> tasks);
 
   /// Begins shutdown: already-queued tasks are drained, new submissions
   /// are rejected, and the workers are joined. Idempotent; called by the

@@ -5,11 +5,13 @@
 
 #include "core/dominance.h"
 #include "diversify/dispersion.h"
+#include "parallel/morsel.h"
 
 namespace skydiver {
 
 StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
-                                     uint64_t max_points, DomKernel kernel)
+                                     uint64_t max_points, DomKernel kernel,
+                                     ThreadPool* pool)
     : dims_(dims),
       t_(signature_size),
       seed_(seed),
@@ -20,6 +22,7 @@ StreamingSkyDiver::StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t s
       // downgrade policy applies (the small-input half would flip the
       // flavour back and forth as the skyline grows).
       kernel_(EffectiveKernel(kernel, kTileRows)),
+      pool_(pool),
       data_(dims),
       sky_tiles_(dims) {}
 
@@ -95,25 +98,30 @@ Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
 
     // Build the arrival's signature by a tiled scan of the store (tiles
     // assembled on the fly, current skyline rows excluded up front — the
-    // same rows the scalar scan skips).
+    // same rows the scalar scan skips). Morsel-parallel when a pool was
+    // supplied and the store is big enough to be worth dispatching.
     SkylineEntry entry;
-    entry.signature.assign(t_, kEmptySlot);
-    Tile scan(dims_);
-    auto flush = [&] {
-      uint64_t mask = batch.FilterDominated(point, scan.view());
-      while (mask != 0) {
-        const int bit = std::countr_zero(mask);
-        mask &= mask - 1;
-        UpdateSignature(&entry, scan.id(static_cast<size_t>(bit)));
+    if (pool_ != nullptr && row >= kDefaultMorselRows) {
+      entry = MorselStoreScan(point, row);
+    } else {
+      entry.signature.assign(t_, kEmptySlot);
+      Tile scan(dims_);
+      auto flush = [&] {
+        uint64_t mask = batch.FilterDominated(point, scan.view());
+        while (mask != 0) {
+          const int bit = std::countr_zero(mask);
+          mask &= mask - 1;
+          UpdateSignature(&entry, scan.id(static_cast<size_t>(bit)));
+        }
+        scan.Clear();
+      };
+      for (RowId r = 0; r < row; ++r) {
+        if (skyline_.count(r)) continue;  // current skyline points are in no Γ
+        scan.PushRow(r, data_.row(r));
+        if (scan.full()) flush();
       }
-      scan.Clear();
-    };
-    for (RowId r = 0; r < row; ++r) {
-      if (skyline_.count(r)) continue;  // current skyline points are in no Γ
-      scan.PushRow(r, data_.row(r));
-      if (scan.full()) flush();
+      if (!scan.empty()) flush();
     }
-    if (!scan.empty()) flush();
     skyline_.emplace(row, std::move(entry));
     sky_tiles_.Append(row, point);
     ++stats_.skyline_insertions;
@@ -154,6 +162,75 @@ Status StreamingSkyDiver::Insert(std::span<const Coord> point) {
   skyline_.emplace(row, std::move(entry));
   ++stats_.skyline_insertions;
   return Status::OK();
+}
+
+StreamingSkyDiver::SkylineEntry StreamingSkyDiver::MorselStoreScan(
+    std::span<const Coord> point, RowId row) {
+  // Snapshot the exclusion set (current skyline rows are in no Γ) under
+  // the monitor lock; pool workers read only this snapshot plus immutable
+  // state — the arrival's coordinates, the hash family, and store rows
+  // below `row`, which no concurrent Insert can touch (single-writer
+  // contract on data_).
+  std::vector<uint8_t> excluded(row, 0);
+  for (const auto& [r, e] : skyline_) {
+    if (r < row) excluded[r] = 1;
+  }
+
+  // Per-claim reduction slots: signature minima plus the dominated-row
+  // count (slot = claim id, folded in ascending order below — identical
+  // to the serial scan because MinHash minima and sums are
+  // associative/commutative).
+  struct ScanSlot {
+    std::vector<uint64_t> sig;
+    uint64_t dominated = 0;
+  };
+  (void)pool_->HarvestDominanceChecks();  // drop leftovers from earlier pool users
+  MorselQueue queue(row, pool_->size(), MorselConfig{});
+  std::vector<ScanSlot> slots(queue.slots());
+  const DomKernel kernel = kernel_;
+  RunMorsels(*pool_, queue, [&](const MorselQueue::Claim& c) {
+    ScanSlot& slot = slots[c.slot];
+    slot.sig.assign(t_, kEmptySlot);
+    const DominanceKernel batch(kernel);
+    Tile scan(dims_);
+    auto flush = [&] {
+      uint64_t mask = batch.FilterDominated(point, scan.view());
+      while (mask != 0) {
+        const int bit = std::countr_zero(mask);
+        mask &= mask - 1;
+        const RowId r = scan.id(static_cast<size_t>(bit));
+        ++slot.dominated;
+        for (size_t i = 0; i < t_; ++i) {
+          const uint64_t h = family_.Apply(i, r);
+          if (h < slot.sig[i]) slot.sig[i] = h;
+        }
+      }
+      scan.Clear();
+    };
+    for (uint64_t r = c.begin; r < c.end; ++r) {
+      if (excluded[r] != 0) continue;
+      scan.PushRow(static_cast<RowId>(r), data_.row(static_cast<RowId>(r)));
+      if (scan.full()) flush();
+    }
+    if (!scan.empty()) flush();
+  });
+  // Fold the workers' dominance-test deltas into this thread's counters,
+  // as every pooled op does, so surrounding accounting scopes observe the
+  // scan's work.
+  const DominanceHarvest h = pool_->HarvestDominanceChecks();
+  DominanceCounter::Count() += h.total;
+  DominanceCounter::TiledCount() += h.tiled;
+
+  SkylineEntry entry;
+  entry.signature.assign(t_, kEmptySlot);
+  for (const ScanSlot& slot : slots) {
+    entry.domination_score += slot.dominated;
+    for (size_t i = 0; i < t_; ++i) {
+      if (slot.sig[i] < entry.signature[i]) entry.signature[i] = slot.sig[i];
+    }
+  }
+  stats_.signature_updates += t_ * entry.domination_score;
+  return entry;
 }
 
 std::vector<RowId> StreamingSkyDiver::SkylineRows() const {

@@ -32,6 +32,8 @@
 
 namespace skydiver {
 
+class ThreadPool;
+
 /// Maintenance counters for observability.
 struct StreamingStats {
   uint64_t inserts = 0;
@@ -74,9 +76,18 @@ class StreamingSkyDiver {
   /// scan after a skyline insertion is tiled on the fly); maintained state
   /// is bit-identical to the scalar kernel's. kSimd downgrades to kTiled
   /// at construction when the host has no vector ISA.
+  ///
+  /// A non-null `pool` morselizes the batched store scan (the O(n) pass a
+  /// skyline insertion triggers): workers claim tile-aligned row ranges
+  /// and accumulate per-slot signature minima that fold in slot order, so
+  /// the maintained state stays bit-identical to the serial scan's
+  /// (parallel/morsel.h). The pool must outlive this object and must not
+  /// run tasks that touch this monitor (its workers execute the scan while
+  /// Insert holds the monitor lock).
   StreamingSkyDiver(Dim dims, size_t signature_size, uint64_t seed,
                     uint64_t max_points = 1ULL << 22,
-                    DomKernel kernel = DomKernel::kScalar);
+                    DomKernel kernel = DomKernel::kScalar,
+                    ThreadPool* pool = nullptr);
 
   /// Inserts the next point; assigns it the next row id.
   [[nodiscard]] Status Insert(std::span<const Coord> point);
@@ -130,6 +141,13 @@ class StreamingSkyDiver {
   void UpdateSignature(SkylineEntry* entry, RowId row)
       SKYDIVER_REQUIRES(monitor_mutex_);
 
+  // The morsel-parallel batched store scan: builds the arriving skyline
+  // point's entry over store rows [0, row) on pool_. Requires the monitor
+  // lock to snapshot the exclusion set and charge stats; the pool workers
+  // themselves touch no guarded state.
+  SkylineEntry MorselStoreScan(std::span<const Coord> point, RowId row)
+      SKYDIVER_REQUIRES(monitor_mutex_);
+
   // SkylineRows for callers already inside the monitor's critical section
   // (ExportFingerprints, SelectDiverse) — taking the public entry point
   // there would self-deadlock.
@@ -143,6 +161,11 @@ class StreamingSkyDiver {
   uint64_t max_points_;
   MinHashFamily family_;
   DomKernel kernel_;
+  // Optional scan pool (see the constructor comment); immutable after
+  // construction. Workers only ever read immutable state (`data_` rows
+  // below the arrival, the hash family) plus scan-local snapshots, never
+  // the guarded monitor members.
+  ThreadPool* pool_ = nullptr;
 
   // The point store. Deliberately NOT guarded: data() exposes a reference
   // that outlives any critical section (see class comment), so the

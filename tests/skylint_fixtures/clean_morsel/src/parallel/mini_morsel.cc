@@ -1,0 +1,30 @@
+#include "parallel/mini_morsel.h"
+
+#include <algorithm>
+
+namespace demo {
+
+MiniMorselQueue::MiniMorselQueue(uint64_t n, uint64_t claim_rows)
+    : n_(n), claim_rows_(claim_rows == 0 ? 1 : claim_rows) {
+  slots_ = n == 0 ? 0 : static_cast<size_t>((n + claim_rows_ - 1) / claim_rows_);
+}
+
+bool MiniMorselQueue::Next(Claim* out) {
+  // skylint:allow(relaxed-ordering): atomicity-only claim counter. The
+  // fetch_add's uniqueness gives this claim exclusive rows and an exclusive
+  // reduction slot; the ordering edge that publishes slot contents to the
+  // reducing caller is carried by the pool's mutex via Wait(), the same
+  // protocol as the documented dominance-check harvest.
+  const uint64_t claim = next_claim_.fetch_add(1, std::memory_order_relaxed);
+  if (claim >= slots_) return false;
+  out->slot = static_cast<size_t>(claim);
+  out->begin = claim * claim_rows_;
+  out->end = std::min<uint64_t>(n_, out->begin + claim_rows_);
+  {
+    skydiver::MutexLock lock(mutex_);
+    ++claims_granted_;
+  }
+  return true;
+}
+
+}  // namespace demo

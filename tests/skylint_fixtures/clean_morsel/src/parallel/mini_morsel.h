@@ -1,0 +1,54 @@
+// Clean fixture: a miniature of the morsel scheduler (parallel/morsel.h)
+// exercising the idioms the concurrency rules must accept — an annotated
+// capability class whose claim counter is a deliberately unguarded relaxed
+// atomic (allow-tagged, citing the protocol that carries the ordering)
+// next to Mutex-guarded observational counters, with reduction slots
+// indexed by claim id rather than thread identity.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace demo {
+
+class SKYDIVER_CAPABILITY("mutex") MiniMorselQueue {
+ public:
+  struct Claim {
+    size_t slot = 0;
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  MiniMorselQueue(uint64_t n, uint64_t claim_rows);
+
+  // Claims the next row range; the slot is a pure function of the range
+  // (begin / claim_rows), never of the calling thread.
+  bool Next(Claim* out);
+
+  size_t slots() const { return slots_; }
+
+  uint64_t claims_granted() const {
+    skydiver::MutexLock lock(mutex_);
+    return claims_granted_;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  uint64_t claim_rows_ = 1;
+  size_t slots_ = 0;
+
+  // Deliberately NOT guarded: atomicity is all the claim counter needs
+  // (fetch_add uniqueness hands each claim exclusive rows and an exclusive
+  // reduction slot); the mutex below guards only the observational counter.
+  std::atomic<uint64_t> next_claim_{0};
+
+  mutable skydiver::Mutex mutex_;
+  uint64_t claims_granted_ SKYDIVER_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,23 @@
+// Golden-bad fixture for the thread-id-reduction rule: a parallel reduction
+// that indexes its accumulator by the worker's thread identity. Which
+// thread runs which rows is a scheduling accident, so the partials land in
+// nondeterministic slots and any ordered fold over them changes between
+// runs. Deterministic reductions index by morsel/claim id instead
+// (parallel/morsel.h).
+
+#include <pthread.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace demo {
+
+std::array<uint64_t, 64> g_partials{};
+
+void Accumulate(uint64_t rows) {
+  const size_t slot = static_cast<size_t>(pthread_self()) % g_partials.size();
+  g_partials[slot] += rows;
+}
+
+}  // namespace demo

@@ -136,7 +136,7 @@ int Run(int argc, char** argv) {
   std::string save_tree, load_tree, save_data;
   std::string constrain_spec, project_spec;
   int64_t n = 100000, dims = 4, k = 10, t = 100, lsh_buckets = 20, seed = 42;
-  int64_t threads = 0, shards = 1;
+  int64_t threads = 0, shards = 1, morsel = 0;
   double lsh_threshold = 0.2;
   bool use_index = false, skip_header = false, quiet = false;
   bool describe = false, advise = false, explain = false;
@@ -154,6 +154,9 @@ int Run(int argc, char** argv) {
   flags.AddString("select", &select, "selection distance: mh | lsh | bf (exact, small m)");
   flags.AddInt64("threads", &threads,
                  "worker threads (0 = serial; 1+ picks the pooled plan backends)");
+  flags.AddInt64("morsel", &morsel,
+                 "rows per work-stealing morsel for the pooled backends "
+                 "(0 = auto; multiples of 64, bit-identical output for any value)");
   flags.AddString("kernel", &kernel,
                   "dominance kernel: simd (runtime-dispatched AVX2/NEON sweeps, "
                   "falls back to tiled) | tiled (batched 64-row sweeps) | scalar");
@@ -285,6 +288,11 @@ int Run(int argc, char** argv) {
     return 2;
   }
   config.threads = static_cast<size_t>(threads);
+  if (morsel < 0) {
+    std::fprintf(stderr, "--morsel must be >= 0\n");
+    return 2;
+  }
+  config.morsel_rows = static_cast<size_t>(morsel);
   auto parsed_kernel = ParseDomKernel(kernel);
   if (!parsed_kernel.ok()) {
     std::fprintf(stderr, "%s\n", parsed_kernel.status().ToString().c_str());
@@ -427,10 +435,12 @@ int Run(int argc, char** argv) {
     if (!report->plan.query.identity()) {
       std::printf("# query: %s\n", ToString(report->plan.query).c_str());
     }
-    std::printf("# plan: skyline=%s fingerprint=%s select=%s threads=%zu kernel=%s\n",
-                ToString(report->plan.skyline), ToString(report->plan.fingerprint),
-                ToString(report->plan.select), report->plan.threads,
-                ToString(report->plan.kernel));
+    std::printf(
+        "# plan: skyline=%s fingerprint=%s select=%s threads=%zu kernel=%s "
+        "morsel=%zu\n",
+        ToString(report->plan.skyline), ToString(report->plan.fingerprint),
+        ToString(report->plan.select), report->plan.threads,
+        ToString(report->plan.kernel), report->plan.morsel_rows);
     std::printf("# objective (working min pairwise distance): %.4f\n",
                 report->objective);
     const CostModel& cost = config.cost_model;

@@ -583,6 +583,34 @@ void CheckLockDiscipline(const SourceFile& file, std::vector<Violation>* out) {
   }
 }
 
+void CheckThreadIdReduction(const SourceFile& file, std::vector<Violation>* out) {
+  if (!ConcurrencyScoped(file.path)) return;
+  // Thread identity is a scheduling accident. State indexed by it (a
+  // this_thread::get_id()-keyed accumulator map, a pthread_self() slot
+  // picker) folds reductions in whatever order the OS ran the threads —
+  // the exact nondeterminism the morsel protocol exists to kill. Index
+  // reduction slots by morsel/claim id instead (parallel/morsel.h;
+  // DESIGN.md §10 explains why thread-id accumulation is banned).
+  static const char* const kIdentityCalls[] = {
+      "this_thread::get_id",
+      "pthread_self",
+  };
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    for (const char* pattern : kIdentityCalls) {
+      const size_t pos = file.code[i].find(pattern);
+      if (pos == std::string::npos) continue;
+      if (pos != 0 && IsIdentChar(file.code[i][pos - 1])) continue;
+      Report(file, i + 1, "thread-id-reduction",
+             std::string(pattern) +
+                 " reads thread identity, which is a scheduling accident; "
+                 "accumulate into slots indexed by morsel/claim id "
+                 "(parallel/morsel.h) so reductions fold deterministically",
+             out);
+      break;  // one report per line is enough
+    }
+  }
+}
+
 void CheckRelaxedOrdering(const SourceFile& file, std::vector<Violation>* out) {
   if (!ConcurrencyScoped(file.path)) return;
   // memory_order_relaxed is correct only when some OTHER mechanism carries
@@ -607,7 +635,7 @@ const std::vector<std::string>& KnownRules() {
       "assert",          "determinism",     "discarded-status",
       "guarded-mutex",   "include-hygiene", "intrinsics",
       "layering",        "lock-discipline", "relaxed-ordering",
-      "shared-state",    "view-loops",
+      "shared-state",    "thread-id-reduction", "view-loops",
   };
   return kRules;
 }
@@ -650,6 +678,7 @@ void LintFile(const SourceFile& file, const LintContext& context,
   CheckGuardedMutex(file, out);
   CheckLockDiscipline(file, out);
   CheckRelaxedOrdering(file, out);
+  CheckThreadIdReduction(file, out);
 }
 
 }  // namespace skylint
