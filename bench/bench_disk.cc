@@ -1,36 +1,80 @@
-// Disk-backed index experiment (ours): validates the simulated-I/O
-// substitution of DESIGN.md §4 by running the identical pipeline against a
-// REAL page file.
+// Disk-backed index experiments (ours): two phases.
 //
-// The in-memory RTree charges 8 ms per buffer-pool miss (the paper's
-// model); DiskRTree performs actual preads of 4 KB pages through an LRU
-// frame cache of the same capacity. Because both use LRU over the same
-// page-id access sequence, the PHYSICAL FAULT COUNTS must match exactly —
-// which is precisely why the simulated totals are trustworthy. The wall
-// time of the disk run is also reported (on a warm OS page cache a pread
-// costs microseconds, so real time sits far below the 8 ms/fault model,
-// which represents a cold spinning disk).
+// Phase 1 — validation. The in-memory RTree charges 8 ms per buffer-pool
+// miss (the paper's model); DiskRTree performs actual reads of 4 KB pages
+// through a pinned LRU frame cache of the same capacity. On the serial
+// no-prefetch pread path both sides run LRU over the same page-id access
+// sequence, so the PHYSICAL FAULT COUNTS must match exactly — which is
+// precisely why the simulated totals are trustworthy. Results (skyline
+// rows, SigGen-IB signatures) must be bit-identical.
+//
+// Phase 2 — backend / prefetch grid. BBS off disk across a cardinality
+// scaling curve, cold (frame cache dropped) and warm (frame cache hot),
+// for both PageFile backends (pread vs mmap) with async child prefetch off
+// and on. Prefetch changes which access pays the physical read + node
+// deserialization, never the bytes: every configuration's skyline is
+// checked against the in-memory run. --json writes the grid to
+// BENCH_disk.json. The >= 1.5x cold-BBS prefetch speedup check only arms
+// on hosts with >= 8 cores (container CI lanes cannot exhibit the overlap
+// and must not fail on physics).
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/harness.h"
 #include "common/timer.h"
 #include "minhash/minhash.h"
 #include "minhash/siggen.h"
+#include "parallel/thread_pool.h"
 #include "rtree/disk_rtree.h"
+#include "rtree/page_file.h"
 #include "skyline/skyline.h"
 
 namespace skydiver::bench {
 namespace {
 
-int Run(int argc, char** argv) {
-  BenchEnv env;
-  if (!env.Init(argc, argv,
-                "Disk validation: simulated page faults vs a real page file")) {
-    return 0;
+constexpr int kReps = 3;
+
+struct JsonRecord {
+  std::string workload;
+  RowId n = 0;
+  std::string backend;
+  size_t prefetch_threads = 0;
+  double cold_s = 0.0;
+  double warm_s = 0.0;
+  uint64_t cold_faults = 0;
+  uint64_t cold_prefetches = 0;
+};
+
+void WriteJson(const std::string& path, const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
   }
-  ShapeChecks shape("Disk validation");
+  out << "{\n  \"bench\": \"disk\",\n  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "    {\"workload\": \"" << r.workload << "\", \"n\": " << r.n
+        << ", \"backend\": \"" << r.backend
+        << "\", \"prefetch_threads\": " << r.prefetch_threads
+        << ", \"cold_seconds\": " << r.cold_s << ", \"warm_seconds\": " << r.warm_s
+        << ", \"cold_faults\": " << r.cold_faults
+        << ", \"cold_prefetches\": " << r.cold_prefetches << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %zu records to %s\n", records.size(), path.c_str());
+}
+
+/// Phase 1: serial pread path, no prefetch — fault-count parity with the
+/// simulated model and bit-identical results. Returns the number of failed
+/// parity checks folded into `shape`.
+int RunValidation(BenchEnv& env, ShapeChecks& shape) {
   TablePrinter table({"workload", "phase", "sim.faults", "disk.faults",
                       "disk.wall_s", "sim.total_s"});
   const CostModel cost;
@@ -48,8 +92,8 @@ int Run(int argc, char** argv) {
       return 1;
     }
 
-    // Phase: BBS skyline. Cold caches on both sides (Write's serialization
-    // scan warmed the in-memory pool).
+    // BBS skyline. Cold caches on both sides (Write's serialization scan
+    // is stats-neutral, but the in-memory pool still warmed during Tree()).
     mem.pool().Clear();
     mem.ResetIoStats();
     const auto mem_sky = SkylineBBS(data, mem).value();
@@ -72,7 +116,7 @@ int Run(int argc, char** argv) {
     shape.Check(std::string(WorkloadKindName(kind)) + ": BBS results identical",
                 mem_sky.rows == disk_sky.rows);
 
-    // Phase: SigGen-IB.
+    // SigGen-IB.
     const auto family = MinHashFamily::Create(100, data.size(), env.seed());
     mem.pool().Clear();
     mem.ResetIoStats();
@@ -106,8 +150,123 @@ int Run(int argc, char** argv) {
                 signatures_equal);
     std::remove(path.c_str());
   }
-  shape.Summarize();
   return 0;
+}
+
+int Run(int argc, char** argv) {
+  BenchEnv env;
+  std::string json_path;
+  int64_t prefetch_threads = 4;
+  env.flags().AddString("json", &json_path,
+                        "write the backend/prefetch grid to this JSON file");
+  env.flags().AddInt64("prefetch-threads", &prefetch_threads,
+                       "pool size for the prefetch-on grid rows");
+  if (!env.Init(argc, argv,
+                "Disk path: simulated-fault validation + backend/prefetch "
+                "scaling grid")) {
+    return 0;
+  }
+  if (prefetch_threads < 1) {
+    std::fprintf(stderr, "--prefetch-threads must be >= 1\n");
+    return 2;
+  }
+  ShapeChecks shape("Disk path");
+  if (const int rc = RunValidation(env, shape); rc != 0) return rc;
+
+  // skylint:allow(determinism): capacity probe, not a randomness source —
+  // gates the prefetch-speedup expectation to hosts that can exhibit it.
+  const size_t cores = std::max(1u, std::thread::hardware_concurrency());
+
+  // Phase 2: cardinality scaling curve x {pread, mmap} x {prefetch off/on},
+  // cold and warm. A small frame cache keeps the cold runs fault-dominated
+  // (that is what prefetch overlaps); warm runs measure the hit path.
+  TablePrinter table({"n", "backend", "pf.threads", "cold_s", "warm_s",
+                      "cold.faults", "cold.prefetch"});
+  std::vector<JsonRecord> records;
+  double best_prefetch_speedup = 0.0;
+  bool saw_prefetch_row = false;
+
+  for (const RowId paper_n : {1000000u, 2000000u, 5000000u}) {
+    const DataSet& data = env.Data(WorkloadKind::kIndependent, paper_n, 4);
+    const RTree& mem = env.Tree(WorkloadKind::kIndependent, paper_n, 4);
+    const auto want = SkylineBBS(data, mem).value().rows;
+    const std::string path = "/tmp/skydiver_bench_grid.pages";
+    if (!DiskRTree::Write(mem, path).ok()) return 1;
+
+    double cold_baseline_pread = 0.0;  // prefetch-off pread, this n
+    for (const DiskBackend backend : {DiskBackend::kPread, DiskBackend::kMmap}) {
+      for (const size_t pf : {size_t{0}, static_cast<size_t>(prefetch_threads)}) {
+        ThreadPool pool(pf == 0 ? 1 : pf);
+        DiskTreeOptions options;
+        options.cache_fraction = 0.05;
+        options.backend = backend;
+        options.prefetch_pool = pf == 0 ? nullptr : &pool;
+        auto disk = DiskRTree::Open(path, options);
+        if (!disk.ok()) {
+          std::fprintf(stderr, "%s\n", disk.status().ToString().c_str());
+          return 1;
+        }
+
+        double cold = 1e300;
+        uint64_t cold_faults = 0, cold_prefetches = 0;
+        bool rows_identical = true;
+        for (int rep = 0; rep < kReps; ++rep) {
+          disk->DropCache();
+          disk->ResetIoStats();
+          WallTimer timer;
+          const auto sky = SkylineBBS(data, *disk).value();
+          cold = std::min(cold, timer.ElapsedSeconds());
+          cold_faults = disk->io_stats().page_faults;
+          cold_prefetches = disk->io_stats().page_prefetches;
+          rows_identical = rows_identical && sky.rows == want;
+        }
+        double warm = 1e300;
+        for (int rep = 0; rep < kReps; ++rep) {
+          WallTimer timer;
+          const auto sky = SkylineBBS(data, *disk).value();
+          warm = std::min(warm, timer.ElapsedSeconds());
+          rows_identical = rows_identical && sky.rows == want;
+        }
+        shape.Check("n=" + std::to_string(data.size()) + " " +
+                        std::string(ToString(backend)) + " pf=" +
+                        std::to_string(pf) + ": BBS rows identical to memory",
+                    rows_identical);
+
+        table.Row({TablePrinter::Int(data.size()), ToString(backend),
+                   TablePrinter::Int(pf), TablePrinter::Secs(cold),
+                   TablePrinter::Secs(warm), TablePrinter::Int(cold_faults),
+                   TablePrinter::Int(cold_prefetches)});
+        records.push_back(JsonRecord{"IND", data.size(), ToString(backend), pf,
+                                     cold, warm, cold_faults, cold_prefetches});
+
+        if (backend == DiskBackend::kPread) {
+          if (pf == 0) {
+            cold_baseline_pread = cold;
+          } else if (paper_n == 5000000u && cold > 0.0) {
+            saw_prefetch_row = true;
+            best_prefetch_speedup =
+                std::max(best_prefetch_speedup, cold_baseline_pread / cold);
+          }
+        }
+      }
+    }
+    std::remove(path.c_str());
+  }
+
+  // Overlap is a property of the host: only a machine with cores to spare
+  // can hide child-page loads behind the BBS heap pops, so the speedup
+  // gate arms conditionally (mirrors bench_parallel's scaling gate).
+  shape.Check("every grid configuration produced a timing", !records.empty());
+  if (cores >= 8 && saw_prefetch_row) {
+    shape.Check("cold BBS >= 1.5x faster with prefetch (pread, largest n)",
+                best_prefetch_speedup >= 1.5);
+  } else {
+    std::printf("note: %zu core(s) — prefetch speedup gate not armed\n", cores);
+  }
+  shape.Summarize();
+
+  if (!json_path.empty()) WriteJson(json_path, records);
+  return 0;  // bench binaries always exit 0; shape summary is advisory
 }
 
 }  // namespace

@@ -22,6 +22,11 @@ struct IoStats {
   uint64_t page_faults = 0;
   /// Pages written (index construction).
   uint64_t page_writes = 0;
+  /// Speculative physical reads issued by the async prefetcher. Kept out of
+  /// page_reads/page_faults on purpose: faults stay "demand misses", so the
+  /// 8 ms cost model and the sim-vs-real parity checks keep their meaning
+  /// whether prefetch is on or off.
+  uint64_t page_prefetches = 0;
 
   void Reset() { *this = IoStats{}; }
 
@@ -29,6 +34,7 @@ struct IoStats {
     page_reads += other.page_reads;
     page_faults += other.page_faults;
     page_writes += other.page_writes;
+    page_prefetches += other.page_prefetches;
     return *this;
   }
 

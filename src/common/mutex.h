@@ -157,4 +157,47 @@ class CondVar {
   std::condition_variable cv_;
 };
 
+/// Condition variable paired with the EXCLUSIVE side of a SharedMutex
+/// (condition_variable_any under the hood). Same single-cycle contract as
+/// CondVar: one wait per call, the predicate loop lives in the caller under
+/// a WriterMutexLock. Used by internally-synchronized caches whose state
+/// lives behind a SharedMutex capability (rtree/page_cache.h) and whose
+/// loading protocol needs to park waiters without giving up the capability
+/// annotation story.
+class SharedCondVar {
+ public:
+  SharedCondVar() = default;
+  SharedCondVar(const SharedCondVar&) = delete;
+  SharedCondVar& operator=(const SharedCondVar&) = delete;
+
+  /// One wait cycle on `mu`, which must be held EXCLUSIVE (and is held
+  /// again on return). May wake spuriously: loop on the predicate.
+  void Wait(SharedMutex& mu) SKYDIVER_REQUIRES(mu) {
+    ExclusiveAdapter adapter(mu);
+    // Single-cycle by contract (see CondVar::Wait): callers loop on their
+    // predicate under the writer lock.
+    cv_.wait(adapter);  // NOLINT(bugprone-spuriously-wake-up-functions)
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  // BasicLockable view of a SharedMutex's exclusive side, for
+  // condition_variable_any. The annotations balance each call so the
+  // thread-safety analysis tracks the capability across the wait exactly
+  // as it does for CondVar's adopt_lock dance.
+  class ExclusiveAdapter {
+   public:
+    explicit ExclusiveAdapter(SharedMutex& mu) : mu_(mu) {}
+    void lock() SKYDIVER_ACQUIRE(mu_) { mu_.Lock(); }
+    void unlock() SKYDIVER_RELEASE(mu_) { mu_.Unlock(); }
+
+   private:
+    SharedMutex& mu_;
+  };
+
+  std::condition_variable_any cv_;
+};
+
 }  // namespace skydiver

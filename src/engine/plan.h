@@ -20,6 +20,7 @@
 #include "core/sky_query.h"
 #include "core/types.h"
 #include "kernels/dominance_kernel.h"
+#include "rtree/page_file.h"
 
 namespace skydiver {
 
@@ -149,6 +150,11 @@ struct Plan {
   /// kDefaultMorselRows when the config said auto) on pooled plans, 0 on
   /// serial plans (no morsel dispatch happens).
   size_t morsel_rows = 0;
+  /// Disk-path execution shape, copied from the supplied DiskRTree so the
+  /// plan (and ExplainPlan) records what the disk stages will actually do.
+  /// Meaningful only when a stage runs over the file-backed tree.
+  DiskBackend disk_backend = DiskBackend::kPread;
+  bool disk_prefetch = false;  ///< Async child prefetch is armed.
 };
 
 const char* ToString(SkylineBackend backend);

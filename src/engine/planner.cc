@@ -6,6 +6,7 @@
 #include "common/cpu.h"
 #include "kernels/tile_view.h"
 #include "parallel/morsel.h"
+#include "rtree/disk_rtree.h"
 
 namespace skydiver {
 
@@ -107,6 +108,13 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
   plan.morsel_rows =
       pooled ? (config.morsel_rows == 0 ? kDefaultMorselRows : config.morsel_rows) : 0;
 
+  if (resources.disk_tree != nullptr) {
+    // Record the disk execution shape the tree was opened with, so the
+    // resolved plan is self-describing (and ExplainPlan renders it).
+    plan.disk_backend = resources.disk_tree->backend();
+    plan.disk_prefetch = resources.disk_tree->prefetch_enabled();
+  }
+
   if (resources.precomputed_skyline != nullptr) {
     plan.skyline = SkylineBackend::kPrecomputed;
   } else if (query.sharded()) {
@@ -127,8 +135,10 @@ Result<Plan> Planner::Resolve(const SkyDiverConfig& config,
       (config.siggen == SigGenMode::kAuto && have_index);
   if (use_index) {
     if (resources.disk_tree != nullptr) {
-      // No pooled disk traversal exists (the frame cache is single-writer);
-      // the pool, if any, still serves the other stages.
+      // The disk IB descent stays serial (one BFS over the page file); the
+      // pinned PageCache is thread-safe now, but the pool's disk-path job
+      // is async child prefetch, not a parallel traversal. The pool, if
+      // any, still serves the other stages.
       plan.fingerprint = FingerprintBackend::kSigGenIbDisk;
     } else {
       plan.fingerprint =
@@ -209,6 +219,11 @@ void DebugValidatePlan(const Plan& plan, const PlanResources& resources) {
     case SkylineBackend::kBbsDisk:
       SKYDIVER_DCHECK(resources.disk_tree != nullptr,
                       "disk BBS backend without a disk tree");
+      // The plan's disk shape must describe the tree it will run over.
+      SKYDIVER_DCHECK(resources.disk_tree == nullptr ||
+                          (plan.disk_backend == resources.disk_tree->backend() &&
+                           plan.disk_prefetch == resources.disk_tree->prefetch_enabled()),
+                      "plan disk shape disagrees with the supplied disk tree");
       break;
     case SkylineBackend::kParallelSfs:
       SKYDIVER_DCHECK(pooled, "pooled skyline backend in a serial plan");
@@ -275,8 +290,9 @@ std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
       out << " (branch-and-bound over the aggregate R*-tree, bbs=corner-tiles)";
       break;
     case SkylineBackend::kBbsDisk:
-      out << " (branch-and-bound over the file-backed tree, real preads, "
-             "bbs=corner-tiles)";
+      out << " (branch-and-bound over the file-backed tree, backend="
+          << ToString(plan.disk_backend) << ", prefetch="
+          << (plan.disk_prefetch ? "on" : "off") << ", bbs=corner-tiles)";
       break;
   }
   out << "\n";
@@ -297,7 +313,8 @@ std::string ExplainPlan(const Plan& plan, const SkyDiverConfig& config) {
       out << ", subtree-parallel, deterministic DFS permutation";
       break;
     case FingerprintBackend::kSigGenIbDisk:
-      out << ", tree descent through the 4 KB frame cache";
+      out << ", tree descent through the pinned page cache, backend="
+          << ToString(plan.disk_backend);
       break;
   }
   out << ")\n";

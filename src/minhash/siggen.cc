@@ -198,7 +198,11 @@ Result<SigGenResult> SigGenIBImpl(const DataSet& data, const std::vector<RowId>&
   while (!queue.empty()) {
     Task task = std::move(queue.front());
     queue.pop_front();
-    const RTreeNode& node = tree.ReadNode(task.page);
+    // Pin discipline (rtree/page_cache.h): name the ref, check it, borrow
+    // the node. RTree's infallible shape compiles the check away.
+    decltype(auto) ref = tree.ReadNode(task.page);
+    if (!RefOk(ref)) return RefStatus(ref);
+    const RTreeNode& node = NodeOf(ref);
     for (const auto& e : node.entries) {
       if (node.is_leaf) {
         // Leaf entry = data point. Its dominators are the inherited full

@@ -1,13 +1,20 @@
-// File-backed aggregate R*-tree: real 4 KB pages on a real file.
+// File-backed aggregate R*-tree: real pages on a real file.
 //
 // `RTree` simulates the disk (nodes in memory, faults charged by the
 // buffer pool). `DiskRTree` is the honest version: an `RTree` is
 // serialized into a page file (one fixed-size page per node, binary node
 // layout matching the capacity math), and queries read pages back through
-// an LRU frame cache — a miss performs an actual pread + deserialization.
-// It exposes the same access surface as RTree (ReadNode / root / dims /
-// size), so every templated traversal in rtree/traversal.h and the
-// index-based algorithms (BBS, SigGen-IB) run on it unchanged.
+// a pinned, internally-synchronized `PageCache` (rtree/page_cache.h) over
+// a `PageFile` (rtree/page_file.h) with a pread or mmap physical backend.
+//
+// ReadNode returns `Result<PageRef>` — a pinned handle whose node cannot
+// be evicted while the handle lives, safe under any cache capacity and
+// from any number of threads; read failures (truncated file, corrupt
+// page) surface as Status instead of aborting. With a prefetch pool
+// attached (DiskTreeOptions::prefetch_pool), `PrefetchChildren` warms all
+// child pages of a popped inner node asynchronously via morsel-style
+// claims — BBS's heap-ordered pops then hit resident frames. Prefetch
+// changes timing only, never results.
 //
 // The page file is read-only once written; build with RTree, persist with
 // DiskRTree::Write, reopen with DiskRTree::Open.
@@ -15,30 +22,70 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
-#include <list>
 #include <memory>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/io_stats.h"
 #include "common/status.h"
+#include "rtree/page_cache.h"
+#include "rtree/page_file.h"
 #include "rtree/rtree.h"
 
 namespace skydiver {
 
-/// Read-only file-backed aggregate R*-tree.
+class ThreadPool;
+
+/// Open-time knobs for a DiskRTree.
+struct DiskTreeOptions {
+  /// Frame-cache size relative to the file's node pages (paper: 20%).
+  double cache_fraction = 0.2;
+  /// Physical read strategy (rtree/page_file.h).
+  DiskBackend backend = DiskBackend::kPread;
+  /// Non-null enables async child prefetch onto this pool (the shared
+  /// Runtime pool in planned executions). The pool must outlive the tree
+  /// and every query run against it.
+  ThreadPool* prefetch_pool = nullptr;
+};
+
+namespace detail {
+
+/// Serializes `node` into `*page` (resized/zeroed to `page_size`).
+/// Checks remaining capacity BEFORE writing each entry, so an oversized
+/// node is a clean Internal error — never an out-of-bounds write.
+[[nodiscard]] Status SerializeNode(const RTreeNode& node, Dim dims,
+                                   uint32_t page_size,
+                                   std::vector<unsigned char>* page);
+
+/// Deserializes one node page. Validates the leaf flag and that the
+/// declared entry count fits the page before reading a byte of payload, so
+/// a corrupted page fails loudly instead of reading out of bounds.
+[[nodiscard]] Status DeserializeNode(std::span<const unsigned char> page,
+                                     Dim dims, PageId id, RTreeNode* out);
+
+}  // namespace detail
+
+/// Read-only file-backed aggregate R*-tree. Internally synchronized: any
+/// number of threads may run ReadNode / queries concurrently against one
+/// instance (the frame cache pins what callers hold).
 class DiskRTree {
  public:
-  /// Serializes `tree` into a page file at `path`: a 4 KB header page
-  /// (magic, geometry, root, checksum of the header fields) followed by
-  /// one `page_size` page per node.
+  /// Serializes `tree` into a page file at `path`: a header page (magic,
+  /// geometry, root, checksum of the header fields) followed by one
+  /// `page_size` page per node. Reads nodes via PeekNode, so the tree's
+  /// measured I/O stats are untouched (serialization is not a query).
   [[nodiscard]] static Status Write(const RTree& tree, const std::string& path);
 
-  /// Opens a page file written by Write. `cache_fraction` sizes the frame
-  /// cache relative to the file's node pages (paper default 20%).
-  [[nodiscard]] static Result<DiskRTree> Open(const std::string& path, double cache_fraction = 0.2);
+  /// Opens a page file written by Write, validating header geometry
+  /// against the actual file size before trusting any of it.
+  [[nodiscard]] static Result<DiskRTree> Open(const std::string& path,
+                                              const DiskTreeOptions& options);
+
+  /// Legacy convenience: pread backend, no prefetch. `cache_fraction`
+  /// sizes the frame cache relative to the file's node pages.
+  [[nodiscard]] static Result<DiskRTree> Open(const std::string& path,
+                                              double cache_fraction = 0.2);
 
   DiskRTree(DiskRTree&&) = default;
   DiskRTree& operator=(DiskRTree&&) = default;
@@ -49,34 +96,49 @@ class DiskRTree {
   uint32_t height() const { return height_; }
   size_t PageCount() const { return node_count_; }
   uint32_t page_size() const { return page_size_; }
+  size_t cache_capacity() const;
+  DiskBackend backend() const;
+  bool prefetch_enabled() const { return prefetch_pool_ != nullptr; }
 
-  /// Reads a node. Cache hit: no file I/O. Miss: pread of the page +
-  /// deserialization, recorded as a physical fault.
-  const RTreeNode& ReadNode(PageId id) const;
+  /// Reads a node through the pinned frame cache. Cache hit: no file I/O.
+  /// Miss: physical page read + deserialization, recorded as a fault.
+  /// The returned handle keeps the node resident until destroyed; bind it
+  /// to a named local and borrow the node from it (pin discipline —
+  /// rtree/page_cache.h).
+  [[nodiscard]] Result<PageRef> ReadNode(PageId id) const;
+
+  /// Issues async loads for every child page of an inner node onto the
+  /// prefetch pool (no-op without one, or for leaves). Fire-and-forget:
+  /// the tasks co-own the underlying store, so they stay valid even if
+  /// this tree is destroyed first. Results are unaffected — only which
+  /// access pays the physical read changes.
+  void PrefetchChildren(const RTreeNode& node) const;
 
   /// Physical/logical page access counters (mirrors RTree::io_stats()).
-  const IoStats& io_stats() const { return stats_; }
-  void ResetIoStats() const { stats_.Reset(); }
+  /// A consistent copy — the cache is internally locked.
+  IoStats io_stats() const;
+  void ResetIoStats() const;
 
-  /// Drops all cached frames (cold-cache measurements).
+  /// Drops all unpinned cached frames (cold-cache measurements).
   void DropCache() const;
 
-  // Queries — same surface as RTree, running on the shared traversals.
-  uint64_t RangeCount(std::span<const Coord> lo, std::span<const Coord> hi) const;
-  std::vector<RowId> RangeSearch(std::span<const Coord> lo,
-                                 std::span<const Coord> hi) const;
-  uint64_t DominatedCount(std::span<const Coord> p) const;
-  uint64_t CommonDominatedCount(std::span<const Coord> p,
-                                std::span<const Coord> q) const;
+  // Queries — same surface as RTree, running on the shared traversals;
+  // fallible because every page read is.
+  [[nodiscard]] Result<uint64_t> RangeCount(std::span<const Coord> lo,
+                                            std::span<const Coord> hi) const;
+  [[nodiscard]] Result<std::vector<RowId>> RangeSearch(
+      std::span<const Coord> lo, std::span<const Coord> hi) const;
+  [[nodiscard]] Result<uint64_t> DominatedCount(std::span<const Coord> p) const;
+  [[nodiscard]] Result<uint64_t> CommonDominatedCount(
+      std::span<const Coord> p, std::span<const Coord> q) const;
 
  private:
   DiskRTree() = default;
 
-  struct FileCloser {
-    void operator()(std::FILE* f) const {
-      if (f != nullptr) std::fclose(f);
-    }
-  };
+  // The disk-resident state: page file, geometry, and the frame cache.
+  // Held by shared_ptr so in-flight prefetch tasks co-own it — a task that
+  // outlives the tree still has a live file and cache to load into.
+  struct Store;
 
   Dim dims_ = 0;
   uint32_t page_size_ = 4096;
@@ -84,22 +146,9 @@ class DiskRTree {
   PageId root_ = kInvalidPageId;
   uint32_t height_ = 0;
   size_t node_count_ = 0;
-  size_t cache_capacity_ = 1;
 
-  std::unique_ptr<std::FILE, FileCloser> file_;
-  // LRU frame cache of deserialized nodes. Deliberately unguarded: a
-  // DiskRTree is a per-query, single-threaded reader (ReadNode hands out
-  // `const RTreeNode&` references into frames_ that would escape any
-  // critical section); per-page rwlocks are the ROADMAP's shared-access
-  // step.
-  // skylint:allow(guarded-mutex): single-threaded frame cache (see above)
-  mutable std::list<PageId> lru_;
-  // skylint:allow(guarded-mutex): single-threaded frame cache (see above)
-  mutable std::unordered_map<PageId,
-                             std::pair<RTreeNode, std::list<PageId>::iterator>>
-      frames_;
-  // skylint:allow(guarded-mutex): single-threaded frame cache (see above)
-  mutable IoStats stats_;
+  std::shared_ptr<Store> store_;
+  ThreadPool* prefetch_pool_ = nullptr;
 };
 
 }  // namespace skydiver

@@ -1,0 +1,153 @@
+#include "rtree/page_cache.h"
+
+#include "common/check.h"
+
+namespace skydiver {
+
+PageCache::PageCache(size_t capacity_pages, Loader loader)
+    : capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      loader_(std::move(loader)) {
+  SKYDIVER_CHECK(loader_ != nullptr, "PageCache needs a loader");
+}
+
+Result<PageRef> PageCache::Get(PageId id) {
+  internal::PageFrame* frame = nullptr;
+  {
+    WriterMutexLock lock(mutex_);
+    ++stats_.page_reads;
+    while (true) {
+      auto it = frames_.find(id);
+      if (it == frames_.end()) break;
+      internal::PageFrame* resident = it->second.get();
+      if (resident->loading) {
+        // Another thread is reading this page; park instead of issuing a
+        // duplicate read. Re-find after the wakeup — a failed load erases
+        // the frame, in which case we fall through to retry the read.
+        loaded_.Wait(mutex_);
+        continue;
+      }
+      lru_.splice(lru_.begin(), lru_, resident->lru_pos);
+      ++resident->pins;
+      return PageRef(this, resident);
+    }
+    // Demand miss: install a loading frame, pinned by us so neither
+    // eviction nor Clear() can touch it while the read is in flight.
+    ++stats_.page_faults;
+    auto inserted = frames_.emplace(id, std::make_unique<internal::PageFrame>());
+    frame = inserted.first->second.get();
+    frame->pins = 1;
+    frame->loading = true;
+    EvictOverCapacity();
+  }
+
+  // The physical read runs outside the lock: concurrent Gets of other
+  // pages (and their loads) proceed in parallel.
+  RTreeNode node;
+  const Status load = loader_(id, &node);
+
+  WriterMutexLock lock(mutex_);
+  if (!load.ok()) {
+    frames_.erase(id);
+    loaded_.NotifyAll();
+    return load;
+  }
+  frame->node = std::move(node);
+  frame->loading = false;
+  lru_.push_front(id);
+  frame->lru_pos = lru_.begin();
+  loaded_.NotifyAll();
+  return PageRef(this, frame);
+}
+
+void PageCache::Prefetch(PageId id) {
+  internal::PageFrame* frame = nullptr;
+  {
+    WriterMutexLock lock(mutex_);
+    if (frames_.count(id) != 0) return;  // resident or already in flight
+    ++stats_.page_prefetches;
+    auto inserted = frames_.emplace(id, std::make_unique<internal::PageFrame>());
+    frame = inserted.first->second.get();
+    frame->pins = 0;
+    frame->loading = true;
+    EvictOverCapacity();
+  }
+
+  RTreeNode node;
+  const Status load = loader_(id, &node);
+
+  WriterMutexLock lock(mutex_);
+  if (!load.ok()) {
+    // Swallowed by design: a speculative read owes nobody an answer. The
+    // demand Get() of this page will retry and surface the error.
+    frames_.erase(id);
+    loaded_.NotifyAll();
+    return;
+  }
+  frame->node = std::move(node);
+  frame->loading = false;
+  lru_.push_front(id);
+  frame->lru_pos = lru_.begin();
+  loaded_.NotifyAll();
+}
+
+void PageCache::Unpin(internal::PageFrame* frame) {
+  WriterMutexLock lock(mutex_);
+  SKYDIVER_DCHECK(frame->pins > 0, "unpin of an unpinned frame");
+  --frame->pins;
+}
+
+void PageCache::EvictOverCapacity() {
+  auto pos = lru_.end();
+  while (frames_.size() > capacity_ && pos != lru_.begin()) {
+    --pos;
+    auto it = frames_.find(*pos);
+    SKYDIVER_DCHECK(it != frames_.end());
+    if (it->second->pins != 0) continue;  // pinned: skip, caller holds a ref
+    pos = lru_.erase(pos);
+    frames_.erase(it);
+  }
+}
+
+void PageCache::Clear() {
+  WriterMutexLock lock(mutex_);
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    internal::PageFrame* frame = it->second.get();
+    if (frame->pins != 0 || frame->loading) {
+      ++it;
+      continue;
+    }
+    lru_.erase(frame->lru_pos);
+    it = frames_.erase(it);
+  }
+}
+
+IoStats PageCache::stats() const {
+  ReaderMutexLock lock(mutex_);
+  return stats_;
+}
+
+void PageCache::ResetStats() {
+  WriterMutexLock lock(mutex_);
+  stats_.Reset();
+}
+
+size_t PageCache::cached_pages() const {
+  ReaderMutexLock lock(mutex_);
+  return frames_.size();
+}
+
+size_t PageCache::pinned_pages() const {
+  ReaderMutexLock lock(mutex_);
+  size_t pinned = 0;
+  for (const auto& [id, frame] : frames_) {
+    if (frame->pins != 0) ++pinned;
+  }
+  return pinned;
+}
+
+bool PageCache::Contains(PageId id) const {
+  ReaderMutexLock lock(mutex_);
+  return frames_.count(id) != 0;
+}
+
+}  // namespace skydiver

@@ -1,0 +1,206 @@
+// Pinned, thread-safe LRU page cache for the disk-backed tree.
+//
+// This replaces DiskRTree's ad-hoc mutable frame map, whose `const
+// RTreeNode&` returns pointed into evictable storage: one more ReadNode
+// could evict the frame under the caller — a use-after-free the old code
+// "prevented" by documenting the tree as single-threaded. The cache fixes
+// both problems at once:
+//
+//   Pinning.  Get() returns a `PageRef`, an RAII pin on the frame. A
+//   pinned frame is never evicted (eviction walks the LRU tail and skips
+//   frames with live pins), so the reference a caller holds stays valid
+//   until the ref is destroyed — under ASan, across threads, at any cache
+//   capacity. When every frame is pinned the cache runs over capacity
+//   transiently rather than invalidating a caller.
+//
+//   Synchronization.  All frame-table state lives behind an annotated
+//   SharedMutex capability (PR 8 discipline; the BufferPool pattern).
+//   Lookups take the writer side (even a hit splices the LRU chain);
+//   PAGE DATA is read with no lock at all — a frame's node is immutable
+//   once loaded, and the pin keeps it alive — so N queries deserialize and
+//   scan pages truly concurrently, and disk-backed snapshots can be built
+//   while queries run (the ROADMAP serving item).
+//
+//   In-flight deduplication.  A miss installs a "loading" frame and
+//   performs the physical read OUTSIDE the lock; concurrent readers of the
+//   same page park on a SharedCondVar instead of issuing a duplicate read.
+//   Loading frames are invisible to eviction and Clear().
+//
+//   Prefetch.  Prefetch(id) is the async half: it installs and loads a
+//   frame exactly like a miss but counts `page_prefetches` instead of a
+//   demand fault, swallows I/O errors (the demand read will surface them),
+//   and pins nothing. Prefetch only changes WHICH access pays the
+//   physical read — never the bytes — so results are bit-identical with
+//   prefetch on or off (asserted by FNV parity tests).
+//
+// The pin discipline at call sites is linted (skylint `pin-discipline`):
+// never bind `const RTreeNode&` directly to a ReadNode() call — name the
+// ref (or the Result holding it) first, then borrow the node from it:
+//
+//   decltype(auto) ref = tree.ReadNode(id);
+//   if (!RefOk(ref)) return RefStatus(ref);
+//   const RTreeNode& node = NodeOf(ref);   // borrows from `ref`
+//
+// The RefOk/RefStatus/NodeOf overloads below make that pattern generic
+// over both tree backends (RTree's infallible `const RTreeNode&` and
+// DiskRTree's `Result<PageRef>`), which is what keeps the templated
+// traversals single-source.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/io_stats.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "rtree/buffer_pool.h"
+#include "rtree/rtree.h"
+
+namespace skydiver {
+
+class PageCache;
+
+namespace internal {
+
+/// One cache frame. Namespace-scope (not nested) only so PageRef can
+/// dereference the node without seeing PageCache's internals. The node is
+/// immutable once `loading` drops; the bookkeeping fields are guarded by
+/// the owning cache's mutex.
+struct PageFrame {
+  RTreeNode node;
+  size_t pins = 0;
+  bool loading = true;
+  std::list<PageId>::iterator lru_pos{};
+};
+
+}  // namespace internal
+
+/// RAII pin on a cache frame: while a PageRef lives, its node cannot be
+/// evicted. Movable, not copyable; the empty state (default-constructed or
+/// moved-from) holds no pin. node() needs no lock — see the file comment.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(PageRef&& other) noexcept
+      : cache_(std::exchange(other.cache_, nullptr)),
+        frame_(std::exchange(other.frame_, nullptr)) {}
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      cache_ = std::exchange(other.cache_, nullptr);
+      frame_ = std::exchange(other.frame_, nullptr);
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  ~PageRef() { Reset(); }
+
+  const RTreeNode& node() const { return frame_->node; }
+  const RTreeNode& operator*() const { return frame_->node; }
+  const RTreeNode* operator->() const { return &frame_->node; }
+  explicit operator bool() const { return frame_ != nullptr; }
+
+  /// Drops the pin (no-op when empty).
+  void Reset();
+
+ private:
+  friend class PageCache;
+  PageRef(PageCache* cache, internal::PageFrame* frame)
+      : cache_(cache), frame_(frame) {}
+
+  PageCache* cache_ = nullptr;
+  internal::PageFrame* frame_ = nullptr;
+};
+
+/// Internally-synchronized pinned LRU cache of deserialized nodes.
+/// Immovable: outstanding PageRefs point into it. Must outlive every ref
+/// it handed out (DiskRTree guarantees this by holding the cache in a
+/// shared store that prefetch tasks co-own).
+class PageCache {
+ public:
+  /// Loads page `id` into `*node`. Called OUTSIDE the cache lock; must be
+  /// safe to run concurrently for distinct pages (PageFile is).
+  using Loader = std::function<Status(PageId, RTreeNode*)>;
+
+  PageCache(size_t capacity_pages, Loader loader);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Reads a page: a resident frame is a hit (LRU touch + pin), otherwise
+  /// the page is loaded (one physical read even under concurrent misses —
+  /// racers wait). Counts a logical read always and a fault on a demand
+  /// miss. Fails only if the loader fails.
+  [[nodiscard]] Result<PageRef> Get(PageId id);
+
+  /// Asynchronously-warmable load: makes `id` resident without pinning.
+  /// No-op if resident or in flight. Counts `page_prefetches` (never reads
+  /// or faults); load errors are swallowed — the demand Get() reports them.
+  void Prefetch(PageId id);
+
+  /// Drops every unpinned, fully-loaded frame (cold-cache measurements).
+  /// Pinned and in-flight frames survive; statistics are untouched.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+  /// Consistent copy of the I/O counters (by value, house style).
+  IoStats stats() const;
+  void ResetStats();
+
+  size_t cached_pages() const;
+  size_t pinned_pages() const;
+  bool Contains(PageId id) const;
+
+ private:
+  friend class PageRef;
+
+  void Unpin(internal::PageFrame* frame);
+
+  /// Evicts LRU-tail frames until the table fits `capacity_`, skipping
+  /// pinned frames (loading frames are not on the LRU chain yet). May
+  /// leave the table over capacity when everything is pinned/in flight.
+  void EvictOverCapacity() SKYDIVER_REQUIRES(mutex_);
+
+  const size_t capacity_;
+  const Loader loader_;
+
+  // The cache capability: guards the frame table, the LRU chain, the
+  // counters, and every frame's bookkeeping fields. Node payloads are
+  // immutable once loaded and are read outside it (see file comment).
+  mutable SharedMutex mutex_;
+  SharedCondVar loaded_;  ///< signaled when any in-flight load finishes
+  std::list<PageId> lru_ SKYDIVER_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<PageId, std::unique_ptr<internal::PageFrame>> frames_
+      SKYDIVER_GUARDED_BY(mutex_);
+  IoStats stats_ SKYDIVER_GUARDED_BY(mutex_);
+};
+
+inline void PageRef::Reset() {
+  if (cache_ != nullptr) cache_->Unpin(frame_);
+  cache_ = nullptr;
+  frame_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Generic node access over both ReadNode return shapes (see file comment).
+// ---------------------------------------------------------------------------
+
+inline bool RefOk(const RTreeNode&) { return true; }
+inline Status RefStatus(const RTreeNode&) { return Status::OK(); }
+inline const RTreeNode& NodeOf(const RTreeNode& node) { return node; }
+
+inline bool RefOk(const Result<PageRef>& ref) { return ref.ok(); }
+inline Status RefStatus(const Result<PageRef>& ref) { return ref.status(); }
+inline const RTreeNode& NodeOf(const Result<PageRef>& ref) {
+  return ref.value().node();
+}
+
+}  // namespace skydiver

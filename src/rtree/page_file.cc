@@ -1,0 +1,121 @@
+#include "rtree/page_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace skydiver {
+
+const char* ToString(DiskBackend backend) {
+  switch (backend) {
+    case DiskBackend::kPread: return "pread";
+    case DiskBackend::kMmap: return "mmap";
+  }
+  return "?";
+}
+
+Result<DiskBackend> ParseDiskBackend(const std::string& name) {
+  if (name == "pread") return DiskBackend::kPread;
+  if (name == "mmap") return DiskBackend::kMmap;
+  return Status::InvalidArgument("unknown disk backend '" + name +
+                                 "' (expected pread|mmap)");
+}
+
+Result<PageFile> PageFile::Open(const std::string& path, DiskBackend backend) {
+  PageFile file;
+  file.path_ = path;
+  file.backend_ = backend;
+  file.fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd_ < 0) {
+    return Status::IoError("cannot open '" + path + "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(file.fd_, &st) != 0) {
+    return Status::IoError("fstat('" + path + "'): " + std::strerror(errno));
+  }
+  file.file_size_ = static_cast<uint64_t>(st.st_size);
+  if (backend == DiskBackend::kMmap) {
+    if (file.file_size_ == 0) {
+      return Status::IoError("cannot mmap empty file '" + path + "'");
+    }
+    void* map = ::mmap(nullptr, file.file_size_, PROT_READ, MAP_SHARED, file.fd_, 0);
+    if (map == MAP_FAILED) {
+      return Status::IoError("mmap('" + path + "'): " + std::strerror(errno));
+    }
+    file.map_ = static_cast<const unsigned char*>(map);
+  }
+  return file;
+}
+
+PageFile::PageFile(PageFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      backend_(other.backend_),
+      fd_(std::exchange(other.fd_, -1)),
+      file_size_(std::exchange(other.file_size_, 0)),
+      map_(std::exchange(other.map_, nullptr)) {}
+
+PageFile& PageFile::operator=(PageFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    path_ = std::move(other.path_);
+    backend_ = other.backend_;
+    fd_ = std::exchange(other.fd_, -1);
+    file_size_ = std::exchange(other.file_size_, 0);
+    map_ = std::exchange(other.map_, nullptr);
+  }
+  return *this;
+}
+
+PageFile::~PageFile() { Close(); }
+
+void PageFile::Close() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(map_), file_size_);
+    map_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::span<const unsigned char>> PageFile::ViewPage(
+    uint64_t index, uint32_t page_size, std::vector<unsigned char>& scratch) const {
+  // All offset math in uint64_t; the off_t cast below is the only narrowing
+  // and off_t is 64-bit on every supported target (static_assert'd).
+  static_assert(sizeof(off_t) == 8, "disk path requires 64-bit file offsets");
+  const uint64_t offset = index * static_cast<uint64_t>(page_size);
+  if (offset / page_size != index || offset + page_size > file_size_) {
+    return Status::IoError("page " + std::to_string(index) + " (offset " +
+                           std::to_string(offset) + ", size " +
+                           std::to_string(page_size) + ") lies outside '" + path_ +
+                           "' (" + std::to_string(file_size_) + " bytes)");
+  }
+  if (backend_ == DiskBackend::kMmap) {
+    return std::span<const unsigned char>(map_ + offset, page_size);
+  }
+  scratch.resize(page_size);
+  size_t done = 0;
+  while (done < page_size) {
+    const ssize_t got = ::pread(fd_, scratch.data() + done, page_size - done,
+                                static_cast<off_t>(offset + done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("pread('" + path_ + "', page " + std::to_string(index) +
+                             "): " + std::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::IoError("short read of page " + std::to_string(index) +
+                             " from '" + path_ + "' (file truncated?)");
+    }
+    done += static_cast<size_t>(got);
+  }
+  return std::span<const unsigned char>(scratch.data(), page_size);
+}
+
+}  // namespace skydiver

@@ -1,0 +1,81 @@
+// Read-only paged file access with two physical backends.
+//
+// `PageFile` is the lowest layer of the disk path: it maps (page index,
+// page size) to bytes and nothing else — no cache, no deserialization, no
+// stats. Two backends share the interface:
+//
+//   kPread  positional pread(2) into a caller-supplied scratch buffer.
+//           Every offset is computed in uint64_t and passed as off_t, so
+//           files past 2 GiB address correctly (the predecessor funneled
+//           offsets through fseek(long), which truncates at 2^31 on LP32
+//           and silently relied on it everywhere else).
+//   kMmap   one read-only shared mapping of the whole file; ViewPage
+//           returns a zero-copy span into the map. The OS page cache IS
+//           the warm path, so the frame cache above only pays
+//           deserialization on a hit-miss.
+//
+// pread is positional and the mapping is immutable, so a PageFile is safe
+// for concurrent readers with no locking at all; the PageCache above it
+// serializes only its own frame table.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skydiver {
+
+/// Physical read strategy for a page file.
+enum class DiskBackend {
+  kPread,  ///< Positional pread(2) per page (default).
+  kMmap,   ///< One read-only mapping; zero-copy page views.
+};
+
+const char* ToString(DiskBackend backend);
+
+/// Parses "pread" / "mmap" (the --disk-backend CLI spelling).
+[[nodiscard]] Result<DiskBackend> ParseDiskBackend(const std::string& name);
+
+/// A read-only file addressed in fixed-size pages.
+class PageFile {
+ public:
+  /// Opens `path` read-only with the given backend. kMmap maps the whole
+  /// file eagerly and fails if the file is empty.
+  [[nodiscard]] static Result<PageFile> Open(const std::string& path,
+                                             DiskBackend backend = DiskBackend::kPread);
+
+  PageFile(PageFile&& other) noexcept;
+  PageFile& operator=(PageFile&& other) noexcept;
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+  ~PageFile();
+
+  /// Bytes of page `index` (byte range [index * page_size, +page_size)).
+  /// kPread copies into `scratch` (resized as needed) and returns a span
+  /// over it; kMmap returns a span straight into the mapping and leaves
+  /// `scratch` untouched. Fails with IoError if the range falls outside
+  /// the file — short reads are loud, never UB.
+  [[nodiscard]] Result<std::span<const unsigned char>> ViewPage(
+      uint64_t index, uint32_t page_size, std::vector<unsigned char>& scratch) const;
+
+  uint64_t file_size() const { return file_size_; }
+  DiskBackend backend() const { return backend_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  PageFile() = default;
+
+  void Close();
+
+  std::string path_;
+  DiskBackend backend_ = DiskBackend::kPread;
+  int fd_ = -1;
+  uint64_t file_size_ = 0;
+  const unsigned char* map_ = nullptr;  // kMmap only
+};
+
+}  // namespace skydiver

@@ -389,12 +389,14 @@ void RTree::BulkLoadInternal(const DataSet& data) {
 // ---------------------------------------------------------------------------
 
 uint64_t RTree::RangeCount(std::span<const Coord> lo, std::span<const Coord> hi) const {
-  return traversal::RangeCount(*this, lo, hi);
+  // Infallible unwrap: RTree::ReadNode cannot fail, so the shared
+  // traversal's Result is always OK here (DiskRTree's is the fallible one).
+  return traversal::RangeCount(*this, lo, hi).value();
 }
 
 std::vector<RowId> RTree::RangeSearch(std::span<const Coord> lo,
                                       std::span<const Coord> hi) const {
-  return traversal::RangeSearch(*this, lo, hi);
+  return traversal::RangeSearch(*this, lo, hi).value();
 }
 
 std::vector<RTree::Neighbor> RTree::NearestNeighbors(std::span<const Coord> point,
@@ -434,6 +436,8 @@ std::vector<RTree::Neighbor> RTree::NearestNeighbors(std::span<const Coord> poin
       out.push_back(Neighbor{item.row, std::sqrt(item.dist2)});
       continue;
     }
+    // skylint:allow(pin-discipline): RTree's own ReadNode hands out stable
+    // references into the deque store — nothing to pin.
     const RTreeNode& node = ReadNode(item.child);
     for (const auto& e : node.entries) {
       if (node.is_leaf) {
@@ -447,12 +451,12 @@ std::vector<RTree::Neighbor> RTree::NearestNeighbors(std::span<const Coord> poin
 }
 
 uint64_t RTree::DominatedCount(std::span<const Coord> p) const {
-  return traversal::DominatedCount(*this, p);
+  return traversal::DominatedCount(*this, p).value();
 }
 
 uint64_t RTree::CommonDominatedCount(std::span<const Coord> p,
                                      std::span<const Coord> q) const {
-  return traversal::CommonDominatedCount(*this, p, q);
+  return traversal::CommonDominatedCount(*this, p, q).value();
 }
 
 // ---------------------------------------------------------------------------

@@ -1,10 +1,17 @@
 // Index traversals, templated over the tree backend.
 //
 // Both `RTree` (in-memory simulated pages) and `DiskRTree` (real
-// file-backed 4 KB pages) expose the same access surface — ReadNode(),
-// root(), dims(), size() — so every query and every index-based algorithm
+// file-backed pages) expose the same access surface — ReadNode(), root(),
+// dims(), size() — so every query and every index-based algorithm
 // (aggregate range counting, BBS, SigGen-IB) is written once here and
 // works against either backend.
+//
+// ReadNode differs in shape between the backends: RTree's is infallible
+// (`const RTreeNode&`), DiskRTree's is a fallible pinned handle
+// (`Result<PageRef>` — rtree/page_cache.h). The traversals therefore
+// return Result<> and use the generic RefOk/RefStatus/NodeOf accessors
+// with the pin-discipline pattern: bind the ref to a named local, check
+// it, then borrow the node. For RTree the checks compile to nothing.
 
 #pragma once
 
@@ -14,25 +21,29 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "core/dominance.h"
 #include "core/types.h"
 #include "rtree/buffer_pool.h"
 #include "rtree/mbr.h"
+#include "rtree/page_cache.h"
 
 namespace skydiver::traversal {
 
 /// Aggregate-aware count of points in the closed box [lo, hi]: fully
 /// contained subtrees contribute their stored count without being read.
 template <typename Tree>
-uint64_t RangeCount(const Tree& tree, std::span<const Coord> lo,
-                    std::span<const Coord> hi) {
-  if (tree.size() == 0) return 0;
+Result<uint64_t> RangeCount(const Tree& tree, std::span<const Coord> lo,
+                            std::span<const Coord> hi) {
+  if (tree.size() == 0) return uint64_t{0};
   Mbr box = Mbr::OfPoint(lo);
   box.Expand(hi);
   uint64_t count = 0;
   std::vector<PageId> stack{tree.root()};
   while (!stack.empty()) {
-    const auto& node = tree.ReadNode(stack.back());
+    decltype(auto) ref = tree.ReadNode(stack.back());
+    if (!RefOk(ref)) return RefStatus(ref);
+    const RTreeNode& node = NodeOf(ref);
     stack.pop_back();
     for (const auto& e : node.entries) {
       if (node.is_leaf) {
@@ -49,15 +60,17 @@ uint64_t RangeCount(const Tree& tree, std::span<const Coord> lo,
 
 /// Row ids of all points inside the closed box [lo, hi].
 template <typename Tree>
-std::vector<RowId> RangeSearch(const Tree& tree, std::span<const Coord> lo,
-                               std::span<const Coord> hi) {
+Result<std::vector<RowId>> RangeSearch(const Tree& tree, std::span<const Coord> lo,
+                                       std::span<const Coord> hi) {
   std::vector<RowId> out;
   if (tree.size() == 0) return out;
   Mbr box = Mbr::OfPoint(lo);
   box.Expand(hi);
   std::vector<PageId> stack{tree.root()};
   while (!stack.empty()) {
-    const auto& node = tree.ReadNode(stack.back());
+    decltype(auto) ref = tree.ReadNode(stack.back());
+    if (!RefOk(ref)) return RefStatus(ref);
+    const RTreeNode& node = NodeOf(ref);
     stack.pop_back();
     for (const auto& e : node.entries) {
       if (node.is_leaf) {
@@ -72,17 +85,19 @@ std::vector<RowId> RangeSearch(const Tree& tree, std::span<const Coord> lo,
 
 /// |Γ(p)|: points strictly dominated by p.
 template <typename Tree>
-uint64_t DominatedCount(const Tree& tree, std::span<const Coord> p) {
+Result<uint64_t> DominatedCount(const Tree& tree, std::span<const Coord> p) {
   std::vector<Coord> inf(tree.dims(), std::numeric_limits<Coord>::infinity());
-  const uint64_t weak = RangeCount(tree, p, inf);
-  const uint64_t dups = RangeCount(tree, p, p);
-  return weak - dups;
+  const auto weak = RangeCount(tree, p, inf);
+  if (!weak.ok()) return weak.status();
+  const auto dups = RangeCount(tree, p, p);
+  if (!dups.ok()) return dups.status();
+  return weak.value() - dups.value();
 }
 
 /// |Γ(p) ∩ Γ(q)| via the component-wise max corner (see RTree docs).
 template <typename Tree>
-uint64_t CommonDominatedCount(const Tree& tree, std::span<const Coord> p,
-                              std::span<const Coord> q) {
+Result<uint64_t> CommonDominatedCount(const Tree& tree, std::span<const Coord> p,
+                                      std::span<const Coord> q) {
   const Dim d = tree.dims();
   SKYDIVER_DCHECK(p.size() == d && q.size() == d);
   const bool q_weak_p = WeaklyDominates(q, p);
@@ -91,10 +106,20 @@ uint64_t CommonDominatedCount(const Tree& tree, std::span<const Coord> p,
   std::vector<Coord> corner(d);
   for (Dim i = 0; i < d; ++i) corner[i] = std::max(p[i], q[i]);
   std::vector<Coord> inf(d, std::numeric_limits<Coord>::infinity());
-  uint64_t total = RangeCount(tree, corner, inf);
-  if (q_weak_p) total -= RangeCount(tree, p, p);
-  if (p_weak_q) total -= RangeCount(tree, q, q);
-  return total;
+  const auto total = RangeCount(tree, corner, inf);
+  if (!total.ok()) return total.status();
+  uint64_t count = total.value();
+  if (q_weak_p) {
+    const auto dups = RangeCount(tree, p, p);
+    if (!dups.ok()) return dups.status();
+    count -= dups.value();
+  }
+  if (p_weak_q) {
+    const auto dups = RangeCount(tree, q, q);
+    if (!dups.ok()) return dups.status();
+    count -= dups.value();
+  }
+  return count;
 }
 
 }  // namespace skydiver::traversal

@@ -71,6 +71,10 @@ Result<std::shared_ptr<const SkySnapshot>> SkyServer::SnapshotFor(
   // Build outside the lock (Phase 1 is the expensive part — this is the
   // whole reason the snapshot cache exists). Concurrent misses on the same
   // shape may build twice; the builds are bit-identical, first insert wins.
+  // This holds for a disk-backed `resources_` too: concurrent builds
+  // traverse the shared DiskRTree through its internally-synchronized
+  // pinned page cache (rtree/page_cache.h), so no external serialization
+  // of Phase 1 is needed.
   SkyDiverConfig config = config_;
   config.query = std::move(normalized).value();
   auto built = SkySnapshot::Build(*data_, config, resources_, runtime_);

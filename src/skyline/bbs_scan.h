@@ -51,12 +51,14 @@
 #include <queue>
 #include <vector>
 
+#include "common/status.h"
 #include "core/data_view.h"
 #include "core/dataset.h"
 #include "core/dominance.h"
 #include "kernels/dominance_kernel.h"
 #include "kernels/tile_view.h"
 #include "rtree/node_corners.h"
+#include "rtree/page_cache.h"
 #include "rtree/rtree.h"
 
 namespace skydiver {
@@ -100,11 +102,13 @@ class BbsScan {
   }
 
   /// The next skyline row in (masked) mindist order, or nullopt when
-  /// exhausted.
+  /// exhausted — or when a page read failed, which parks the error in
+  /// status() and ends the scan (the RocksDB iterator contract: drain,
+  /// then check status()).
   std::optional<RowId> Next() {
     const uint64_t before = DominanceCounter::Count();
     std::optional<RowId> out;
-    while (!heap_.empty()) {
+    while (status_.ok() && !heap_.empty()) {
       const Item item = heap_.top();
       heap_.pop();
       if (item.is_point) {
@@ -117,11 +121,31 @@ class BbsScan {
         }
         continue;
       }
-      PruneAndPushNode(tree_.ReadNode(item.child));
+      // Pin discipline (rtree/page_cache.h): name the ref, check it,
+      // borrow the node. RTree's infallible shape compiles the check away.
+      decltype(auto) ref = tree_.ReadNode(item.child);
+      if (!RefOk(ref)) {
+        status_ = RefStatus(ref);
+        heap_ = {};  // a partial frontier is useless; fail the whole scan
+        break;
+      }
+      const RTreeNode& node = NodeOf(ref);
+      // Async prefetch hook: a backend with a prefetcher (DiskRTree with a
+      // pool attached) warms all child pages of the popped node while this
+      // thread prunes it, so heap-ordered pops land on resident frames.
+      // Prefetch never changes results — only which access pays the read.
+      if constexpr (requires { tree_.PrefetchChildren(node); }) {
+        tree_.PrefetchChildren(node);
+      }
+      PruneAndPushNode(node);
     }
     dominance_checks_ += DominanceCounter::Count() - before;
     return out;
   }
+
+  /// OK while the scan is healthy; the first page-read error otherwise
+  /// (after which Next() returns nullopt forever). Check after draining.
+  Status status() const { return status_; }
 
   /// Skyline rows emitted so far, in emission (mindist) order.
   const std::vector<RowId>& emitted() const { return emitted_; }
@@ -216,6 +240,7 @@ class BbsScan {
   std::vector<Coord> probe_scratch_;   // scratch: one projected point probe
   std::vector<RowId> emitted_;
   uint64_t dominance_checks_ = 0;
+  Status status_;  // first page-read failure; sticky
 };
 
 }  // namespace skydiver

@@ -332,6 +332,10 @@ Result<SkylineResult> SkylineBBSImpl(const DataView& view, const Tree& tree,
   BbsScan<Tree> scan(view, tree, kernel);
   while (scan.Next()) {
   }
+  // Disk-backed scans end early on a page-read failure (truncated file,
+  // corrupt page); the iterator parks the error rather than emitting a
+  // partial skyline as if it were complete.
+  SKYDIVER_RETURN_NOT_OK(scan.status());
   std::vector<RowId> skyline = scan.emitted();
   std::sort(skyline.begin(), skyline.end());
   return SkylineResult{std::move(skyline), checks.Delta()};

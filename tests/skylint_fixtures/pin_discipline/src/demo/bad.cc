@@ -1,0 +1,24 @@
+// Golden-bad fixture for the pin-discipline rule: a node reference bound
+// straight to ReadNode(). Against the disk backend the pinned PageRef the
+// call returns is a temporary — its pin drops at the semicolon, leaving
+// `node` dangling into an evictable page-cache frame (the exact
+// use-after-evict PR 10's pinned cache exists to prevent). The sanctioned
+// shape names the ref first: decltype(auto) ref = tree.ReadNode(id); then
+// borrows the node via NodeOf(ref).
+
+namespace demo {
+
+struct RTreeNode {
+  bool is_leaf = false;
+};
+
+struct Tree {
+  const RTreeNode& ReadNode(int id) const;
+};
+
+bool IsLeaf(const Tree& tree, int id) {
+  const RTreeNode& node = tree.ReadNode(id);
+  return node.is_leaf;
+}
+
+}  // namespace demo

@@ -4,12 +4,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/dominance.h"
 #include "datagen/generators.h"
+#include "parallel/thread_pool.h"
+#include "rtree/disk_rtree.h"
 #include "rtree/rtree.h"
 #include "skyline/external.h"
 #include "skyline/skyline.h"
@@ -129,6 +134,58 @@ TEST_P(SkylineAdversarialTest, AllAlgorithmsAgreeOnTieHeavyData) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SkylineAdversarialTest,
                          testing::Range<uint64_t>(600, 608));
+
+// --------------------------------------------------------------------------
+// Disk path: one DiskRTree, eight threads of mixed BBS and range-count
+// traffic against a deliberately tiny frame cache (constant eviction churn)
+// with async prefetch racing the demand reads. Every thread checks its
+// results against single-threaded references; under TSan this exercises the
+// PageCache's pin/evict/in-flight protocol end to end. (This test runs in
+// the TSan CI lane — see .github/workflows/ci.yml.)
+// --------------------------------------------------------------------------
+
+TEST(DiskStressTest, EightThreadsOfMixedBbsAndRangeCount) {
+  const DataSet data =
+      GenerateWorkload(WorkloadKind::kAnticorrelated, 6000, 3, 311).value();
+  const auto tree = RTree::BulkLoad(data).value();
+  const std::string path = testing::TempDir() + "/disk_stress.pages";
+  ASSERT_TRUE(DiskRTree::Write(tree, path).ok());
+
+  ThreadPool prefetch_pool(4);
+  DiskTreeOptions options;
+  options.cache_fraction = 0.02;  // tiny: eviction races are the point
+  options.prefetch_pool = &prefetch_pool;
+  auto disk = DiskRTree::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  const std::vector<RowId> want_sky = SkylineSFS(data).rows;
+  const std::vector<Coord> lo{0.2, 0.2, 0.2}, hi{0.7, 0.7, 0.7};
+  const uint64_t want_count = tree.RangeCount(lo, hi);
+
+  std::atomic<int> failures{0};
+  // Raw threads on purpose: this exercises external query traffic against
+  // the shared tree, not pool-dispatched work.
+  std::vector<std::thread> threads;  // skylint:allow(determinism)
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        const auto sky = SkylineBBS(data, *disk);
+        if (!sky.ok() || sky->rows != want_sky) failures.fetch_add(1);
+      } else {
+        for (int i = 0; i < 8; ++i) {
+          const auto count = disk->RangeCount(lo, hi);
+          if (!count.ok() || count.value() != want_count) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  std::remove(path.c_str());
+}
 
 // --------------------------------------------------------------------------
 // Streaming: random interleavings of duplicate-heavy points stay

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -31,6 +32,8 @@
 #include "core/preference.h"
 #include "datagen/csv.h"
 #include "datagen/generators.h"
+#include "parallel/thread_pool.h"
+#include "rtree/disk_rtree.h"
 #include "rtree/rtree.h"
 #include "serve/serve.h"
 #include "skydiver/advisor.h"
@@ -135,6 +138,8 @@ int Run(int argc, char** argv) {
   std::string csv, workload = "IND", pref_spec, select = "mh", kernel = "simd";
   std::string save_tree, load_tree, save_data;
   std::string constrain_spec, project_spec;
+  std::string disk_path, disk_backend_name = "pread";
+  bool disk_prefetch = false;
   int64_t n = 100000, dims = 4, k = 10, t = 100, lsh_buckets = 20, seed = 42;
   int64_t threads = 0, shards = 1, morsel = 0;
   double lsh_threshold = 0.2;
@@ -178,6 +183,14 @@ int Run(int argc, char** argv) {
   flags.AddDouble("lsh-threshold", &lsh_threshold, "LSH banding threshold xi");
   flags.AddInt64("lsh-buckets", &lsh_buckets, "LSH buckets per zone B");
   flags.AddBool("index", &use_index, "build an aggregate R*-tree (BBS + SigGen-IB)");
+  flags.AddString("disk", &disk_path,
+                  "serialize the index to this page file and run the disk "
+                  "pipeline off it (real page reads through the pinned cache)");
+  flags.AddString("disk-backend", &disk_backend_name,
+                  "physical page I/O for --disk: pread | mmap");
+  flags.AddBool("disk-prefetch", &disk_prefetch,
+                "arm async child-page prefetch for --disk (pool size = "
+                "--threads; 0 = hardware concurrency)");
   flags.AddString("save-tree", &save_tree, "persist the built index to this path");
   flags.AddString("load-tree", &load_tree, "load a persisted index instead of building");
   flags.AddString("save-data", &save_data, "persist the dataset in binary form");
@@ -278,6 +291,43 @@ int Run(int argc, char** argv) {
     }
   }
 
+  // --- optional disk tree ------------------------------------------------------
+  Result<DiskRTree> disk = Status::Internal("unset");
+  std::optional<ThreadPool> prefetch_pool;
+  bool have_disk = false;
+  if (!disk_path.empty()) {
+    if (!have_tree) {
+      tree = RTree::BulkLoad(*canonical);
+      if (!tree.ok()) {
+        std::fprintf(stderr, "index failed: %s\n", tree.status().ToString().c_str());
+        return 1;
+      }
+      have_tree = true;
+    }
+    if (const Status st = DiskRTree::Write(*tree, disk_path); !st.ok()) {
+      std::fprintf(stderr, "writing page file failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    auto backend = ParseDiskBackend(disk_backend_name);
+    if (!backend.ok()) {
+      std::fprintf(stderr, "%s\n", backend.status().ToString().c_str());
+      return 2;
+    }
+    DiskTreeOptions options;
+    options.backend = *backend;
+    if (disk_prefetch) {
+      prefetch_pool.emplace(threads > 0 ? static_cast<size_t>(threads) : 0);
+      options.prefetch_pool = &*prefetch_pool;
+    }
+    disk = DiskRTree::Open(disk_path, options);
+    if (!disk.ok()) {
+      std::fprintf(stderr, "opening page file failed: %s\n",
+                   disk.status().ToString().c_str());
+      return 1;
+    }
+    have_disk = true;
+  }
+
   // --- pipeline ----------------------------------------------------------------
   SkyDiverConfig config;
   config.k = static_cast<size_t>(k);
@@ -349,7 +399,10 @@ int Run(int argc, char** argv) {
 
   if (explain) {
     PlanResources resources;
-    resources.tree = have_tree ? &*tree : nullptr;
+    // The planner takes at most one tree; the disk tree wins when both
+    // exist (the in-memory one only seeded the page file).
+    resources.disk_tree = have_disk ? &*disk : nullptr;
+    resources.tree = (have_tree && !have_disk) ? &*tree : nullptr;
     auto plan = Planner::Resolve(config, resources);
     if (!plan.ok()) {
       std::fprintf(stderr, "planning failed: %s\n", plan.status().ToString().c_str());
@@ -366,7 +419,8 @@ int Run(int argc, char** argv) {
       return 2;
     }
     PlanResources resources;
-    resources.tree = have_tree ? &*tree : nullptr;
+    resources.disk_tree = have_disk ? &*disk : nullptr;
+    resources.tree = (have_tree && !have_disk) ? &*tree : nullptr;
     auto snapshot = SkySnapshot::Build(*canonical, config, resources);
     if (!snapshot.ok()) {
       std::fprintf(stderr, "snapshot build failed: %s\n",
@@ -422,7 +476,9 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  auto report = SkyDiver::Run(*canonical, config, have_tree ? &*tree : nullptr);
+  auto report = have_disk
+                    ? SkyDiver::RunOnDisk(*canonical, config, *disk)
+                    : SkyDiver::Run(*canonical, config, have_tree ? &*tree : nullptr);
   if (!report.ok()) {
     std::fprintf(stderr, "SkyDiver failed: %s\n", report.status().ToString().c_str());
     return 1;
@@ -431,7 +487,7 @@ int Run(int argc, char** argv) {
   if (!quiet) {
     std::printf("# n=%u d=%u skyline=%zu k=%zu select=%s index=%s\n", data->size(),
                 data->dims(), report->skyline.size(), config.k, select.c_str(),
-                have_tree ? "yes" : "no");
+                have_disk ? "disk" : (have_tree ? "yes" : "no"));
     if (!report->plan.query.identity()) {
       std::printf("# query: %s\n", ToString(report->plan.query).c_str());
     }

@@ -482,6 +482,45 @@ void CheckIncludeHygiene(const SourceFile& file, const LintContext& context,
 }
 
 // -------------------------------------------------------------------------
+// pin-discipline
+// -------------------------------------------------------------------------
+
+// DiskRTree::ReadNode hands out a pinned PageRef whose frame becomes
+// evictable the moment the ref dies. Binding a node reference straight to
+// the call —
+//     const RTreeNode& node = tree.ReadNode(id);      // or auto&
+// — compiles fine against the in-memory RTree but is a use-after-evict
+// against the disk tree: the temporary ref (and its pin) dies at the end
+// of the full-expression and the reference dangles into the cache. Code
+// generic over both backends must name the ref first and borrow through
+// it (rtree/page_cache.h documents the protocol):
+//     decltype(auto) ref = tree.ReadNode(id);
+//     if (!RefOk(ref)) return RefStatus(ref);
+//     const RTreeNode& node = NodeOf(ref);
+// RTree-only sites where the reference provably targets the stable
+// in-memory store may carry a skylint:allow(pin-discipline) tag saying so.
+
+const std::regex kNodeRefLhsRe(R"((RTreeNode|auto)\s*&)");
+
+void CheckPinDiscipline(const SourceFile& file, std::vector<Violation>* out) {
+  if (!StartsWith(file.path, "src/")) return;
+  for (const Statement& stmt : SplitStatements(file.code)) {
+    const size_t call = FindToken(stmt.text, "ReadNode");
+    if (call == std::string::npos) continue;
+    const size_t eq = stmt.text.find('=');
+    if (eq == std::string::npos || eq > call) continue;  // decl/defn, no init
+    const std::string lhs = stmt.text.substr(0, eq);
+    if (!std::regex_search(lhs, kNodeRefLhsRe)) continue;
+    Report(file, stmt.line, "pin-discipline",
+           "node reference bound directly to ReadNode(); the pin dies with "
+           "the temporary and the reference dangles into the page cache on "
+           "the disk backend — name the ref, check RefOk, then borrow via "
+           "NodeOf (see rtree/page_cache.h)",
+           out);
+  }
+}
+
+// -------------------------------------------------------------------------
 // guarded-mutex / lock-discipline / relaxed-ordering
 // -------------------------------------------------------------------------
 
@@ -632,10 +671,11 @@ void CheckRelaxedOrdering(const SourceFile& file, std::vector<Violation>* out) {
 
 const std::vector<std::string>& KnownRules() {
   static const std::vector<std::string> kRules = {
-      "assert",          "determinism",     "discarded-status",
-      "guarded-mutex",   "include-hygiene", "intrinsics",
-      "layering",        "lock-discipline", "relaxed-ordering",
-      "shared-state",    "thread-id-reduction", "view-loops",
+      "assert",           "determinism",     "discarded-status",
+      "guarded-mutex",    "include-hygiene", "intrinsics",
+      "layering",         "lock-discipline", "pin-discipline",
+      "relaxed-ordering", "shared-state",    "thread-id-reduction",
+      "view-loops",
   };
   return kRules;
 }
@@ -675,6 +715,7 @@ void LintFile(const SourceFile& file, const LintContext& context,
   CheckIntrinsics(file, out);
   CheckViewLoops(file, out);
   CheckIncludeHygiene(file, context, out);
+  CheckPinDiscipline(file, out);
   CheckGuardedMutex(file, out);
   CheckLockDiscipline(file, out);
   CheckRelaxedOrdering(file, out);

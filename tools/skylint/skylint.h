@@ -61,6 +61,14 @@
 //                      skylint:allow(relaxed-ordering) tag citing the
 //                      protocol that carries the ordering the atomic gives
 //                      up (e.g. the ThreadPool harvest contract).
+//   pin-discipline     In src/: never bind a node reference (RTreeNode& /
+//                      auto&) directly to a ReadNode() call. On the disk
+//                      backend ReadNode returns a pinned PageRef; binding
+//                      through the temporary drops the pin at the end of
+//                      the full-expression and the reference dangles into
+//                      an evictable cache frame. Name the ref, check
+//                      RefOk, borrow via NodeOf (rtree/page_cache.h);
+//                      provably in-memory-only sites tag the line.
 //
 // Suppressions: a comment containing `skylint:allow(<rule-id>)` silences
 // that rule on its line or, when placed in the contiguous comment block
